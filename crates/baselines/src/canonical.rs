@@ -1,0 +1,91 @@
+//! The canonical-path baseline wrapper.
+//!
+//! For a single target this is exactly `canon(v)`; for a set of targets it is
+//! the set of canonical paths, evaluated as a union.  This mirrors the
+//! "canonical" curve of Figures 3 and 4 in the paper.
+
+use wi_dom::{Document, NodeId};
+use wi_xpath::{canonical_path, evaluate, Query};
+
+/// A canonical wrapper: one absolute path per annotated target.
+#[derive(Debug, Clone)]
+pub struct CanonicalWrapper {
+    /// The canonical paths, one per target, in document order of the targets.
+    pub paths: Vec<Query>,
+}
+
+impl CanonicalWrapper {
+    /// Builds the canonical wrapper for a set of targets on a document.
+    pub fn induce(doc: &Document, targets: &[NodeId]) -> CanonicalWrapper {
+        let mut sorted = targets.to_vec();
+        doc.sort_document_order(&mut sorted);
+        CanonicalWrapper {
+            paths: sorted.iter().map(|&t| canonical_path(doc, t)).collect(),
+        }
+    }
+
+    /// Applies the wrapper to a document: the union of all paths' results.
+    pub fn extract(&self, doc: &Document) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .paths
+            .iter()
+            .flat_map(|p| evaluate(p, doc, doc.root()))
+            .collect();
+        doc.sort_document_order(&mut out);
+        out
+    }
+
+    /// The textual form of the wrapper (paths joined by ` | `).
+    pub fn expression(&self) -> String {
+        self.paths
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+
+    /// Number of paths (= number of annotated targets).
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True if the wrapper holds no path.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+
+    #[test]
+    fn selects_exactly_the_targets_on_the_training_page() {
+        let doc = parse_html(
+            "<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>",
+        )
+        .unwrap();
+        let targets = doc.elements_by_tag("li");
+        let wrapper = CanonicalWrapper::induce(&doc, &targets);
+        assert_eq!(wrapper.len(), 3);
+        assert_eq!(wrapper.extract(&doc), targets);
+        assert!(wrapper.expression().contains(" | "));
+        assert!(!wrapper.is_empty());
+    }
+
+    #[test]
+    fn breaks_under_positional_shift() {
+        let v1 = parse_html("<html><body><div><p>x</p></div></body></html>").unwrap();
+        let p1 = v1.elements_by_tag("p");
+        let wrapper = CanonicalWrapper::induce(&v1, &p1);
+        // An advert div inserted before shifts div[1] → div[2].
+        let v2 = parse_html(
+            "<html><body><div class=\"ad\">ad</div><div><p>x</p></div></body></html>",
+        )
+        .unwrap();
+        let selected = wrapper.extract(&v2);
+        let expected = v2.elements_by_tag("p");
+        assert_ne!(selected, expected, "canonical wrapper should have broken");
+    }
+}

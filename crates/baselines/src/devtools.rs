@@ -1,0 +1,98 @@
+//! The "browser developer tools" baseline.
+//!
+//! The paper's related-work section observes that the expression inducers
+//! built into Firebug / Chrome / Firefox devtools emit expressions that are
+//! close to the canonical path, *at most exploiting a unique `id` attribute*
+//! if one is present on the target or an ancestor.  This module reproduces
+//! that behaviour.
+
+use wi_dom::{Document, NodeId};
+use wi_xpath::{canonical_step, Axis, NodeTest, Predicate, Query, Step};
+
+/// Builds the devtools-style expression for a single node: the shortest
+/// suffix of the canonical path rooted at the nearest ancestor-or-self with a
+/// document-unique `id` attribute (or the full canonical path if there is
+/// none).
+pub fn devtools_wrapper(doc: &Document, node: NodeId) -> Query {
+    // Find the nearest ancestor-or-self carrying a unique id.
+    let anchor = doc.ancestors_or_self(node).find(|&n| {
+        doc.attribute(n, "id").map_or(false, |id| {
+            doc.descendants(doc.root())
+                .filter(|&m| doc.attribute(m, "id") == Some(id))
+                .count()
+                == 1
+        })
+    });
+
+    match anchor {
+        Some(anchor) if anchor != doc.root() => {
+            let id_value = doc.attribute(anchor, "id").unwrap().to_string();
+            let tag = doc.tag_name(anchor).unwrap_or("*").to_string();
+            let mut steps = vec![Step::new(Axis::Descendant, NodeTest::Tag(tag))
+                .with_predicate(Predicate::attr_equals("id", id_value))];
+            // Canonical child steps from the anchor down to the node.
+            let mut chain: Vec<NodeId> = doc
+                .ancestors_or_self(node)
+                .take_while(|&n| n != anchor)
+                .collect();
+            chain.reverse();
+            for n in chain {
+                steps.push(canonical_step(doc, n));
+            }
+            Query::new(steps)
+        }
+        _ => wi_xpath::canonical_path(doc, node),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+    use wi_xpath::evaluate;
+
+    #[test]
+    fn uses_unique_id_anchor() {
+        let doc = parse_html(
+            r#"<html><body><div class="x"></div><div id="main"><p>a</p><p>b</p></div></body></html>"#,
+        )
+        .unwrap();
+        let p2 = doc.elements_by_tag("p")[1];
+        let q = devtools_wrapper(&doc, p2);
+        assert_eq!(
+            q.to_string(),
+            r#"descendant::div[@id="main"]/child::p[2]"#
+        );
+        assert_eq!(evaluate(&q, &doc, doc.root()), vec![p2]);
+    }
+
+    #[test]
+    fn target_with_own_id() {
+        let doc = parse_html(r#"<html><body><img id="jobs"></body></html>"#).unwrap();
+        let img = doc.elements_by_tag("img")[0];
+        let q = devtools_wrapper(&doc, img);
+        assert_eq!(q.to_string(), r#"descendant::img[@id="jobs"]"#);
+    }
+
+    #[test]
+    fn falls_back_to_canonical_path_without_ids() {
+        let doc = parse_html("<html><body><div><p>a</p></div></body></html>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        let q = devtools_wrapper(&doc, p);
+        assert!(q.absolute);
+        assert_eq!(evaluate(&q, &doc, doc.root()), vec![p]);
+    }
+
+    #[test]
+    fn non_unique_ids_are_ignored() {
+        let doc = parse_html(
+            r#"<html><body><div id="dup"><p>a</p></div><div id="dup"><p>b</p></div></body></html>"#,
+        )
+        .unwrap();
+        let p2 = doc.elements_by_tag("p")[1];
+        let q = devtools_wrapper(&doc, p2);
+        // The duplicate id must not be used as an anchor.
+        assert!(q.absolute);
+        assert_eq!(evaluate(&q, &doc, doc.root()), vec![p2]);
+    }
+}

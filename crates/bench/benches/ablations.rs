@@ -1,0 +1,87 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! the decay factor δ, the no-predicate penalty, sideways checks, and the
+//! best-K bound.  Each bench measures the induction cost under the variant;
+//! the quality impact is reported by `run_experiments params`.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use wi_induction::config::TextPolicy;
+use wi_induction::{InductionConfig, Sample, WrapperInducer};
+use wi_scoring::ScoringParams;
+use wi_webgen::date::Day;
+use wi_webgen::site::PageKind;
+use wi_webgen::style::Vertical;
+use wi_webgen::tasks::{TargetRole, WrapperTask};
+
+fn task() -> WrapperTask {
+    WrapperTask::new(
+        wi_webgen::site::Site::new(Vertical::Travel, 21),
+        0,
+        PageKind::Detail,
+        TargetRole::ListTitles,
+    )
+}
+
+fn run_with_config(c: &mut Criterion, name: &str, config: InductionConfig) {
+    let task = task();
+    c.bench_function(name, |b| {
+        b.iter_batched(
+            || task.page_with_targets(Day(0)),
+            |(doc, targets)| {
+                let inducer = WrapperInducer::new(config.clone());
+                let sample = Sample::from_root(&doc, &targets);
+                inducer.induce(&[sample])
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_decay_variants(c: &mut Criterion) {
+    for decay in [0.5, 2.5, 5.0] {
+        let config = InductionConfig::default()
+            .with_k(5)
+            .with_params(ScoringParams::paper_defaults().with_decay(decay));
+        run_with_config(c, &format!("ablation_decay_{decay}"), config);
+    }
+}
+
+fn bench_no_predicate_penalty(c: &mut Criterion) {
+    let config = InductionConfig::default()
+        .with_k(5)
+        .with_params(ScoringParams::paper_defaults().with_no_predicate_penalty(0.0));
+    run_with_config(c, "ablation_no_predicate_penalty_off", config);
+}
+
+fn bench_uniform_scores(c: &mut Criterion) {
+    let config = InductionConfig::default()
+        .with_k(5)
+        .with_params(ScoringParams::uniform());
+    run_with_config(c, "ablation_uniform_scores", config);
+}
+
+fn bench_sideways_disabled(c: &mut Criterion) {
+    let config = InductionConfig::default().with_k(5).with_sideways(false);
+    run_with_config(c, "ablation_sideways_disabled", config);
+}
+
+fn bench_k_sweep(c: &mut Criterion) {
+    for k in [1usize, 5, 10, 20] {
+        let config = InductionConfig::default().with_k(k);
+        run_with_config(c, &format!("ablation_best_k_{k}"), config);
+    }
+}
+
+fn bench_text_policy(c: &mut Criterion) {
+    let config = InductionConfig::default()
+        .with_k(5)
+        .with_text_policy(TextPolicy::Deny);
+    run_with_config(c, "ablation_text_predicates_denied", config);
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = bench_decay_variants, bench_no_predicate_penalty, bench_uniform_scores,
+              bench_sideways_disabled, bench_k_sweep, bench_text_policy
+}
+criterion_main!(ablations);

@@ -1,0 +1,108 @@
+//! Criterion benches that regenerate every table and figure of the paper's
+//! evaluation (at the reduced "quick" scale so a full `cargo bench` run
+//! terminates in reasonable time).  The printed Criterion measurement is the
+//! wall-clock cost of regenerating the table/figure; the actual numbers of
+//! the reproduction are produced by `run_experiments` (see EXPERIMENTS.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wi_bench::bench_scale;
+use wi_eval::experiments;
+
+fn bench_sota_dalvi(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("sota_dalvi_success_ratio", |b| {
+        b.iter(|| experiments::sota_dalvi::run(&scale))
+    });
+}
+
+fn bench_sota_weir(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("sota_weir_comparison", |b| {
+        b.iter(|| experiments::sota_weir::run(&scale))
+    });
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table1_single_node_examples", |b| {
+        b.iter(|| experiments::table1::run(&scale, 3))
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("table2_multi_node_examples", |b| {
+        b.iter(|| experiments::table2::run(&scale, 3))
+    });
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig3_robustness_single", |b| {
+        b.iter(|| experiments::fig3::run(&scale))
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig4_robustness_multi", |b| {
+        b.iter(|| experiments::fig4::run(&scale))
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig5_characteristics_single", |b| {
+        b.iter(|| experiments::fig5::run(&scale))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("fig6_characteristics_multi", |b| {
+        b.iter(|| experiments::fig6::run(&scale))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.negative_noise_samples = 6;
+    scale.positive_noise_samples = 4;
+    c.bench_function("fig7_noise_resistance", |b| {
+        b.iter(|| experiments::fig7::run(&scale))
+    });
+}
+
+fn bench_noise_real(c: &mut Criterion) {
+    let scale = bench_scale();
+    c.bench_function("noise_real_ner", |b| {
+        b.iter(|| experiments::noise_real::run(&scale))
+    });
+}
+
+fn bench_change_rate(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.single_tasks = 4;
+    scale.multi_tasks = 4;
+    c.bench_function("change_rate_c_changes", |b| {
+        b.iter(|| experiments::change_rate::run(&scale))
+    });
+}
+
+fn bench_timing(c: &mut Criterion) {
+    let mut scale = bench_scale();
+    scale.single_tasks = 4;
+    scale.multi_tasks = 4;
+    c.bench_function("timing_induction_latency", |b| {
+        b.iter(|| experiments::timing::run(&scale))
+    });
+}
+
+criterion_group! {
+    name = paper;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sota_dalvi, bench_sota_weir, bench_table1, bench_table2,
+              bench_fig3, bench_fig4, bench_fig5, bench_fig6, bench_fig7,
+              bench_noise_real, bench_change_rate, bench_timing
+}
+criterion_main!(paper);

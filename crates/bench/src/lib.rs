@@ -1,0 +1,18 @@
+//! # wi-bench — benchmark support crate
+//!
+//! The Criterion benchmark targets live under `benches/`; one target per
+//! table / figure of the paper (see DESIGN.md for the index), plus
+//! micro-benchmarks of the substrates and ablations of the design choices.
+//! This library only re-exports the pieces the benches share.
+
+#![deny(missing_docs)]
+
+pub use wi_eval::Scale;
+
+/// The scale used by the Criterion benches: tiny, so a full `cargo bench`
+/// terminates in minutes while still exercising every experiment end-to-end
+/// (the full-scale numbers are produced by `run_experiments`, not by the
+/// benches).
+pub fn bench_scale() -> Scale {
+    Scale::tiny()
+}

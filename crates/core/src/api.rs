@@ -1,0 +1,149 @@
+//! High-level convenience API: [`WrapperInducer`] and [`Wrapper`].
+
+use crate::config::InductionConfig;
+use crate::induce::induce;
+use crate::sample::Sample;
+use wi_dom::{Document, NodeId};
+use wi_scoring::QueryInstance;
+use wi_xpath::{evaluate, Query};
+
+/// A ready-to-use induced wrapper: the ranked expression plus convenience
+/// methods for applying it to (new versions of) pages.
+#[derive(Debug, Clone)]
+pub struct Wrapper {
+    /// The underlying ranked query instance.
+    pub instance: QueryInstance,
+}
+
+impl Wrapper {
+    /// Creates a wrapper from a query instance.
+    pub fn new(instance: QueryInstance) -> Self {
+        Wrapper { instance }
+    }
+
+    /// The wrapper's XPath expression.
+    pub fn query(&self) -> &Query {
+        &self.instance.query
+    }
+
+    /// The textual form of the expression.
+    pub fn expression(&self) -> String {
+        self.instance.query.to_string()
+    }
+
+    /// Applies the wrapper to a document (evaluated from the root).
+    pub fn extract(&self, doc: &Document) -> Vec<NodeId> {
+        evaluate(&self.instance.query, doc, doc.root())
+    }
+
+    /// Applies the wrapper from an explicit context node.
+    pub fn extract_from(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
+        evaluate(&self.instance.query, doc, context)
+    }
+
+    /// Extracts and returns the normalized text of each selected node.
+    pub fn extract_text(&self, doc: &Document) -> Vec<String> {
+        self.extract(doc)
+            .into_iter()
+            .map(|n| doc.normalized_text(n))
+            .collect()
+    }
+}
+
+impl std::fmt::Display for Wrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.instance.query)
+    }
+}
+
+/// The main entry point for wrapper induction.
+///
+/// A `WrapperInducer` owns an [`InductionConfig`] and exposes the paper's
+/// `induce` procedure in a few convenient shapes.
+#[derive(Debug, Clone, Default)]
+pub struct WrapperInducer {
+    /// The configuration used for all inductions.
+    pub config: InductionConfig,
+}
+
+impl WrapperInducer {
+    /// Creates an inducer with the given configuration.
+    pub fn new(config: InductionConfig) -> Self {
+        WrapperInducer { config }
+    }
+
+    /// Creates an inducer with the paper's default configuration and the
+    /// given best-K bound.
+    pub fn with_k(k: usize) -> Self {
+        WrapperInducer {
+            config: InductionConfig::default().with_k(k),
+        }
+    }
+
+    /// Induces ranked query instances from arbitrary samples.
+    pub fn induce(&self, samples: &[Sample<'_>]) -> Vec<QueryInstance> {
+        induce(samples, &self.config)
+    }
+
+    /// Induces ranked query instances from a single page annotated at the
+    /// given target nodes (context = document root).
+    pub fn induce_single(&self, doc: &Document, targets: &[NodeId]) -> Vec<QueryInstance> {
+        let sample = Sample::from_root(doc, targets);
+        induce(&[sample], &self.config)
+    }
+
+    /// Induces and returns only the top-ranked wrapper, if any.
+    pub fn induce_best(&self, doc: &Document, targets: &[NodeId]) -> Option<Wrapper> {
+        self.induce_single(doc, targets)
+            .into_iter()
+            .next()
+            .map(Wrapper::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+
+    #[test]
+    fn end_to_end_via_api() {
+        let doc = parse_html(
+            r#"<body><div id="products">
+                <span class="price">10</span>
+                <span class="price">20</span>
+            </div></body>"#,
+        )
+        .unwrap();
+        let prices = doc.elements_by_class("price");
+        let inducer = WrapperInducer::with_k(5);
+        let wrapper = inducer.induce_best(&doc, &prices).expect("a wrapper");
+        assert_eq!(wrapper.extract(&doc), prices);
+        assert_eq!(wrapper.extract_text(&doc), vec!["10", "20"]);
+        assert!(!wrapper.expression().is_empty());
+        assert_eq!(format!("{wrapper}"), wrapper.expression());
+    }
+
+    #[test]
+    fn induce_best_none_for_empty_targets() {
+        let doc = parse_html("<body><p>x</p></body>").unwrap();
+        let inducer = WrapperInducer::default();
+        assert!(inducer.induce_best(&doc, &[]).is_none());
+    }
+
+    #[test]
+    fn extract_from_context() {
+        let doc = parse_html(
+            r#"<body><div id="a"><em>x</em></div><div id="b"><em>y</em></div></body>"#,
+        )
+        .unwrap();
+        let div_a = doc.element_by_id("a").unwrap();
+        let em_a = doc.elements_by_tag("em")[0];
+        let targets = vec![em_a];
+        let sample = Sample::new(&doc, div_a, &targets);
+        let inducer = WrapperInducer::default();
+        let instances = inducer.induce(&[sample]);
+        let wrapper = Wrapper::new(instances[0].clone());
+        assert_eq!(wrapper.extract_from(&doc, div_a), vec![em_a]);
+    }
+}

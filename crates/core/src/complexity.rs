@@ -1,0 +1,233 @@
+//! NP-hardness gadget (Theorem 1 of the paper).
+//!
+//! The paper proves that computing a top-K set of plausible dsXPath query
+//! instances is NP-hard by reduction from Minimum Set Cover — already for
+//! queries using only the `child` axis and a plus-compositional scoring with
+//! all constants set to 1.
+//!
+//! This module implements the reduction direction that can be *executed*: it
+//! converts a set-cover instance into a wrapper-induction instance (a
+//! document, a context node and a target set) such that exact wrappers
+//! correspond to covers and cheaper wrappers correspond to smaller covers.
+//! It also ships a tiny exact set-cover solver and a greedy approximation so
+//! the correspondence can be exercised in tests and benchmarks.
+//!
+//! ## The gadget
+//!
+//! For a universe `U = {e_1, …, e_m}` and sets `S_1, …, S_n ⊆ U`, the gadget
+//! document looks like
+//!
+//! ```text
+//! <body>
+//!   <set id="s1"> <item universe="e1"/> <item universe="e3"/> … </set>
+//!   <set id="s2"> … </set>
+//!   …
+//! </body>
+//! ```
+//!
+//! with the target set `V` containing **all** `<item>` elements.  A union of
+//! single-step wrappers of the form `descendant::set[@id="sj"]/child::item`
+//! covers `V` exactly iff the chosen `S_j` form a set cover; minimising the
+//! number of chosen sets is exactly Minimum Set Cover.  dsXPath itself has no
+//! union operator — which is the point: a *single* dsXPath query has to
+//! generalise (select all items), mirroring how the fragment's weakness
+//! enforces noise resistance.
+
+use wi_dom::{el, Document, TreeSpec};
+
+/// A Minimum Set Cover instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SetCoverInstance {
+    /// Size of the universe; elements are `0..universe`.
+    pub universe: usize,
+    /// The candidate sets, each a list of universe elements.
+    pub sets: Vec<Vec<usize>>,
+}
+
+impl SetCoverInstance {
+    /// Creates an instance, panicking if a set mentions an element outside
+    /// the universe.
+    pub fn new(universe: usize, sets: Vec<Vec<usize>>) -> Self {
+        for s in &sets {
+            for &e in s {
+                assert!(e < universe, "element {e} outside universe {universe}");
+            }
+        }
+        SetCoverInstance { universe, sets }
+    }
+
+    /// Returns `true` if the given selection of set indices covers the
+    /// universe.
+    pub fn is_cover(&self, selection: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &i in selection {
+            if let Some(s) = self.sets.get(i) {
+                for &e in s {
+                    covered[e] = true;
+                }
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// Exact minimum set cover by exhaustive search (exponential — only for
+    /// the small instances used in tests and benchmarks).
+    pub fn minimum_cover(&self) -> Option<Vec<usize>> {
+        let n = self.sets.len();
+        let mut best: Option<Vec<usize>> = None;
+        for mask in 0u64..(1u64 << n) {
+            let selection: Vec<usize> = (0..n).filter(|i| mask & (1 << i) != 0).collect();
+            if self.is_cover(&selection) {
+                match &best {
+                    Some(b) if b.len() <= selection.len() => {}
+                    _ => best = Some(selection),
+                }
+            }
+        }
+        best
+    }
+
+    /// The classic greedy ln(n)-approximation of minimum set cover.
+    pub fn greedy_cover(&self) -> Option<Vec<usize>> {
+        let mut uncovered: std::collections::BTreeSet<usize> = (0..self.universe).collect();
+        let mut chosen = Vec::new();
+        while !uncovered.is_empty() {
+            let (best_idx, gain) = self
+                .sets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.iter().filter(|e| uncovered.contains(e)).count()))
+                .max_by_key(|&(_, gain)| gain)?;
+            if gain == 0 {
+                return None;
+            }
+            for e in &self.sets[best_idx] {
+                uncovered.remove(e);
+            }
+            chosen.push(best_idx);
+        }
+        Some(chosen)
+    }
+}
+
+/// The wrapper-induction instance produced by the reduction.
+#[derive(Debug)]
+pub struct InductionGadget {
+    /// The gadget document.
+    pub doc: Document,
+    /// The target nodes (all `<item>` elements).
+    pub targets: Vec<wi_dom::NodeId>,
+}
+
+/// Builds the gadget document for a set-cover instance.
+pub fn build_gadget(instance: &SetCoverInstance) -> InductionGadget {
+    let mut sets: Vec<TreeSpec> = Vec::new();
+    for (i, s) in instance.sets.iter().enumerate() {
+        let mut set_el = el("set").attr("id", format!("s{i}"));
+        for &e in s {
+            set_el = set_el.child(el("item").attr("universe", format!("e{e}")));
+        }
+        sets.push(set_el);
+    }
+    let doc = el("html")
+        .child(el("body").children(sets))
+        .into_document();
+    let targets = doc.elements_by_tag("item");
+    InductionGadget { doc, targets }
+}
+
+/// Given a selection of set indices, renders the corresponding *union of
+/// wrappers* (one dsXPath query per chosen set).  The number of wrappers
+/// equals the cover size, which is what the hardness argument counts.
+pub fn cover_to_wrappers(selection: &[usize]) -> Vec<String> {
+    selection
+        .iter()
+        .map(|i| format!(r#"descendant::set[@id="s{i}"]/child::item"#))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_xpath::{evaluate, parse_query};
+
+    fn example() -> SetCoverInstance {
+        // Universe {0..4}; optimal cover is {S0, S2} of size 2.
+        SetCoverInstance::new(
+            5,
+            vec![
+                vec![0, 1, 2],
+                vec![1, 3],
+                vec![3, 4],
+                vec![2],
+                vec![0, 4],
+            ],
+        )
+    }
+
+    #[test]
+    fn exact_and_greedy_cover() {
+        let inst = example();
+        let exact = inst.minimum_cover().unwrap();
+        assert_eq!(exact.len(), 2);
+        assert!(inst.is_cover(&exact));
+        let greedy = inst.greedy_cover().unwrap();
+        assert!(inst.is_cover(&greedy));
+        assert!(greedy.len() >= exact.len());
+    }
+
+    #[test]
+    fn uncoverable_instance() {
+        let inst = SetCoverInstance::new(3, vec![vec![0], vec![1]]);
+        assert_eq!(inst.minimum_cover(), None);
+        assert_eq!(inst.greedy_cover(), None);
+        assert!(!inst.is_cover(&[0, 1]));
+    }
+
+    #[test]
+    fn gadget_document_structure() {
+        let inst = example();
+        let gadget = build_gadget(&inst);
+        assert_eq!(gadget.doc.elements_by_tag("set").len(), 5);
+        let total_items: usize = inst.sets.iter().map(Vec::len).sum();
+        assert_eq!(gadget.targets.len(), total_items);
+    }
+
+    #[test]
+    fn cover_wrappers_select_exactly_their_sets_items() {
+        let inst = example();
+        let gadget = build_gadget(&inst);
+        let cover = inst.minimum_cover().unwrap();
+        let wrappers = cover_to_wrappers(&cover);
+        assert_eq!(wrappers.len(), cover.len());
+        // Union of the cover's wrappers selects items of exactly the chosen
+        // sets, and those items mention every universe element.
+        let mut covered_elements = std::collections::BTreeSet::new();
+        for w in &wrappers {
+            let q = parse_query(w).unwrap();
+            for n in evaluate(&q, &gadget.doc, gadget.doc.root()) {
+                let e = gadget.doc.attribute(n, "universe").unwrap().to_string();
+                covered_elements.insert(e);
+            }
+        }
+        assert_eq!(covered_elements.len(), inst.universe);
+    }
+
+    #[test]
+    fn single_ds_xpath_query_must_generalise() {
+        // The fragment has no union: the only way for one query to cover all
+        // items is to select them all — exactly the generalisation behaviour
+        // the paper leverages for noise resistance.
+        let inst = example();
+        let gadget = build_gadget(&inst);
+        let q = parse_query("descendant::item").unwrap();
+        let selected = evaluate(&q, &gadget.doc, gadget.doc.root());
+        assert_eq!(selected.len(), gadget.targets.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside universe")]
+    fn invalid_instance_panics() {
+        let _ = SetCoverInstance::new(2, vec![vec![5]]);
+    }
+}

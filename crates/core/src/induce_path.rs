@@ -1,0 +1,374 @@
+//! `inducePath(u, V, K, axis, best, tar)` — Algorithm 2 of the paper.
+//!
+//! A dynamic program along the spine(s) between the context node `u` and the
+//! target nodes `V`: for every node `n` on a spine, a bounded table of the
+//! best-K query instances leading from `n` to (a subset of) the relevant
+//! targets `tar(n)` is maintained.  Instances for `n` are built by
+//! concatenating a spine pattern from `n` to an anchor `t`
+//! ([`crate::step_patterns`]) with an already-computed instance stored at
+//! `t`, and are evaluated against `tar(n)` to obtain their accuracy counts.
+
+use crate::best_k::BestK;
+use crate::config::InductionConfig;
+use crate::sample::counts_against;
+use crate::spine::{spine, transitive_reach};
+use crate::step_pattern::step_patterns;
+use std::collections::HashMap;
+use wi_dom::{Document, NodeId};
+use wi_scoring::QueryInstance;
+use wi_xpath::{evaluate, Axis, Query};
+
+/// The DP state of Algorithm 2: per-node best-K tables and per-node relevant
+/// target sets.
+#[derive(Debug, Clone)]
+pub struct Tables {
+    /// `best(n)` — the best-K instances leading from `n` to targets.
+    pub best: HashMap<NodeId, BestK>,
+    /// `tar(n)` — the targets reachable from `n` along the induction axis.
+    pub tar: HashMap<NodeId, Vec<NodeId>>,
+    k: usize,
+}
+
+impl Tables {
+    /// Creates empty tables with capacity `k` per node.
+    pub fn new(k: usize) -> Self {
+        Tables {
+            best: HashMap::new(),
+            tar: HashMap::new(),
+            k: k.max(1),
+        }
+    }
+
+    /// The paper's `init(u, V, K)`: every target node's table starts with the
+    /// empty query ε (selecting the target itself); `tar(n)` is `V`
+    /// restricted to the targets reachable from `n` along `axis`, for every
+    /// node on a spine from `u` to some target.
+    pub fn init(
+        doc: &Document,
+        u: NodeId,
+        targets: &[NodeId],
+        axis: Axis,
+        config: &InductionConfig,
+    ) -> Self {
+        let mut tables = Tables::new(config.k);
+        for &v in targets {
+            let mut table = BestK::new(config.k);
+            table.insert(QueryInstance::epsilon(&config.params));
+            tables.best.insert(v, table);
+        }
+        // Pre-compute tar(n) for every node on every spine.
+        for &v in targets {
+            if let Some(sp) = spine(doc, axis, u, v) {
+                for n in sp {
+                    tables.tar.entry(n).or_insert_with(|| {
+                        let reach = transitive_reach(doc, axis, n);
+                        targets
+                            .iter()
+                            .copied()
+                            .filter(|t| reach.contains(t) || *t == n)
+                            .collect()
+                    });
+                }
+            }
+        }
+        tables
+    }
+
+    /// Overrides the best table of a node (used by Algorithm 3 to seed
+    /// `best(l_i)` with the tail instances of a two-directional query).
+    pub fn seed_best(&mut self, node: NodeId, instances: Vec<QueryInstance>) {
+        self.best.insert(node, BestK::seeded(self.k, instances));
+    }
+
+    /// Overrides `tar(n)` for a set of nodes (used by Algorithm 3 so the head
+    /// of a two-directional query is evaluated against the real targets).
+    pub fn seed_targets(&mut self, nodes: &[NodeId], targets: &[NodeId]) {
+        for &n in nodes {
+            self.tar.insert(n, targets.to_vec());
+        }
+    }
+
+    fn best_of(&self, node: NodeId) -> Vec<QueryInstance> {
+        self.best
+            .get(&node)
+            .map(|b| b.to_vec())
+            .unwrap_or_default()
+    }
+
+    fn targets_of(&self, node: NodeId, fallback: &[NodeId]) -> Vec<NodeId> {
+        self.tar
+            .get(&node)
+            .cloned()
+            .unwrap_or_else(|| fallback.to_vec())
+    }
+}
+
+/// Runs Algorithm 2 and returns the ranked instances stored at `u`.
+///
+/// `tables` must have been initialised with [`Tables::init`] (and possibly
+/// seeded for the two-directional case).  The same `tables` value can be
+/// inspected afterwards, e.g. to look at intermediate anchors.
+pub fn induce_path(
+    doc: &Document,
+    u: NodeId,
+    targets: &[NodeId],
+    axis: Axis,
+    tables: &mut Tables,
+    config: &InductionConfig,
+) -> Vec<QueryInstance> {
+    // Cache of step patterns per (n, t) pair — identical pairs recur when
+    // several targets share a spine prefix.
+    let mut pattern_cache: HashMap<(NodeId, NodeId), Vec<Query>> = HashMap::new();
+
+    for &v in targets {
+        if v == u {
+            // Degenerate sample: the context node annotates itself.
+            if let Some(table) = tables.best.get_mut(&u) {
+                table.insert(QueryInstance::epsilon(&config.params));
+            }
+            continue;
+        }
+        let Some(full_spine) = spine(doc, axis, u, v) else {
+            continue;
+        };
+        // spine(v, u) − {u}: anchors from the target upwards (deepest first).
+        let mut anchors: Vec<NodeId> = full_spine.clone();
+        anchors.reverse();
+        anchors.pop(); // drop u
+        for &t in &anchors {
+            // spine(u, t) − {t}: candidate context nodes strictly before t.
+            let Some(prefix) = spine(doc, axis, u, t) else {
+                continue;
+            };
+            let best_t = tables.best_of(t);
+            if best_t.is_empty() {
+                continue;
+            }
+            for &n in &prefix[..prefix.len() - 1] {
+                let relevant = tables.targets_of(n, targets);
+                let patterns = pattern_cache
+                    .entry((n, t))
+                    .or_insert_with(|| step_patterns(doc, n, t, axis, config))
+                    .clone();
+                let entry = tables
+                    .best
+                    .entry(n)
+                    .or_insert_with(|| BestK::new(config.k));
+                for p in &patterns {
+                    for inst in &best_t {
+                        let combined = p.concat(&inst.query);
+                        // Cheap pre-check with an *optimistic* accuracy
+                        // assumption (perfect F-score): if even then the
+                        // candidate's robustness score would not let it enter
+                        // the table, the (comparatively expensive) evaluation
+                        // can be skipped without changing the result.
+                        let optimistic = QueryInstance::new(
+                            combined.clone(),
+                            wi_scoring::Counts::new(1, 0, 0),
+                            &config.params,
+                        );
+                        if !entry.would_accept(&optimistic) {
+                            continue;
+                        }
+                        let selected = evaluate(&combined, doc, n);
+                        let counts = counts_against(&selected, &relevant);
+                        let instance = QueryInstance::new(combined, counts, &config.params);
+                        entry.insert(instance);
+                    }
+                }
+            }
+        }
+    }
+
+    tables.best_of(u)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InductionConfig;
+    use wi_dom::parse_html;
+
+    fn cfg() -> InductionConfig {
+        InductionConfig::default()
+    }
+
+    fn induce_from_root(doc: &Document, targets: &[NodeId]) -> Vec<QueryInstance> {
+        let config = cfg();
+        let mut tables = Tables::init(doc, doc.root(), targets, Axis::Child, &config);
+        induce_path(doc, doc.root(), targets, Axis::Child, &mut tables, &config)
+    }
+
+    #[test]
+    fn single_target_paper_example() {
+        let doc = parse_html(
+            r#"<body>
+              <div class="content">
+                <div id="main">
+                  <em class="highlight">The Target</em>
+                </div>
+              </div>
+            </body>"#,
+        )
+        .unwrap();
+        let em = doc.elements_by_tag("em")[0];
+        let result = induce_from_root(&doc, &[em]);
+        assert!(!result.is_empty());
+        let top = &result[0];
+        assert!(top.is_exact(), "top instance must be exact: {:?}", top);
+        assert_eq!(evaluate(&top.query, &doc, doc.root()), vec![em]);
+        // The ranking favours a short descendant expression over canonical
+        // child chains.
+        assert!(top.query.len() <= 2);
+        assert_eq!(top.query.steps[0].axis, Axis::Descendant);
+    }
+
+    #[test]
+    fn single_target_prefers_semantic_attribute() {
+        let doc = parse_html(
+            r#"<html><body>
+              <div class="header"><input name="q" type="text"></div>
+              <div class="txt-block">
+                <h4 class="inline">Director:</h4>
+                <a href="/n"><span class="itemprop" itemprop="name">Martin Scorsese</span></a>
+              </div>
+            </body></html>"#,
+        )
+        .unwrap();
+        let span = doc
+            .descendants(doc.root())
+            .find(|&n| doc.tag_name(n) == Some("span"))
+            .unwrap();
+        let result = induce_from_root(&doc, &[span]);
+        let top = &result[0];
+        assert!(top.is_exact());
+        // A single descendant step with an attribute predicate should win.
+        let rendered = top.query.to_string();
+        assert_eq!(top.query.len(), 1, "unexpected query {rendered}");
+        assert!(
+            rendered.contains("@itemprop") || rendered.contains("@class"),
+            "expected a semantic attribute anchor, got {rendered}"
+        );
+    }
+
+    #[test]
+    fn multi_target_list_items() {
+        let doc = parse_html(
+            r#"<body>
+              <div id="nav"><ul><li>Home</li><li>About</li></ul></div>
+              <div id="results">
+                <ul class="result-list">
+                  <li class="result">r1</li>
+                  <li class="result">r2</li>
+                  <li class="result">r3</li>
+                </ul>
+              </div>
+            </body>"#,
+        )
+        .unwrap();
+        let targets: Vec<NodeId> = doc.elements_by_class("result");
+        assert_eq!(targets.len(), 3);
+        let result = induce_from_root(&doc, &targets);
+        assert!(!result.is_empty());
+        let top = &result[0];
+        assert!(top.is_exact(), "top instance not exact: {}", top.query);
+        let mut selected = evaluate(&top.query, &doc, doc.root());
+        selected.sort_unstable();
+        let mut expected = targets.clone();
+        expected.sort_unstable();
+        assert_eq!(selected, expected);
+        // The navigation list items must not be selected.
+        assert!(!selected.contains(&doc.elements_by_tag("li")[0]));
+    }
+
+    #[test]
+    fn epsilon_when_context_is_target() {
+        let doc = parse_html("<body><p>x</p></body>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        let config = cfg();
+        let mut tables = Tables::init(&doc, p, &[p], Axis::Child, &config);
+        let result = induce_path(&doc, p, &[p], Axis::Child, &mut tables, &config);
+        assert_eq!(result.len(), 1);
+        assert!(result[0].query.is_empty());
+    }
+
+    #[test]
+    fn respects_k_bound() {
+        let doc = parse_html(
+            r#"<body><div id="a"><span class="s" itemprop="x" title="t">v</span></div></body>"#,
+        )
+        .unwrap();
+        let span = doc.elements_by_tag("span")[0];
+        let config = cfg().with_k(3);
+        let mut tables = Tables::init(&doc, doc.root(), &[span], Axis::Child, &config);
+        let result = induce_path(
+            &doc,
+            doc.root(),
+            &[span],
+            Axis::Child,
+            &mut tables,
+            &config,
+        );
+        assert!(result.len() <= 3);
+        assert!(!result.is_empty());
+    }
+
+    #[test]
+    fn sibling_axis_induction() {
+        let doc = parse_html(
+            r#"<body><table>
+              <tr id="head"><td>News</td></tr>
+              <tr><td>one</td></tr>
+              <tr><td>two</td></tr>
+            </table></body>"#,
+        )
+        .unwrap();
+        let trs = doc.elements_by_tag("tr");
+        let config = cfg();
+        let targets = vec![trs[1], trs[2]];
+        let mut tables = Tables::init(&doc, trs[0], &targets, Axis::FollowingSibling, &config);
+        let result = induce_path(
+            &doc,
+            trs[0],
+            &targets,
+            Axis::FollowingSibling,
+            &mut tables,
+            &config,
+        );
+        assert!(!result.is_empty());
+        let top = &result[0];
+        assert!(top.is_exact(), "got {}", top.query);
+        assert_eq!(top.query.steps[0].axis, Axis::FollowingSibling);
+    }
+
+    #[test]
+    fn unreachable_targets_yield_empty_result() {
+        let doc = parse_html("<body><div><p>x</p></div><div><q>y</q></div></body>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        let q = doc.elements_by_tag("q")[0];
+        let config = cfg();
+        // From p, q is not reachable via the child axis.
+        let mut tables = Tables::init(&doc, p, &[q], Axis::Child, &config);
+        let result = induce_path(&doc, p, &[q], Axis::Child, &mut tables, &config);
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn tar_restricts_relevant_targets() {
+        let doc = parse_html(
+            r#"<body>
+              <div id="a"><span class="x">1</span></div>
+              <div id="b"><span class="x">2</span></div>
+            </body>"#,
+        )
+        .unwrap();
+        let spans = doc.elements_by_tag("span");
+        let config = cfg();
+        let tables = Tables::init(&doc, doc.root(), &spans, Axis::Child, &config);
+        let div_a = doc.element_by_id("a").unwrap();
+        // From div_a only the first span is reachable.
+        assert_eq!(tables.tar.get(&div_a), Some(&vec![spans[0]]));
+        let body = doc.elements_by_tag("body")[0];
+        assert_eq!(tables.tar.get(&body).map(|v| v.len()), Some(2));
+    }
+}

@@ -1,0 +1,106 @@
+//! Query samples — the input to wrapper induction.
+
+use wi_dom::{Document, NodeId};
+use wi_scoring::Counts;
+use wi_xpath::{evaluate, Query};
+
+/// A query sample `⟨u, V⟩` over a document: a context node `u` and a
+/// non-empty set of annotated target nodes `V`.
+///
+/// In the typical wrapper-induction setting the context node is the document
+/// root and the targets are the annotated data nodes (possibly produced by a
+/// noisy annotator).
+#[derive(Debug, Clone, Copy)]
+pub struct Sample<'a> {
+    /// The document the sample refers to.
+    pub doc: &'a Document,
+    /// The context node `u` the induced expression will be evaluated from.
+    pub context: NodeId,
+    /// The annotated target nodes `V`.
+    pub targets: &'a [NodeId],
+}
+
+impl<'a> Sample<'a> {
+    /// Creates a sample with the document root as context node.
+    pub fn from_root(doc: &'a Document, targets: &'a [NodeId]) -> Self {
+        Sample {
+            doc,
+            context: doc.root(),
+            targets,
+        }
+    }
+
+    /// Creates a sample with an explicit context node.
+    pub fn new(doc: &'a Document, context: NodeId, targets: &'a [NodeId]) -> Self {
+        Sample {
+            doc,
+            context,
+            targets,
+        }
+    }
+
+    /// Evaluates a query on this sample and returns its accuracy counts.
+    pub fn evaluate_counts(&self, query: &Query) -> Counts {
+        let result = evaluate(query, self.doc, self.context);
+        counts_against(&result, self.targets)
+    }
+
+    /// Returns `true` if every target is a live node of the document.
+    pub fn is_well_formed(&self) -> bool {
+        !self.targets.is_empty() && self.targets.iter().all(|&t| self.doc.contains(t))
+    }
+}
+
+/// Computes `⟨t+, f+, f−⟩` of a result node set against a target node set.
+pub fn counts_against(result: &[NodeId], targets: &[NodeId]) -> Counts {
+    use std::collections::HashSet;
+    let result_set: HashSet<NodeId> = result.iter().copied().collect();
+    let target_set: HashSet<NodeId> = targets.iter().copied().collect();
+    let tp = result_set.intersection(&target_set).count() as u32;
+    let fp = result_set.difference(&target_set).count() as u32;
+    let fne = target_set.difference(&result_set).count() as u32;
+    Counts::new(tp, fp, fne)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+    use wi_xpath::parse_query;
+
+    #[test]
+    fn counts_computation() {
+        let doc = parse_html("<body><ul><li>a</li><li>b</li><li>c</li></ul></body>").unwrap();
+        let lis = doc.elements_by_tag("li");
+        let sample_targets = vec![lis[0], lis[1]];
+        let sample = Sample::from_root(&doc, &sample_targets);
+        assert!(sample.is_well_formed());
+
+        let all = parse_query("descendant::li").unwrap();
+        let counts = sample.evaluate_counts(&all);
+        assert_eq!(counts, Counts::new(2, 1, 0));
+
+        let one = parse_query("descendant::li[1]").unwrap();
+        let counts = sample.evaluate_counts(&one);
+        assert_eq!(counts, Counts::new(1, 0, 1));
+
+        let none = parse_query("descendant::table").unwrap();
+        let counts = sample.evaluate_counts(&none);
+        assert_eq!(counts, Counts::new(0, 0, 2));
+    }
+
+    #[test]
+    fn counts_against_handles_duplicates() {
+        let doc = parse_html("<body><p>x</p></body>").unwrap();
+        let p = doc.elements_by_tag("p");
+        let c = counts_against(&[p[0], p[0]], &[p[0]]);
+        assert_eq!(c, Counts::new(1, 0, 0));
+    }
+
+    #[test]
+    fn malformed_sample_detected() {
+        let doc = parse_html("<body><p>x</p></body>").unwrap();
+        let empty: Vec<NodeId> = vec![];
+        assert!(!Sample::from_root(&doc, &empty).is_well_formed());
+    }
+}

@@ -1,0 +1,223 @@
+//! Spines, base-axis reachability and least-common-ancestor utilities
+//! (Section 5 of the paper).
+//!
+//! The induction algorithms are organised around the *spine* between the
+//! context node `u` and a target node `v`: the sequence of nodes the query
+//! has to bridge.  Its interior nodes are the *possible anchors*.  The spine
+//! is defined per base axis:
+//!
+//! * `child`: `v` is a descendant of `u`; the spine is the downward path
+//!   `u, …, v`,
+//! * `parent`: `v` is an ancestor of `u`; the spine is the upward path,
+//! * `following-sibling` / `preceding-sibling`: `v` is a sibling of `u`; the
+//!   spine is the run of siblings between them (inclusive).
+
+use wi_dom::{Document, NodeId};
+use wi_xpath::Axis;
+
+/// Determines which base axis (if any) reaches **every** node of `targets`
+/// from `context` via its transitive closure.
+pub fn common_base_axis(doc: &Document, context: NodeId, targets: &[NodeId]) -> Option<Axis> {
+    Axis::BASE_AXES
+        .iter()
+        .copied()
+        .find(|&axis| targets.iter().all(|&t| reachable(doc, axis, context, t)))
+}
+
+/// Returns `true` if `target` is reachable from `context` via the transitive
+/// closure of the given base axis.
+pub fn reachable(doc: &Document, axis: Axis, context: NodeId, target: NodeId) -> bool {
+    match axis {
+        Axis::Child => doc.is_ancestor_of(context, target),
+        Axis::Parent => doc.is_ancestor_of(target, context),
+        Axis::FollowingSibling => doc.following_siblings(context).any(|s| s == target),
+        Axis::PrecedingSibling => doc.preceding_siblings(context).any(|s| s == target),
+        _ => false,
+    }
+}
+
+/// Computes the spine from `u` to `v` along the given base axis, inclusive of
+/// both endpoints, ordered from `u` to `v`.
+///
+/// Returns `None` if `v` is not reachable from `u` along that axis.
+pub fn spine(doc: &Document, axis: Axis, u: NodeId, v: NodeId) -> Option<Vec<NodeId>> {
+    if u == v {
+        return Some(vec![u]);
+    }
+    match axis {
+        Axis::Child => {
+            if !doc.is_ancestor_of(u, v) {
+                return None;
+            }
+            let mut path: Vec<NodeId> = doc
+                .ancestors_or_self(v)
+                .take_while(|&n| n != u)
+                .collect();
+            path.push(u);
+            path.reverse();
+            Some(path)
+        }
+        Axis::Parent => {
+            if !doc.is_ancestor_of(v, u) {
+                return None;
+            }
+            let mut path: Vec<NodeId> = doc
+                .ancestors_or_self(u)
+                .take_while(|&n| n != v)
+                .collect();
+            path.push(v);
+            Some(path)
+        }
+        Axis::FollowingSibling => {
+            let mut path = vec![u];
+            for s in doc.following_siblings(u) {
+                path.push(s);
+                if s == v {
+                    return Some(path);
+                }
+            }
+            None
+        }
+        Axis::PrecedingSibling => {
+            let mut path = vec![u];
+            for s in doc.preceding_siblings(u) {
+                path.push(s);
+                if s == v {
+                    return Some(path);
+                }
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// All nodes reachable from `n` via the transitive closure of a base axis —
+/// used to restrict the relevant targets `tar(n) = V ∩ axis.transitive(n)`.
+pub fn transitive_reach(doc: &Document, axis: Axis, n: NodeId) -> Vec<NodeId> {
+    match axis {
+        Axis::Child => doc.descendants(n).collect(),
+        Axis::Parent => doc.ancestors(n).collect(),
+        Axis::FollowingSibling => doc.following_siblings(n).collect(),
+        Axis::PrecedingSibling => doc.preceding_siblings(n).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+
+    fn doc() -> Document {
+        parse_html(
+            r#"<html><body>
+            <div id="main">
+              <h4>Label</h4>
+              <ul><li>a</li><li>b</li><li>c</li></ul>
+            </div>
+            <div id="side">sidebar</div>
+            </body></html>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn child_spine_from_root() {
+        let d = doc();
+        let li_b = d.elements_by_tag("li")[1];
+        let s = spine(&d, Axis::Child, d.root(), li_b).unwrap();
+        let tags: Vec<_> = s
+            .iter()
+            .map(|&n| d.tag_name(n).unwrap_or("#text").to_string())
+            .collect();
+        assert_eq!(tags, vec!["#document", "html", "body", "div", "ul", "li"]);
+        assert_eq!(*s.first().unwrap(), d.root());
+        assert_eq!(*s.last().unwrap(), li_b);
+    }
+
+    #[test]
+    fn parent_spine_is_reverse_of_child_spine() {
+        let d = doc();
+        let li = d.elements_by_tag("li")[0];
+        let body = d.elements_by_tag("body")[0];
+        let down = spine(&d, Axis::Child, body, li).unwrap();
+        let up = spine(&d, Axis::Parent, li, body).unwrap();
+        let mut down_rev = down.clone();
+        down_rev.reverse();
+        assert_eq!(up, down_rev);
+    }
+
+    #[test]
+    fn sibling_spines() {
+        let d = doc();
+        let lis = d.elements_by_tag("li");
+        let s = spine(&d, Axis::FollowingSibling, lis[0], lis[2]).unwrap();
+        assert_eq!(s, vec![lis[0], lis[1], lis[2]]);
+        let s = spine(&d, Axis::PrecedingSibling, lis[2], lis[0]).unwrap();
+        assert_eq!(s, vec![lis[2], lis[1], lis[0]]);
+        assert!(spine(&d, Axis::FollowingSibling, lis[2], lis[0]).is_none());
+    }
+
+    #[test]
+    fn unreachable_spines_are_none() {
+        let d = doc();
+        let li = d.elements_by_tag("li")[0];
+        let side = d.element_by_id("side").unwrap();
+        assert!(spine(&d, Axis::Child, li, side).is_none());
+        assert!(spine(&d, Axis::Parent, li, side).is_none());
+        assert!(spine(&d, Axis::FollowingSibling, li, side).is_none());
+    }
+
+    #[test]
+    fn degenerate_spine_single_node() {
+        let d = doc();
+        let li = d.elements_by_tag("li")[0];
+        assert_eq!(spine(&d, Axis::Child, li, li), Some(vec![li]));
+    }
+
+    #[test]
+    fn common_base_axis_detection() {
+        let d = doc();
+        let lis = d.elements_by_tag("li");
+        // All list items are descendants of the root.
+        assert_eq!(
+            common_base_axis(&d, d.root(), &lis),
+            Some(Axis::Child)
+        );
+        // From the first li, the other two are following siblings.
+        assert_eq!(
+            common_base_axis(&d, lis[0], &lis[1..].to_vec()),
+            Some(Axis::FollowingSibling)
+        );
+        // From the last li, the others are preceding siblings.
+        assert_eq!(
+            common_base_axis(&d, lis[2], &vec![lis[0], lis[1]]),
+            Some(Axis::PrecedingSibling)
+        );
+        // From an li, the body is an ancestor.
+        let body = d.elements_by_tag("body")[0];
+        assert_eq!(
+            common_base_axis(&d, lis[0], &vec![body]),
+            Some(Axis::Parent)
+        );
+        // Mixed: one ancestor and one sibling — no common base axis.
+        assert_eq!(common_base_axis(&d, lis[0], &vec![body, lis[1]]), None);
+        // Targets in a different subtree — no common base axis from an li.
+        let side = d.element_by_id("side").unwrap();
+        assert_eq!(common_base_axis(&d, lis[0], &vec![side]), None);
+    }
+
+    #[test]
+    fn transitive_reach_per_axis() {
+        let d = doc();
+        let ul = d.elements_by_tag("ul")[0];
+        let lis = d.elements_by_tag("li");
+        let down = transitive_reach(&d, Axis::Child, ul);
+        assert!(lis.iter().all(|l| down.contains(l)));
+        let up = transitive_reach(&d, Axis::Parent, lis[0]);
+        assert!(up.contains(&ul));
+        assert!(transitive_reach(&d, Axis::FollowingSibling, lis[0]).contains(&lis[2]));
+        assert!(transitive_reach(&d, Axis::PrecedingSibling, lis[2]).contains(&lis[0]));
+    }
+}

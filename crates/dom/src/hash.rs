@@ -1,0 +1,262 @@
+//! Node-id-free structural equality and hashing of subtrees.
+//!
+//! The paper defines robustness of a wrapper `q` between two document versions
+//! `D` and `D'` via a bijection π between `q(D)` and `q(D')` such that
+//! `D/v = D'/π(v)` where `D/v` is the *abstract, nodeId-free* subtree rooted
+//! at `v`.  This module provides exactly that notion of equality, plus a
+//! structural hash so sets of result subtrees can be compared as multisets in
+//! `O(n log n)`.
+
+use crate::document::Document;
+use crate::node::{NodeData, NodeId};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Computes a structural hash of the subtree rooted at `id`.
+///
+/// Two subtrees that are structurally equal (same tags, attributes with the
+/// same names/values in the same order, same text, same child order) hash to
+/// the same value regardless of which document or arena slot they live in.
+pub fn structural_hash(doc: &Document, id: NodeId) -> u64 {
+    let mut hasher = DefaultHasher::new();
+    hash_node(doc, id, &mut hasher);
+    hasher.finish()
+}
+
+fn hash_node(doc: &Document, id: NodeId, hasher: &mut DefaultHasher) {
+    match doc.data(id) {
+        NodeData::Text(t) => {
+            1u8.hash(hasher);
+            t.hash(hasher);
+        }
+        NodeData::Element { tag, attributes } => {
+            2u8.hash(hasher);
+            tag.hash(hasher);
+            attributes.len().hash(hasher);
+            for a in attributes {
+                a.name.hash(hasher);
+                a.value.hash(hasher);
+            }
+            let children: Vec<NodeId> = doc.children(id).collect();
+            children.len().hash(hasher);
+            for c in children {
+                hash_node(doc, c, hasher);
+            }
+        }
+    }
+}
+
+/// Structural (node-id free) equality of two subtrees, possibly from
+/// different documents.
+pub fn subtree_equal(doc_a: &Document, a: NodeId, doc_b: &Document, b: NodeId) -> bool {
+    match (doc_a.data(a), doc_b.data(b)) {
+        (NodeData::Text(ta), NodeData::Text(tb)) => ta == tb,
+        (
+            NodeData::Element {
+                tag: tag_a,
+                attributes: attrs_a,
+            },
+            NodeData::Element {
+                tag: tag_b,
+                attributes: attrs_b,
+            },
+        ) => {
+            if tag_a != tag_b || attrs_a != attrs_b {
+                return false;
+            }
+            let ca: Vec<NodeId> = doc_a.children(a).collect();
+            let cb: Vec<NodeId> = doc_b.children(b).collect();
+            if ca.len() != cb.len() {
+                return false;
+            }
+            ca.iter()
+                .zip(cb.iter())
+                .all(|(&x, &y)| subtree_equal(doc_a, x, doc_b, y))
+        }
+        _ => false,
+    }
+}
+
+/// Checks whether a bijection π exists between `nodes_a` (in `doc_a`) and
+/// `nodes_b` (in `doc_b`) such that corresponding subtrees are structurally
+/// equal — i.e. the two result sets are equal as multisets of abstract
+/// subtrees.  This is the paper's robustness condition for a query across two
+/// page versions.
+pub fn result_sets_equivalent(
+    doc_a: &Document,
+    nodes_a: &[NodeId],
+    doc_b: &Document,
+    nodes_b: &[NodeId],
+) -> bool {
+    if nodes_a.len() != nodes_b.len() {
+        return false;
+    }
+    let mut hashes_a: Vec<u64> = nodes_a.iter().map(|&n| structural_hash(doc_a, n)).collect();
+    let mut hashes_b: Vec<u64> = nodes_b.iter().map(|&n| structural_hash(doc_b, n)).collect();
+    hashes_a.sort_unstable();
+    hashes_b.sort_unstable();
+    if hashes_a != hashes_b {
+        return false;
+    }
+    // Hash collisions are astronomically unlikely, but verify greedily with
+    // real structural equality to keep the function exact.
+    let mut used = vec![false; nodes_b.len()];
+    for &a in nodes_a {
+        let mut matched = false;
+        for (j, &b) in nodes_b.iter().enumerate() {
+            if !used[j] && subtree_equal(doc_a, a, doc_b, b) {
+                used[j] = true;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return false;
+        }
+    }
+    true
+}
+
+/// A compact structural fingerprint of an entire document: its root hash plus
+/// element count.  Used by the archive simulator to detect "no change"
+/// snapshots cheaply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DocumentFingerprint {
+    /// Structural hash of the document root.
+    pub hash: u64,
+    /// Number of element nodes.
+    pub elements: usize,
+}
+
+/// Computes the [`DocumentFingerprint`] of a document.
+pub fn fingerprint(doc: &Document) -> DocumentFingerprint {
+    DocumentFingerprint {
+        hash: structural_hash(doc, doc.root()),
+        elements: doc.element_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::el;
+
+    fn tree_a() -> Document {
+        el("div")
+            .attr("class", "x")
+            .child(el("span").text_child("hello"))
+            .child(el("span").text_child("world"))
+            .into_document()
+    }
+
+    #[test]
+    fn identical_trees_hash_equal() {
+        let a = tree_a();
+        let b = tree_a();
+        let ra = a.elements_by_tag("div")[0];
+        let rb = b.elements_by_tag("div")[0];
+        assert_eq!(structural_hash(&a, ra), structural_hash(&b, rb));
+        assert!(subtree_equal(&a, ra, &b, rb));
+    }
+
+    #[test]
+    fn different_text_changes_hash() {
+        let a = tree_a();
+        let b = el("div")
+            .attr("class", "x")
+            .child(el("span").text_child("hello"))
+            .child(el("span").text_child("mars"))
+            .into_document();
+        let ra = a.elements_by_tag("div")[0];
+        let rb = b.elements_by_tag("div")[0];
+        assert_ne!(structural_hash(&a, ra), structural_hash(&b, rb));
+        assert!(!subtree_equal(&a, ra, &b, rb));
+    }
+
+    #[test]
+    fn attribute_order_matters_value_matters() {
+        let a = el("div").attr("a", "1").attr("b", "2").into_document();
+        let b = el("div").attr("b", "2").attr("a", "1").into_document();
+        let c = el("div").attr("a", "1").attr("b", "3").into_document();
+        let (ra, rb, rc) = (
+            a.elements_by_tag("div")[0],
+            b.elements_by_tag("div")[0],
+            c.elements_by_tag("div")[0],
+        );
+        assert!(!subtree_equal(&a, ra, &b, rb));
+        assert!(!subtree_equal(&a, ra, &c, rc));
+    }
+
+    #[test]
+    fn child_order_matters() {
+        let a = el("ul")
+            .child(el("li").text_child("1"))
+            .child(el("li").text_child("2"))
+            .into_document();
+        let b = el("ul")
+            .child(el("li").text_child("2"))
+            .child(el("li").text_child("1"))
+            .into_document();
+        let ra = a.elements_by_tag("ul")[0];
+        let rb = b.elements_by_tag("ul")[0];
+        assert!(!subtree_equal(&a, ra, &b, rb));
+    }
+
+    #[test]
+    fn element_vs_text_not_equal() {
+        let a = el("div").text_child("x").into_document();
+        let div = a.elements_by_tag("div")[0];
+        let t = a.children(div).next().unwrap();
+        assert!(!subtree_equal(&a, div, &a, t));
+    }
+
+    #[test]
+    fn result_set_equivalence_is_order_independent() {
+        let a = tree_a();
+        let b = tree_a();
+        let sa = a.elements_by_tag("span");
+        let sb_rev: Vec<_> = b.elements_by_tag("span").into_iter().rev().collect();
+        assert!(result_sets_equivalent(&a, &sa, &b, &sb_rev));
+    }
+
+    #[test]
+    fn result_set_equivalence_detects_mismatch() {
+        let a = tree_a();
+        let b = el("div")
+            .attr("class", "x")
+            .child(el("span").text_child("hello"))
+            .child(el("span").text_child("changed"))
+            .into_document();
+        let sa = a.elements_by_tag("span");
+        let sb = b.elements_by_tag("span");
+        assert!(!result_sets_equivalent(&a, &sa, &b, &sb));
+        // size mismatch
+        assert!(!result_sets_equivalent(&a, &sa, &b, &sb[..1].to_vec()));
+    }
+
+    #[test]
+    fn duplicate_subtrees_need_matching_multiplicity() {
+        let a = el("ul")
+            .child(el("li").text_child("x"))
+            .child(el("li").text_child("x"))
+            .into_document();
+        let b = el("ul")
+            .child(el("li").text_child("x"))
+            .child(el("li").text_child("y"))
+            .into_document();
+        let la = a.elements_by_tag("li");
+        let lb = b.elements_by_tag("li");
+        assert!(!result_sets_equivalent(&a, &la, &b, &lb));
+    }
+
+    #[test]
+    fn fingerprint_changes_with_structure() {
+        let a = tree_a();
+        let mut b = tree_a();
+        let f1 = fingerprint(&a);
+        assert_eq!(f1, fingerprint(&b));
+        let span = b.elements_by_tag("span")[0];
+        b.set_attribute(span, "class", "new").unwrap();
+        assert_ne!(f1, fingerprint(&b));
+    }
+}

@@ -1,0 +1,287 @@
+//! Axis iterators over [`Document`] trees.
+//!
+//! Each iterator is a thin cursor over the parent/child/sibling links stored
+//! in the arena; no allocation is performed while iterating (except for the
+//! `following`/`preceding` helpers on [`Document`] which materialise their
+//! result).
+
+use crate::document::Document;
+use crate::node::NodeId;
+
+/// Iterator over the children of a node in document order.
+#[derive(Debug, Clone)]
+pub struct Children<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Children<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        Children {
+            doc,
+            next: doc.first_child(of),
+        }
+    }
+}
+
+impl<'a> Iterator for Children<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.doc.next_sibling(current);
+        Some(current)
+    }
+}
+
+/// Iterator over the proper ancestors of a node, nearest first, ending at the
+/// document root.
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        Ancestors {
+            doc,
+            next: doc.parent(of),
+        }
+    }
+}
+
+impl<'a> Iterator for Ancestors<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.doc.parent(current);
+        Some(current)
+    }
+}
+
+/// Iterator over the following siblings of a node in document order.
+#[derive(Debug, Clone)]
+pub struct FollowingSiblings<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> FollowingSiblings<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        FollowingSiblings {
+            doc,
+            next: doc.next_sibling(of),
+        }
+    }
+}
+
+impl<'a> Iterator for FollowingSiblings<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.doc.next_sibling(current);
+        Some(current)
+    }
+}
+
+/// Iterator over the preceding siblings of a node, in **reverse** document
+/// order (nearest sibling first), matching XPath's preceding-sibling axis
+/// orientation.
+#[derive(Debug, Clone)]
+pub struct PrecedingSiblings<'a> {
+    doc: &'a Document,
+    next: Option<NodeId>,
+}
+
+impl<'a> PrecedingSiblings<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        PrecedingSiblings {
+            doc,
+            next: doc.prev_sibling(of),
+        }
+    }
+}
+
+impl<'a> Iterator for PrecedingSiblings<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.doc.prev_sibling(current);
+        Some(current)
+    }
+}
+
+/// Depth-first pre-order iterator over the proper descendants of a node.
+#[derive(Debug, Clone)]
+pub struct Descendants<'a> {
+    doc: &'a Document,
+    origin: NodeId,
+    next: Option<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        Descendants {
+            doc,
+            origin: of,
+            next: doc.first_child(of),
+        }
+    }
+
+    fn advance(&self, from: NodeId) -> Option<NodeId> {
+        // Pre-order: first child, else next sibling, else climb until a next
+        // sibling exists, stopping at the origin.
+        if let Some(c) = self.doc.first_child(from) {
+            return Some(c);
+        }
+        let mut current = from;
+        loop {
+            if current == self.origin {
+                return None;
+            }
+            if let Some(s) = self.doc.next_sibling(current) {
+                return Some(s);
+            }
+            current = self.doc.parent(current)?;
+        }
+    }
+}
+
+impl<'a> Iterator for Descendants<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let current = self.next?;
+        self.next = self.advance(current);
+        Some(current)
+    }
+}
+
+/// Pre-order iterator yielding a node followed by its descendants.
+#[derive(Debug, Clone)]
+pub struct DescendantsOrSelf<'a> {
+    first: Option<NodeId>,
+    rest: Descendants<'a>,
+}
+
+impl<'a> DescendantsOrSelf<'a> {
+    pub(crate) fn new(doc: &'a Document, of: NodeId) -> Self {
+        DescendantsOrSelf {
+            first: Some(of),
+            rest: Descendants::new(doc, of),
+        }
+    }
+}
+
+impl<'a> Iterator for DescendantsOrSelf<'a> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        if let Some(f) = self.first.take() {
+            return Some(f);
+        }
+        self.rest.next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::{el, text};
+    use crate::Document;
+
+    fn doc() -> Document {
+        el("html")
+            .child(
+                el("body")
+                    .child(el("ul").child(el("li").child(text("a"))).child(el("li")))
+                    .child(el("p").child(text("x"))),
+            )
+            .into_document()
+    }
+
+    #[test]
+    fn children_iterates_in_order() {
+        let d = doc();
+        let body = d.elements_by_tag("body")[0];
+        let tags: Vec<_> = d
+            .children(body)
+            .filter_map(|n| d.tag_name(n).map(String::from))
+            .collect();
+        assert_eq!(tags, vec!["ul", "p"]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let d = doc();
+        let body = d.elements_by_tag("body")[0];
+        let names: Vec<_> = d
+            .descendants(body)
+            .map(|n| {
+                d.tag_name(n)
+                    .map(String::from)
+                    .unwrap_or_else(|| format!("text:{}", d.text_content(n).unwrap()))
+            })
+            .collect();
+        assert_eq!(names, vec!["ul", "li", "text:a", "li", "p", "text:x"]);
+    }
+
+    #[test]
+    fn descendants_or_self_includes_origin() {
+        let d = doc();
+        let ul = d.elements_by_tag("ul")[0];
+        let all: Vec<_> = d.descendants_or_self(ul).collect();
+        assert_eq!(all[0], ul);
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn descendants_of_leaf_is_empty() {
+        let d = doc();
+        let lis = d.elements_by_tag("li");
+        assert_eq!(d.descendants(lis[1]).count(), 0);
+    }
+
+    #[test]
+    fn sibling_iterators() {
+        let d = doc();
+        let lis = d.elements_by_tag("li");
+        assert_eq!(
+            d.following_siblings(lis[0]).collect::<Vec<_>>(),
+            vec![lis[1]]
+        );
+        assert_eq!(
+            d.preceding_siblings(lis[1]).collect::<Vec<_>>(),
+            vec![lis[0]]
+        );
+        assert!(d.following_siblings(lis[1]).next().is_none());
+        assert!(d.preceding_siblings(lis[0]).next().is_none());
+    }
+
+    #[test]
+    fn ancestors_terminate_at_root() {
+        let d = doc();
+        let li = d.elements_by_tag("li")[0];
+        let chain: Vec<_> = d.ancestors(li).collect();
+        assert_eq!(*chain.last().unwrap(), d.root());
+        assert_eq!(chain.len(), 4); // ul, body, html, #document
+    }
+
+    #[test]
+    fn preceding_siblings_reverse_document_order() {
+        let d = el("r")
+            .child(el("a"))
+            .child(el("b"))
+            .child(el("c"))
+            .into_document();
+        let c = d.elements_by_tag("c")[0];
+        let tags: Vec<_> = d
+            .preceding_siblings(c)
+            .filter_map(|n| d.tag_name(n).map(String::from))
+            .collect();
+        assert_eq!(tags, vec!["b", "a"]);
+    }
+}

@@ -1,0 +1,517 @@
+//! In-place mutation of documents.
+//!
+//! The page-evolution simulator (`wi-webgen`) models web sites changing over
+//! time: divs are inserted or removed on the canonical path, class names are
+//! renamed, whole regions are re-arranged.  These operations are implemented
+//! here as safe structural edits on the arena.  Detached nodes stay in the
+//! arena (ids are never reused) but are excluded from all navigation.
+
+use crate::document::Document;
+use crate::error::{DomError, Result};
+use crate::node::{Attribute, NodeData, NodeId};
+
+impl Document {
+    /// Appends `child` as the last child of `parent`.
+    ///
+    /// `child` must be detached (freshly created or previously removed).
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.insert_child_at_end(parent, child)
+    }
+
+    /// Inserts `child` as the first child of `parent`.
+    pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.check(parent)?;
+        self.check_attachable(parent, child)?;
+        let old_first = self.node(parent).first_child;
+        {
+            let c = self.node_mut(child);
+            c.parent = Some(parent);
+            c.prev_sibling = None;
+            c.next_sibling = old_first;
+            c.detached = false;
+        }
+        if let Some(f) = old_first {
+            self.node_mut(f).prev_sibling = Some(child);
+        } else {
+            self.node_mut(parent).last_child = Some(child);
+        }
+        self.node_mut(parent).first_child = Some(child);
+        Ok(())
+    }
+
+    fn insert_child_at_end(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
+        self.check(parent)?;
+        self.check_attachable(parent, child)?;
+        let old_last = self.node(parent).last_child;
+        {
+            let c = self.node_mut(child);
+            c.parent = Some(parent);
+            c.prev_sibling = old_last;
+            c.next_sibling = None;
+            c.detached = false;
+        }
+        if let Some(l) = old_last {
+            self.node_mut(l).next_sibling = Some(child);
+        } else {
+            self.node_mut(parent).first_child = Some(child);
+        }
+        self.node_mut(parent).last_child = Some(child);
+        Ok(())
+    }
+
+    /// Inserts `node` immediately before `reference` (they become siblings).
+    pub fn insert_before(&mut self, reference: NodeId, node: NodeId) -> Result<()> {
+        self.check(reference)?;
+        let parent = self
+            .parent(reference)
+            .ok_or(DomError::CannotModifyRoot)?;
+        self.check_attachable(parent, node)?;
+        let prev = self.node(reference).prev_sibling;
+        {
+            let n = self.node_mut(node);
+            n.parent = Some(parent);
+            n.prev_sibling = prev;
+            n.next_sibling = Some(reference);
+            n.detached = false;
+        }
+        self.node_mut(reference).prev_sibling = Some(node);
+        match prev {
+            Some(p) => self.node_mut(p).next_sibling = Some(node),
+            None => self.node_mut(parent).first_child = Some(node),
+        }
+        Ok(())
+    }
+
+    /// Inserts `node` immediately after `reference` (they become siblings).
+    pub fn insert_after(&mut self, reference: NodeId, node: NodeId) -> Result<()> {
+        self.check(reference)?;
+        let parent = self
+            .parent(reference)
+            .ok_or(DomError::CannotModifyRoot)?;
+        self.check_attachable(parent, node)?;
+        let next = self.node(reference).next_sibling;
+        {
+            let n = self.node_mut(node);
+            n.parent = Some(parent);
+            n.prev_sibling = Some(reference);
+            n.next_sibling = next;
+            n.detached = false;
+        }
+        self.node_mut(reference).next_sibling = Some(node);
+        match next {
+            Some(nx) => self.node_mut(nx).prev_sibling = Some(node),
+            None => self.node_mut(parent).last_child = Some(node),
+        }
+        Ok(())
+    }
+
+    fn check_attachable(&self, parent: NodeId, node: NodeId) -> Result<()> {
+        if node.index() >= self.nodes.len() {
+            return Err(DomError::InvalidNodeId(node.index() as u32));
+        }
+        if node == self.root() {
+            return Err(DomError::CannotModifyRoot);
+        }
+        // Attaching a node that is an ancestor of the parent would create a
+        // cycle.
+        if parent == node || self.is_ancestor_of(node, parent) {
+            return Err(DomError::WouldCreateCycle);
+        }
+        Ok(())
+    }
+
+    /// Detaches a node (and its whole subtree) from the tree.
+    ///
+    /// The subtree stays allocated and can be re-attached later with one of
+    /// the insertion methods.
+    pub fn detach(&mut self, id: NodeId) -> Result<()> {
+        self.check(id)?;
+        if id == self.root() {
+            return Err(DomError::CannotModifyRoot);
+        }
+        let (parent, prev, next) = {
+            let n = self.node(id);
+            (n.parent, n.prev_sibling, n.next_sibling)
+        };
+        if let Some(p) = prev {
+            self.node_mut(p).next_sibling = next;
+        } else if let Some(par) = parent {
+            self.node_mut(par).first_child = next;
+        }
+        if let Some(nx) = next {
+            self.node_mut(nx).prev_sibling = prev;
+        } else if let Some(par) = parent {
+            self.node_mut(par).last_child = prev;
+        }
+        let n = self.node_mut(id);
+        n.parent = None;
+        n.prev_sibling = None;
+        n.next_sibling = None;
+        Ok(())
+    }
+
+    /// Removes a node and its subtree permanently: the nodes are detached and
+    /// marked as dead so they no longer appear in any traversal.
+    pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
+        self.detach(id)?;
+        let ids: Vec<NodeId> = self.descendants_or_self(id).collect();
+        for d in ids {
+            self.node_mut(d).detached = true;
+        }
+        Ok(())
+    }
+
+    /// Renames an element node.
+    pub fn rename_element(&mut self, id: NodeId, new_tag: impl Into<String>) -> Result<()> {
+        self.check(id)?;
+        match &mut self.node_mut(id).data {
+            NodeData::Element { tag, .. } => {
+                *tag = new_tag.into();
+                Ok(())
+            }
+            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
+        }
+    }
+
+    /// Sets (or replaces) an attribute on an element node.
+    pub fn set_attribute(
+        &mut self,
+        id: NodeId,
+        name: impl Into<String>,
+        value: impl Into<String>,
+    ) -> Result<()> {
+        self.check(id)?;
+        let name = name.into();
+        let value = value.into();
+        match &mut self.node_mut(id).data {
+            NodeData::Element { attributes, .. } => {
+                if let Some(a) = attributes.iter_mut().find(|a| a.name == name) {
+                    a.value = value;
+                } else {
+                    attributes.push(Attribute::new(name, value));
+                }
+                Ok(())
+            }
+            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
+        }
+    }
+
+    /// Removes an attribute from an element node; returns whether it existed.
+    pub fn remove_attribute(&mut self, id: NodeId, name: &str) -> Result<bool> {
+        self.check(id)?;
+        match &mut self.node_mut(id).data {
+            NodeData::Element { attributes, .. } => {
+                let before = attributes.len();
+                attributes.retain(|a| a.name != name);
+                Ok(attributes.len() != before)
+            }
+            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
+        }
+    }
+
+    /// Replaces the character data of a text node.
+    pub fn set_text(&mut self, id: NodeId, content: impl Into<String>) -> Result<()> {
+        self.check(id)?;
+        match &mut self.node_mut(id).data {
+            NodeData::Text(t) => {
+                *t = content.into();
+                Ok(())
+            }
+            NodeData::Element { .. } => Err(DomError::NotAnElement(id.index() as u32)),
+        }
+    }
+
+    /// Wraps `id` in a freshly created element with the given tag and
+    /// attributes: the new element takes `id`'s place and `id` becomes its
+    /// only child.  Returns the id of the wrapper element.
+    pub fn wrap_in_element(
+        &mut self,
+        id: NodeId,
+        tag: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Result<NodeId> {
+        self.check(id)?;
+        if id == self.root() {
+            return Err(DomError::CannotModifyRoot);
+        }
+        let wrapper = self.create_element(tag, attributes);
+        self.insert_before(id, wrapper)?;
+        self.detach(id)?;
+        self.append_child(wrapper, id)?;
+        Ok(wrapper)
+    }
+
+    /// Removes an element but keeps its children, splicing them into the
+    /// position the element occupied (the inverse of [`wrap_in_element`]).
+    ///
+    /// [`wrap_in_element`]: Document::wrap_in_element
+    pub fn unwrap_element(&mut self, id: NodeId) -> Result<()> {
+        self.check(id)?;
+        if id == self.root() {
+            return Err(DomError::CannotModifyRoot);
+        }
+        let children: Vec<NodeId> = self.children(id).collect();
+        let mut reference = id;
+        for c in children {
+            self.detach(c)?;
+            self.insert_after(reference, c)?;
+            reference = c;
+        }
+        self.remove_subtree(id)?;
+        Ok(())
+    }
+
+    /// Deep-copies the subtree rooted at `src` of `source` into this document
+    /// under `parent`, returning the id of the copied root.
+    pub fn import_subtree(
+        &mut self,
+        source: &Document,
+        src: NodeId,
+        parent: NodeId,
+    ) -> Result<NodeId> {
+        self.check(parent)?;
+        source.check(src)?;
+        let data = source.data(src).clone();
+        let new_id = self.alloc(data);
+        self.append_child(parent, new_id)?;
+        let children: Vec<NodeId> = source.children(src).collect();
+        for c in children {
+            self.import_subtree(source, c, new_id)?;
+        }
+        Ok(new_id)
+    }
+
+    /// Deep-copies the subtree rooted at `src` *within this document*,
+    /// appending the copy under `parent`.
+    ///
+    /// The copy reflects the subtree as it was *before* the call, so cloning
+    /// under `src` itself (or any node inside the cloned subtree) is well
+    /// defined and terminates.
+    pub fn clone_subtree(&mut self, src: NodeId, parent: NodeId) -> Result<NodeId> {
+        self.check(src)?;
+        self.check(parent)?;
+        let snapshot = self.snapshot_subtree(src);
+        self.build_snapshot(&snapshot, parent)
+    }
+
+    fn snapshot_subtree(&self, id: NodeId) -> SubtreeSnapshot {
+        SubtreeSnapshot {
+            data: self.data(id).clone(),
+            children: self
+                .children(id)
+                .map(|c| self.snapshot_subtree(c))
+                .collect(),
+        }
+    }
+
+    fn build_snapshot(&mut self, snapshot: &SubtreeSnapshot, parent: NodeId) -> Result<NodeId> {
+        let id = self.alloc(snapshot.data.clone());
+        self.append_child(parent, id)?;
+        for child in &snapshot.children {
+            self.build_snapshot(child, id)?;
+        }
+        Ok(id)
+    }
+}
+
+/// An owned copy of a subtree's payloads, taken before a clone mutates the
+/// tree.
+struct SubtreeSnapshot {
+    data: NodeData,
+    children: Vec<SubtreeSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::el;
+
+    fn base() -> Document {
+        el("html")
+            .child(
+                el("body")
+                    .child(el("div").attr("id", "a").text_child("A"))
+                    .child(el("div").attr("id", "b").text_child("B")),
+            )
+            .into_document()
+    }
+
+    #[test]
+    fn insert_before_and_after() {
+        let mut doc = base();
+        let b = doc.element_by_id("b").unwrap();
+        let new1 = doc.create_element("div", vec![Attribute::new("id", "x")]);
+        doc.insert_before(b, new1).unwrap();
+        let new2 = doc.create_element("div", vec![Attribute::new("id", "y")]);
+        doc.insert_after(b, new2).unwrap();
+        let body = doc.elements_by_tag("body")[0];
+        let ids: Vec<_> = doc
+            .children(body)
+            .filter_map(|c| doc.attribute(c, "id").map(String::from))
+            .collect();
+        assert_eq!(ids, vec!["a", "x", "b", "y"]);
+    }
+
+    #[test]
+    fn prepend_and_append() {
+        let mut doc = base();
+        let body = doc.elements_by_tag("body")[0];
+        let first = doc.create_element("nav", vec![]);
+        doc.prepend_child(body, first).unwrap();
+        let last = doc.create_element("footer", vec![]);
+        doc.append_child(body, last).unwrap();
+        let tags: Vec<_> = doc
+            .children(body)
+            .filter_map(|c| doc.tag_name(c).map(String::from))
+            .collect();
+        assert_eq!(tags, vec!["nav", "div", "div", "footer"]);
+        assert_eq!(doc.first_child(body), Some(first));
+        assert_eq!(doc.last_child(body), Some(last));
+    }
+
+    #[test]
+    fn remove_subtree_hides_nodes() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        let before = doc.len();
+        doc.remove_subtree(a).unwrap();
+        assert!(doc.len() < before);
+        assert!(!doc.contains(a));
+        assert!(doc.element_by_id("a").is_none());
+        assert!(doc.element_by_id("b").is_some());
+        // Remaining sibling links are consistent.
+        let body = doc.elements_by_tag("body")[0];
+        assert_eq!(doc.children(body).count(), 1);
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        doc.detach(a).unwrap();
+        let body = doc.elements_by_tag("body")[0];
+        assert_eq!(doc.children(body).count(), 1);
+        doc.insert_after(b, a).unwrap();
+        let ids: Vec<_> = doc
+            .children(body)
+            .filter_map(|c| doc.attribute(c, "id").map(String::from))
+            .collect();
+        assert_eq!(ids, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn attribute_mutations() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        doc.set_attribute(a, "class", "primary").unwrap();
+        assert_eq!(doc.attribute(a, "class"), Some("primary"));
+        doc.set_attribute(a, "class", "secondary").unwrap();
+        assert_eq!(doc.attribute(a, "class"), Some("secondary"));
+        assert!(doc.remove_attribute(a, "class").unwrap());
+        assert!(!doc.remove_attribute(a, "class").unwrap());
+        let t = doc.children(a).next().unwrap();
+        assert!(doc.set_attribute(t, "x", "y").is_err());
+    }
+
+    #[test]
+    fn rename_and_set_text() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        doc.rename_element(a, "section").unwrap();
+        assert_eq!(doc.tag_name(a), Some("section"));
+        let t = doc.children(a).next().unwrap();
+        doc.set_text(t, "New text").unwrap();
+        assert_eq!(doc.normalized_text(a), "New text");
+        assert!(doc.rename_element(t, "div").is_err());
+        assert!(doc.set_text(a, "x").is_err());
+    }
+
+    #[test]
+    fn wrap_and_unwrap() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        let wrapper = doc
+            .wrap_in_element(a, "section", vec![Attribute::new("class", "wrap")])
+            .unwrap();
+        assert_eq!(doc.parent(a), Some(wrapper));
+        assert_eq!(doc.tag_name(doc.parent(wrapper).unwrap()), Some("body"));
+        // Position preserved: wrapper is first child of body.
+        let body = doc.elements_by_tag("body")[0];
+        assert_eq!(doc.first_child(body), Some(wrapper));
+
+        doc.unwrap_element(wrapper).unwrap();
+        assert_eq!(doc.parent(a), Some(body));
+        assert_eq!(doc.first_child(body), Some(a));
+        assert!(!doc.contains(wrapper));
+    }
+
+    #[test]
+    fn cycle_and_root_protection() {
+        let mut doc = base();
+        let body = doc.elements_by_tag("body")[0];
+        let html = doc.elements_by_tag("html")[0];
+        assert_eq!(
+            doc.append_child(body, html),
+            Err(DomError::WouldCreateCycle)
+        );
+        assert_eq!(doc.detach(doc.root()), Err(DomError::CannotModifyRoot));
+        let root = doc.root();
+        assert_eq!(
+            doc.append_child(body, root),
+            Err(DomError::CannotModifyRoot)
+        );
+    }
+
+    #[test]
+    fn import_subtree_between_documents() {
+        let src = el("div")
+            .attr("class", "ad")
+            .child(el("img").attr("src", "banner.png"))
+            .into_document();
+        let src_div = src.elements_by_tag("div")[0];
+        let mut dst = base();
+        let body = dst.elements_by_tag("body")[0];
+        let copied = dst.import_subtree(&src, src_div, body).unwrap();
+        assert_eq!(dst.attribute(copied, "class"), Some("ad"));
+        assert_eq!(dst.elements_by_tag("img").len(), 1);
+        // Source untouched.
+        assert_eq!(src.elements_by_tag("img").len(), 1);
+    }
+
+    #[test]
+    fn clone_subtree_within_document() {
+        let mut doc = base();
+        let a = doc.element_by_id("a").unwrap();
+        let body = doc.elements_by_tag("body")[0];
+        let copy = doc.clone_subtree(a, body).unwrap();
+        assert_ne!(copy, a);
+        assert_eq!(doc.elements_by_tag("div").len(), 3);
+        assert_eq!(doc.normalized_text(copy), "A");
+    }
+
+    #[test]
+    fn clone_subtree_under_itself_terminates() {
+        // Cloning a node under itself copies the subtree as it was before the
+        // call (one new child, no runaway recursion).
+        let mut doc = base();
+        let body = doc.elements_by_tag("body")[0];
+        let divs_before = doc.elements_by_tag("div").len();
+        let copy = doc.clone_subtree(body, body).unwrap();
+        assert_eq!(doc.parent(copy), Some(body));
+        assert_eq!(doc.tag_name(copy), Some("body"));
+        assert_eq!(doc.elements_by_tag("div").len(), divs_before * 2);
+    }
+
+    #[test]
+    fn clone_subtree_under_a_descendant_copies_the_old_state() {
+        let mut doc = base();
+        let body = doc.elements_by_tag("body")[0];
+        let a = doc.element_by_id("a").unwrap();
+        let nodes_in_body = doc.descendants_or_self(body).count();
+        let copy = doc.clone_subtree(body, a).unwrap();
+        assert_eq!(doc.parent(copy), Some(a));
+        // The copy contains exactly the pre-clone body subtree.
+        assert_eq!(doc.descendants_or_self(copy).count(), nodes_in_body);
+    }
+}

@@ -1,0 +1,283 @@
+//! Property-based tests of the DOM substrate: structural invariants of the
+//! arena tree, navigation, document order, hashing, serialization and
+//! mutation.
+
+use proptest::prelude::*;
+use wi_dom::{parse_html, structural_hash, subtree_equal, to_html, Document, DocumentBuilder, NodeId};
+
+/// A compact description of a random tree: rows of
+/// `(depth, tag index, attribute choice, text choice)` interpreted in
+/// pre-order by a [`DocumentBuilder`].
+fn arb_document() -> impl Strategy<Value = Document> {
+    prop::collection::vec(
+        (0usize..5, 0usize..7, 0usize..4, 0usize..4),
+        1..60,
+    )
+    .prop_map(|rows| {
+        // Only tags without HTML implied-end-tag rules: nesting any of these
+        // inside itself survives a serialize → parse round trip unchanged.
+        let tags = ["div", "span", "section", "ul", "article", "a", "h2"];
+        let mut builder = DocumentBuilder::new();
+        builder.open_element("html", &[]);
+        builder.open_element("body", &[]);
+        let base = builder.depth();
+        for (i, (depth, tag, attr_choice, text_choice)) in rows.iter().enumerate() {
+            while builder.depth() > base + depth {
+                let _ = builder.close_element();
+            }
+            let id_value = format!("n{i}");
+            let class_value = format!("c{}", attr_choice);
+            let attrs: Vec<(&str, &str)> = match attr_choice {
+                0 => vec![],
+                1 => vec![("id", id_value.as_str())],
+                2 => vec![("class", class_value.as_str())],
+                _ => vec![("id", id_value.as_str()), ("class", class_value.as_str())],
+            };
+            builder.open_element(tags[*tag], &attrs);
+            if *text_choice > 0 {
+                builder.text(&format!("text {i} {text_choice}"));
+            }
+        }
+        builder.finish_lenient()
+    })
+}
+
+/// All live nodes of a document in document order.
+fn all_nodes(doc: &Document) -> Vec<NodeId> {
+    doc.descendants_or_self(doc.root()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every non-root node's parent lists it among its children, and every
+    /// child's parent is the node it was listed under.
+    #[test]
+    fn parent_child_links_are_consistent(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            for child in doc.children(node) {
+                prop_assert_eq!(doc.parent(child), Some(node));
+            }
+            if let Some(parent) = doc.parent(node) {
+                let children: Vec<NodeId> = doc.children(parent).collect();
+                prop_assert!(children.contains(&node));
+            } else {
+                prop_assert_eq!(node, doc.root());
+            }
+        }
+    }
+
+    /// first_child / last_child / next_sibling / prev_sibling agree with the
+    /// children iterator.
+    #[test]
+    fn sibling_links_agree_with_children_iterator(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            let children: Vec<NodeId> = doc.children(node).collect();
+            prop_assert_eq!(doc.first_child(node), children.first().copied());
+            prop_assert_eq!(doc.last_child(node), children.last().copied());
+            for pair in children.windows(2) {
+                prop_assert_eq!(doc.next_sibling(pair[0]), Some(pair[1]));
+                prop_assert_eq!(doc.prev_sibling(pair[1]), Some(pair[0]));
+            }
+            if let Some(&first) = children.first() {
+                prop_assert_eq!(doc.prev_sibling(first), None);
+            }
+            if let Some(&last) = children.last() {
+                prop_assert_eq!(doc.next_sibling(last), None);
+            }
+        }
+    }
+
+    /// The descendants of a node are exactly the node's children plus their
+    /// descendants (and the count matches).
+    #[test]
+    fn descendant_counts_decompose_over_children(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            let direct: usize = doc.children(node).count();
+            let nested: usize = doc
+                .children(node)
+                .map(|c| doc.descendants(c).count())
+                .sum();
+            prop_assert_eq!(doc.descendants(node).count(), direct + nested);
+        }
+    }
+
+    /// Following and preceding siblings partition the parent's other
+    /// children.
+    #[test]
+    fn sibling_axes_partition_the_parents_children(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            let Some(parent) = doc.parent(node) else { continue };
+            let mut preceding: Vec<NodeId> = doc.preceding_siblings(node).collect();
+            preceding.reverse();
+            let following: Vec<NodeId> = doc.following_siblings(node).collect();
+            let mut reconstructed = preceding;
+            reconstructed.push(node);
+            reconstructed.extend(following);
+            let children: Vec<NodeId> = doc.children(parent).collect();
+            prop_assert_eq!(reconstructed, children);
+        }
+    }
+
+    /// Ancestors of every node end at the document root and are consistent
+    /// with repeated `parent` calls.
+    #[test]
+    fn ancestors_chain_to_the_root(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            let ancestors: Vec<NodeId> = doc.ancestors(node).collect();
+            let mut walked = Vec::new();
+            let mut current = node;
+            while let Some(p) = doc.parent(current) {
+                walked.push(p);
+                current = p;
+            }
+            prop_assert_eq!(&ancestors, &walked);
+            if node != doc.root() {
+                prop_assert_eq!(ancestors.last().copied(), Some(doc.root()));
+            }
+        }
+    }
+
+    /// `sort_document_order` sorts pre-order traversal positions: sorting a
+    /// shuffled copy of the descendants reproduces the iterator order, and
+    /// sorting is idempotent.
+    #[test]
+    fn document_order_sorting_matches_preorder(doc in arb_document(), seed in any::<u64>()) {
+        let order: Vec<NodeId> = all_nodes(&doc);
+        let mut shuffled = order.clone();
+        // Deterministic Fisher–Yates driven by the seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (state >> 33) as usize % (i + 1);
+            shuffled.swap(i, j);
+        }
+        let mut sorted = shuffled;
+        doc.sort_document_order(&mut sorted);
+        prop_assert_eq!(&sorted, &order);
+        let mut again = sorted.clone();
+        doc.sort_document_order(&mut again);
+        prop_assert_eq!(again, sorted);
+    }
+
+    /// Serialize → parse preserves the structural hash of the root element
+    /// and subtree equality.
+    #[test]
+    fn serialization_roundtrip_preserves_structure(doc in arb_document()) {
+        let html = to_html(&doc);
+        let reparsed = parse_html(&html).unwrap();
+        let a = doc.root_element().unwrap();
+        let b = reparsed.root_element().unwrap();
+        prop_assert_eq!(structural_hash(&doc, a), structural_hash(&reparsed, b));
+        prop_assert!(subtree_equal(&doc, a, &reparsed, b));
+    }
+
+    /// Structural hashing is insensitive to node identity: cloning a subtree
+    /// inside the same document yields an equal hash, and `subtree_equal`
+    /// agrees.
+    #[test]
+    fn cloned_subtrees_hash_equal(doc in arb_document()) {
+        let mut doc = doc;
+        let body = doc.elements_by_tag("body")[0];
+        // Pick a subject strictly below the body so appending the copy under
+        // the body does not alter the subject's own subtree.
+        let Some(subject) = doc.descendants(body).find(|&n| doc.is_element(n)) else {
+            return Ok(());
+        };
+        let copy = doc.clone_subtree(subject, body).unwrap();
+        prop_assert_eq!(
+            structural_hash(&doc, subject),
+            structural_hash(&doc, copy)
+        );
+        prop_assert!(subtree_equal(&doc, subject, &doc, copy));
+    }
+
+    /// Removing a subtree removes exactly its nodes from the live set and
+    /// never corrupts the remaining links; a plain detach keeps the nodes
+    /// allocated but unlinks them from the tree.
+    #[test]
+    fn remove_subtree_removes_exactly_the_subtree(doc in arb_document()) {
+        let mut doc = doc;
+        let body = doc.elements_by_tag("body")[0];
+        let Some(victim) = doc.children(body).next() else { return Ok(()) };
+        let subtree_size = doc.descendants_or_self(victim).count();
+        let before = doc.len();
+        doc.remove_subtree(victim).unwrap();
+        prop_assert_eq!(doc.len(), before - subtree_size);
+        prop_assert!(!doc.contains(victim));
+        // The remaining tree is still consistent.
+        for node in all_nodes(&doc) {
+            for child in doc.children(node) {
+                prop_assert_eq!(doc.parent(child), Some(node));
+            }
+        }
+    }
+
+    /// Detaching a subtree unlinks it from its parent but keeps it alive, so
+    /// it can be re-attached elsewhere without loss.
+    #[test]
+    fn detach_and_reattach_preserve_the_subtree(doc in arb_document()) {
+        let mut doc = doc;
+        let body = doc.elements_by_tag("body")[0];
+        let Some(victim) = doc.children(body).next() else { return Ok(()) };
+        let hash_before = structural_hash(&doc, victim);
+        let before = doc.len();
+        doc.detach(victim).unwrap();
+        // Still allocated, no longer reachable from the body.
+        prop_assert!(doc.contains(victim));
+        prop_assert_eq!(doc.len(), before);
+        prop_assert!(doc.descendants(body).all(|n| n != victim));
+        // Re-attach at the end of the body: the subtree is unchanged.
+        doc.append_child(body, victim).unwrap();
+        prop_assert_eq!(doc.parent(victim), Some(body));
+        prop_assert_eq!(doc.last_child(body), Some(victim));
+        prop_assert_eq!(structural_hash(&doc, victim), hash_before);
+    }
+
+    /// Attribute mutation is observable and reversible.
+    #[test]
+    fn attribute_roundtrip(doc in arb_document(), value in "[a-z]{1,12}") {
+        let mut doc = doc;
+        let Some(element) = doc
+            .descendants(doc.root())
+            .find(|&n| doc.is_element(n))
+        else {
+            return Ok(());
+        };
+        doc.set_attribute(element, "data-test", &value).unwrap();
+        prop_assert_eq!(doc.attribute(element, "data-test"), Some(value.as_str()));
+        let hash_with = structural_hash(&doc, element);
+        let removed = doc.remove_attribute(element, "data-test").unwrap();
+        prop_assert!(removed);
+        prop_assert_eq!(doc.attribute(element, "data-test"), None);
+        prop_assert_ne!(structural_hash(&doc, element), hash_with);
+    }
+
+    /// `normalized_text` never contains leading/trailing or doubled
+    /// whitespace.
+    #[test]
+    fn normalized_text_is_normalized(doc in arb_document()) {
+        for node in all_nodes(&doc) {
+            let text = doc.normalized_text(node);
+            prop_assert_eq!(text.trim(), text.as_str());
+            prop_assert!(!text.contains("  "), "doubled whitespace in {text:?}");
+        }
+    }
+
+    /// Every element reachable by `elements_by_tag` / `elements_by_class` /
+    /// `element_by_id` really carries the requested property.
+    #[test]
+    fn lookup_helpers_agree_with_node_payloads(doc in arb_document()) {
+        for tag in ["div", "li", "a"] {
+            for node in doc.elements_by_tag(tag) {
+                prop_assert_eq!(doc.tag_name(node), Some(tag));
+            }
+        }
+        for node in all_nodes(&doc) {
+            if let Some(id) = doc.attribute(node, "id") {
+                let found = doc.element_by_id(id);
+                prop_assert_eq!(found, Some(node), "id {} not resolved to its node", id);
+            }
+        }
+    }
+}

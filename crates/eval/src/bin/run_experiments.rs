@@ -1,0 +1,77 @@
+//! Command-line driver that regenerates the paper's tables and figures.
+//!
+//! ```text
+//! run_experiments [--quick] [experiment ...]
+//! ```
+//!
+//! Without arguments every experiment is run at the full (paper-sized)
+//! scale; `--quick` switches to the reduced scale used by the benches.
+//! Individual experiments: `fig3 fig4 fig5 fig6 fig7 table1 table2
+//! sota-dalvi sota-weir noise-real change-rate timing params`.
+
+use wi_eval::experiments;
+use wi_eval::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let selected: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let all = [
+        "timing",
+        "sota-dalvi",
+        "sota-weir",
+        "table1",
+        "table2",
+        "fig3",
+        "fig4",
+        "change-rate",
+        "fig5",
+        "fig6",
+        "params",
+        "fig7",
+        "noise-real",
+    ];
+    let to_run: Vec<&str> = if selected.is_empty() {
+        all.to_vec()
+    } else {
+        all.iter()
+            .copied()
+            .filter(|name| selected.iter().any(|s| s == name))
+            .collect()
+    };
+
+    if to_run.is_empty() {
+        eprintln!("no known experiment selected; choose from: {}", all.join(" "));
+        std::process::exit(2);
+    }
+
+    for name in to_run {
+        let started = std::time::Instant::now();
+        let output = match name {
+            "timing" => experiments::timing::render(&scale),
+            "sota-dalvi" => experiments::sota_dalvi::render(&scale),
+            "sota-weir" => experiments::sota_weir::render(&scale),
+            "table1" => experiments::table1::render(&scale, 3),
+            "table2" => experiments::table2::render(&scale, 4),
+            "fig3" => experiments::fig3::render(&scale),
+            "fig4" => experiments::fig4::render(&scale),
+            "change-rate" => experiments::change_rate::render(&scale),
+            "fig5" => experiments::fig5::render(&scale),
+            "fig6" => experiments::fig6::render(&scale),
+            "params" => experiments::params_report::render(&scale),
+            "fig7" => experiments::fig7::render(&scale),
+            "noise-real" => experiments::noise_real::render(&scale),
+            _ => unreachable!(),
+        };
+        println!("{output}");
+        println!(
+            "[{name} finished in {:.1}s]\n",
+            started.elapsed().as_secs_f64()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 3 — robustness of expressions matching a **single node**:
+//! generated (induced) vs manual (human) vs canonical wrappers, replayed over
+//! the 2008–2013 archive snapshots.
+
+use super::{robustness_experiment, RobustnessReport};
+use crate::scale::Scale;
+use wi_webgen::datasets::single_node_tasks;
+
+/// Runs the Figure 3 experiment.
+pub fn run(scale: &Scale) -> RobustnessReport {
+    let tasks = single_node_tasks(scale.single_tasks);
+    robustness_experiment(&tasks, scale)
+}
+
+/// Renders the Figure 3 report.
+pub fn render(scale: &Scale) -> String {
+    run(scale).render("Figure 3: robustness, single-node wrappers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_robustness_shape() {
+        let report = run(&Scale::tiny());
+        assert!(!report.tasks.is_empty());
+        // All tasks here have exactly one target node.
+        assert!(report.tasks.iter().all(|t| t.target_count == 1));
+        // The canonical wrapper must not be more robust than the induced one
+        // on average (the paper's headline qualitative result).
+        assert!(report.mean_days.0 >= report.mean_days.2 * 0.8);
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 4 — robustness of expressions matching **multiple nodes**.
+
+use super::{robustness_experiment, RobustnessReport};
+use crate::scale::Scale;
+use wi_webgen::datasets::multi_node_tasks;
+
+/// Runs the Figure 4 experiment.
+pub fn run(scale: &Scale) -> RobustnessReport {
+    let tasks = multi_node_tasks(scale.multi_tasks);
+    robustness_experiment(&tasks, scale)
+}
+
+/// Renders the Figure 4 report.
+pub fn render(scale: &Scale) -> String {
+    run(scale).render("Figure 4: robustness, multi-node wrappers")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_node_robustness_shape() {
+        let report = run(&Scale::tiny());
+        assert!(!report.tasks.is_empty());
+        assert!(report.tasks.iter().all(|t| t.target_count >= 2));
+    }
+}

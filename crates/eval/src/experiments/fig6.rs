@@ -1,0 +1,31 @@
+//! Figure 6 — characteristics of the induced **multi-target** expressions.
+
+use super::fig5::{characteristics, render_characteristics, top_expressions, Characteristics};
+use crate::scale::Scale;
+use wi_webgen::datasets::multi_node_tasks;
+
+/// Induces the top-ranked multi-target expressions and analyses them.
+pub fn run(scale: &Scale) -> Characteristics {
+    let tasks = multi_node_tasks(scale.multi_tasks);
+    characteristics(&top_expressions(&tasks, scale))
+}
+
+/// Renders the Figure 6 report.
+pub fn render(scale: &Scale) -> String {
+    render_characteristics(
+        &run(scale),
+        "Figure 6: node tests / predicates of multi-target expressions",
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_target_expressions_analysed() {
+        let c = run(&Scale::tiny());
+        assert!(c.total_steps > 0);
+        assert!(render(&Scale::tiny()).contains("Figure 6"));
+    }
+}

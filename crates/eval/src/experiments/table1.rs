@@ -1,0 +1,108 @@
+//! Table 1 — example single-node wrappers: the top-ranked induced expression
+//! and the human expression side by side, with the days they remained valid
+//! and the number of c-changes observed.
+
+use super::{induce_for_task, robustness_experiment};
+use crate::report::render_table;
+use crate::scale::Scale;
+use wi_webgen::datasets::single_node_tasks;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Task identifier.
+    pub task_id: String,
+    /// Induced or human marker plus the expression.
+    pub expressions: Vec<(String, String)>,
+    /// Valid days of (induced, human).
+    pub valid_days: (i64, i64),
+    /// c-changes observed while the induced wrapper was valid.
+    pub c_changes: usize,
+}
+
+/// Runs the Table 1 experiment over a handful of representative tasks.
+pub fn run(scale: &Scale, rows: usize) -> Vec<TableRow> {
+    let tasks = single_node_tasks(scale.single_tasks);
+    let report = robustness_experiment(&tasks[..rows.min(tasks.len())], scale);
+    report
+        .tasks
+        .iter()
+        .map(|t| {
+            let task = tasks
+                .iter()
+                .find(|task| task.id() == t.task_id)
+                .expect("task exists");
+            let induced_expr = t
+                .induced_expression
+                .clone()
+                .unwrap_or_else(|| "(induction failed)".to_string());
+            // Also surface the runner-up expression like the paper's S3 row.
+            let runner_up = induce_for_task(task, scale.k)
+                .get(1)
+                .map(|q| q.query.to_string());
+            let mut expressions = vec![
+                ("induced (rank 1)".to_string(), induced_expr),
+                ("human".to_string(), task.human_wrapper.clone()),
+            ];
+            if let Some(r) = runner_up {
+                expressions.push(("induced (rank 2)".to_string(), r));
+            }
+            TableRow {
+                task_id: t.task_id.clone(),
+                expressions,
+                valid_days: (
+                    t.induced.as_ref().map(|o| o.valid_days).unwrap_or(0),
+                    t.human.valid_days,
+                ),
+                c_changes: t.induced.as_ref().map(|o| o.c_changes).unwrap_or(0),
+            }
+        })
+        .collect()
+}
+
+/// Renders Table 1 as text.
+pub fn render(scale: &Scale, rows: usize) -> String {
+    let data = run(scale, rows);
+    let mut table_rows = Vec::new();
+    for row in &data {
+        for (kind, expr) in &row.expressions {
+            table_rows.push(vec![
+                row.task_id.clone(),
+                kind.clone(),
+                expr.clone(),
+                if kind.starts_with("induced (rank 1") {
+                    row.valid_days.0.to_string()
+                } else if kind == "human" {
+                    row.valid_days.1.to_string()
+                } else {
+                    String::new()
+                },
+                row.c_changes.to_string(),
+            ]);
+        }
+    }
+    format!(
+        "== Table 1: matching single nodes ==\n{}",
+        render_table(
+            &["site/role", "wrapper", "expression", "valid days", "c-changes"],
+            &table_rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_induced_and_human_rows() {
+        let rows = run(&Scale::tiny(), 2);
+        assert_eq!(rows.len(), 2);
+        for r in rows {
+            assert!(r.expressions.len() >= 2);
+            assert!(r.expressions.iter().any(|(k, _)| k == "human"));
+        }
+        let text = render(&Scale::tiny(), 1);
+        assert!(text.contains("Table 1"));
+    }
+}

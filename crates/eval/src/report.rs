@@ -1,0 +1,113 @@
+//! Small text-report helpers shared by the experiments: aligned tables and
+//! bucketed histograms.
+
+/// Renders an aligned text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let w = widths.get(i).copied().unwrap_or(cell.len());
+            line.push_str(&format!("{:<w$}  ", cell, w = w));
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&render_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + widths.len() * 2));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// A bucketed histogram over day counts (used to summarise the survival
+/// distributions of Figures 3 and 4).
+pub fn day_histogram(values: &[i64], buckets: &[(i64, i64)]) -> Vec<(String, usize)> {
+    buckets
+        .iter()
+        .map(|&(lo, hi)| {
+            let count = values.iter().filter(|&&v| v >= lo && v < hi).count();
+            (format!("[{lo},{hi})"), count)
+        })
+        .collect()
+}
+
+/// Mean of a slice of i64 values.
+pub fn mean(values: &[i64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<i64>() as f64 / values.len() as f64
+}
+
+/// Median of a slice of i64 values.
+pub fn median(values: &[i64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable();
+    let mid = v.len() / 2;
+    if v.len() % 2 == 0 {
+        (v[mid - 1] + v[mid]) as f64 / 2.0
+    } else {
+        v[mid] as f64
+    }
+}
+
+/// Formats a ratio as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.0}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["name", "days"],
+            &[
+                vec!["a".into(), "100".into()],
+                vec!["long-name".into(), "7".into()],
+            ],
+        );
+        assert!(t.contains("name"));
+        assert!(t.contains("long-name"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn histogram_buckets() {
+        let h = day_histogram(&[10, 150, 500, 90], &[(0, 100), (100, 400), (400, 3000)]);
+        assert_eq!(h[0].1, 2);
+        assert_eq!(h[1].1, 1);
+        assert_eq!(h[2].1, 1);
+    }
+
+    #[test]
+    fn stats_helpers() {
+        assert_eq!(mean(&[1, 2, 3]), 2.0);
+        assert_eq!(median(&[1, 2, 3, 100]), 2.5);
+        assert_eq!(median(&[5]), 5.0);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(pct(0.5), "50%");
+    }
+}

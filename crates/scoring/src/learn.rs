@@ -1,0 +1,384 @@
+//! Calibrating the scoring parameters from a corpus of survival observations.
+//!
+//! The paper's conclusion (future work (2)) suggests *"learning an effective
+//! scoring for different types of node types, textual values, and axes from a
+//! given corpus of websites"*.  This module implements a simple, dependency-
+//! free version of that idea:
+//!
+//! * a [`SurvivalObservation`] pairs a wrapper expression with how long it
+//!   remained valid on its site (e.g. measured by the robustness harness in
+//!   `wi-eval` over archive snapshots),
+//! * [`rank_agreement`] measures how well a [`ScoringParams`] instance
+//!   explains the corpus: the fraction of observation pairs in which the
+//!   longer-surviving wrapper also receives the *smaller* (better) robustness
+//!   score,
+//! * [`calibrate`] runs a coordinate descent over the interpretable scoring
+//!   constants (axis scores, attribute scores, decay, penalties), multiplying
+//!   one coordinate at a time by a small grid of factors and keeping whatever
+//!   improves the rank agreement.
+//!
+//! The procedure never invents new feature types — it only re-weights the
+//! constants the paper already exposes — so a calibrated parameter set can be
+//! dropped into [`crate::score_query`] and the induction algorithms
+//! unchanged.
+
+use crate::params::ScoringParams;
+use crate::score::score_query;
+use wi_xpath::{Axis, Query};
+
+/// One corpus observation: a wrapper and how long it survived.
+#[derive(Debug, Clone)]
+pub struct SurvivalObservation {
+    /// The wrapper expression.
+    pub query: Query,
+    /// How long the wrapper remained valid (days, or any monotone utility).
+    pub survived_days: f64,
+}
+
+impl SurvivalObservation {
+    /// Creates an observation.
+    pub fn new(query: Query, survived_days: f64) -> Self {
+        SurvivalObservation {
+            query,
+            survived_days,
+        }
+    }
+}
+
+/// How well a parameter set explains a corpus: the fraction of comparable
+/// observation pairs ranked concordantly.
+///
+/// A pair is *comparable* when the two observations survived for a different
+/// number of days; it is *concordant* when the longer-surviving wrapper has
+/// the strictly smaller robustness score.  Pairs with equal scores count as
+/// half-concordant.  Returns `1.0` when the corpus has no comparable pairs.
+pub fn rank_agreement(observations: &[SurvivalObservation], params: &ScoringParams) -> f64 {
+    let scores: Vec<f64> = observations
+        .iter()
+        .map(|o| score_query(&o.query, params))
+        .collect();
+    let mut comparable = 0.0;
+    let mut concordant = 0.0;
+    for i in 0..observations.len() {
+        for j in (i + 1)..observations.len() {
+            let survival = observations[i].survived_days - observations[j].survived_days;
+            if survival == 0.0 {
+                continue;
+            }
+            comparable += 1.0;
+            let score = scores[i] - scores[j];
+            if score == 0.0 {
+                concordant += 0.5;
+            } else if (survival > 0.0) == (score < 0.0) {
+                concordant += 1.0;
+            }
+        }
+    }
+    if comparable == 0.0 {
+        1.0
+    } else {
+        concordant / comparable
+    }
+}
+
+/// The tunable coordinates of the scoring function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Coordinate {
+    /// The decay factor δ.
+    Decay,
+    /// The score of one axis.
+    AxisScore(Axis),
+    /// The default score of axes without an explicit entry.
+    AxisDefault,
+    /// The score of one attribute name.
+    AttributeScore(String),
+    /// The default score of attributes without an explicit entry.
+    AttributeDefault,
+    /// The default score of tag node tests.
+    TagDefault,
+    /// The positional factor `c_pos`.
+    PositionalFactor,
+    /// The string-length factor `c_f`.
+    LengthFactor,
+    /// The cost of accessing the normalized text value (`s_text`).
+    TextAccess,
+    /// The penalty for attribute-existence-only predicates.
+    NoFunctionPenalty,
+    /// The penalty for steps without any predicate.
+    NoPredicatePenalty,
+}
+
+impl Coordinate {
+    /// All coordinates tunable for a given base parameter set (one entry per
+    /// explicitly listed axis and attribute, plus the global constants).
+    pub fn all_for(base: &ScoringParams) -> Vec<Coordinate> {
+        let mut coordinates = vec![Coordinate::Decay];
+        coordinates.extend(base.axis_scores.keys().map(|&a| Coordinate::AxisScore(a)));
+        coordinates.push(Coordinate::AxisDefault);
+        coordinates.extend(
+            base.attribute_scores
+                .keys()
+                .map(|a| Coordinate::AttributeScore(a.clone())),
+        );
+        coordinates.push(Coordinate::AttributeDefault);
+        coordinates.push(Coordinate::TagDefault);
+        coordinates.push(Coordinate::PositionalFactor);
+        coordinates.push(Coordinate::LengthFactor);
+        coordinates.push(Coordinate::TextAccess);
+        coordinates.push(Coordinate::NoFunctionPenalty);
+        coordinates.push(Coordinate::NoPredicatePenalty);
+        coordinates
+    }
+
+    /// Reads the coordinate's current value.
+    pub fn get(&self, params: &ScoringParams) -> f64 {
+        match self {
+            Coordinate::Decay => params.decay,
+            Coordinate::AxisScore(axis) => params.axis_score(*axis),
+            Coordinate::AxisDefault => params.axis_default,
+            Coordinate::AttributeScore(name) => params.attribute_score(name),
+            Coordinate::AttributeDefault => params.attribute_default,
+            Coordinate::TagDefault => params.tag_default,
+            Coordinate::PositionalFactor => params.positional_factor,
+            Coordinate::LengthFactor => params.length_factor,
+            Coordinate::TextAccess => params.text_access_score,
+            Coordinate::NoFunctionPenalty => params.no_function_penalty,
+            Coordinate::NoPredicatePenalty => params.no_predicate_penalty,
+        }
+    }
+
+    /// Writes a new value for the coordinate.
+    pub fn set(&self, params: &mut ScoringParams, value: f64) {
+        match self {
+            Coordinate::Decay => params.decay = value,
+            Coordinate::AxisScore(axis) => {
+                params.axis_scores.insert(*axis, value);
+            }
+            Coordinate::AxisDefault => params.axis_default = value,
+            Coordinate::AttributeScore(name) => {
+                params.attribute_scores.insert(name.clone(), value);
+            }
+            Coordinate::AttributeDefault => params.attribute_default = value,
+            Coordinate::TagDefault => params.tag_default = value,
+            Coordinate::PositionalFactor => params.positional_factor = value,
+            Coordinate::LengthFactor => params.length_factor = value,
+            Coordinate::TextAccess => params.text_access_score = value,
+            Coordinate::NoFunctionPenalty => params.no_function_penalty = value,
+            Coordinate::NoPredicatePenalty => params.no_predicate_penalty = value,
+        }
+    }
+}
+
+/// Configuration of [`calibrate`].
+#[derive(Debug, Clone)]
+pub struct CalibrationConfig {
+    /// Multipliers tried for every coordinate (relative to its current
+    /// value).  `1.0` is implicitly the "keep" option.
+    pub multipliers: Vec<f64>,
+    /// Number of coordinate-descent passes over all coordinates.
+    pub passes: usize,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            multipliers: vec![0.1, 0.2, 0.5, 2.0, 5.0, 10.0],
+            passes: 2,
+        }
+    }
+}
+
+/// The outcome of a calibration run.
+#[derive(Debug, Clone)]
+pub struct CalibrationResult {
+    /// The calibrated parameters.
+    pub params: ScoringParams,
+    /// Rank agreement of the base parameters on the corpus.
+    pub initial_agreement: f64,
+    /// Rank agreement of the calibrated parameters on the corpus.
+    pub final_agreement: f64,
+    /// Every accepted move: `(coordinate, old value, new value, agreement)`.
+    pub history: Vec<(Coordinate, f64, f64, f64)>,
+}
+
+impl CalibrationResult {
+    /// The improvement achieved by the calibration (≥ 0 by construction).
+    pub fn improvement(&self) -> f64 {
+        self.final_agreement - self.initial_agreement
+    }
+}
+
+/// Coordinate-descent calibration of the scoring constants against a corpus
+/// of survival observations.
+///
+/// The objective is [`rank_agreement`]; a move is accepted only if it strictly
+/// improves the objective, so the final agreement is never worse than the
+/// initial one.
+pub fn calibrate(
+    observations: &[SurvivalObservation],
+    base: ScoringParams,
+    config: &CalibrationConfig,
+) -> CalibrationResult {
+    let initial_agreement = rank_agreement(observations, &base);
+    let mut params = base.clone();
+    let mut best_agreement = initial_agreement;
+    let mut history = Vec::new();
+
+    let coordinates = Coordinate::all_for(&base);
+    for _ in 0..config.passes {
+        for coordinate in &coordinates {
+            let current = coordinate.get(&params);
+            let mut best_value = current;
+            for &multiplier in &config.multipliers {
+                let candidate_value = current * multiplier;
+                let mut candidate = params.clone();
+                coordinate.set(&mut candidate, candidate_value);
+                let agreement = rank_agreement(observations, &candidate);
+                if agreement > best_agreement + 1e-12 {
+                    best_agreement = agreement;
+                    best_value = candidate_value;
+                }
+            }
+            if best_value != current {
+                coordinate.set(&mut params, best_value);
+                history.push((coordinate.clone(), current, best_value, best_agreement));
+            }
+        }
+    }
+
+    CalibrationResult {
+        params,
+        initial_agreement,
+        final_agreement: best_agreement,
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_xpath::parse_query;
+
+    fn obs(expr: &str, days: f64) -> SurvivalObservation {
+        SurvivalObservation::new(parse_query(expr).unwrap(), days)
+    }
+
+    #[test]
+    fn rank_agreement_is_one_on_empty_and_singleton_corpora() {
+        let params = ScoringParams::paper_defaults();
+        assert_eq!(rank_agreement(&[], &params), 1.0);
+        assert_eq!(
+            rank_agreement(&[obs(r#"descendant::div[@id="a"]"#, 100.0)], &params),
+            1.0
+        );
+    }
+
+    #[test]
+    fn rank_agreement_rewards_concordant_corpora() {
+        // Under the paper defaults an id-anchored wrapper scores better than a
+        // positional one; a corpus in which it also survives longer agrees
+        // perfectly, the reversed corpus agrees not at all.
+        let params = ScoringParams::paper_defaults();
+        let id_anchored = r#"descendant::div[@id="main"]"#;
+        let positional = "descendant::div[7]";
+        let concordant = vec![obs(id_anchored, 900.0), obs(positional, 60.0)];
+        let discordant = vec![obs(id_anchored, 60.0), obs(positional, 900.0)];
+        assert_eq!(rank_agreement(&concordant, &params), 1.0);
+        assert_eq!(rank_agreement(&discordant, &params), 0.0);
+    }
+
+    #[test]
+    fn equal_scores_count_as_half_concordant() {
+        let params = ScoringParams::paper_defaults();
+        // Identical expressions, different survival: the score difference is
+        // zero, so the single comparable pair is half-concordant.
+        let corpus = vec![
+            obs(r#"descendant::div[@id="a"]"#, 10.0),
+            obs(r#"descendant::div[@id="a"]"#, 500.0),
+        ];
+        assert_eq!(rank_agreement(&corpus, &params), 0.5);
+    }
+
+    #[test]
+    fn coordinates_cover_the_interpretable_constants() {
+        let base = ScoringParams::paper_defaults();
+        let coordinates = Coordinate::all_for(&base);
+        assert!(coordinates.contains(&Coordinate::Decay));
+        assert!(coordinates.contains(&Coordinate::AxisScore(Axis::Descendant)));
+        assert!(coordinates.contains(&Coordinate::AttributeScore("id".to_string())));
+        assert!(coordinates.contains(&Coordinate::NoPredicatePenalty));
+        // get/set round-trip for every coordinate.
+        let mut params = base.clone();
+        for coordinate in &coordinates {
+            let value = coordinate.get(&params);
+            coordinate.set(&mut params, value * 2.0);
+            assert_eq!(coordinate.get(&params), value * 2.0, "{coordinate:?}");
+            coordinate.set(&mut params, value);
+            assert_eq!(coordinate.get(&params), value, "{coordinate:?}");
+        }
+    }
+
+    #[test]
+    fn calibration_learns_that_class_outlives_id_on_a_reversed_corpus() {
+        // The paper's break-reason group (d) documents a site where the class
+        // attribute proved *more* robust than the id attribute.  A corpus
+        // drawn from such sites should teach the scoring to prefer class.
+        let corpus = vec![
+            obs(r#"descendant::a[@class="next"]"#, 700.0),
+            obs(r#"descendant::span[@class="headline"]"#, 620.0),
+            obs(r#"descendant::div[@class="highlight"]"#, 500.0),
+            obs(r#"descendant::span[@id="hl20"]"#, 200.0),
+            obs(r#"descendant::a[@id="nextlink"]"#, 150.0),
+            obs(r#"descendant::div[@id="cnnT1Col"]"#, 120.0),
+            obs("descendant::div[4]", 40.0),
+        ];
+        let base = ScoringParams::paper_defaults();
+        let initial = rank_agreement(&corpus, &base);
+        assert!(initial < 0.7, "corpus must contradict the defaults, got {initial}");
+        let result = calibrate(&corpus, base.clone(), &CalibrationConfig::default());
+        assert!(result.final_agreement >= result.initial_agreement);
+        assert!(
+            result.final_agreement > 0.9,
+            "calibration should nearly perfectly order this corpus, got {}",
+            result.final_agreement
+        );
+        assert!(
+            result.params.attribute_score("class") < result.params.attribute_score("id"),
+            "learned params should prefer class over id: class={}, id={}",
+            result.params.attribute_score("class"),
+            result.params.attribute_score("id")
+        );
+        assert!(!result.history.is_empty());
+        assert!(result.improvement() >= 0.0);
+    }
+
+    #[test]
+    fn calibration_is_a_no_op_on_an_already_explained_corpus() {
+        let corpus = vec![
+            obs(r#"descendant::input[@id="search"]"#, 1200.0),
+            obs(r#"descendant::input[@class="searchbox"]"#, 800.0),
+            obs("descendant::form[2]/child::input[3]", 90.0),
+        ];
+        let base = ScoringParams::paper_defaults();
+        assert_eq!(rank_agreement(&corpus, &base), 1.0);
+        let result = calibrate(&corpus, base, &CalibrationConfig::default());
+        assert_eq!(result.final_agreement, 1.0);
+        assert!(result.history.is_empty(), "no move should be accepted");
+        assert_eq!(result.improvement(), 0.0);
+    }
+
+    #[test]
+    fn calibration_never_decreases_agreement() {
+        // A deliberately contradictory corpus: no scoring can order it
+        // perfectly, but calibration must not make things worse.
+        let corpus = vec![
+            obs(r#"descendant::div[@id="a"]"#, 100.0),
+            obs(r#"descendant::div[@id="b"]"#, 900.0),
+            obs(r#"descendant::div[@class="c"]"#, 500.0),
+            obs("descendant::div[3]", 700.0),
+        ];
+        let base = ScoringParams::paper_defaults();
+        let result = calibrate(&corpus, base, &CalibrationConfig::default());
+        assert!(result.final_agreement >= result.initial_agreement);
+    }
+}

@@ -1,0 +1,244 @@
+//! The plus-compositional robustness score (Section 4 of the paper).
+//!
+//! * `score(a1::t1 P1 / … / an::tn Pn) = Σ_i score(ai::ti Pi) · δ^(i-1)`
+//! * `score(a::t p1…pm) = s_a + s_t + Σ_j score(p_j)`
+//!   (plus the no-predicate penalty if `m = 0`)
+//! * positional predicates `[n]` cost `c_pos · n`, `[last()-n]` costs
+//!   `s_last + c_pos · n`,
+//! * attribute comparisons `[f(@a, w)]` cost `s_f + s_a + c_f·|w|`,
+//!   existence tests `[@a]` additionally pay the no-function penalty `y`,
+//! * text comparisons `[f(., w)]` cost `s_f + s_text + c_f·|w|`.
+//!
+//! The paper's worked example (Section 6.3) is reproduced in the tests:
+//! `descendant::img[@class="adv"][1]` has score 40 under the default
+//! parameters.
+
+use crate::params::ScoringParams;
+use wi_xpath::{NodeTest, Predicate, Query, Step, TextSource};
+
+/// Scores a full query expression.
+pub fn score_query(query: &Query, params: &ScoringParams) -> f64 {
+    query
+        .steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| score_step(s, params) * params.decay.powi(i as i32))
+        .sum()
+}
+
+/// Scores a single step (axis + node test + predicates), including the
+/// no-predicate penalty for predicate-free steps.
+pub fn score_step(step: &Step, params: &ScoringParams) -> f64 {
+    let mut score = params.axis_score(step.axis) + score_node_test(step, params);
+    if step.predicates.is_empty() {
+        // Attribute steps (`@src`) are implicitly maximally selective — the
+        // attribute name itself acts as the predicate — so the penalty only
+        // applies to element steps.
+        if step.axis != wi_xpath::Axis::Attribute {
+            score += params.no_predicate_penalty;
+        }
+    } else {
+        score += step
+            .predicates
+            .iter()
+            .map(|p| score_predicate(p, params))
+            .sum::<f64>();
+    }
+    score
+}
+
+fn score_node_test(step: &Step, params: &ScoringParams) -> f64 {
+    match &step.test {
+        NodeTest::AnyNode => params.nodetest_node,
+        NodeTest::AnyElement => params.nodetest_any_element,
+        NodeTest::Text => params.nodetest_text,
+        NodeTest::Tag(tag) => {
+            if step.axis == wi_xpath::Axis::Attribute {
+                // For attribute steps the "tag" is an attribute name; known
+                // semantic attributes keep their (cheap) score, anything else
+                // costs as much as an ordinary tag test rather than paying
+                // the unknown-attribute penalty designed for predicates.
+                params
+                    .attribute_scores
+                    .get(tag)
+                    .copied()
+                    .unwrap_or(params.tag_default)
+            } else {
+                params.tag_score(tag)
+            }
+        }
+    }
+}
+
+/// Scores a single predicate.
+pub fn score_predicate(pred: &Predicate, params: &ScoringParams) -> f64 {
+    match pred {
+        Predicate::Position(n) => params.positional_factor * f64::from(*n),
+        Predicate::LastOffset(n) => params.last_score + params.positional_factor * f64::from(*n),
+        Predicate::HasAttribute(name) => {
+            // score(p) = s_f(=0) + y + s_a + c_f·length(w)(=0)
+            params.no_function_penalty + params.attribute_score(name)
+        }
+        Predicate::StringCompare {
+            func,
+            source,
+            value,
+        } => {
+            let base = match source {
+                TextSource::Attribute(a) => params.attribute_score(a),
+                TextSource::NormalizedText => params.text_access_score,
+            };
+            params.function_score(*func) + base + params.length_factor * value.len() as f64
+        }
+        Predicate::Path(q) => {
+            // Nested path predicates are outside dsXPath; score them as the
+            // contained query so human wrappers can still be compared.
+            score_query(q, params)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_xpath::parse_query;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn paper_worked_example_scores_40() {
+        // Section 6.3: descendant::img[@class="adv"][1]
+        //   step base: s_descendant(1) + c_default(10)        = 11
+        //   [@class="adv"]: s_equals(1) + s_class(5) + 1·3    =  9
+        //   [1]: c_pos · 1                                     = 20
+        //   total                                              = 40
+        let params = ScoringParams::paper_defaults();
+        let query = q(r#"descendant::img[@class="adv"][1]"#);
+        assert_eq!(score_query(&query, &params), 40.0);
+    }
+
+    #[test]
+    fn decay_weights_later_steps_more() {
+        let params = ScoringParams::paper_defaults();
+        // Two structurally identical steps: the second is multiplied by 2.5.
+        let query = q(r#"descendant::div[@id="a"]/descendant::div[@id="a"]"#);
+        let single = score_query(&q(r#"descendant::div[@id="a"]"#), &params);
+        assert!((score_query(&query, &params) - single * 3.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn semantic_attributes_score_lower_than_positions() {
+        let params = ScoringParams::paper_defaults();
+        let by_id = score_query(&q(r#"descendant::div[@id="main"]"#), &params);
+        let by_class = score_query(&q(r#"descendant::div[@class="main"]"#), &params);
+        let by_pos = score_query(&q("descendant::div[3]"), &params);
+        let bare = score_query(&q("descendant::div"), &params);
+        assert!(by_id < by_class, "id must be preferred over class");
+        assert!(by_class < by_pos, "class must be preferred over position");
+        assert!(by_pos < bare, "anything beats a predicate-free step");
+    }
+
+    #[test]
+    fn shorter_queries_preferred_all_else_equal() {
+        let params = ScoringParams::paper_defaults();
+        let one = score_query(&q(r#"descendant::span[@itemprop="name"]"#), &params);
+        let two = score_query(
+            &q(r#"descendant::div[@id="main"]/descendant::span[@itemprop="name"]"#),
+            &params,
+        );
+        assert!(one < two);
+    }
+
+    #[test]
+    fn descendant_preferred_over_child() {
+        let params = ScoringParams::paper_defaults();
+        assert!(
+            score_query(&q(r#"descendant::div[@id="a"]"#), &params)
+                < score_query(&q(r#"child::div[@id="a"]"#), &params)
+        );
+    }
+
+    #[test]
+    fn no_predicate_penalty_applies_per_step() {
+        let params = ScoringParams::paper_defaults();
+        let with_pred = score_query(&q(r#"descendant::div[@id="a"]"#), &params);
+        let without = score_query(&q("descendant::div"), &params);
+        assert!(without - with_pred > 900.0);
+        // Attribute steps don't pay the penalty.
+        let attr_step = score_query(&q("descendant::a[@id=\"x\"]/@href"), &params);
+        assert!(attr_step < 200.0);
+    }
+
+    #[test]
+    fn existence_test_pays_no_function_penalty() {
+        let params = ScoringParams::paper_defaults();
+        let exist = score_query(&q("descendant::div[@id]"), &params);
+        let equal = score_query(&q(r#"descendant::div[@id="a"]"#), &params);
+        // [@id]   = 11 + 15 + 1      = 27
+        // [@id=a] = 11 + 1 + 1 + 1   = 14
+        assert_eq!(exist, 27.0);
+        assert_eq!(equal, 14.0);
+    }
+
+    #[test]
+    fn text_predicates_use_text_access_cost() {
+        let params = ScoringParams::paper_defaults();
+        let query = q(r#"descendant::div[starts-with(.,"Director:")]"#);
+        // 11 + (5 + 5 + 9) = 30
+        assert_eq!(score_query(&query, &params), 30.0);
+    }
+
+    #[test]
+    fn last_and_positional_scores() {
+        let params = ScoringParams::paper_defaults();
+        assert_eq!(
+            score_predicate(&Predicate::Position(3), &params),
+            60.0
+        );
+        assert_eq!(
+            score_predicate(&Predicate::LastOffset(0), &params),
+            20.0
+        );
+        assert_eq!(
+            score_predicate(&Predicate::LastOffset(2), &params),
+            60.0
+        );
+    }
+
+    #[test]
+    fn longer_strings_cost_more() {
+        let params = ScoringParams::paper_defaults();
+        let short = score_query(&q(r#"descendant::tr[contains(.,"News")]"#), &params);
+        let long = score_query(
+            &q(r#"descendant::tr[contains(.,"News and Latest Reviews")]"#),
+            &params,
+        );
+        assert!(short < long);
+        assert_eq!(long - short, ("News and Latest Reviews".len() - "News".len()) as f64);
+    }
+
+    #[test]
+    fn empty_query_scores_zero() {
+        let params = ScoringParams::paper_defaults();
+        assert_eq!(score_query(&Query::empty(), &params), 0.0);
+    }
+
+    #[test]
+    fn uniform_params_count_steps() {
+        let params = ScoringParams::uniform();
+        // Each step: axis 1 + test 1 = 2 (no penalties in uniform mode).
+        assert_eq!(score_query(&q("child::a/child::b/child::c"), &params), 6.0);
+    }
+
+    #[test]
+    fn monotone_in_added_predicates_and_steps() {
+        let params = ScoringParams::paper_defaults();
+        let base = q(r#"descendant::div[@id="a"]"#);
+        let more_preds = q(r#"descendant::div[@id="a"][2]"#);
+        assert!(score_query(&base, &params) < score_query(&more_preds, &params));
+        let more_steps = q(r#"descendant::div[@id="a"]/child::span[@class="b"]"#);
+        assert!(score_query(&base, &params) < score_query(&more_steps, &params));
+    }
+}

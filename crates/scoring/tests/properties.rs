@@ -1,0 +1,314 @@
+//! Property-based tests of the scoring framework: F-score algebra, the
+//! plus-compositional robustness score, the ranking order laws, and the
+//! calibration procedure.
+
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use wi_scoring::{
+    calibrate, f_beta, precision, rank_agreement, rank_order, recall, score_query,
+    CalibrationConfig, Counts, QueryInstance, ScoringParams, SurvivalObservation,
+};
+use wi_xpath::{parse_query, Axis, NodeTest, Predicate, Query, Step, StringFunction, TextSource};
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_counts() -> impl Strategy<Value = Counts> {
+    (0u32..40, 0u32..40, 0u32..40).prop_map(|(tp, fp, fne)| Counts::new(tp, fp, fne))
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (1u32..10).prop_map(Predicate::Position),
+        (0u32..4).prop_map(Predicate::LastOffset),
+        prop::sample::select(vec!["id", "class", "itemprop", "name", "href"])
+            .prop_map(|a| Predicate::HasAttribute(a.to_string())),
+        (
+            prop::sample::select(StringFunction::ALL.to_vec()),
+            prop::sample::select(vec!["id", "class", "itemprop"]),
+            "[a-z]{1,10}",
+        )
+            .prop_map(|(func, attr, value)| Predicate::StringCompare {
+                func,
+                source: TextSource::Attribute(attr.to_string()),
+                value,
+            }),
+        (
+            prop::sample::select(StringFunction::ALL.to_vec()),
+            "[A-Za-z ]{1,12}",
+        )
+            .prop_map(|(func, value)| Predicate::StringCompare {
+                func,
+                source: TextSource::NormalizedText,
+                value,
+            }),
+    ]
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    (
+        prop::sample::select(vec![
+            Axis::Child,
+            Axis::Descendant,
+            Axis::Parent,
+            Axis::Ancestor,
+            Axis::FollowingSibling,
+            Axis::PrecedingSibling,
+        ]),
+        prop::sample::select(vec!["div", "span", "li", "a", "input"]),
+        prop::collection::vec(arb_predicate(), 0..3),
+    )
+        .prop_map(|(axis, tag, predicates)| Step {
+            axis,
+            test: NodeTest::tag(tag),
+            predicates,
+        })
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop::collection::vec(arb_step(), 1..5).prop_map(Query::new)
+}
+
+fn arb_instance() -> impl Strategy<Value = QueryInstance> {
+    (arb_query(), arb_counts()).prop_map(|(query, counts)| {
+        QueryInstance::new(query, counts, &ScoringParams::paper_defaults())
+    })
+}
+
+// ---------------------------------------------------------------------------
+// F-score properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Precision, recall and Fβ are always within [0, 1].
+    #[test]
+    fn accuracy_measures_are_bounded(counts in arb_counts(), beta in 0.1f64..4.0) {
+        let p = precision(counts.tp, counts.fp);
+        let r = recall(counts.tp, counts.fne);
+        let f = f_beta(counts.tp, counts.fp, counts.fne, beta);
+        for value in [p, r, f] {
+            prop_assert!((0.0..=1.0).contains(&value), "out of range: {value}");
+        }
+        // Fβ lies between min and max of precision and recall.
+        if counts.tp > 0 {
+            prop_assert!(f >= p.min(r) - 1e-9);
+            prop_assert!(f <= p.max(r) + 1e-9);
+        }
+    }
+
+    /// A perfect result has precision = recall = Fβ = 1; adding false
+    /// positives strictly lowers precision and F0.5.
+    #[test]
+    fn false_positives_hurt_precision(tp in 1u32..40, fp in 1u32..40, beta in 0.1f64..4.0) {
+        let clean = Counts::new(tp, 0, 0);
+        prop_assert_eq!(clean.precision(), 1.0);
+        prop_assert_eq!(clean.recall(), 1.0);
+        prop_assert!((clean.f_beta(beta) - 1.0).abs() < 1e-12);
+        prop_assert!(clean.is_exact());
+
+        let noisy = Counts::new(tp, fp, 0);
+        prop_assert!(noisy.precision() < 1.0);
+        prop_assert!(noisy.f_05() < clean.f_05());
+        prop_assert!(!noisy.is_exact());
+    }
+
+    /// F0.5 weighs precision more than recall: with the same number of
+    /// errors, false positives hurt more than false negatives.
+    #[test]
+    fn f05_is_precision_biased(tp in 1u32..40, errors in 1u32..40) {
+        let with_fp = Counts::new(tp, errors, 0);
+        let with_fn = Counts::new(tp, 0, errors);
+        prop_assert!(with_fp.f_05() <= with_fn.f_05() + 1e-12);
+        // And the bias flips for β = 2 (recall-heavy).
+        prop_assert!(with_fp.f_beta(2.0) >= with_fn.f_beta(2.0) - 1e-12);
+    }
+
+    /// Count aggregation is componentwise addition.
+    #[test]
+    fn counts_add_componentwise(a in arb_counts(), b in arb_counts()) {
+        let sum = a.add(&b);
+        prop_assert_eq!(sum.tp, a.tp + b.tp);
+        prop_assert_eq!(sum.fp, a.fp + b.fp);
+        prop_assert_eq!(sum.fne, a.fne + b.fne);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Robustness score properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Scores are strictly positive for non-empty queries and zero for the
+    /// empty query.
+    #[test]
+    fn scores_are_positive(q in arb_query()) {
+        let params = ScoringParams::paper_defaults();
+        prop_assert!(score_query(&q, &params) > 0.0);
+        prop_assert_eq!(score_query(&Query::empty(), &params), 0.0);
+    }
+
+    /// Plus-composability: the score of a concatenation decomposes into the
+    /// head's score plus the decayed tail score, `score(q1/q2) = score(q1) +
+    /// δ^{|q1|} · score(q2)`.
+    #[test]
+    fn score_is_plus_compositional(head in arb_query(), tail in arb_query()) {
+        let params = ScoringParams::paper_defaults();
+        let mut concatenated = head.clone();
+        concatenated.steps.extend(tail.steps.iter().cloned());
+        let expected = score_query(&head, &params)
+            + params.decay.powi(head.steps.len() as i32) * score_query(&tail, &params);
+        let actual = score_query(&concatenated, &params);
+        prop_assert!(
+            (actual - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "score({}) = {actual}, expected {expected}",
+            concatenated
+        );
+    }
+
+    /// Appending a step never decreases the score (monotonicity in length).
+    #[test]
+    fn appending_steps_never_decreases_the_score(q in arb_query(), extra in arb_step()) {
+        let params = ScoringParams::paper_defaults();
+        let base = score_query(&q, &params);
+        let mut longer = q.clone();
+        longer.steps.push(extra);
+        prop_assert!(score_query(&longer, &params) >= base - 1e-9);
+    }
+
+    /// Under uniform parameters with decay 1 the score of a predicate-free
+    /// query is proportional to its length.
+    #[test]
+    fn uniform_scoring_counts_steps(steps in prop::collection::vec(
+        prop::sample::select(vec![Axis::Child, Axis::Descendant]),
+        1..6,
+    )) {
+        let params = ScoringParams::uniform();
+        let query = Query::new(
+            steps
+                .iter()
+                .map(|&axis| Step::new(axis, NodeTest::tag("div")))
+                .collect(),
+        );
+        // axis (1) + tag (1) per step, no penalties under uniform params.
+        let expected = 2.0 * steps.len() as f64;
+        prop_assert!((score_query(&query, &params) - expected).abs() < 1e-9);
+    }
+
+    /// The cached score on a query instance matches `score_query`.
+    #[test]
+    fn instances_cache_the_score(instance in arb_instance()) {
+        let params = ScoringParams::paper_defaults();
+        prop_assert_eq!(instance.score, score_query(&instance.query, &params));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranking order laws
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The ranking order is antisymmetric and reflexively equal.
+    #[test]
+    fn rank_order_is_antisymmetric(a in arb_instance(), b in arb_instance()) {
+        prop_assert_eq!(rank_order(&a, &a), Ordering::Equal);
+        prop_assert_eq!(rank_order(&b, &b), Ordering::Equal);
+        prop_assert_eq!(rank_order(&a, &b), rank_order(&b, &a).reverse());
+    }
+
+    /// The ranking order is transitive (checked on random triples).
+    #[test]
+    fn rank_order_is_transitive(a in arb_instance(), b in arb_instance(), c in arb_instance()) {
+        let ab = rank_order(&a, &b);
+        let bc = rank_order(&b, &c);
+        if ab == bc || bc == Ordering::Equal {
+            prop_assert_eq!(rank_order(&a, &c), ab);
+        } else if ab == Ordering::Equal {
+            prop_assert_eq!(rank_order(&a, &c), bc);
+        }
+    }
+
+    /// Accuracy dominates: an instance with strictly higher F0.5 always ranks
+    /// strictly better, regardless of the robustness score.
+    #[test]
+    fn higher_accuracy_always_ranks_better(a in arb_instance(), b in arb_instance()) {
+        if a.f05() > b.f05() {
+            prop_assert_eq!(rank_order(&a, &b), Ordering::Less);
+        } else if a.f05() < b.f05() {
+            prop_assert_eq!(rank_order(&a, &b), Ordering::Greater);
+        }
+    }
+
+    /// With equal accuracy, the cheaper (more robust) expression wins.
+    #[test]
+    fn cheaper_expressions_win_ties(q1 in arb_query(), q2 in arb_query(), counts in arb_counts()) {
+        let params = ScoringParams::paper_defaults();
+        let a = QueryInstance::new(q1, counts, &params);
+        let b = QueryInstance::new(q2, counts, &params);
+        if a.score < b.score {
+            prop_assert_eq!(rank_order(&a, &b), Ordering::Less);
+        } else if a.score > b.score {
+            prop_assert_eq!(rank_order(&a, &b), Ordering::Greater);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Calibration properties
+// ---------------------------------------------------------------------------
+
+fn arb_corpus() -> impl Strategy<Value = Vec<SurvivalObservation>> {
+    let expressions = vec![
+        r#"descendant::div[@id="main"]"#,
+        r#"descendant::div[@class="content"]/descendant::a"#,
+        r#"descendant::span[@itemprop="name"]"#,
+        "descendant::div[3]/child::span[2]",
+        r#"descendant::input[@name="q"]"#,
+        r#"descendant::h1[contains(.,"Top")]"#,
+        "descendant::li[last()]",
+    ];
+    prop::collection::vec(
+        (prop::sample::select(expressions), 0.0f64..2000.0),
+        2..10,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(expr, days)| SurvivalObservation::new(parse_query(expr).unwrap(), days))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Rank agreement is a proper fraction and calibration never lowers it.
+    #[test]
+    fn calibration_never_hurts(corpus in arb_corpus()) {
+        let base = ScoringParams::paper_defaults();
+        let initial = rank_agreement(&corpus, &base);
+        prop_assert!((0.0..=1.0).contains(&initial));
+        let config = CalibrationConfig { multipliers: vec![0.2, 0.5, 2.0, 5.0], passes: 1 };
+        let result = calibrate(&corpus, base, &config);
+        prop_assert!((0.0..=1.0).contains(&result.final_agreement));
+        prop_assert!(result.final_agreement >= result.initial_agreement - 1e-12);
+        prop_assert!((result.initial_agreement - initial).abs() < 1e-12);
+        prop_assert!(result.improvement() >= -1e-12);
+    }
+
+    /// Rank agreement is invariant under reordering of the corpus.
+    #[test]
+    fn rank_agreement_is_permutation_invariant(corpus in arb_corpus()) {
+        let params = ScoringParams::paper_defaults();
+        let forward = rank_agreement(&corpus, &params);
+        let mut reversed = corpus.clone();
+        reversed.reverse();
+        let backward = rank_agreement(&reversed, &params);
+        prop_assert!((forward - backward).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,295 @@
+//! A simulated named-entity recogniser (the paper uses the Stanford NER).
+//!
+//! Section 6.4 of the paper annotates product-listing pages with a real NER
+//! and uses the (noisy) annotations as induction input: on average the
+//! annotations carry 32 % negative and 28 % positive noise, with structural
+//! positive noise (e.g. an author list in a sidebar facet) being the
+//! dangerous kind.  This module reproduces that setting: it "recognises"
+//! entity mentions on a rendered listing page, missing some true mentions
+//! and hallucinating others — with the same structural bias.
+
+use crate::noise::noise_stats;
+use crate::site::{PageKind, PageView, Site};
+use crate::tasks::TargetRole;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use wi_dom::{Document, NodeId};
+
+/// The entity types the simulated recogniser supports (the paper uses date,
+/// person, location, organisation and money).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EntityKind {
+    /// Person names.
+    Person,
+    /// Monetary amounts.
+    Money,
+    /// Dates.
+    Date,
+    /// Locations.
+    Location,
+    /// Organisations.
+    Organisation,
+}
+
+impl EntityKind {
+    /// All supported entity kinds.
+    pub const ALL: &'static [EntityKind] = &[
+        EntityKind::Person,
+        EntityKind::Money,
+        EntityKind::Date,
+        EntityKind::Location,
+        EntityKind::Organisation,
+    ];
+
+    /// The list-column role whose nodes carry this entity on a listing page.
+    pub fn list_role(self) -> TargetRole {
+        match self {
+            EntityKind::Person => TargetRole::ListPersons,
+            EntityKind::Money => TargetRole::ListPrices,
+            // Dates, locations and organisations are carried by the same
+            // item rows; we use the date column as their anchor nodes.
+            EntityKind::Date | EntityKind::Location | EntityKind::Organisation => {
+                TargetRole::ListPersons
+            }
+        }
+    }
+}
+
+/// Error behaviour of the simulated recogniser.
+#[derive(Debug, Clone)]
+pub struct NerConfig {
+    /// Mean probability of missing a true entity mention (negative noise).
+    pub miss_rate: f64,
+    /// Mean number of spurious annotations, as a fraction of the true count.
+    pub spurious_rate: f64,
+    /// Fraction of the spurious annotations that are *structural* (taken
+    /// from a sidebar facet or another coherent list) rather than random.
+    pub structural_share: f64,
+}
+
+impl Default for NerConfig {
+    fn default() -> Self {
+        // Calibrated so the dataset-level averages land near the paper's
+        // observed 32 % negative / 28 % positive noise.
+        NerConfig {
+            miss_rate: 0.32,
+            spurious_rate: 0.28,
+            structural_share: 0.6,
+        }
+    }
+}
+
+/// The result of running the simulated NER over one page.
+#[derive(Debug, Clone)]
+pub struct NerAnnotation {
+    /// The entity kind that was recognised.
+    pub kind: EntityKind,
+    /// The annotated DOM nodes (the induction input).
+    pub annotated: Vec<NodeId>,
+    /// The true entity nodes (the evaluation reference).
+    pub truth: Vec<NodeId>,
+    /// Negative noise of `annotated` w.r.t. `truth`.
+    pub negative_noise: f64,
+    /// Positive noise of `annotated` w.r.t. `truth`.
+    pub positive_noise: f64,
+}
+
+/// Runs the simulated recogniser for one entity kind over a rendered listing
+/// page.
+pub fn run_ner(
+    doc: &Document,
+    view: &PageView,
+    kind: EntityKind,
+    config: &NerConfig,
+    seed: u64,
+) -> NerAnnotation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let truth = true_entity_nodes(doc, view, kind);
+
+    // Per-page rates vary widely around the configured means (the paper
+    // reports 0–67 % negative and 0–145 % positive noise).
+    let miss_rate = (config.miss_rate * rng.random_range(0.3..2.0)).clamp(0.0, 0.9);
+    let spurious_rate = (config.spurious_rate * rng.random_range(0.2..2.5)).clamp(0.0, 1.6);
+
+    let mut annotated: Vec<NodeId> = truth
+        .iter()
+        .copied()
+        .filter(|_| !rng.random_bool(miss_rate))
+        .collect();
+    if annotated.is_empty() && !truth.is_empty() {
+        annotated.push(truth[0]);
+    }
+
+    let spurious_count = ((truth.len() as f64) * spurious_rate).round() as usize;
+    let structural_count =
+        ((spurious_count as f64) * config.structural_share).round() as usize;
+    let random_count = spurious_count.saturating_sub(structural_count);
+
+    let mut structural_pool = structural_noise_pool(doc, view, kind);
+    structural_pool.retain(|n| !truth.contains(n));
+    structural_pool.shuffle(&mut rng);
+    annotated.extend(structural_pool.into_iter().take(structural_count));
+
+    let mut random_pool: Vec<NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_element(n))
+        .filter(|&n| doc.element_children(n).next().is_none())
+        .filter(|&n| !truth.contains(&n))
+        .filter(|&n| !doc.normalized_text(n).is_empty())
+        .collect();
+    random_pool.shuffle(&mut rng);
+    annotated.extend(random_pool.into_iter().take(random_count));
+
+    let mut annotated_sorted = annotated;
+    doc.sort_document_order(&mut annotated_sorted);
+    let stats = noise_stats(&truth, &annotated_sorted);
+    NerAnnotation {
+        kind,
+        annotated: annotated_sorted,
+        truth,
+        negative_noise: stats.negative,
+        positive_noise: stats.positive,
+    }
+}
+
+/// The nodes that truly carry mentions of the entity kind on a listing page.
+pub fn true_entity_nodes(doc: &Document, view: &PageView, kind: EntityKind) -> Vec<NodeId> {
+    let values: Vec<String> = view
+        .data
+        .list_items
+        .iter()
+        .take(view.shown_items)
+        .map(|item| match kind {
+            EntityKind::Person => item.person.clone(),
+            EntityKind::Money => item.price.clone(),
+            EntityKind::Date => item.date.clone(),
+            EntityKind::Location => item.title.clone(),
+            EntityKind::Organisation => item.title.clone(),
+        })
+        .collect();
+    innermost(doc, &values)
+}
+
+/// Where structural false positives come from: the sidebar facet for person
+/// entities (the paper's waterstones.com failure case), price-like template
+/// nodes for money, date fields for dates.
+fn structural_noise_pool(doc: &Document, view: &PageView, kind: EntityKind) -> Vec<NodeId> {
+    match kind {
+        EntityKind::Person => {
+            // Sidebar refinement list entries.
+            innermost(doc, &view.data.secondary_people)
+        }
+        EntityKind::Money => innermost(doc, &[view.data.price.clone()]),
+        EntityKind::Date => innermost(doc, &[view.data.date.clone()]),
+        EntityKind::Location | EntityKind::Organisation => {
+            innermost(doc, &view.data.related)
+        }
+    }
+}
+
+fn innermost(doc: &Document, values: &[impl AsRef<str>]) -> Vec<NodeId> {
+    let set: std::collections::HashSet<&str> = values.iter().map(|v| v.as_ref()).collect();
+    let matches: Vec<NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_element(n))
+        .filter(|&n| set.contains(doc.normalized_text(n).as_str()))
+        .collect();
+    let match_set: std::collections::HashSet<NodeId> = matches.iter().copied().collect();
+    matches
+        .into_iter()
+        .filter(|&n| !doc.descendants(n).any(|d| match_set.contains(&d)))
+        .collect()
+}
+
+/// Convenience: renders a shopping listing page and runs the NER on it.
+pub fn annotate_listing_page(
+    site: &Site,
+    page_index: u64,
+    kind: EntityKind,
+    config: &NerConfig,
+    seed: u64,
+) -> (Document, NerAnnotation) {
+    let view = site.page_view(page_index, crate::date::Day(0), PageKind::Listing);
+    let doc = site.render_view(&view);
+    let annotation = run_ner(&doc, &view, kind, config, seed);
+    (doc, annotation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::style::Vertical;
+
+    #[test]
+    fn truth_nodes_exist_for_each_kind() {
+        let site = Site::new(Vertical::Shopping, 0);
+        let view = site.page_view(0, crate::date::Day(0), PageKind::Listing);
+        let doc = site.render_view(&view);
+        for &kind in EntityKind::ALL {
+            let truth = true_entity_nodes(&doc, &view, kind);
+            assert!(!truth.is_empty(), "no truth nodes for {kind:?}");
+        }
+    }
+
+    #[test]
+    fn ner_produces_noise_in_expected_ranges() {
+        let config = NerConfig::default();
+        let mut neg_sum = 0.0;
+        let mut pos_sum = 0.0;
+        let mut count = 0;
+        for page in 0..10 {
+            let site = Site::new(Vertical::Shopping, page);
+            let (_, ann) = annotate_listing_page(&site, page, EntityKind::Person, &config, page);
+            assert!(!ann.annotated.is_empty());
+            assert!(ann.negative_noise >= 0.0 && ann.negative_noise <= 0.95);
+            assert!(ann.positive_noise >= 0.0 && ann.positive_noise <= 1.6);
+            neg_sum += ann.negative_noise;
+            pos_sum += ann.positive_noise;
+            count += 1;
+        }
+        let neg_avg = neg_sum / f64::from(count);
+        let pos_avg = pos_sum / f64::from(count);
+        // Averages should land in the vicinity of the paper's 32 % / 28 %.
+        assert!((0.05..=0.6).contains(&neg_avg), "neg avg {neg_avg}");
+        assert!((0.05..=0.7).contains(&pos_avg), "pos avg {pos_avg}");
+    }
+
+    #[test]
+    fn ner_is_deterministic() {
+        let site = Site::new(Vertical::Shopping, 3);
+        let config = NerConfig::default();
+        let (_, a) = annotate_listing_page(&site, 0, EntityKind::Money, &config, 42);
+        let (_, b) = annotate_listing_page(&site, 0, EntityKind::Money, &config, 42);
+        assert_eq!(a.annotated, b.annotated);
+        let (_, c) = annotate_listing_page(&site, 0, EntityKind::Money, &config, 43);
+        // Different seeds give (almost always) different annotations.
+        assert!(a.annotated != c.annotated || a.truth == c.truth);
+    }
+
+    #[test]
+    fn structural_noise_prefers_sidebar_for_persons() {
+        let site = Site::new(Vertical::Shopping, 1);
+        let view = site.page_view(0, crate::date::Day(0), PageKind::Listing);
+        let doc = site.render_view(&view);
+        let pool = structural_noise_pool(&doc, &view, EntityKind::Person);
+        assert!(!pool.is_empty());
+        // All pool nodes carry sidebar person names.
+        for n in pool {
+            let text = doc.normalized_text(n);
+            assert!(view.data.secondary_people.contains(&text));
+        }
+    }
+
+    #[test]
+    fn annotation_never_empty_when_truth_exists() {
+        let config = NerConfig {
+            miss_rate: 0.9,
+            spurious_rate: 0.0,
+            structural_share: 0.0,
+        };
+        let site = Site::new(Vertical::Shopping, 5);
+        let (_, ann) = annotate_listing_page(&site, 0, EntityKind::Person, &config, 7);
+        assert!(!ann.annotated.is_empty());
+    }
+}

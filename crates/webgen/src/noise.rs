@@ -1,0 +1,308 @@
+//! Synthetic annotation noise (Section 6.4 of the paper).
+//!
+//! Four noise models are applied to a sample's target set:
+//!
+//! * **N1 — negative random**: a fraction of the targets is dropped.
+//! * **N2 — negative mid-random**: as N1, but the first and last target (in
+//!   document order) are never dropped.
+//! * **N3 — positive structured**: nodes that are structurally related to
+//!   the targets (same tag elsewhere on the page) are added.
+//! * **N4 — positive random**: random leaf elements from anywhere on the
+//!   page are added.
+//!
+//! All draws are deterministic given the provided RNG.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use wi_dom::{Document, NodeId};
+
+/// The four noise models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseKind {
+    /// N1 — negative random noise.
+    NegativeRandom,
+    /// N2 — negative mid-random noise (first and last targets kept).
+    NegativeMidRandom,
+    /// N3 — positive structured noise.
+    PositiveStructured,
+    /// N4 — positive random noise.
+    PositiveRandom,
+}
+
+impl NoiseKind {
+    /// All noise kinds, in the paper's order.
+    pub const ALL: &'static [NoiseKind] = &[
+        NoiseKind::NegativeRandom,
+        NoiseKind::NegativeMidRandom,
+        NoiseKind::PositiveStructured,
+        NoiseKind::PositiveRandom,
+    ];
+
+    /// A short label used in reports ("N1" … "N4").
+    pub fn label(self) -> &'static str {
+        match self {
+            NoiseKind::NegativeRandom => "N1 negative random",
+            NoiseKind::NegativeMidRandom => "N2 negative mid-random",
+            NoiseKind::PositiveStructured => "N3 positive structured",
+            NoiseKind::PositiveRandom => "N4 positive random",
+        }
+    }
+
+    /// Whether the noise removes targets (negative) or adds spurious ones.
+    pub fn is_negative(self) -> bool {
+        matches!(self, NoiseKind::NegativeRandom | NoiseKind::NegativeMidRandom)
+    }
+}
+
+/// Applies a noise model to a target set at the given intensity (fraction of
+/// the target-set size) and returns the noisy target set, in document order.
+pub fn apply_noise(
+    doc: &Document,
+    targets: &[NodeId],
+    kind: NoiseKind,
+    intensity: f64,
+    seed: u64,
+) -> Vec<NodeId> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sorted: Vec<NodeId> = targets.to_vec();
+    let mut sorted_clone = sorted.clone();
+    doc.sort_document_order(&mut sorted_clone);
+    sorted = sorted_clone;
+    let count = ((targets.len() as f64) * intensity).round() as usize;
+    let mut noisy = match kind {
+        NoiseKind::NegativeRandom => negative_random(&sorted, count, &mut rng, false),
+        NoiseKind::NegativeMidRandom => negative_random(&sorted, count, &mut rng, true),
+        NoiseKind::PositiveStructured => {
+            let mut v = sorted.clone();
+            v.extend(positive_structured(doc, &sorted, count, &mut rng));
+            v
+        }
+        NoiseKind::PositiveRandom => {
+            let mut v = sorted.clone();
+            v.extend(positive_random(doc, &sorted, count, &mut rng));
+            v
+        }
+    };
+    doc.sort_document_order(&mut noisy);
+    noisy
+}
+
+fn negative_random(
+    targets: &[NodeId],
+    count: usize,
+    rng: &mut StdRng,
+    keep_ends: bool,
+) -> Vec<NodeId> {
+    if targets.len() <= 1 {
+        return targets.to_vec();
+    }
+    let removable: Vec<usize> = if keep_ends {
+        (1..targets.len() - 1).collect()
+    } else {
+        (0..targets.len()).collect()
+    };
+    let max_removable = if keep_ends {
+        removable.len()
+    } else {
+        // Never remove every annotation: an empty sample is not a sample.
+        targets.len() - 1
+    };
+    let count = count.min(max_removable);
+    let mut indices = removable;
+    indices.shuffle(rng);
+    let drop: std::collections::HashSet<usize> = indices.into_iter().take(count).collect();
+    targets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| !drop.contains(i))
+        .map(|(_, &n)| n)
+        .collect()
+}
+
+/// Nodes that are structurally related to the targets: same tag name,
+/// element nodes, not already targets.  This mirrors the paper's "random
+/// nodes chosen from a node set which is structurally related (via an XPath
+/// expression) to the target nodes".
+pub fn structurally_related(doc: &Document, targets: &[NodeId]) -> Vec<NodeId> {
+    let target_set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let tags: std::collections::HashSet<&str> = targets
+        .iter()
+        .filter_map(|&t| doc.tag_name(t))
+        .collect();
+    doc.descendants(doc.root())
+        .filter(|&n| doc.is_element(n))
+        .filter(|&n| !target_set.contains(&n))
+        .filter(|&n| doc.tag_name(n).map_or(false, |t| tags.contains(t)))
+        .collect()
+}
+
+fn positive_structured(
+    doc: &Document,
+    targets: &[NodeId],
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let mut pool = structurally_related(doc, targets);
+    pool.shuffle(rng);
+    pool.truncate(count);
+    pool
+}
+
+fn positive_random(
+    doc: &Document,
+    targets: &[NodeId],
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<NodeId> {
+    let target_set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
+    let mut pool: Vec<NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_element(n))
+        .filter(|&n| doc.element_children(n).next().is_none())
+        .filter(|&n| !target_set.contains(&n))
+        .collect();
+    pool.shuffle(rng);
+    pool.truncate(count);
+    pool
+}
+
+/// Measured noise levels of a noisy annotation set relative to the truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseStats {
+    /// Fraction of true targets missing from the annotation.
+    pub negative: f64,
+    /// Spurious annotations as a fraction of the true target count.
+    pub positive: f64,
+}
+
+/// Computes the noise statistics of an annotation set against the truth.
+pub fn noise_stats(truth: &[NodeId], annotated: &[NodeId]) -> NoiseStats {
+    let truth_set: std::collections::HashSet<NodeId> = truth.iter().copied().collect();
+    let annotated_set: std::collections::HashSet<NodeId> = annotated.iter().copied().collect();
+    let missing = truth_set.difference(&annotated_set).count();
+    let spurious = annotated_set.difference(&truth_set).count();
+    let denom = truth.len().max(1) as f64;
+    NoiseStats {
+        negative: missing as f64 / denom,
+        positive: spurious as f64 / denom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::parse_html;
+
+    fn list_doc() -> (Document, Vec<NodeId>) {
+        let doc = parse_html(
+            r#"<body><div id="other"><span>x</span><span>y</span></div>
+               <ul id="l">
+                 <li>a</li><li>b</li><li>c</li><li>d</li><li>e</li><li>f</li>
+                 <li>g</li><li>h</li><li>i</li><li>j</li>
+               </ul></body>"#,
+        )
+        .unwrap();
+        let targets = doc.elements_by_tag("li");
+        (doc, targets)
+    }
+
+    #[test]
+    fn negative_random_removes_requested_fraction() {
+        let (doc, targets) = list_doc();
+        let noisy = apply_noise(&doc, &targets, NoiseKind::NegativeRandom, 0.3, 1);
+        assert_eq!(noisy.len(), 7);
+        assert!(noisy.iter().all(|n| targets.contains(n)));
+    }
+
+    #[test]
+    fn negative_never_empties_the_sample() {
+        let (doc, targets) = list_doc();
+        let noisy = apply_noise(&doc, &targets, NoiseKind::NegativeRandom, 1.0, 2);
+        assert!(!noisy.is_empty());
+        let single = vec![targets[0]];
+        let noisy = apply_noise(&doc, &single, NoiseKind::NegativeRandom, 0.9, 3);
+        assert_eq!(noisy, single);
+    }
+
+    #[test]
+    fn mid_random_keeps_first_and_last() {
+        let (doc, targets) = list_doc();
+        for seed in 0..10 {
+            let noisy = apply_noise(&doc, &targets, NoiseKind::NegativeMidRandom, 0.5, seed);
+            assert!(noisy.contains(&targets[0]));
+            assert!(noisy.contains(targets.last().unwrap()));
+            assert_eq!(noisy.len(), 5);
+        }
+    }
+
+    #[test]
+    fn positive_structured_adds_same_tag_nodes() {
+        let doc = parse_html(
+            r#"<body><ul><li class="t">a</li><li class="t">b</li></ul>
+               <ol><li>x</li><li>y</li><li>z</li></ol>
+               <div><span>not related</span></div></body>"#,
+        )
+        .unwrap();
+        let targets = doc.elements_by_class("t");
+        let noisy = apply_noise(&doc, &targets, NoiseKind::PositiveStructured, 1.0, 5);
+        assert_eq!(noisy.len(), 4);
+        let added: Vec<NodeId> = noisy
+            .iter()
+            .copied()
+            .filter(|n| !targets.contains(n))
+            .collect();
+        assert!(added.iter().all(|&n| doc.tag_name(n) == Some("li")));
+    }
+
+    #[test]
+    fn positive_random_adds_leaf_elements() {
+        let (doc, targets) = list_doc();
+        let noisy = apply_noise(&doc, &targets, NoiseKind::PositiveRandom, 0.2, 7);
+        assert_eq!(noisy.len(), 12);
+        for n in &noisy {
+            if !targets.contains(n) {
+                assert!(doc.element_children(*n).next().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let (doc, targets) = list_doc();
+        let a = apply_noise(&doc, &targets, NoiseKind::NegativeRandom, 0.5, 11);
+        let b = apply_noise(&doc, &targets, NoiseKind::NegativeRandom, 0.5, 11);
+        assert_eq!(a, b);
+        let c = apply_noise(&doc, &targets, NoiseKind::NegativeRandom, 0.5, 12);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_intensity_is_identity() {
+        let (doc, targets) = list_doc();
+        for &kind in NoiseKind::ALL {
+            let noisy = apply_noise(&doc, &targets, kind, 0.0, 1);
+            assert_eq!(noisy, targets, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn stats_computation() {
+        let (_, targets) = list_doc();
+        let annotated: Vec<NodeId> = targets[..5].to_vec();
+        let stats = noise_stats(&targets, &annotated);
+        assert!((stats.negative - 0.5).abs() < 1e-9);
+        assert_eq!(stats.positive, 0.0);
+        let stats = noise_stats(&targets[..5], &targets);
+        assert_eq!(stats.negative, 0.0);
+        assert!((stats.positive - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_and_flags() {
+        assert!(NoiseKind::NegativeRandom.is_negative());
+        assert!(!NoiseKind::PositiveRandom.is_negative());
+        assert_eq!(NoiseKind::ALL.len(), 4);
+        assert!(NoiseKind::PositiveStructured.label().contains("N3"));
+    }
+}

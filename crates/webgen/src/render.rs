@@ -1,0 +1,760 @@
+//! Rendering of synthetic pages: template + epoch + data → DOM.
+//!
+//! The rendered markup deliberately exhibits the idioms the paper's wrappers
+//! exploit: semantic `id`/`class` attributes on containers, optional
+//! Microdata (`itemprop`), template labels such as `Director:` next to the
+//! data values, item lists with a header element and surrounding adverts,
+//! a search form, pagination links, navigation chrome, and a varying amount
+//! of boilerplate (promos, ads) that shifts positional indices over time.
+
+use crate::data::{ListItem, PageData};
+use crate::epoch::{BlockKind, Epoch, SemanticName};
+use crate::style::{LabelStyle, ListKind, SiteStyle, Vertical};
+use wi_dom::{el, text, Document, TreeSpec};
+
+/// Which page of a site is rendered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageKind {
+    /// An entity detail page (movie, hotel, product, article).
+    Detail,
+    /// A listing / search-results page (larger main list, no article body).
+    Listing,
+}
+
+/// Everything the renderer needs for one page.
+#[derive(Debug, Clone)]
+pub struct RenderInput<'a> {
+    /// The site's structural style.
+    pub style: &'a SiteStyle,
+    /// The site's vertical.
+    pub vertical: Vertical,
+    /// The evolution state at the rendered date.
+    pub epoch: &'a Epoch,
+    /// The page's data.
+    pub data: &'a PageData,
+    /// The kind of page.
+    pub kind: PageKind,
+    /// How many list items are shown (list-length evolution applied).
+    pub shown_items: usize,
+}
+
+impl<'a> RenderInput<'a> {
+    fn sem(&self, name: SemanticName, default: &str) -> String {
+        self.epoch.semantic(name, default)
+    }
+
+    /// A prefixed class name, re-namespaced after a site-wide redesign (a
+    /// redesign renames essentially every styling class of the site, which is
+    /// the paper's break group (b): both human and induced wrappers fail at
+    /// the same time).
+    fn c(&self, suffix: &str) -> String {
+        let base = self.style.cls(suffix);
+        if self.epoch.redesign_level > 0 {
+            format!("{}-v{}", base, self.epoch.redesign_level + 1)
+        } else {
+            base
+        }
+    }
+
+    fn header_label_for_list(&self) -> &'static str {
+        match (self.vertical, self.kind) {
+            (Vertical::News, _) => "Latest News",
+            (Vertical::Movies | Vertical::Video, _) => "Cast",
+            (Vertical::Travel, _) => "Offers:",
+            (Vertical::Sports, _) => "Results",
+            (Vertical::Finance, _) => "Top Movers",
+            (_, PageKind::Listing) => "Results",
+            _ => "Highlights",
+        }
+    }
+}
+
+/// Renders a full page.
+pub fn render_page(input: &RenderInput<'_>) -> Document {
+    let style = input.style;
+    let epoch = input.epoch;
+
+    let mut body_children: Vec<TreeSpec> = Vec::new();
+    body_children.push(render_header(input));
+
+    // Promo / banner blocks inserted before the content over time: these are
+    // the classic cause of canonical-path breaks.
+    for i in 0..epoch.promo_blocks {
+        body_children.push(
+            el("div")
+                .attr("class", input.c("promo"))
+                .child(
+                    el("a").attr("href", format!("/promo/{i}")).child(
+                        el("img")
+                            .attr("class", "banner")
+                            .attr("src", format!("/img/banner{i}.png")),
+                    ),
+                ),
+        );
+    }
+
+    // Main content column + sidebar, wrapped in the site's decorative
+    // wrapper depth (redesigns add one more level).
+    let main = render_main_content(input);
+    let sidebar = render_sidebar(input);
+    let total_wrappers = style.wrapper_depth + epoch.redesign_level as usize;
+    let mut columns = el("div")
+        .attr("class", input.c("columns"))
+        .child(main)
+        .child(sidebar);
+    for depth in (0..total_wrappers).rev() {
+        columns = el("div")
+            .attr("class", format!("{}-{}", input.c("wrap"), depth))
+            .child(columns);
+    }
+    body_children.push(columns);
+
+    body_children.push(render_footer(input));
+
+    el("html")
+        .child(
+            el("head")
+                .child(el("title").child(text(input.data.entity_title.clone())))
+                .child(
+                    el("meta")
+                        .attr("name", "description")
+                        .attr("content", input.data.paragraphs[0].clone()),
+                ),
+        )
+        .child(el("body").attr("class", input.c("page")).children(body_children))
+        .into_document()
+}
+
+fn render_header(input: &RenderInput<'_>) -> TreeSpec {
+    let style = input.style;
+    let epoch = input.epoch;
+    let mut header = el("div")
+        .attr("id", style.header_id.clone())
+        .attr("class", input.c("header"));
+
+    header = header.child(
+        el("a").attr("href", "/").attr("class", input.c("logo-link")).child(
+            el("img")
+                .attr("class", "logo")
+                .attr("id", "logo")
+                .attr("src", "/img/logo.png")
+                .attr("alt", "logo"),
+        ),
+    );
+
+    if style.has_search && epoch.has_block(BlockKind::SearchForm) {
+        header = header.child(
+            el("form")
+                .attr("action", "/search")
+                .attr("id", "searchForm")
+                .attr("class", input.c("search"))
+                .child(
+                    el("input")
+                        .attr("type", "text")
+                        .attr("name", "q")
+                        .attr("placeholder", "Search"),
+                )
+                .child(
+                    el("input")
+                        .attr("type", "submit")
+                        .attr("value", "Go"),
+                ),
+        );
+    }
+
+    let nav_count = (style.nav_items as i32 + epoch.nav_delta).clamp(2, 12) as usize;
+    let sections = [
+        "Home", "World", "Business", "Technology", "Science", "Health", "Sports", "Arts",
+        "Style", "Travel", "Video", "Archive",
+    ];
+    let mut nav = el("ul").attr("class", input.c("nav"));
+    for section in sections.iter().take(nav_count) {
+        nav = nav.child(
+            el("li").attr("class", input.c("nav-item")).child(
+                el("a")
+                    .attr("href", format!("/{}", section.to_lowercase()))
+                    .child(text(*section)),
+            ),
+        );
+    }
+    header.child(nav)
+}
+
+fn render_main_content(input: &RenderInput<'_>) -> TreeSpec {
+    let style = input.style;
+    let epoch = input.epoch;
+    let data = input.data;
+
+    let container_id = input.sem(SemanticName::ContainerId, &style.container_id);
+    let versioned = input.sem(SemanticName::VersionedClass, &style.versioned_class);
+
+    let mut main = el("div")
+        .attr("id", container_id)
+        .attr("class", input.c("content"));
+
+    // Headline.
+    let mut h1 = el("h1").attr("class", versioned);
+    if style.uses_microdata {
+        h1 = h1.attr("itemprop", "name");
+    }
+    main = main.child(h1.child(text(data.entity_title.clone())));
+
+    // Meta row: rating, date, price.
+    main = main.child(
+        el("div")
+            .attr("class", input.c("meta"))
+            .child(
+                el("span")
+                    .attr("class", input.c("rating"))
+                    .child(text(data.rating.clone())),
+            )
+            .child(
+                el("span")
+                    .attr("class", input.c("date"))
+                    .child(text(data.date.clone())),
+            )
+            .child(
+                el("span")
+                    .attr("class", input.c("price"))
+                    .attr("itemprop", if style.uses_microdata { "price" } else { "p" })
+                    .child(text(data.price.clone())),
+            ),
+    );
+
+    // Label–value field rows; the first row is the "primary field" block.
+    if input.kind == PageKind::Detail {
+        for (i, (label, value)) in data.fields.iter().enumerate() {
+            if i == 0 && !epoch.has_block(BlockKind::PrimaryField) {
+                continue;
+            }
+            main = main.child(render_field_row(input, label, value, i));
+        }
+
+        // Secondary people row ("Stars: …").
+        if epoch.has_block(BlockKind::PeopleRow) {
+            let mut row = el("div")
+                .attr("class", input.sem(SemanticName::BlockClass, &input.c("block")));
+            row = row.child(
+                el("h4")
+                    .attr("class", input.sem(SemanticName::LabelClass, "inline"))
+                    .child(text("Stars:")),
+            );
+            for person in &data.secondary_people {
+                let mut span = el("span")
+                    .attr("class", input.sem(SemanticName::ValueClass, "itemprop"));
+                if style.uses_microdata {
+                    span = span.attr("itemprop", "name");
+                }
+                row = row.child(
+                    el("a")
+                        .attr("href", format!("/person/{}", slug(person)))
+                        .child(span.child(text(person.clone()))),
+                );
+            }
+            main = main.child(row);
+        }
+    }
+
+    // Main item list.
+    if epoch.has_block(BlockKind::MainList) {
+        main = main.child(render_main_list(input));
+    }
+
+    // Pagination.
+    if epoch.has_block(BlockKind::NextLink) {
+        main = main.child(
+            el("div")
+                .attr("class", input.c("pager"))
+                .child(
+                    el("a")
+                        .attr("href", "?page=0")
+                        .attr("class", input.c("prev"))
+                        .child(text("Previous")),
+                )
+                .child(
+                    el("a")
+                        .attr("href", "?page=2")
+                        .attr("rel", "next")
+                        .attr("class", input.c("next"))
+                        .child(text("Next")),
+                ),
+        );
+    }
+
+    // Article body.
+    if input.kind == PageKind::Detail {
+        let mut article = el("div").attr("class", input.c("article"));
+        for p in &data.paragraphs {
+            article = article.child(el("p").child(text(p.clone())));
+        }
+        main = main.child(article);
+    }
+
+    main
+}
+
+fn render_field_row(
+    input: &RenderInput<'_>,
+    label: &str,
+    value: &str,
+    index: usize,
+) -> TreeSpec {
+    let style = input.style;
+    let block_class = input.sem(SemanticName::BlockClass, &input.c("block"));
+    let label_class = input.sem(SemanticName::LabelClass, "inline");
+    let value_class = input.sem(SemanticName::ValueClass, "itemprop");
+
+    let mut value_span = el("span").attr("class", value_class);
+    if style.uses_microdata {
+        value_span = value_span.attr("itemprop", if index == 0 { "name" } else { "value" });
+    }
+    let value_node = el("a")
+        .attr("href", format!("/ref/{}", slug(value)))
+        .child(value_span.child(text(value)));
+
+    match style.label_style {
+        LabelStyle::Heading => el("div")
+            .attr("class", block_class)
+            .child(
+                el("h4")
+                    .attr("class", label_class)
+                    .child(text(label)),
+            )
+            .child(value_node),
+        LabelStyle::Strong => el("div")
+            .attr("class", block_class)
+            .child(el("strong").child(text(label)))
+            .child(value_node),
+        LabelStyle::TitleAttribute => el("div")
+            .attr("class", block_class)
+            .attr("title", label.trim_end_matches(':'))
+            .child(el("span").attr("class", label_class).child(text(label)))
+            .child(value_node),
+    }
+}
+
+fn render_main_list(input: &RenderInput<'_>) -> TreeSpec {
+    let style = input.style;
+    let list_class = input.sem(SemanticName::ListClass, &input.c("list-box"));
+    let items: Vec<&ListItem> = input.data.list_items.iter().take(input.shown_items).collect();
+
+    let mut container = el("div")
+        .attr("class", list_class)
+        .child(
+            el("h3")
+                .attr("class", input.c("list-head"))
+                .child(text(input.header_label_for_list())),
+        )
+        // A leading advert inside the list region: the robust multi-target
+        // wrappers need sideways checks to skip it.
+        .child(
+            el("div")
+                .attr("class", input.c("list-ad"))
+                .child(el("img").attr("class", "adv").attr("src", "/img/spot.png")),
+        );
+
+    let list = match style.list_kind {
+        ListKind::UnorderedList => {
+            let mut ul = el("ul").attr("class", input.c("items"));
+            for item in &items {
+                ul = ul.child(
+                    el("li")
+                        .attr("class", input.c("item"))
+                        .child(
+                            el("a")
+                                .attr("class", input.c("item-title"))
+                                .attr("href", format!("/item/{}", slug(&item.title)))
+                                .child(text(item.title.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-person"))
+                                .child(text(item.person.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-price"))
+                                .child(text(item.price.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-date"))
+                                .child(text(item.date.clone())),
+                        ),
+                );
+            }
+            ul
+        }
+        ListKind::Table => {
+            let mut table = el("table").attr("class", input.c("items"));
+            table = table.child(
+                el("tr")
+                    .attr("class", input.c("head-row"))
+                    .child(el("th").child(text("Title")))
+                    .child(el("th").child(text("Name")))
+                    .child(el("th").child(text("Price")))
+                    .child(el("th").child(text("Date"))),
+            );
+            for item in &items {
+                table = table.child(
+                    el("tr")
+                        .attr("class", input.c("item"))
+                        .child(
+                            el("td").child(
+                                el("a")
+                                    .attr("class", input.c("item-title"))
+                                    .attr("href", format!("/item/{}", slug(&item.title)))
+                                    .child(text(item.title.clone())),
+                            ),
+                        )
+                        .child(
+                            el("td")
+                                .attr("class", input.c("item-person"))
+                                .child(text(item.person.clone())),
+                        )
+                        .child(
+                            el("td")
+                                .attr("class", input.c("item-price"))
+                                .child(text(item.price.clone())),
+                        )
+                        .child(
+                            el("td")
+                                .attr("class", input.c("item-date"))
+                                .child(text(item.date.clone())),
+                        ),
+                );
+            }
+            table
+        }
+        ListKind::DivGrid => {
+            let mut grid = el("div").attr("class", input.c("grid"));
+            for item in &items {
+                grid = grid.child(
+                    el("div")
+                        .attr("class", input.c("cell"))
+                        .child(el("img").attr("src", format!("/thumb/{}.jpg", slug(&item.title))))
+                        .child(
+                            el("a")
+                                .attr("class", input.c("item-title"))
+                                .attr("href", format!("/item/{}", slug(&item.title)))
+                                .child(text(item.title.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-person"))
+                                .child(text(item.person.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-price"))
+                                .child(text(item.price.clone())),
+                        )
+                        .child(
+                            el("span")
+                                .attr("class", input.c("item-date"))
+                                .child(text(item.date.clone())),
+                        ),
+                );
+            }
+            grid
+        }
+    };
+    container = container.child(list);
+    // A trailing advert after the list.
+    container.child(
+        el("div")
+            .attr("class", input.c("list-ad"))
+            .child(el("img").attr("class", "adv").attr("src", "/img/spot2.png")),
+    )
+}
+
+fn render_sidebar(input: &RenderInput<'_>) -> TreeSpec {
+    let style = input.style;
+    let epoch = input.epoch;
+    let data = input.data;
+
+    let mut sidebar = el("div")
+        .attr("id", "sidebar")
+        .attr("class", input.c("sidebar"));
+
+    if epoch.has_block(BlockKind::Sidebar) {
+        let mut related = el("ul").attr("class", input.c("related"));
+        // For shopping listings the sidebar is a refine-by-person facet —
+        // this is the structural positive noise source the paper's NER
+        // experiment runs into (author lists in a sidebar).
+        let entries: Vec<String> = if input.vertical == Vertical::Shopping {
+            data.secondary_people.clone()
+        } else {
+            data.related.clone()
+        };
+        for entry in entries {
+            related = related.child(
+                el("li").attr("class", input.c("related-item")).child(
+                    el("a")
+                        .attr("href", format!("/related/{}", slug(&entry)))
+                        .child(text(entry)),
+                ),
+            );
+        }
+        sidebar = sidebar.child(
+            el("div")
+                .attr("class", input.c("related-box"))
+                .child(el("h3").child(text("Related")))
+                .child(related),
+        );
+    }
+
+    let ad_count = (style.ad_slots as i32 + epoch.ad_delta).clamp(0, 6) as usize;
+    for i in 0..ad_count {
+        sidebar = sidebar.child(
+            el("div").attr("class", input.c("ad")).child(
+                el("img")
+                    .attr("class", "adv")
+                    .attr("src", format!("/ads/{i}.gif")),
+            ),
+        );
+    }
+    sidebar
+}
+
+fn render_footer(input: &RenderInput<'_>) -> TreeSpec {
+    el("div")
+        .attr("id", "footer")
+        .attr("class", input.c("footer"))
+        .child(el("a").attr("href", "/about").child(text("About")))
+        .child(el("a").attr("href", "/contact").child(text("Contact")))
+        .child(el("a").attr("href", "/terms").child(text("Terms")))
+}
+
+/// A crude slug for URLs.
+fn slug(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::Day;
+
+    fn input_for(seed: u64, vertical: Vertical) -> (SiteStyle, Epoch, PageData) {
+        let style = SiteStyle::from_seed(seed);
+        let epoch = Epoch::initial(Day(0), 0);
+        let data = PageData::generate(vertical, seed, 0, 0);
+        (style, epoch, data)
+    }
+
+    fn render(seed: u64, vertical: Vertical) -> (Document, PageData, SiteStyle) {
+        let (style, epoch, data) = input_for(seed, vertical);
+        let shown = data.list_items.len();
+        let doc = render_page(&RenderInput {
+            style: &style,
+            vertical,
+            epoch: &epoch,
+            data: &data,
+            kind: PageKind::Detail,
+            shown_items: shown,
+        });
+        (doc, data, style)
+    }
+
+    #[test]
+    fn page_has_expected_chrome() {
+        let (doc, _, style) = render(1, Vertical::Movies);
+        assert_eq!(doc.elements_by_tag("html").len(), 1);
+        assert!(!doc.elements_by_tag("h1").is_empty());
+        assert!(doc.element_by_id(&style.header_id).is_some());
+        assert!(doc.element_by_id("footer").is_some());
+        // search input present for styles with search
+        if style.has_search {
+            let inputs = doc.elements_by_tag("input");
+            assert!(inputs
+                .iter()
+                .any(|&i| doc.attribute(i, "name") == Some("q")));
+        }
+    }
+
+    #[test]
+    fn primary_field_contains_label_and_value() {
+        let (doc, data, _) = render(2, Vertical::Movies);
+        let label = data.primary_label().to_string();
+        let value = data.fields[0].1.clone();
+        assert!(
+            doc.descendants(doc.root())
+                .any(|n| doc.is_text(n) && doc.text_content(n) == Some(label.as_str())),
+            "label {label} not rendered"
+        );
+        assert!(
+            doc.descendants(doc.root())
+                .any(|n| doc.is_text(n) && doc.text_content(n) == Some(value.as_str())),
+            "value {value} not rendered"
+        );
+    }
+
+    #[test]
+    fn list_items_rendered_for_each_list_kind() {
+        for seed in 0..12 {
+            let (doc, data, style) = render(seed, Vertical::Sports);
+            for item in data.list_items.iter() {
+                assert!(
+                    doc.descendants(doc.root()).any(|n| {
+                        doc.is_text(n) && doc.text_content(n) == Some(item.title.as_str())
+                    }),
+                    "list item {} missing (style {:?})",
+                    item.title,
+                    style.list_kind
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shown_items_limits_list() {
+        let style = SiteStyle::from_seed(3);
+        let epoch = Epoch::initial(Day(0), 0);
+        let data = PageData::generate(Vertical::News, 3, 0, 0);
+        let doc = render_page(&RenderInput {
+            style: &style,
+            vertical: Vertical::News,
+            epoch: &epoch,
+            data: &data,
+            kind: PageKind::Listing,
+            shown_items: 2,
+        });
+        let shown = data
+            .list_items
+            .iter()
+            .filter(|it| {
+                doc.descendants(doc.root())
+                    .any(|n| doc.is_text(n) && doc.text_content(n) == Some(it.title.as_str()))
+            })
+            .count();
+        assert_eq!(shown, 2);
+    }
+
+    #[test]
+    fn promo_blocks_shift_positions() {
+        let style = SiteStyle::from_seed(4);
+        let data = PageData::generate(Vertical::Finance, 4, 0, 0);
+        let epoch0 = Epoch::initial(Day(0), 0);
+        let mut epoch1 = Epoch::initial(Day(20), 0);
+        epoch1.promo_blocks = 2;
+        let mk = |epoch: &Epoch| {
+            render_page(&RenderInput {
+                style: &style,
+                vertical: Vertical::Finance,
+                epoch,
+                data: &data,
+                kind: PageKind::Detail,
+                shown_items: data.list_items.len(),
+            })
+        };
+        let d0 = mk(&epoch0);
+        let d1 = mk(&epoch1);
+        let h1_0 = d0.elements_by_tag("h1")[0];
+        let h1_1 = d1.elements_by_tag("h1")[0];
+        let canon0 = wi_xpath::canonical_path(&d0, h1_0);
+        let canon1 = wi_xpath::canonical_path(&d1, h1_1);
+        assert_ne!(canon0.to_string(), canon1.to_string());
+    }
+
+    #[test]
+    fn semantic_rename_changes_markup_but_keeps_content() {
+        let style = SiteStyle::from_seed(5);
+        let data = PageData::generate(Vertical::Movies, 5, 0, 0);
+        let clean = Epoch::initial(Day(0), 0);
+        let mut renamed = Epoch::initial(Day(400), 0);
+        renamed.renames.insert(
+            crate::epoch::SemanticName::ContainerId,
+            "homepage-content".to_string(),
+        );
+        let mk = |epoch: &Epoch| {
+            render_page(&RenderInput {
+                style: &style,
+                vertical: Vertical::Movies,
+                epoch,
+                data: &data,
+                kind: PageKind::Detail,
+                shown_items: data.list_items.len(),
+            })
+        };
+        let d0 = mk(&clean);
+        let d1 = mk(&renamed);
+        assert!(d0.element_by_id(&style.container_id).is_some());
+        assert!(d1.element_by_id(&style.container_id).is_none());
+        assert!(d1.element_by_id("homepage-content").is_some());
+        // Content unchanged.
+        let director = &data.fields[0].1;
+        assert!(d1
+            .descendants(d1.root())
+            .any(|n| d1.is_text(n) && d1.text_content(n) == Some(director.as_str())));
+    }
+
+    #[test]
+    fn removed_blocks_disappear() {
+        let style = SiteStyle::from_seed(6);
+        let data = PageData::generate(Vertical::Travel, 6, 0, 0);
+        let mut epoch = Epoch::initial(Day(900), 0);
+        epoch.removed_blocks.insert(BlockKind::PrimaryField);
+        epoch.removed_blocks.insert(BlockKind::NextLink);
+        let doc = render_page(&RenderInput {
+            style: &style,
+            vertical: Vertical::Travel,
+            epoch: &epoch,
+            data: &data,
+            kind: PageKind::Detail,
+            shown_items: data.list_items.len(),
+        });
+        let primary_value = &data.fields[0].1;
+        assert!(!doc
+            .descendants(doc.root())
+            .any(|n| doc.is_text(n) && doc.text_content(n) == Some(primary_value.as_str())));
+        assert!(!doc
+            .descendants(doc.root())
+            .any(|n| doc.is_text(n) && doc.text_content(n) == Some("Next")));
+        // Other fields are still there.
+        let second_value = &data.fields[1].1;
+        assert!(doc
+            .descendants(doc.root())
+            .any(|n| doc.is_text(n) && doc.text_content(n) == Some(second_value.as_str())));
+    }
+
+    #[test]
+    fn microdata_only_when_style_says_so() {
+        let with: Vec<u64> = (0..20)
+            .filter(|&s| SiteStyle::from_seed(s).uses_microdata)
+            .collect();
+        let without: Vec<u64> = (0..20)
+            .filter(|&s| !SiteStyle::from_seed(s).uses_microdata)
+            .collect();
+        assert!(!with.is_empty() && !without.is_empty());
+        let (doc_with, _, _) = render(with[0], Vertical::Movies);
+        let (doc_without, _, _) = render(without[0], Vertical::Movies);
+        let count = |doc: &Document| {
+            doc.descendants(doc.root())
+                .filter(|&n| doc.attribute(n, "itemprop") == Some("name"))
+                .count()
+        };
+        assert!(count(&doc_with) > 0);
+        assert_eq!(count(&doc_without), 0);
+    }
+
+    #[test]
+    fn page_sizes_are_realistic() {
+        for seed in 0..8 {
+            let (doc, _, _) = render(seed, Vertical::News);
+            let elements = doc.element_count();
+            assert!(
+                (60..2000).contains(&elements),
+                "unexpected page size: {elements} elements"
+            );
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The [`Site`] type: a synthetic web site with a style, a data universe and
+//! a change timeline, able to render any of its pages at any date.
+
+use crate::data::PageData;
+use crate::date::Day;
+use crate::epoch::{BlockKind, Epoch, EvolutionProfile, Timeline};
+pub use crate::render::PageKind;
+use crate::render::{render_page, RenderInput};
+use crate::style::{SiteStyle, Vertical};
+use crate::vocab::mix_seed;
+use wi_dom::Document;
+
+/// A synthetic site.
+#[derive(Debug, Clone)]
+pub struct Site {
+    /// Human-readable identifier, e.g. `movies-03`.
+    pub id: String,
+    /// The site's vertical.
+    pub vertical: Vertical,
+    /// Seed all of the site's deterministic draws derive from.
+    pub seed: u64,
+    /// Structural style (class naming, list markup, microdata…).
+    pub style: SiteStyle,
+    /// The site's change timeline.
+    pub timeline: Timeline,
+}
+
+/// The resolved view of one page of a site at one date: the epoch, the data
+/// and the number of list items actually shown.  Both the renderer and the
+/// ground-truth oracle work from this view so they can never disagree.
+#[derive(Debug, Clone)]
+pub struct PageView {
+    /// The evolution state at the requested day.
+    pub epoch: Epoch,
+    /// The page's data at the requested day.
+    pub data: PageData,
+    /// Number of list items visible on the page.
+    pub shown_items: usize,
+    /// The page kind.
+    pub kind: PageKind,
+}
+
+impl Site {
+    /// Creates a site with the default evolution profile.
+    pub fn new(vertical: Vertical, index: u64) -> Site {
+        Site::with_profile(vertical, index, &EvolutionProfile::default())
+    }
+
+    /// Creates a site with an explicit evolution profile (used to build
+    /// stable same-template corpora, e.g. the hotel pages for the WEIR
+    /// comparison).
+    pub fn with_profile(vertical: Vertical, index: u64, profile: &EvolutionProfile) -> Site {
+        let seed = mix_seed(&[vertical as u64 + 1, index, 0x517e]);
+        Site {
+            id: format!("{}-{:02}", vertical.slug(), index),
+            vertical,
+            seed,
+            style: SiteStyle::from_seed(seed),
+            timeline: Timeline::generate(seed, profile),
+        }
+    }
+
+    /// Resolves the view of page `page_index` at `day`.
+    pub fn page_view(&self, page_index: u64, day: Day, kind: PageKind) -> PageView {
+        let epoch = self.timeline.epoch_at(day);
+        let data = PageData::generate(self.vertical, self.seed, page_index, epoch.content_epoch);
+        let base_len = data.list_items.len() as i32;
+        let shown_items = (base_len + epoch.list_len_delta).clamp(2, base_len) as usize;
+        PageView {
+            epoch,
+            data,
+            shown_items,
+            kind,
+        }
+    }
+
+    /// Renders page `page_index` of the site as it looked at `day`.
+    pub fn render(&self, page_index: u64, day: Day, kind: PageKind) -> Document {
+        let view = self.page_view(page_index, day, kind);
+        render_page(&RenderInput {
+            style: &self.style,
+            vertical: self.vertical,
+            epoch: &view.epoch,
+            data: &view.data,
+            kind,
+            shown_items: view.shown_items,
+        })
+    }
+
+    /// Renders a page from an already-resolved view (avoids recomputing the
+    /// epoch and data when both the document and the view are needed).
+    pub fn render_view(&self, view: &PageView) -> Document {
+        render_page(&RenderInput {
+            style: &self.style,
+            vertical: self.vertical,
+            epoch: &view.epoch,
+            data: &view.data,
+            kind: view.kind,
+            shown_items: view.shown_items,
+        })
+    }
+
+    /// Returns `true` if the given template block still exists at `day`.
+    pub fn block_present(&self, block: BlockKind, day: Day) -> bool {
+        self.timeline.epoch_at(day).has_block(block)
+    }
+
+    /// The template labels of this site (for template-only text policies).
+    pub fn template_labels(&self, page_index: u64, day: Day) -> Vec<String> {
+        self.page_view(page_index, day, PageKind::Detail)
+            .data
+            .template_labels()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::date::OBSERVATION_START;
+
+    #[test]
+    fn sites_are_deterministic() {
+        let a = Site::new(Vertical::Movies, 3);
+        let b = Site::new(Vertical::Movies, 3);
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.style, b.style);
+        let da = a.render(0, OBSERVATION_START, PageKind::Detail);
+        let db = b.render(0, OBSERVATION_START, PageKind::Detail);
+        assert_eq!(wi_dom::to_html(&da), wi_dom::to_html(&db));
+    }
+
+    #[test]
+    fn different_sites_differ() {
+        let a = Site::new(Vertical::Movies, 1);
+        let b = Site::new(Vertical::Movies, 2);
+        assert_ne!(a.seed, b.seed);
+        let da = a.render(0, OBSERVATION_START, PageKind::Detail);
+        let db = b.render(0, OBSERVATION_START, PageKind::Detail);
+        assert_ne!(wi_dom::to_html(&da), wi_dom::to_html(&db));
+    }
+
+    #[test]
+    fn pages_change_over_time_but_template_persists() {
+        let site = Site::new(Vertical::News, 5);
+        let d0 = site.render(0, Day(0), PageKind::Detail);
+        let d1 = site.render(0, Day(600), PageKind::Detail);
+        assert_ne!(wi_dom::to_html(&d0), wi_dom::to_html(&d1));
+        // The header/footer chrome persists.
+        assert!(d1.element_by_id("footer").is_some());
+    }
+
+    #[test]
+    fn page_view_shown_items_consistent_with_render() {
+        let site = Site::new(Vertical::Shopping, 7);
+        for day in [Day(0), Day(400), Day(1200)] {
+            let view = site.page_view(0, day, PageKind::Listing);
+            let doc = site.render_view(&view);
+            let visible = view
+                .data
+                .list_items
+                .iter()
+                .take(view.shown_items)
+                .filter(|it| {
+                    doc.descendants(doc.root()).any(|n| {
+                        doc.is_text(n) && doc.text_content(n) == Some(it.title.as_str())
+                    })
+                })
+                .count();
+            assert_eq!(visible, view.shown_items);
+        }
+    }
+
+    #[test]
+    fn block_present_tracks_timeline() {
+        let profile = EvolutionProfile {
+            block_removal_prob: 1.0,
+            ..Default::default()
+        };
+        let site = Site::with_profile(Vertical::Travel, 1, &profile);
+        let removal = site
+            .timeline
+            .block_removed_at(BlockKind::PrimaryField)
+            .unwrap();
+        assert!(site.block_present(BlockKind::PrimaryField, Day(removal.offset() - 1)));
+        assert!(!site.block_present(BlockKind::PrimaryField, removal));
+    }
+}

@@ -1,0 +1,281 @@
+//! Property-based tests of the synthetic web substrate: deterministic
+//! rendering, archive behaviour, ground-truth task oracles, and the noise
+//! injectors of Section 6.4.
+
+use proptest::prelude::*;
+use wi_dom::{structural_hash, Document, NodeId};
+use wi_webgen::datasets::{multi_node_tasks, single_node_tasks};
+use wi_webgen::noise::{apply_noise, NoiseKind};
+use wi_webgen::{ArchiveSimulator, Day, PageKind, Site, TargetRole, Vertical, WrapperTask};
+use wi_xpath::parse_query;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_vertical() -> impl Strategy<Value = Vertical> {
+    prop::sample::select(Vertical::ALL.to_vec())
+}
+
+fn arb_day() -> impl Strategy<Value = Day> {
+    // Days across the paper's observation window 2008-01-01 … 2013-12-31.
+    (0i64..2191).prop_map(Day)
+}
+
+fn arb_kind() -> impl Strategy<Value = PageKind> {
+    prop_oneof![Just(PageKind::Detail), Just(PageKind::Listing)]
+}
+
+fn arb_task() -> impl Strategy<Value = WrapperTask> {
+    (0usize..40, any::<bool>()).prop_map(|(index, multi)| {
+        if multi {
+            multi_node_tasks(index + 1).pop().unwrap()
+        } else {
+            single_node_tasks(index + 1).pop().unwrap()
+        }
+    })
+}
+
+fn doc_order_ok(doc: &Document, nodes: &[NodeId]) -> bool {
+    let mut sorted = nodes.to_vec();
+    doc.sort_document_order(&mut sorted);
+    sorted == nodes
+}
+
+// ---------------------------------------------------------------------------
+// Rendering and archive
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Rendering is a pure function of (site, page, day, kind): two renders
+    /// of the same coordinates are structurally identical, and the page is a
+    /// plausible HTML document.
+    #[test]
+    fn rendering_is_deterministic(
+        vertical in arb_vertical(),
+        site_index in 0u64..50,
+        page in 0u64..5,
+        day in arb_day(),
+        kind in arb_kind(),
+    ) {
+        let site = Site::new(vertical, site_index);
+        let a = site.render(page, day, kind);
+        let b = site.render(page, day, kind);
+        prop_assert_eq!(
+            structural_hash(&a, a.root()),
+            structural_hash(&b, b.root())
+        );
+        prop_assert!(!a.elements_by_tag("body").is_empty());
+        prop_assert!(!a.elements_by_tag("html").is_empty());
+        prop_assert!(a.len() > 10, "suspiciously small page ({} nodes)", a.len());
+    }
+
+    /// Different pages of the same site share the template but differ in
+    /// data; the same page on consecutive days inside one epoch is stable.
+    #[test]
+    fn pages_of_a_site_share_the_template(
+        vertical in arb_vertical(),
+        site_index in 0u64..30,
+        day in arb_day(),
+    ) {
+        let site = Site::new(vertical, site_index);
+        let a = site.render(0, day, PageKind::Detail);
+        let b = site.render(1, day, PageKind::Detail);
+        // Same template: same tag multiset for the top two levels.
+        let tags = |doc: &Document| -> Vec<String> {
+            let body = doc.elements_by_tag("body")[0];
+            doc.children(body)
+                .filter_map(|n| doc.tag_name(n).map(String::from))
+                .collect()
+        };
+        prop_assert_eq!(tags(&a), tags(&b));
+    }
+
+    /// The archive serves snapshots at the 20-day cadence, reports the day it
+    /// was asked for, and broken captures are nearly empty pages.
+    #[test]
+    fn archive_snapshots_follow_the_request(
+        vertical in arb_vertical(),
+        site_index in 0u64..30,
+        start in 0i64..500,
+    ) {
+        let site = Site::new(vertical, site_index);
+        let archive = ArchiveSimulator::new(site, 0, PageKind::Detail);
+        let start = Day(start);
+        let end = start.plus(200);
+        let snapshots = archive.snapshots(start, end);
+        prop_assert_eq!(snapshots.len(), 11); // inclusive range at 20-day step
+        for (i, snap) in snapshots.iter().enumerate() {
+            prop_assert_eq!(snap.day, start.plus(20 * i as i64));
+            if snap.broken {
+                prop_assert!(snap.doc.len() < 10);
+            } else {
+                prop_assert!(snap.doc.len() > 10);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Task oracles
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated task has a parseable human wrapper and a non-empty,
+    /// document-ordered ground-truth target set on the induction page; the
+    /// human wrapper selects exactly those targets on that page.
+    #[test]
+    fn tasks_are_internally_consistent(task in arb_task(), day_offset in 0i64..1000) {
+        let day = Day(day_offset);
+        let human = parse_query(&task.human_wrapper)
+            .unwrap_or_else(|e| panic!("human wrapper {:?} does not parse: {e}", task.human_wrapper));
+        let (doc, targets) = task.page_with_targets(day);
+        if targets.is_empty() {
+            // The role may legitimately have been removed by the evolution
+            // model at this date; nothing more to check.
+            return Ok(());
+        }
+        prop_assert!(doc_order_ok(&doc, &targets));
+        prop_assert!(targets.iter().all(|&t| doc.contains(t)));
+        if task.role.is_multi() {
+            prop_assert!(targets.len() >= 2, "multi-node task with {} targets", targets.len());
+        } else {
+            prop_assert_eq!(targets.len(), 1);
+        }
+        // On the very first snapshot the human wrapper is exact by
+        // construction; later snapshots may have broken it.
+        if day == Day(0) {
+            let selected = wi_xpath::evaluate(&human, &doc, doc.root());
+            prop_assert_eq!(selected, targets);
+        }
+    }
+
+    /// The dataset constructors honour the requested size and produce the
+    /// advertised single/multi split.
+    #[test]
+    fn dataset_sizes_are_honoured(n in 1usize..30) {
+        let singles = single_node_tasks(n);
+        let multis = multi_node_tasks(n);
+        prop_assert_eq!(singles.len(), n);
+        prop_assert_eq!(multis.len(), n);
+        prop_assert!(singles.iter().all(|t| !t.role.is_multi()));
+        prop_assert!(multis.iter().all(|t| t.role.is_multi()));
+        // Task ids are unique within a dataset.
+        let ids: std::collections::HashSet<String> = singles.iter().map(|t| t.id()).collect();
+        prop_assert_eq!(ids.len(), n);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Noise injectors (Section 6.4)
+// ---------------------------------------------------------------------------
+
+/// A fixed multi-node page/target pair to exercise the noise models on.
+fn noise_fixture() -> (Document, Vec<NodeId>) {
+    let task = multi_node_tasks(8)
+        .into_iter()
+        .find(|t| {
+            let (_, targets) = t.page_with_targets(Day(0));
+            targets.len() >= 5
+        })
+        .expect("a task with at least 5 targets");
+    task.page_with_targets(Day(0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Negative noise only removes targets, never invents nodes, never
+    /// removes everything, and N2 keeps the first and last target.
+    #[test]
+    fn negative_noise_shrinks_within_bounds(intensity in 0.0f64..0.9, seed in any::<u64>()) {
+        let (doc, targets) = noise_fixture();
+        for kind in [NoiseKind::NegativeRandom, NoiseKind::NegativeMidRandom] {
+            let noisy = apply_noise(&doc, &targets, kind, intensity, seed);
+            prop_assert!(!noisy.is_empty());
+            prop_assert!(noisy.len() <= targets.len());
+            prop_assert!(noisy.iter().all(|n| targets.contains(n)));
+            prop_assert!(doc_order_ok(&doc, &noisy));
+            let expected_removed = ((targets.len() as f64) * intensity).round() as usize;
+            prop_assert!(targets.len() - noisy.len() <= expected_removed);
+            if kind == NoiseKind::NegativeMidRandom {
+                prop_assert_eq!(noisy.first(), targets.first());
+                prop_assert_eq!(noisy.last(), targets.last());
+            }
+        }
+    }
+
+    /// Positive noise only adds nodes: the noisy set is a superset of the
+    /// targets, the additions are live nodes outside the target set, and the
+    /// requested intensity bounds the number of additions.
+    #[test]
+    fn positive_noise_grows_within_bounds(intensity in 0.0f64..1.5, seed in any::<u64>()) {
+        let (doc, targets) = noise_fixture();
+        for kind in [NoiseKind::PositiveStructured, NoiseKind::PositiveRandom] {
+            let noisy = apply_noise(&doc, &targets, kind, intensity, seed);
+            prop_assert!(noisy.len() >= targets.len());
+            prop_assert!(targets.iter().all(|t| noisy.contains(t)));
+            prop_assert!(doc_order_ok(&doc, &noisy));
+            let added = noisy.len() - targets.len();
+            let requested = ((targets.len() as f64) * intensity).round() as usize;
+            prop_assert!(added <= requested);
+            for node in noisy.iter().filter(|n| !targets.contains(n)) {
+                prop_assert!(doc.contains(*node));
+            }
+        }
+    }
+
+    /// Noise draws are deterministic in the seed.
+    #[test]
+    fn noise_is_deterministic_per_seed(intensity in 0.0f64..1.0, seed in any::<u64>()) {
+        let (doc, targets) = noise_fixture();
+        for &kind in NoiseKind::ALL {
+            let a = apply_noise(&doc, &targets, kind, intensity, seed);
+            let b = apply_noise(&doc, &targets, kind, intensity, seed);
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// Zero intensity is a no-op for every noise model.
+    #[test]
+    fn zero_intensity_noise_is_identity(seed in any::<u64>()) {
+        let (doc, targets) = noise_fixture();
+        let mut ordered = targets.clone();
+        doc.sort_document_order(&mut ordered);
+        for &kind in NoiseKind::ALL {
+            let noisy = apply_noise(&doc, &targets, kind, 0.0, seed);
+            prop_assert_eq!(&noisy, &ordered, "{:?} altered a 0-intensity sample", kind);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evolution over time
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Target roles that can never disappear stay present across the whole
+    /// observation window.
+    #[test]
+    fn permanent_roles_never_disappear(site_index in 0u64..20, day in arb_day()) {
+        let site = Site::new(Vertical::ALL[site_index as usize % Vertical::ALL.len()], site_index);
+        for &role in [TargetRole::MainHeadline, TargetRole::LogoImage, TargetRole::NavEntries].iter() {
+            let task = WrapperTask::new(site.clone(), 0, PageKind::Detail, role);
+            prop_assert!(
+                task.targets_present(day),
+                "{:?} disappeared on day {:?}",
+                role,
+                day
+            );
+            let (doc, targets) = task.page_with_targets(day);
+            prop_assert!(!targets.is_empty());
+            prop_assert!(targets.iter().all(|&t| doc.contains(t)));
+        }
+    }
+}

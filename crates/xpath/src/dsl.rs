@@ -1,0 +1,145 @@
+//! Programmatic construction of queries.
+//!
+//! The induction algorithms assemble thousands of candidate queries; building
+//! them through string parsing would be wasteful and error prone.  This
+//! module offers a tiny DSL:
+//!
+//! ```
+//! use wi_xpath::dsl::QueryBuilder;
+//! use wi_xpath::{Axis, NodeTest, Predicate, StringFunction};
+//!
+//! let q = QueryBuilder::new()
+//!     .step(Axis::Descendant, NodeTest::tag("div"))
+//!     .pred(Predicate::text_fn(StringFunction::StartsWith, "Director:"))
+//!     .step(Axis::Descendant, NodeTest::tag("span"))
+//!     .pred(Predicate::attr_equals("itemprop", "name"))
+//!     .build();
+//! assert_eq!(
+//!     q.to_string(),
+//!     r#"descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]"#
+//! );
+//! ```
+
+use crate::ast::{Axis, NodeTest, Predicate, Query, Step};
+
+/// Creates a predicate-free step (convenience free function).
+pub fn step(axis: Axis, test: NodeTest) -> Step {
+    Step::new(axis, test)
+}
+
+/// Fluent builder for [`Query`] values.
+#[derive(Debug, Clone, Default)]
+pub struct QueryBuilder {
+    absolute: bool,
+    steps: Vec<Step>,
+}
+
+impl QueryBuilder {
+    /// Creates a builder for a relative query.
+    pub fn new() -> Self {
+        QueryBuilder::default()
+    }
+
+    /// Creates a builder for an absolute query (leading `/`).
+    pub fn absolute() -> Self {
+        QueryBuilder {
+            absolute: true,
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a new step.
+    pub fn step(mut self, axis: Axis, test: NodeTest) -> Self {
+        self.steps.push(Step::new(axis, test));
+        self
+    }
+
+    /// Appends an already constructed step.
+    pub fn push_step(mut self, step: Step) -> Self {
+        self.steps.push(step);
+        self
+    }
+
+    /// Adds a predicate to the most recently added step.
+    ///
+    /// # Panics
+    /// Panics if no step has been added yet.
+    pub fn pred(mut self, predicate: Predicate) -> Self {
+        self.steps
+            .last_mut()
+            .expect("pred() requires at least one step")
+            .predicates
+            .push(predicate);
+        self
+    }
+
+    /// Shorthand for a descendant step with a tag test.
+    pub fn descendant(self, tag: &str) -> Self {
+        self.step(Axis::Descendant, NodeTest::tag(tag))
+    }
+
+    /// Shorthand for a child step with a tag test.
+    pub fn child(self, tag: &str) -> Self {
+        self.step(Axis::Child, NodeTest::tag(tag))
+    }
+
+    /// Shorthand for an attribute-equality predicate on the last step.
+    pub fn with_attr(self, name: &str, value: &str) -> Self {
+        self.pred(Predicate::attr_equals(name, value))
+    }
+
+    /// Shorthand for a positional predicate on the last step.
+    pub fn at(self, position: u32) -> Self {
+        self.pred(Predicate::Position(position))
+    }
+
+    /// Finalises the query.
+    pub fn build(self) -> Query {
+        Query {
+            absolute: self.absolute,
+            steps: self.steps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::StringFunction;
+    use crate::parser::parse_query;
+
+    #[test]
+    fn builder_matches_parser() {
+        let built = QueryBuilder::new()
+            .descendant("div")
+            .with_attr("id", "main")
+            .child("span")
+            .at(2)
+            .build();
+        let parsed = parse_query(r#"descendant::div[@id="main"]/child::span[2]"#).unwrap();
+        assert_eq!(built, parsed);
+    }
+
+    #[test]
+    fn absolute_builder() {
+        let q = QueryBuilder::absolute().child("html").child("body").build();
+        assert!(q.absolute);
+        assert_eq!(q.to_string(), "/child::html/child::body");
+    }
+
+    #[test]
+    fn push_step_and_free_function() {
+        let s = step(Axis::Descendant, NodeTest::tag("p")).with_predicate(Predicate::text_fn(
+            StringFunction::Contains,
+            "Hit",
+        ));
+        let q = QueryBuilder::new().push_step(s).build();
+        assert_eq!(q.to_string(), r#"descendant::p[contains(.,"Hit")]"#);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn pred_without_step_panics() {
+        let _ = QueryBuilder::new().pred(Predicate::Position(1));
+    }
+}

@@ -1,0 +1,481 @@
+//! Evaluation of queries over [`wi_dom::Document`] trees.
+//!
+//! Semantics follow XPath 1.0 for the constructs of the fragment:
+//!
+//! * a query is evaluated step by step; each step maps a set of context nodes
+//!   to the union of the nodes it selects from each context node,
+//! * within one context node, the candidate nodes of a step are ordered along
+//!   the axis (document order for forward axes, reverse document order for
+//!   reverse axes) and predicates are applied **left to right**, each
+//!   filtering the list produced by the previous one; positional predicates
+//!   refer to positions in that filtered list,
+//! * `normalize-space(.)` reads the whitespace-normalised string value of the
+//!   candidate node, `@name` reads an attribute,
+//! * a nested path predicate holds iff its relative query selects at least
+//!   one node from the candidate.
+//!
+//! One deliberate deviation: attribute nodes are not materialised in
+//! `wi-dom`, so a final `attribute::name` step selects the *owning element*
+//! provided it carries the attribute.  The induction algorithms never rely on
+//! attribute nodes being distinct from their elements, and the evaluation
+//! harness only ever compares element/text targets.
+
+use crate::ast::{Axis, NodeTest, Predicate, Query, Step, TextSource};
+use wi_dom::{Document, NodeId, NodeKind};
+
+/// Result of [`evaluate_with_anchors`]: the final node set plus the
+/// intermediate node sets after each step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvalOutput {
+    /// Nodes selected by the full query, in document order, deduplicated.
+    pub result: Vec<NodeId>,
+    /// `after_step[i]` is the node set selected after evaluating step `i`.
+    /// The last entry equals `result`.
+    pub after_step: Vec<Vec<NodeId>>,
+}
+
+impl EvalOutput {
+    /// The paper's *anchor nodes*: every node selected during evaluation
+    /// except the final targets.
+    pub fn anchors(&self) -> Vec<NodeId> {
+        let mut anchors: Vec<NodeId> = self
+            .after_step
+            .iter()
+            .take(self.after_step.len().saturating_sub(1))
+            .flatten()
+            .copied()
+            .collect();
+        anchors.sort_unstable();
+        anchors.dedup();
+        anchors
+    }
+}
+
+/// Evaluates a query relative to `context`, returning the selected nodes in
+/// document order without duplicates.
+pub fn evaluate(query: &Query, doc: &Document, context: NodeId) -> Vec<NodeId> {
+    evaluate_with_anchors(query, doc, context).result
+}
+
+/// Evaluates a query and records the intermediate ("anchor") node sets.
+pub fn evaluate_with_anchors(query: &Query, doc: &Document, context: NodeId) -> EvalOutput {
+    let start = if query.absolute { doc.root() } else { context };
+    let mut current = vec![start];
+    let mut after_step = Vec::with_capacity(query.steps.len());
+    for step in &query.steps {
+        let mut next: Vec<NodeId> = Vec::new();
+        for &ctx in &current {
+            next.extend(evaluate_step(step, doc, ctx));
+        }
+        doc.sort_document_order(&mut next);
+        after_step.push(next.clone());
+        current = next;
+        if current.is_empty() {
+            // Remaining steps cannot select anything; record empty sets so
+            // `after_step.len() == query.steps.len()` still holds.
+            continue;
+        }
+    }
+    while after_step.len() < query.steps.len() {
+        after_step.push(Vec::new());
+    }
+    EvalOutput {
+        result: current,
+        after_step,
+    }
+}
+
+/// Evaluates a single step from one context node.  Candidates are returned in
+/// axis order (the order positional predicates refer to).
+pub fn evaluate_step(step: &Step, doc: &Document, context: NodeId) -> Vec<NodeId> {
+    let mut candidates = axis_nodes(step.axis, doc, context);
+    candidates.retain(|&n| node_test_matches(&step.test, step.axis, doc, n));
+    for pred in &step.predicates {
+        candidates = apply_predicate(pred, doc, candidates);
+    }
+    candidates
+}
+
+/// Returns the nodes reachable from `context` along `axis`, in axis order.
+pub fn axis_nodes(axis: Axis, doc: &Document, context: NodeId) -> Vec<NodeId> {
+    match axis {
+        Axis::Child => doc.children(context).collect(),
+        Axis::Descendant => doc.descendants(context).collect(),
+        Axis::DescendantOrSelf => doc.descendants_or_self(context).collect(),
+        Axis::Parent => doc.parent(context).into_iter().collect(),
+        Axis::Ancestor => doc.ancestors(context).collect(),
+        Axis::AncestorOrSelf => doc.ancestors_or_self(context).collect(),
+        Axis::FollowingSibling => doc.following_siblings(context).collect(),
+        Axis::PrecedingSibling => doc.preceding_siblings(context).collect(),
+        Axis::Following => doc.following(context),
+        Axis::Preceding => {
+            // preceding is a reverse axis: nearest node first.
+            let mut v = doc.preceding(context);
+            v.reverse();
+            v
+        }
+        Axis::SelfAxis => vec![context],
+        // Attribute axis: stay on the element (see module documentation).
+        Axis::Attribute => vec![context],
+    }
+}
+
+fn node_test_matches(test: &NodeTest, axis: Axis, doc: &Document, node: NodeId) -> bool {
+    if axis == Axis::Attribute {
+        // The node test names the attribute that must be present.
+        return match test {
+            NodeTest::Tag(attr) => doc.has_attribute(node, attr),
+            NodeTest::AnyElement | NodeTest::AnyNode => {
+                doc.is_element(node) && !doc.attributes(node).is_empty()
+            }
+            NodeTest::Text => false,
+        };
+    }
+    match test {
+        NodeTest::AnyElement => doc.kind(node) == NodeKind::Element,
+        NodeTest::AnyNode => true,
+        NodeTest::Text => doc.kind(node) == NodeKind::Text,
+        NodeTest::Tag(tag) => doc.tag_name(node) == Some(tag.as_str()),
+    }
+}
+
+fn apply_predicate(pred: &Predicate, doc: &Document, candidates: Vec<NodeId>) -> Vec<NodeId> {
+    match pred {
+        Predicate::Position(n) => {
+            let idx = *n as usize;
+            if idx >= 1 && idx <= candidates.len() {
+                vec![candidates[idx - 1]]
+            } else {
+                Vec::new()
+            }
+        }
+        Predicate::LastOffset(offset) => {
+            let len = candidates.len();
+            let offset = *offset as usize;
+            if offset < len {
+                vec![candidates[len - 1 - offset]]
+            } else {
+                Vec::new()
+            }
+        }
+        Predicate::HasAttribute(name) => candidates
+            .into_iter()
+            .filter(|&c| doc.has_attribute(c, name))
+            .collect(),
+        Predicate::StringCompare {
+            func,
+            source,
+            value,
+        } => candidates
+            .into_iter()
+            .filter(|&c| {
+                let content = match source {
+                    TextSource::Attribute(a) => match doc.attribute(c, a) {
+                        Some(v) => v.to_string(),
+                        None => return false,
+                    },
+                    TextSource::NormalizedText => doc.normalized_text(c),
+                };
+                func.apply(&content, value)
+            })
+            .collect(),
+        Predicate::Path(q) => candidates
+            .into_iter()
+            .filter(|&c| !evaluate(q, doc, c).is_empty())
+            .collect(),
+    }
+}
+
+/// Returns `true` if `query` evaluated from `context` selects exactly the
+/// node set `expected` (order-insensitive).
+pub fn selects_exactly(
+    query: &Query,
+    doc: &Document,
+    context: NodeId,
+    expected: &[NodeId],
+) -> bool {
+    let mut result = evaluate(query, doc, context);
+    let mut expected: Vec<NodeId> = expected.to_vec();
+    result.sort_unstable();
+    result.dedup();
+    expected.sort_unstable();
+    expected.dedup();
+    result == expected
+}
+
+/// Returns `true` if node `target` is reachable from `context` along the
+/// transitive closure of the given base axis (`v ∈ (β::*)(u)` in the paper's
+/// notation, with β the transitive axis).
+pub fn reachable_via(axis: Axis, doc: &Document, context: NodeId, target: NodeId) -> bool {
+    axis_nodes(axis.transitive(), doc, context).contains(&target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use wi_dom::parse_html;
+
+    fn imdb_like() -> Document {
+        parse_html(
+            r#"<html><head><title>Movie</title></head><body>
+              <div class="header"><input name="q" type="text"></div>
+              <div class="txt-block">
+                <h4 class="inline">Director:</h4>
+                <a href="/name/nm0000217" itemprop="url">
+                  <span class="itemprop" itemprop="name">Martin Scorsese</span>
+                </a>
+              </div>
+              <div class="txt-block">
+                <h4 class="inline">Writers:</h4>
+                <a href="/name/nm1"><span class="itemprop" itemprop="name">Nicholas Pileggi</span></a>
+                <a href="/name/nm2"><span class="itemprop" itemprop="name">Martin Scorsese</span></a>
+              </div>
+            </body></html>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn paper_wrapper_selects_director_only() {
+        let doc = imdb_like();
+        let q = parse_query(
+            r#"descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]"#,
+        )
+        .unwrap();
+        let result = evaluate(&q, &doc, doc.root());
+        assert_eq!(result.len(), 1);
+        assert_eq!(doc.normalized_text(result[0]), "Martin Scorsese");
+        // sanity: the writers' spans are not selected even though one has the
+        // same text.
+        let all_spans = doc.elements_by_tag("span");
+        assert_eq!(all_spans.len(), 3);
+    }
+
+    #[test]
+    fn descendant_vs_child() {
+        let doc = imdb_like();
+        let body = doc.elements_by_tag("body")[0];
+        let q = parse_query("child::div").unwrap();
+        assert_eq!(evaluate(&q, &doc, body).len(), 3);
+        let q = parse_query("child::span").unwrap();
+        assert!(evaluate(&q, &doc, body).is_empty());
+        let q = parse_query("descendant::span").unwrap();
+        assert_eq!(evaluate(&q, &doc, body).len(), 3);
+    }
+
+    #[test]
+    fn positional_predicates() {
+        let doc = imdb_like();
+        let q = parse_query("descendant::div[starts-with(.,\"Director:\")][1]/descendant::span")
+            .unwrap();
+        assert_eq!(evaluate(&q, &doc, doc.root()).len(), 1);
+
+        let q = parse_query("descendant::div[3]").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 1);
+        assert!(doc.normalized_text(r[0]).starts_with("Writers:"));
+
+        let q = parse_query("descendant::div[last()]").unwrap();
+        let r2 = evaluate(&q, &doc, doc.root());
+        assert_eq!(r, r2);
+
+        let q = parse_query("descendant::div[last()-2]").unwrap();
+        let r3 = evaluate(&q, &doc, doc.root());
+        assert_eq!(doc.attribute(r3[0], "class"), Some("header"));
+
+        // out of range
+        let q = parse_query("descendant::div[9]").unwrap();
+        assert!(evaluate(&q, &doc, doc.root()).is_empty());
+        let q = parse_query("descendant::div[last()-9]").unwrap();
+        assert!(evaluate(&q, &doc, doc.root()).is_empty());
+    }
+
+    #[test]
+    fn positions_are_per_context_node() {
+        let doc = parse_html(
+            "<body><ul><li>a</li><li>b</li></ul><ul><li>c</li><li>d</li></ul></body>",
+        )
+        .unwrap();
+        let q = parse_query("descendant::ul/child::li[1]").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 2);
+        let texts: Vec<_> = r.iter().map(|&n| doc.normalized_text(n)).collect();
+        assert_eq!(texts, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn reverse_axis_positions() {
+        let doc = parse_html("<body><div><p>x</p></div></body>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        // ancestor[1] is the nearest ancestor (div), ancestor[2] the body.
+        let q = parse_query("ancestor::*[1]").unwrap();
+        let r = evaluate(&q, &doc, p);
+        assert_eq!(doc.tag_name(r[0]), Some("div"));
+        let q = parse_query("ancestor::*[2]").unwrap();
+        let r = evaluate(&q, &doc, p);
+        assert_eq!(doc.tag_name(r[0]), Some("body"));
+    }
+
+    #[test]
+    fn sibling_axes() {
+        let doc = parse_html(
+            r#"<body><table>
+              <tr class="head"><td>News</td></tr>
+              <tr><td>item 1</td></tr>
+              <tr><td>item 2</td></tr>
+            </table></body>"#,
+        )
+        .unwrap();
+        let q = parse_query(r#"descendant::tr[contains(.,"News")]/following-sibling::tr"#)
+            .unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 2);
+
+        let q = parse_query(r#"descendant::tr[3]/preceding-sibling::tr[1]"#).unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.normalized_text(r[0]), "item 1");
+
+        let q = parse_query(r#"descendant::tr[3]/preceding-sibling::tr[last()]"#).unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(doc.normalized_text(r[0]), "News");
+    }
+
+    #[test]
+    fn following_axis_and_nested_predicate() {
+        let doc = parse_html(
+            r#"<body><div><p class="lead">Hit list</p></div>
+               <ul><li>one</li><li>two</li></ul>
+               <div class="contentSmLeft"><img class="adv"></div></body>"#,
+        )
+        .unwrap();
+        let q = parse_query(r#"descendant::p[contains(., "Hit")]/following::ul[1]/descendant::li"#)
+            .unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 2);
+
+        let q = parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#)
+            .unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 1);
+        assert_eq!(doc.tag_name(r[0]), Some("img"));
+    }
+
+    #[test]
+    fn attribute_step_selects_owning_element() {
+        let doc = imdb_like();
+        let q = parse_query("descendant::a/@href").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 3);
+        assert!(r.iter().all(|&n| doc.tag_name(n) == Some("a")));
+        // Elements without the attribute are not selected.
+        let q = parse_query("descendant::span/@href").unwrap();
+        assert!(evaluate(&q, &doc, doc.root()).is_empty());
+    }
+
+    #[test]
+    fn has_attribute_and_equality_predicates() {
+        let doc = imdb_like();
+        let q = parse_query("descendant::input[@name=\"q\"]").unwrap();
+        assert_eq!(evaluate(&q, &doc, doc.root()).len(), 1);
+        let q = parse_query("descendant::*[@itemprop]").unwrap();
+        assert_eq!(evaluate(&q, &doc, doc.root()).len(), 4);
+        let q = parse_query("descendant::input[@name=\"nope\"]").unwrap();
+        assert!(evaluate(&q, &doc, doc.root()).is_empty());
+    }
+
+    #[test]
+    fn text_node_test() {
+        let doc = parse_html("<body><p>hello <b>world</b></p></body>").unwrap();
+        let q = parse_query("descendant::text()").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|&n| doc.is_text(n)));
+        let q = parse_query("descendant::node()").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 5); // html? no: body, p, text, b, text
+    }
+
+    #[test]
+    fn absolute_queries_ignore_context() {
+        let doc = imdb_like();
+        let span = doc.elements_by_tag("span")[0];
+        let q = parse_query("/descendant::h4").unwrap();
+        let from_span = evaluate(&q, &doc, span);
+        let from_root = evaluate(&q, &doc, doc.root());
+        assert_eq!(from_span, from_root);
+        assert_eq!(from_root.len(), 2);
+    }
+
+    #[test]
+    fn empty_query_selects_context() {
+        let doc = imdb_like();
+        let span = doc.elements_by_tag("span")[0];
+        let q = Query::empty();
+        assert_eq!(evaluate(&q, &doc, span), vec![span]);
+    }
+
+    #[test]
+    fn anchors_are_intermediate_nodes() {
+        let doc = imdb_like();
+        let q = parse_query(
+            r#"descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]"#,
+        )
+        .unwrap();
+        let out = evaluate_with_anchors(&q, &doc, doc.root());
+        assert_eq!(out.result.len(), 1);
+        assert_eq!(out.after_step.len(), 2);
+        let anchors = out.anchors();
+        assert_eq!(anchors.len(), 1);
+        assert_eq!(doc.attribute(anchors[0], "class"), Some("txt-block"));
+    }
+
+    #[test]
+    fn results_are_document_ordered_and_deduped() {
+        let doc = parse_html(
+            "<body><div><span>a</span></div><div><span>b</span></div></body>",
+        )
+        .unwrap();
+        // Both div contexts can reach both spans through ancestor/descendant
+        // detours; the result must still be deduplicated.
+        let q = parse_query("descendant::div/ancestor::body/descendant::span").unwrap();
+        let r = evaluate(&q, &doc, doc.root());
+        assert_eq!(r.len(), 2);
+        let texts: Vec<_> = r.iter().map(|&n| doc.normalized_text(n)).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn selects_exactly_helper() {
+        let doc = imdb_like();
+        let q = parse_query("descendant::h4").unwrap();
+        let h4s = doc.elements_by_tag("h4");
+        assert!(selects_exactly(&q, &doc, doc.root(), &h4s));
+        assert!(!selects_exactly(&q, &doc, doc.root(), &h4s[..1]));
+    }
+
+    #[test]
+    fn reachable_via_base_axes() {
+        let doc = imdb_like();
+        let body = doc.elements_by_tag("body")[0];
+        let span = doc.elements_by_tag("span")[0];
+        assert!(reachable_via(Axis::Child, &doc, body, span));
+        assert!(reachable_via(Axis::Parent, &doc, span, body));
+        assert!(!reachable_via(Axis::Child, &doc, span, body));
+        let h4s = doc.elements_by_tag("h4");
+        let a = doc.elements_by_tag("a")[0];
+        assert!(reachable_via(Axis::FollowingSibling, &doc, h4s[0], a));
+        assert!(reachable_via(Axis::PrecedingSibling, &doc, a, h4s[0]));
+    }
+
+    #[test]
+    fn failing_intermediate_step_yields_empty() {
+        let doc = imdb_like();
+        let q = parse_query("descendant::table/descendant::td").unwrap();
+        let out = evaluate_with_anchors(&q, &doc, doc.root());
+        assert!(out.result.is_empty());
+        assert_eq!(out.after_step.len(), 2);
+        assert!(out.after_step.iter().all(|s| s.is_empty()));
+    }
+}

@@ -1,0 +1,271 @@
+//! dsXPath well-formedness and plausibility checks (Section 3 of the paper).
+//!
+//! A query in the syntactic fragment of Figure 2 is a *dsXPath query* if it
+//! is one-directional or two-directional:
+//!
+//! * **one-directional**: its axis sequence (ignoring a trailing `attribute`
+//!   step) matches `((parent|ancestor) sideways*)*` or
+//!   `((child|descendant) sideways*)*`, where `sideways` is any run of
+//!   `following-sibling` / `preceding-sibling` steps;
+//! * **two-directional**: the concatenation of two one-directional queries.
+//!
+//! A dsXPath query is *plausible* w.r.t. a sequence of documents if every
+//! string constant occurs as a substring of some document's text or attribute
+//! values, and every integer constant is at most the number of nodes of every
+//! document.
+
+use crate::ast::{Axis, Predicate, Query};
+use wi_dom::Document;
+
+/// The vertical direction of a one-directional query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Uses only `child` / `descendant` (plus sideways checks).
+    Downward,
+    /// Uses only `parent` / `ancestor` (plus sideways checks).
+    Upward,
+    /// Uses no vertical axis at all (only sideways checks or empty).
+    Neutral,
+}
+
+/// Returns `true` if all axes of the query belong to the dsXPath grammar and
+/// the `attribute` axis only occurs as the final step.
+pub fn uses_only_ds_axes(query: &Query) -> bool {
+    let n = query.steps.len();
+    query.steps.iter().enumerate().all(|(i, s)| {
+        let allowed = Axis::DS_XPATH_AXES.contains(&s.axis);
+        let attr_ok = s.axis != Axis::Attribute || i + 1 == n;
+        allowed && attr_ok
+    })
+}
+
+/// Returns `true` if no predicate uses constructs outside the fragment
+/// (nested path predicates are the only such construct in this AST).
+pub fn uses_only_ds_predicates(query: &Query) -> bool {
+    query
+        .steps
+        .iter()
+        .all(|s| s.predicates.iter().all(|p| !matches!(p, Predicate::Path(_))))
+}
+
+/// Classifies the axis sequence of a query as one-directional (returning the
+/// direction), or `None` if it is not one-directional.
+pub fn one_directional_direction(query: &Query) -> Option<Direction> {
+    let axes = query.axes();
+    let mut direction = Direction::Neutral;
+    for axis in axes {
+        match axis {
+            Axis::Child | Axis::Descendant => match direction {
+                Direction::Neutral | Direction::Downward => direction = Direction::Downward,
+                Direction::Upward => return None,
+            },
+            Axis::Parent | Axis::Ancestor => match direction {
+                Direction::Neutral | Direction::Upward => direction = Direction::Upward,
+                Direction::Downward => return None,
+            },
+            Axis::FollowingSibling | Axis::PrecedingSibling => {
+                // Sideways checks are allowed anywhere in a one-directional
+                // query (they follow a vertical step or another sideways
+                // step, both fine).
+            }
+            // Any other axis is outside the dsXPath fragment.
+            _ => return None,
+        }
+    }
+    Some(direction)
+}
+
+/// Returns `true` if the query is one-directional in the paper's sense.
+pub fn is_one_directional(query: &Query) -> bool {
+    one_directional_direction(query).is_some()
+}
+
+/// Returns `true` if the query is two-directional: the concatenation of two
+/// one-directional queries.  Every one-directional query is trivially
+/// two-directional (one part may be empty).
+pub fn is_two_directional(query: &Query) -> bool {
+    if is_one_directional(query) {
+        return true;
+    }
+    let steps = &query.steps;
+    for split in 1..steps.len() {
+        let head = Query {
+            absolute: false,
+            steps: steps[..split].to_vec(),
+        };
+        let tail = Query {
+            absolute: false,
+            steps: steps[split..].to_vec(),
+        };
+        if is_one_directional(&head) && is_one_directional(&tail) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Returns `true` if the query is a dsXPath query: it only uses the grammar
+/// of Figure 2 (axes and predicates) and is one- or two-directional.
+pub fn is_ds_xpath(query: &Query) -> bool {
+    uses_only_ds_axes(query) && uses_only_ds_predicates(query) && is_two_directional(query)
+}
+
+/// Checks the paper's *plausibility* condition of a query against a sequence
+/// of documents.
+///
+/// A string constant is plausible if it occurs in some attribute value or in
+/// the *text-value of a document* — which the paper defines as the
+/// concatenation of all texts, so constants harvested from
+/// `normalize-space(.)` of elements spanning several text nodes also count.
+pub fn is_plausible(query: &Query, docs: &[&Document]) -> bool {
+    if docs.is_empty() {
+        return true;
+    }
+    for s in query.string_constants() {
+        let found = docs.iter().any(|d| {
+            // Fast path: the constant sits inside a single text node or
+            // attribute value.  Fallback: the document-wide concatenation.
+            d.contains_string(s) || d.text_value(d.root()).contains(s)
+        });
+        if !found {
+            return false;
+        }
+    }
+    let min_nodes = docs.iter().map(|d| d.len()).min().unwrap_or(0);
+    for n in query.int_constants() {
+        if n as usize > min_nodes {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_query;
+    use wi_dom::parse_html;
+
+    fn q(s: &str) -> Query {
+        parse_query(s).unwrap()
+    }
+
+    #[test]
+    fn downward_queries_are_one_directional() {
+        assert!(is_one_directional(&q("descendant::div/child::span")));
+        assert!(is_one_directional(&q(
+            r#"descendant::div[@id="x"]/descendant::span[@class="y"]"#
+        )));
+        assert_eq!(
+            one_directional_direction(&q("child::div")),
+            Some(Direction::Downward)
+        );
+    }
+
+    #[test]
+    fn upward_queries_are_one_directional() {
+        assert!(is_one_directional(&q("parent::div/ancestor::body")));
+        assert_eq!(
+            one_directional_direction(&q("ancestor::div[1]")),
+            Some(Direction::Upward)
+        );
+    }
+
+    #[test]
+    fn sideways_checks_allowed() {
+        assert!(is_one_directional(&q(
+            "descendant::tr/following-sibling::tr"
+        )));
+        assert!(is_one_directional(&q(
+            "descendant::a/preceding-sibling::a/following-sibling::node()"
+        )));
+        assert!(is_one_directional(&q(
+            "descendant::div/following-sibling::node()/descendant::li"
+        )));
+        assert_eq!(
+            one_directional_direction(&q("following-sibling::tr")),
+            Some(Direction::Neutral)
+        );
+    }
+
+    #[test]
+    fn mixed_direction_is_two_directional_only() {
+        let mixed = q("descendant::img/ancestor::a[1]");
+        assert!(!is_one_directional(&mixed));
+        assert!(is_two_directional(&mixed));
+
+        let up_then_down = q("ancestor::div[1]/descendant::span");
+        assert!(!is_one_directional(&up_then_down));
+        assert!(is_two_directional(&up_then_down));
+
+        // down, up, down again: three directions → not two-directional.
+        let three = q("descendant::div/ancestor::body/descendant::span");
+        assert!(!is_two_directional(&three));
+    }
+
+    #[test]
+    fn attribute_axis_only_terminal() {
+        assert!(uses_only_ds_axes(&q("descendant::a/@href")));
+        assert!(!uses_only_ds_axes(&q("@href/descendant::a")));
+        // trailing attribute axis is ignored for direction purposes
+        assert!(is_one_directional(&q("descendant::a/@href")));
+    }
+
+    #[test]
+    fn non_fragment_axes_rejected() {
+        assert!(!uses_only_ds_axes(&q("descendant::p/following::ul")));
+        assert!(!is_ds_xpath(&q("descendant::p/following::ul")));
+        assert!(!is_one_directional(&q("descendant::p/following::ul[1]")));
+    }
+
+    #[test]
+    fn nested_path_predicates_rejected() {
+        let human = q(r#"descendant::img[ancestor::div[1][@class="c"]]"#);
+        assert!(uses_only_ds_axes(&human));
+        assert!(!uses_only_ds_predicates(&human));
+        assert!(!is_ds_xpath(&human));
+    }
+
+    #[test]
+    fn ds_xpath_examples_from_paper() {
+        for s in [
+            r#"descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]"#,
+            r#"descendant::img[@class="adv"][1]"#,
+            r#"descendant::div[@class="contentSmLeft"]/descendant::img[contains(@class,"adv")]"#,
+            r#"descendant::a[contains(@class,"hpCH2")]/preceding-sibling::a[contains(@class,"hpCH")]"#,
+            r#"descendant::tr[contains(.,"News")]/following-sibling::tr"#,
+            r#"descendant::div[@class="tvgrid"]/following-sibling::node()/descendant::li"#,
+            r#"descendant::input[@type="text"][last()]"#,
+        ] {
+            assert!(is_ds_xpath(&q(s)), "expected dsXPath: {s}");
+        }
+    }
+
+    #[test]
+    fn plausibility_checks_strings_and_ints() {
+        let doc = parse_html(
+            r#"<html><body><div class="content">Director: Someone</div></body></html>"#,
+        )
+        .unwrap();
+        let docs = vec![&doc];
+        assert!(is_plausible(&q(r#"descendant::div[@class="content"]"#), &docs));
+        assert!(is_plausible(
+            &q(r#"descendant::div[starts-with(.,"Director:")]"#),
+            &docs
+        ));
+        assert!(!is_plausible(
+            &q(r#"descendant::div[@class="navigation"]"#),
+            &docs
+        ));
+        assert!(is_plausible(&q("descendant::div[2]"), &docs));
+        assert!(!is_plausible(&q("descendant::div[2000]"), &docs));
+        // No documents: vacuously plausible.
+        assert!(is_plausible(&q(r#"descendant::div[@class="x"]"#), &[]));
+    }
+
+    #[test]
+    fn empty_query_is_one_directional() {
+        assert!(is_one_directional(&Query::empty()));
+        assert!(is_ds_xpath(&Query::empty()));
+    }
+}

@@ -1,0 +1,34 @@
+//! A miniature version of the paper's Figure 3/4 experiment: run the
+//! robustness comparison (induced vs human vs canonical) over a handful of
+//! single- and multi-node tasks and print the resulting survival statistics.
+//!
+//! ```text
+//! cargo run --release --example archive_robustness
+//! ```
+
+use wrapper_induction::eval::experiments::{fig3, fig4};
+use wrapper_induction::eval::Scale;
+
+fn main() {
+    // A reduced scale so the example finishes in seconds; `run_experiments`
+    // (in wi-eval) runs the full paper-sized version.
+    let scale = Scale::quick();
+
+    let single = fig3::run(&scale);
+    println!("{}", single.render("Figure 3 (reduced): single-node robustness"));
+    println!();
+    let multi = fig4::run(&scale);
+    println!("{}", multi.render("Figure 4 (reduced): multi-node robustness"));
+
+    println!("\nper-task detail (single-node):");
+    for task in single.tasks.iter().take(10) {
+        println!(
+            "  {:<28} induced {:>5}d  human {:>5}d  canonical {:>5}d   {}",
+            task.task_id,
+            task.induced.as_ref().map(|o| o.valid_days).unwrap_or(0),
+            task.human.valid_days,
+            task.canonical.valid_days,
+            task.induced_expression.as_deref().unwrap_or("-")
+        );
+    }
+}

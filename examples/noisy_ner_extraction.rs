@@ -1,0 +1,62 @@
+//! Noise-resistant induction from machine-generated annotations: a simulated
+//! named-entity recogniser annotates the person names on a product-listing
+//! page (missing some, hallucinating others — including a whole sidebar
+//! facet), and the induction still recovers the intended list.
+//!
+//! ```text
+//! cargo run --release --example noisy_ner_extraction
+//! ```
+
+use wrapper_induction::induction::config::TextPolicy;
+use wrapper_induction::prelude::*;
+use wrapper_induction::webgen::date::Day;
+use wrapper_induction::webgen::ner::{annotate_listing_page, EntityKind, NerConfig};
+use wrapper_induction::webgen::site::{PageKind, Site};
+use wrapper_induction::webgen::style::Vertical;
+
+fn main() {
+    let site = Site::new(Vertical::Shopping, 701);
+    let view = site.page_view(0, Day(0), PageKind::Listing);
+
+    // Run the simulated NER for person names over the listing page.
+    let (page, annotation) =
+        annotate_listing_page(&site, 0, EntityKind::Person, &NerConfig::default(), 4242);
+
+    println!("site: {} (product listing)", site.id);
+    println!(
+        "true person nodes: {}   NER annotations: {}   (negative noise {:.0}%, positive noise {:.0}%)",
+        annotation.truth.len(),
+        annotation.annotated.len(),
+        annotation.negative_noise * 100.0,
+        annotation.positive_noise * 100.0
+    );
+    println!("annotated texts (noisy induction input):");
+    for &n in &annotation.annotated {
+        println!("  - {}", page.normalized_text(n));
+    }
+
+    // Induce from the noisy annotations.
+    let config = InductionConfig::default()
+        .with_text_policy(TextPolicy::TemplateOnly(view.data.template_labels()));
+    let inducer = WrapperInducer::new(config);
+    let sample = Sample::from_root(&page, &annotation.annotated);
+    let ranked = inducer.induce(&[sample]);
+    let top = &ranked[0];
+    println!("\ninduced wrapper: {}", top.query);
+
+    // Compare what it selects with the true entity list.
+    let mut selected = evaluate(&top.query, &page, page.root());
+    page.sort_document_order(&mut selected);
+    let mut truth = annotation.truth.clone();
+    page.sort_document_order(&mut truth);
+
+    println!("selected {} nodes:", selected.len());
+    for &n in &selected {
+        println!("  - {}", page.normalized_text(n));
+    }
+    if selected == truth {
+        println!("\n=> the noisy annotations were generalised into the intended person list.");
+    } else {
+        println!("\n=> the wrapper deviates from the intended list (this is one of the hard cases).");
+    }
+}

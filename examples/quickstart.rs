@@ -1,0 +1,99 @@
+//! Quickstart: induce a robust wrapper from a single annotated page and apply
+//! it to a changed version of the same page.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use wrapper_induction::prelude::*;
+
+fn main() {
+    // A (simplified) IMDB-style movie page.
+    let page_v1 = parse_html(
+        r#"<html><body>
+          <div id="header"><input type="text" name="q"></div>
+          <div id="content">
+            <h1 class="headline20">Goodfellas</h1>
+            <div class="txt-block">
+              <h4 class="inline">Director:</h4>
+              <a href="/name/nm0000217"><span class="itemprop" itemprop="name">Martin Scorsese</span></a>
+            </div>
+            <div class="txt-block">
+              <h4 class="inline">Stars:</h4>
+              <a href="/name/nm0000134"><span class="itemprop" itemprop="name">Robert De Niro</span></a>
+              <a href="/name/nm0000582"><span class="itemprop" itemprop="name">Joe Pesci</span></a>
+            </div>
+          </div>
+        </body></html>"#,
+    )
+    .expect("well-formed example page");
+
+    // Annotate the director node (in the automated setting this annotation
+    // would come from an entity recogniser or a known-instance matcher).
+    let director = page_v1
+        .descendants(page_v1.root())
+        .find(|&n| {
+            page_v1.normalized_text(n) == "Martin Scorsese"
+                && page_v1.tag_name(n) == Some("span")
+        })
+        .expect("director span exists");
+
+    // Induce the ranked wrapper candidates.
+    let inducer = WrapperInducer::default();
+    let ranked = inducer.induce_single(&page_v1, &[director]);
+    println!("top-{} induced wrappers:", ranked.len());
+    for (i, instance) in ranked.iter().enumerate() {
+        println!(
+            "  #{:<2} score {:>7.1}  F0.5 {:.2}   {}",
+            i + 1,
+            instance.score,
+            instance.f05(),
+            instance.query
+        );
+    }
+
+    let wrapper = Wrapper::new(ranked[0].clone());
+    println!("\nchosen wrapper: {wrapper}");
+    println!("extracts: {:?}", wrapper.extract_text(&page_v1));
+
+    // The same page months later: a promo box was inserted, positions
+    // changed, the movie is a different one — the template survived.
+    let page_v2 = parse_html(
+        r#"<html><body>
+          <div id="header"><input type="text" name="q"></div>
+          <div class="promo">Watch the trailer!</div>
+          <div id="content">
+            <h1 class="headline16">The Departed</h1>
+            <div class="review">A modern classic, says everyone.</div>
+            <div class="txt-block">
+              <h4 class="inline">Director:</h4>
+              <a href="/name/nm0000217"><span class="itemprop" itemprop="name">Martin Scorsese</span></a>
+            </div>
+            <div class="txt-block">
+              <h4 class="inline">Stars:</h4>
+              <a href="/name/nm0000197"><span class="itemprop" itemprop="name">Jack Nicholson</span></a>
+            </div>
+          </div>
+        </body></html>"#,
+    )
+    .expect("well-formed example page");
+
+    println!(
+        "on the changed page it extracts: {:?}",
+        wrapper.extract_text(&page_v2)
+    );
+
+    // Compare with the canonical (devtools-style) wrapper, which breaks.
+    let canonical =
+        wrapper_induction::baselines::CanonicalWrapper::induce(&page_v1, &[director]);
+    let canonical_result: Vec<String> = canonical
+        .extract(&page_v2)
+        .into_iter()
+        .map(|n| page_v2.normalized_text(n))
+        .collect();
+    println!(
+        "the canonical wrapper ({}) extracts: {:?}  <- broken by the promo box",
+        canonical.expression(),
+        canonical_result
+    );
+}

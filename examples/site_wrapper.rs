@@ -1,0 +1,59 @@
+//! Building a small site wrapper: induce expressions for several roles of the
+//! same site (search box, headline, price, result list, next link) — the
+//! scenario the paper's multi-task datasets model ("wrappers do not only
+//! select a single type of data on a page but navigate to the data via forms
+//! and links").
+//!
+//! ```text
+//! cargo run --release --example site_wrapper
+//! ```
+
+use wrapper_induction::induction::config::TextPolicy;
+use wrapper_induction::prelude::*;
+use wrapper_induction::webgen::date::Day;
+use wrapper_induction::webgen::site::{PageKind, Site};
+use wrapper_induction::webgen::style::Vertical;
+use wrapper_induction::webgen::tasks::{TargetRole, WrapperTask};
+
+fn main() {
+    let site = Site::new(Vertical::Sports, 33);
+    println!("building a site wrapper for {}\n", site.id);
+
+    let roles = [
+        TargetRole::SearchInput,
+        TargetRole::MainHeadline,
+        TargetRole::PriceValue,
+        TargetRole::NextLink,
+        TargetRole::ListTitles,
+        TargetRole::ListRows,
+        TargetRole::NavEntries,
+    ];
+
+    for role in roles {
+        let task = WrapperTask::new(site.clone(), 0, PageKind::Detail, role);
+        let (page, targets) = task.page_with_targets(Day(0));
+        if targets.is_empty() {
+            println!("{role:?}: no targets on this site (skipped)");
+            continue;
+        }
+        let config = InductionConfig::default()
+            .with_k(5)
+            .with_text_policy(TextPolicy::TemplateOnly(task.template_labels(Day(0))));
+        let inducer = WrapperInducer::new(config);
+        let sample = Sample::from_root(&page, &targets);
+        let ranked = inducer.induce(&[sample]);
+        match ranked.first() {
+            Some(top) => {
+                let selected = evaluate(&top.query, &page, page.root());
+                println!(
+                    "{role:?}  ({} target(s), selects {})\n  induced: {}\n  human:   {}\n",
+                    targets.len(),
+                    selected.len(),
+                    top.query,
+                    task.human_wrapper
+                );
+            }
+            None => println!("{role:?}: induction produced no candidate\n"),
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! # wrapper-induction
+//!
+//! A complete, from-scratch reproduction of
+//! **"Robust and Noise Resistant Wrapper Induction"**
+//! (Furche, Guo, Maneth, Schallhart — SIGMOD 2016) as a Rust workspace.
+//!
+//! This facade crate re-exports the public API of the individual crates so a
+//! downstream user can depend on a single package:
+//!
+//! * [`dom`] — the arena DOM substrate (`wi-dom`),
+//! * [`xpath`] — the dsXPath engine: AST, parser, evaluator, canonical paths
+//!   (`wi-xpath`),
+//! * [`scoring`] — the robustness scoring and ranking (`wi-scoring`),
+//! * [`induction`] — the wrapper induction algorithms (`wi-induction`),
+//! * [`webgen`] — the synthetic web substrate used by the evaluation
+//!   (`wi-webgen`),
+//! * [`baselines`] — canonical / devtools / tree-edit / WEIR comparators
+//!   (`wi-baselines`),
+//! * [`eval`] — the experiment harness reproducing the paper's tables and
+//!   figures (`wi-eval`).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use wrapper_induction::prelude::*;
+//!
+//! // 1. Load (or build) a page.
+//! let doc = parse_html(r#"<html><body>
+//!     <div class="txt-block"><h4 class="inline">Director:</h4>
+//!       <a href="/n"><span class="itemprop" itemprop="name">Martin Scorsese</span></a>
+//!     </div>
+//! </body></html>"#).unwrap();
+//!
+//! // 2. Annotate the node(s) to extract (here: the director's span).
+//! let director = doc.descendants(doc.root())
+//!     .find(|&n| doc.tag_name(n) == Some("span"))
+//!     .unwrap();
+//!
+//! // 3. Induce a ranked list of robust dsXPath wrappers.
+//! let inducer = WrapperInducer::default();
+//! let wrapper = inducer.induce_best(&doc, &[director]).unwrap();
+//!
+//! // 4. Apply the wrapper (to this page, or to future versions of it).
+//! assert_eq!(wrapper.extract(&doc), vec![director]);
+//! ```
+
+#![deny(missing_docs)]
+
+/// The DOM substrate (`wi-dom`).
+pub use wi_dom as dom;
+/// The XPath engine (`wi-xpath`).
+pub use wi_xpath as xpath;
+/// Robustness scoring and ranking (`wi-scoring`).
+pub use wi_scoring as scoring;
+/// The wrapper induction algorithms (`wi-induction`).
+pub use wi_induction as induction;
+/// The synthetic web substrate (`wi-webgen`).
+pub use wi_webgen as webgen;
+/// Baseline inducers (`wi-baselines`).
+pub use wi_baselines as baselines;
+/// The experiment harness (`wi-eval`).
+pub use wi_eval as eval;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use wi_dom::{parse_html, to_html, Document, NodeId};
+    pub use wi_induction::{
+        EnsembleConfig, InductionConfig, Sample, Wrapper, WrapperEnsemble, WrapperInducer,
+    };
+    pub use wi_scoring::{QueryInstance, ScoringParams};
+    pub use wi_xpath::{evaluate, parse_query, Query};
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: the full pipeline from synthetic page
+//! generation through induction, evaluation and baselines.
+
+use wrapper_induction::baselines::CanonicalWrapper;
+use wrapper_induction::induction::config::TextPolicy;
+use wrapper_induction::prelude::*;
+use wrapper_induction::webgen::date::Day;
+use wrapper_induction::webgen::site::{PageKind, Site};
+use wrapper_induction::webgen::style::Vertical;
+use wrapper_induction::webgen::tasks::{TargetRole, WrapperTask};
+use wrapper_induction::xpath::is_ds_xpath;
+
+fn induce_top(task: &WrapperTask) -> (wi_dom::Document, Vec<NodeId>, QueryInstance) {
+    let (doc, targets) = task.page_with_targets(Day(0));
+    assert!(!targets.is_empty(), "task {} has no targets", task.id());
+    let config = InductionConfig::default()
+        .with_k(5)
+        .with_text_policy(TextPolicy::TemplateOnly(task.template_labels(Day(0))));
+    let inducer = WrapperInducer::new(config);
+    let sample = Sample::from_root(&doc, &targets);
+    let ranked = inducer.induce(&[sample]);
+    assert!(!ranked.is_empty(), "no wrapper induced for {}", task.id());
+    let top = ranked[0].clone();
+    (doc, targets, top)
+}
+
+#[test]
+fn induction_is_accurate_on_every_vertical() {
+    for (i, &vertical) in Vertical::ALL.iter().enumerate() {
+        let site = Site::new(vertical, 40 + i as u64);
+        let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::PrimaryValue);
+        let (doc, targets, top) = induce_top(&task);
+        let mut selected = evaluate(&top.query, &doc, doc.root());
+        doc.sort_document_order(&mut selected);
+        assert_eq!(
+            selected, targets,
+            "top wrapper {} is inaccurate on {}",
+            top.query,
+            task.id()
+        );
+    }
+}
+
+#[test]
+fn induced_wrappers_are_ds_xpath() {
+    for (i, role) in [
+        TargetRole::PrimaryValue,
+        TargetRole::ListTitles,
+        TargetRole::MainHeadline,
+        TargetRole::ListRows,
+    ]
+    .iter()
+    .enumerate()
+    {
+        let site = Site::new(Vertical::News, 70 + i as u64);
+        let task = WrapperTask::new(site, 0, PageKind::Detail, *role);
+        let (_, _, top) = induce_top(&task);
+        assert!(
+            is_ds_xpath(&top.query),
+            "induced wrapper {} is outside the dsXPath fragment",
+            top.query
+        );
+    }
+}
+
+#[test]
+fn induced_wrapper_transfers_to_other_pages_of_the_template() {
+    let site = Site::new(Vertical::Travel, 55);
+    let task = WrapperTask::new(site.clone(), 0, PageKind::Detail, TargetRole::PrimaryValue);
+    let (_, _, top) = induce_top(&task);
+    // Apply the wrapper induced on page 0 to pages 1..4 of the same site.
+    for page in 1..4 {
+        let other_task =
+            WrapperTask::new(site.clone(), page, PageKind::Detail, TargetRole::PrimaryValue);
+        let (doc, targets) = other_task.page_with_targets(Day(0));
+        let selected = evaluate(&top.query, &doc, doc.root());
+        assert_eq!(
+            selected, targets,
+            "wrapper {} does not transfer to page {page}",
+            top.query
+        );
+    }
+}
+
+#[test]
+fn induced_wrapper_outlives_canonical_on_archive_snapshots() {
+    use wrapper_induction::eval::robustness::run_robustness_standard;
+    let mut induced_total = 0i64;
+    let mut canonical_total = 0i64;
+    for i in 0..4u64 {
+        let site = Site::new(Vertical::Finance, 80 + i);
+        let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::MainHeadline);
+        let (doc, targets, top) = induce_top(&task);
+        let canonical = CanonicalWrapper::induce(&doc, &targets);
+        induced_total += run_robustness_standard(&task, &top.query, 60).valid_days;
+        canonical_total += run_robustness_standard(&task, &canonical, 60).valid_days;
+    }
+    assert!(
+        induced_total >= canonical_total,
+        "induced wrappers ({induced_total} days) must not be less robust than canonical ones ({canonical_total} days)"
+    );
+}
+
+#[test]
+fn negative_noise_generalises_to_full_list() {
+    let site = Site::new(Vertical::Reference, 90);
+    let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::ListTitles);
+    let (doc, targets) = task.page_with_targets(Day(0));
+    assert!(targets.len() >= 4);
+    // Drop one non-boundary target (negative noise).
+    let noisy: Vec<NodeId> = targets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != 1)
+        .map(|(_, &n)| n)
+        .collect();
+    let config = InductionConfig::default()
+        .with_text_policy(TextPolicy::TemplateOnly(task.template_labels(Day(0))));
+    let inducer = WrapperInducer::new(config);
+    let sample = Sample::from_root(&doc, &noisy);
+    let ranked = inducer.induce(&[sample]);
+    let selected = evaluate(&ranked[0].query, &doc, doc.root());
+    assert_eq!(
+        selected.len(),
+        targets.len(),
+        "expected the full list from {}",
+        ranked[0].query
+    );
+}
+
+#[test]
+fn multi_sample_induction_aggregates_counts() {
+    let site = Site::new(Vertical::Movies, 95);
+    let t0 = WrapperTask::new(site.clone(), 0, PageKind::Detail, TargetRole::PrimaryValue);
+    let t1 = WrapperTask::new(site, 1, PageKind::Detail, TargetRole::PrimaryValue);
+    let (d0, v0) = t0.page_with_targets(Day(0));
+    let (d1, v1) = t1.page_with_targets(Day(0));
+    let config = InductionConfig::default()
+        .with_text_policy(TextPolicy::TemplateOnly(t0.template_labels(Day(0))));
+    let samples = [Sample::from_root(&d0, &v0), Sample::from_root(&d1, &v1)];
+    let ranked = wrapper_induction::induction::induce(&samples, &config);
+    assert!(!ranked.is_empty());
+    let top = &ranked[0];
+    assert_eq!(top.tp(), 2);
+    assert_eq!(top.fp(), 0);
+    assert_eq!(evaluate(&top.query, &d0, d0.root()), v0);
+    assert_eq!(evaluate(&top.query, &d1, d1.root()), v1);
+}
+
+#[test]
+fn html_roundtrip_preserves_induction_results() {
+    // Serialize a synthetic page to HTML, re-parse it, and check the wrapper
+    // induced on the original selects the corresponding nodes in the
+    // round-tripped document.
+    let site = Site::new(Vertical::Jobs, 99);
+    let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::PrimaryValue);
+    let (doc, _targets, top) = induce_top(&task);
+    let html = to_html(&doc);
+    let reparsed = parse_html(&html).expect("serialized page parses");
+    let selected_original = evaluate(&top.query, &doc, doc.root());
+    let selected_reparsed = evaluate(&top.query, &reparsed, reparsed.root());
+    assert_eq!(selected_original.len(), selected_reparsed.len());
+    let texts_a: Vec<String> = selected_original
+        .iter()
+        .map(|&n| doc.normalized_text(n))
+        .collect();
+    let texts_b: Vec<String> = selected_reparsed
+        .iter()
+        .map(|&n| reparsed.normalized_text(n))
+        .collect();
+    assert_eq!(texts_a, texts_b);
+}
+
+#[test]
+fn np_hardness_gadget_round_trip() {
+    use wrapper_induction::induction::complexity::{build_gadget, SetCoverInstance};
+    let instance = SetCoverInstance::new(4, vec![vec![0, 1], vec![1, 2], vec![2, 3], vec![0, 3]]);
+    let gadget = build_gadget(&instance);
+    let cover = instance.minimum_cover().expect("instance is coverable");
+    assert_eq!(cover.len(), 2);
+    // A single induced dsXPath wrapper over the gadget generalises to all
+    // items (no union in the fragment).
+    let inducer = WrapperInducer::with_k(3);
+    let ranked = inducer.induce_single(&gadget.doc, &gadget.targets);
+    assert!(!ranked.is_empty());
+    let selected = evaluate(&ranked[0].query, &gadget.doc, gadget.doc.root());
+    assert_eq!(selected.len(), gadget.targets.len());
+}

@@ -1,0 +1,132 @@
+//! Integration tests of noise resistance across the full stack: synthetic
+//! annotation noise (Section 6.4) and simulated NER noise (the "real-life
+//! noise" experiment) fed through the actual induction pipeline.
+
+use wrapper_induction::eval::experiments::induction_config_for;
+use wrapper_induction::prelude::*;
+use wrapper_induction::webgen::noise::{apply_noise, NoiseKind};
+use wrapper_induction::webgen::{datasets, Day, WrapperTask};
+
+/// Induces the top-ranked expression for a task's annotation set, using the
+/// same configuration as the paper's evaluation (text predicates restricted
+/// to template labels so that volatile data text cannot be overfitted).
+fn induce_top(task: &WrapperTask, doc: &Document, targets: &[NodeId]) -> String {
+    WrapperInducer::new(induction_config_for(task, 5))
+        .induce_single(doc, targets)
+        .first()
+        .expect("a wrapper")
+        .query
+        .to_string()
+}
+
+/// Runs one noise model over a handful of multi-node samples and returns how
+/// many of them induce exactly the same top expression as the clean sample.
+fn identical_results(kind: NoiseKind, intensity: f64, samples: usize) -> (usize, usize) {
+    let tasks = if kind.is_negative() {
+        datasets::negative_noise_samples(samples)
+    } else {
+        datasets::positive_noise_samples(samples)
+    };
+    let mut identical = 0usize;
+    let mut total = 0usize;
+    for (i, task) in tasks.iter().enumerate() {
+        let (doc, targets) = task.page_with_targets(Day(0));
+        if targets.len() < 3 {
+            continue;
+        }
+        total += 1;
+        let clean = induce_top(task, &doc, &targets);
+        let noisy_targets = apply_noise(&doc, &targets, kind, intensity, 7 + i as u64);
+        let noisy = induce_top(task, &doc, &noisy_targets);
+        if clean == noisy {
+            identical += 1;
+        }
+    }
+    (identical, total)
+}
+
+#[test]
+fn mild_negative_noise_rarely_changes_the_induced_wrapper() {
+    let (identical, total) = identical_results(NoiseKind::NegativeMidRandom, 0.1, 6);
+    assert!(total >= 4, "too few usable samples ({total})");
+    assert!(
+        identical * 2 >= total,
+        "only {identical}/{total} identical under 10% mid-random negative noise"
+    );
+}
+
+#[test]
+fn positive_random_noise_is_almost_always_generalised_away() {
+    let (identical, total) = identical_results(NoiseKind::PositiveRandom, 0.7, 6);
+    assert!(total >= 4, "too few usable samples ({total})");
+    assert!(
+        identical * 2 >= total,
+        "only {identical}/{total} identical under 70% random positive noise"
+    );
+}
+
+#[test]
+fn noisy_induction_still_recovers_the_true_targets() {
+    // Even when the expression differs textually from the clean one, the
+    // induced wrapper should keep selecting (at least) the true annotated
+    // nodes under mild noise for the majority of samples.
+    let tasks = datasets::negative_noise_samples(6);
+    let mut recovered = 0usize;
+    let mut total = 0usize;
+    for (i, task) in tasks.iter().enumerate() {
+        let (doc, targets) = task.page_with_targets(Day(0));
+        if targets.len() < 4 {
+            continue;
+        }
+        total += 1;
+        let noisy_targets =
+            apply_noise(&doc, &targets, NoiseKind::NegativeMidRandom, 0.3, 99 + i as u64);
+        let instances = WrapperInducer::new(induction_config_for(task, 5))
+            .induce_single(&doc, &noisy_targets);
+        let top = instances.first().expect("a wrapper");
+        let selected = evaluate(&top.query, &doc, doc.root());
+        if targets.iter().all(|t| selected.contains(t)) {
+            recovered += 1;
+        }
+    }
+    assert!(total >= 4);
+    assert!(
+        recovered * 2 >= total,
+        "only {recovered}/{total} samples recovered the full target set"
+    );
+}
+
+#[test]
+fn simulated_ner_annotations_drive_usable_wrappers() {
+    use wrapper_induction::webgen::ner::{annotate_listing_page, EntityKind, NerConfig};
+
+    let sites = datasets::ner_pages(3);
+    let mut usable = 0usize;
+    let mut total = 0usize;
+    for (i, site) in sites.iter().enumerate() {
+        let kind = EntityKind::ALL[i % EntityKind::ALL.len()];
+        let (doc, annotation) =
+            annotate_listing_page(site, 0, kind, &NerConfig::default(), 11 + i as u64);
+        if annotation.annotated.len() < 3 || annotation.truth.len() < 3 {
+            continue;
+        }
+        total += 1;
+        let wrapper = WrapperInducer::with_k(5)
+            .induce_best(&doc, &annotation.annotated)
+            .expect("a wrapper");
+        let selected = wrapper.extract(&doc);
+        // "Usable" in the paper's sense: the induced expression identifies
+        // the intended set of nodes despite the annotator's noise.
+        let truth: std::collections::HashSet<NodeId> =
+            annotation.truth.iter().copied().collect();
+        let selected_set: std::collections::HashSet<NodeId> = selected.iter().copied().collect();
+        if selected_set == truth {
+            usable += 1;
+        }
+    }
+    assert!(total >= 2, "too few NER pages with enough annotations ({total})");
+    assert!(
+        usable >= 1,
+        "no NER-annotated page produced the intended wrapper ({usable}/{total})"
+    );
+}

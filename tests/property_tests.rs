@@ -1,0 +1,160 @@
+//! Property-based tests of the core invariants, spanning several crates.
+
+use proptest::prelude::*;
+use wrapper_induction::prelude::*;
+use wrapper_induction::scoring::score_query;
+use wrapper_induction::xpath::{canonical_path, is_plausible};
+
+/// Strategy: a small random document described by a nested tag structure.
+fn arb_document() -> impl Strategy<Value = Document> {
+    // A list of (depth, tag index, has_id, text?) rows interpreted as a
+    // pre-order forest description.
+    prop::collection::vec((0usize..4, 0usize..6, any::<bool>(), 0usize..5), 1..40).prop_map(
+        |rows| {
+            use wrapper_induction::dom::DocumentBuilder;
+            let tags = ["div", "span", "p", "ul", "li", "a"];
+            let mut builder = DocumentBuilder::new();
+            builder.open_element("html", &[]);
+            builder.open_element("body", &[]);
+            let base_depth = builder.depth();
+            for (i, (depth, tag, has_id, text_choice)) in rows.iter().enumerate() {
+                // Close elements until we are at most `depth` below body.
+                while builder.depth() > base_depth + depth {
+                    let _ = builder.close_element();
+                }
+                let id_value = format!("n{i}");
+                let attrs: Vec<(&str, &str)> = if *has_id {
+                    vec![("id", id_value.as_str()), ("class", tags[*tag])]
+                } else {
+                    vec![("class", tags[*tag])]
+                };
+                builder.open_element(tags[*tag], &attrs);
+                if *text_choice > 0 {
+                    builder.text(&format!("text {text_choice} {i}"));
+                }
+            }
+            builder.finish_lenient()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Serialize → parse keeps the element structure (tags in document
+    /// order) intact.
+    #[test]
+    fn html_roundtrip_preserves_structure(doc in arb_document()) {
+        let html = to_html(&doc);
+        let reparsed = parse_html(&html).unwrap();
+        let tags_a: Vec<String> = doc
+            .descendants(doc.root())
+            .filter_map(|n| doc.tag_name(n).map(String::from))
+            .collect();
+        let tags_b: Vec<String> = reparsed
+            .descendants(reparsed.root())
+            .filter_map(|n| reparsed.tag_name(n).map(String::from))
+            .collect();
+        prop_assert_eq!(tags_a, tags_b);
+    }
+
+    /// The canonical path of every node selects exactly that node.
+    #[test]
+    fn canonical_paths_are_unique_selectors(doc in arb_document()) {
+        for node in doc.descendants(doc.root()).take(25) {
+            let q = canonical_path(&doc, node);
+            prop_assert_eq!(evaluate(&q, &doc, doc.root()), vec![node]);
+        }
+    }
+
+    /// Canonical paths are plausible dsXPath-fragment queries for their own
+    /// document.
+    #[test]
+    fn canonical_paths_are_plausible(doc in arb_document()) {
+        if let Some(node) = doc.descendants(doc.root()).last() {
+            let q = canonical_path(&doc, node);
+            prop_assert!(is_plausible(&q, &[&doc]));
+        }
+    }
+
+    /// Parsing the printed form of a query gives back the same query
+    /// (round-trip through the textual syntax), for queries harvested from
+    /// canonical paths and induced wrappers.
+    #[test]
+    fn query_display_round_trips(doc in arb_document()) {
+        let Some(node) = doc.descendants(doc.root()).last() else {
+            return Ok(());
+        };
+        let q = canonical_path(&doc, node);
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        prop_assert_eq!(q, reparsed);
+    }
+
+    /// The robustness score is plus-compositional: appending a step never
+    /// decreases the score, and concatenation scores at least as much as the
+    /// head alone.
+    #[test]
+    fn score_monotone_in_steps(doc in arb_document()) {
+        let params = ScoringParams::paper_defaults();
+        let Some(node) = doc.descendants(doc.root()).last() else {
+            return Ok(());
+        };
+        let q = canonical_path(&doc, node);
+        let mut prefix = Query { absolute: q.absolute, steps: vec![] };
+        let mut last_score = 0.0f64;
+        for step in &q.steps {
+            prefix.steps.push(step.clone());
+            let s = score_query(&prefix, &params);
+            prop_assert!(s >= last_score - 1e-9, "score decreased: {s} < {last_score}");
+            last_score = s;
+        }
+    }
+
+    /// Induction on a noise-free sample always returns an expression that is
+    /// accurate on that sample (F0.5 = 1 for the top instance whenever any
+    /// exact expression exists in the fragment — canonical paths guarantee
+    /// one does for singleton targets).
+    #[test]
+    fn induction_is_exact_on_clean_singleton_samples(doc in arb_document(), pick in any::<prop::sample::Index>()) {
+        let elements: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        if elements.is_empty() {
+            return Ok(());
+        }
+        let target = elements[pick.index(elements.len())];
+        let inducer = WrapperInducer::with_k(3);
+        let ranked = inducer.induce_single(&doc, &[target]);
+        prop_assert!(!ranked.is_empty());
+        let top = &ranked[0];
+        prop_assert!(top.is_exact(), "top wrapper {} not exact", top.query);
+        prop_assert_eq!(evaluate(&top.query, &doc, doc.root()), vec![target]);
+    }
+
+    /// Induction is deterministic: the same input produces the same ranked
+    /// expressions.
+    #[test]
+    fn induction_is_deterministic(doc in arb_document(), pick in any::<prop::sample::Index>()) {
+        let elements: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.is_element(n))
+            .collect();
+        if elements.is_empty() {
+            return Ok(());
+        }
+        let target = elements[pick.index(elements.len())];
+        let inducer = WrapperInducer::with_k(4);
+        let a: Vec<String> = inducer
+            .induce_single(&doc, &[target])
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        let b: Vec<String> = inducer
+            .induce_single(&doc, &[target])
+            .iter()
+            .map(|q| q.query.to_string())
+            .collect();
+        prop_assert_eq!(a, b);
+    }
+}
