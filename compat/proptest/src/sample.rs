@@ -1,0 +1,58 @@
+//! Sampling strategies: `select` and `Index`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// A uniformly chosen element of a fixed collection.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select over an empty collection");
+    Select { items }
+}
+
+/// The strategy returned by [`select`].
+pub struct Select<T: Clone> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.items[rng.below(self.items.len())].clone()
+    }
+}
+
+/// An index into a collection whose size is unknown at generation time
+/// (resolved with [`Index::index`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Creates an index from a raw value.
+    pub fn new(raw: usize) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves the index against a collection of `len` elements.
+    ///
+    /// Panics when `len` is zero, like the real proptest `Index`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index(0)");
+        self.0 % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_and_index_are_in_range() {
+        let mut rng = TestRng::from_seed(2);
+        let strat = select(vec!["a", "b", "c"]);
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&strat.generate(&mut rng)));
+        }
+        let idx = Index::new(usize::MAX);
+        assert!(idx.index(7) < 7);
+    }
+}

@@ -1,0 +1,193 @@
+//! String generation from simple regex patterns.
+//!
+//! Real proptest treats `&str` literals as full regexes; the workspace's
+//! tests only use a small subset — character classes, groups, and the
+//! `?`/`*`/`+`/`{m,n}` quantifiers — which is what this generator supports
+//! (e.g. `"[a-z][a-z0-9]{0,6}( [a-z]{1,5})?"`).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<Node>),
+    Repeat(Box<Node>, usize, usize),
+}
+
+/// Generates one string matching `pattern`; panics on unsupported syntax.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_sequence(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: usize = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as usize - lo as usize + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = hi as usize - lo as usize + 1;
+                if pick < span {
+                    out.push(char::from_u32(lo as u32 + pick as u32).unwrap());
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let count = min + rng.below(max - min + 1);
+            for _ in 0..count {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+fn parse_sequence(input: &mut &[char]) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        let atom = match c {
+            '[' => parse_class(input),
+            '(' => {
+                *input = &input[1..];
+                let inner = parse_sequence(input);
+                assert_eq!(input.first(), Some(&')'), "unclosed group in pattern");
+                *input = &input[1..];
+                Node::Group(inner)
+            }
+            '\\' => {
+                *input = &input[1..];
+                let escaped = input.first().expect("dangling escape in pattern");
+                let node = Node::Literal(*escaped);
+                *input = &input[1..];
+                node
+            }
+            other => {
+                *input = &input[1..];
+                Node::Literal(other)
+            }
+        };
+        nodes.push(apply_quantifier(atom, input));
+    }
+    nodes
+}
+
+fn parse_class(input: &mut &[char]) -> Node {
+    assert_eq!(input.first(), Some(&'['));
+    *input = &input[1..];
+    let mut ranges = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ']' {
+            *input = &input[1..];
+            return Node::Class(ranges);
+        }
+        *input = &input[1..];
+        if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+            let hi = input[1];
+            *input = &input[2..];
+            ranges.push((c, hi));
+        } else {
+            ranges.push((c, c));
+        }
+    }
+    panic!("unclosed character class in pattern");
+}
+
+fn apply_quantifier(atom: Node, input: &mut &[char]) -> Node {
+    match input.first() {
+        Some('?') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *input = &input[1..];
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('{') => {
+            *input = &input[1..];
+            let mut min = String::new();
+            while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                min.push(input[0]);
+                *input = &input[1..];
+            }
+            let max = if input.first() == Some(&',') {
+                *input = &input[1..];
+                let mut max = String::new();
+                while input.first().is_some_and(|c| c.is_ascii_digit()) {
+                    max.push(input[0]);
+                    *input = &input[1..];
+                }
+                max
+            } else {
+                min.clone()
+            };
+            assert_eq!(input.first(), Some(&'}'), "unclosed quantifier in pattern");
+            *input = &input[1..];
+            let min: usize = min.parse().expect("bad quantifier minimum");
+            let max: usize = max.parse().expect("bad quantifier maximum");
+            Node::Repeat(Box::new(atom), min, max)
+        }
+        _ => atom,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_strings_match_the_patterns() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z]{1,10}", &mut rng);
+            assert!((1..=10).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let s = generate_matching("[A-Za-z ]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_alphabetic() || c == ' '));
+
+            let s = generate_matching("[a-z][a-z0-9]{0,6}( [a-z]{1,5})?", &mut rng);
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn optional_groups_appear_and_disappear() {
+        let mut rng = TestRng::from_seed(8);
+        let mut with_space = 0;
+        let mut without = 0;
+        for _ in 0..100 {
+            let s = generate_matching("a( b)?", &mut rng);
+            if s == "a b" {
+                with_space += 1;
+            } else {
+                assert_eq!(s, "a");
+                without += 1;
+            }
+        }
+        assert!(with_space > 0 && without > 0);
+    }
+}

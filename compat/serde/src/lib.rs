@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! This workspace is built in an environment without network access, so the
+//! real `serde` crate cannot be downloaded.  The workspace uses
+//! `#[derive(Serialize, Deserialize)]` as an API marker only; concrete
+//! serialization (the `WrapperBundle` JSON artifacts) is implemented by the
+//! hand-rolled JSON layer in `wi-induction::json`.
+//!
+//! The traits below are blanket-implemented for every type so that generic
+//! bounds keep working, and the re-exported derives expand to nothing.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker trait mirroring `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

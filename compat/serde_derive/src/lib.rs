@@ -1,0 +1,24 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment of this workspace has no network access, so the
+//! real `serde`/`serde_derive` crates cannot be fetched.  The workspace only
+//! relies on the *derive markers* (`#[derive(Serialize, Deserialize)]`) for
+//! API compatibility; actual persistence (e.g. `WrapperBundle::save_json`)
+//! is implemented with a hand-rolled JSON layer in `wi-induction`.  These
+//! derives therefore expand to nothing: the marker traits in the companion
+//! `serde` stub are blanket-implemented for every type.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive (accepts and ignores `#[serde(...)]` attributes).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive (accepts and ignores `#[serde(...)]`
+/// attributes).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

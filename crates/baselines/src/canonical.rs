@@ -5,7 +5,31 @@
 //! "canonical" curve of Figures 3 and 4 in the paper.
 
 use wi_dom::{Document, NodeId};
+use wi_induction::{ExtractError, Extractor};
 use wi_xpath::{canonical_path, evaluate, Query};
+
+/// Evaluates a set of queries from `context` and returns the union of their
+/// results in document order (the extraction rule shared by the multi-path
+/// baselines).
+pub(crate) fn extract_union(
+    queries: &[Query],
+    doc: &Document,
+    context: NodeId,
+) -> Result<Vec<NodeId>, ExtractError> {
+    if queries.is_empty() {
+        return Err(ExtractError::EmptyWrapper);
+    }
+    if !doc.contains(context) {
+        return Err(ExtractError::InvalidContext(context));
+    }
+    let mut out: Vec<NodeId> = queries
+        .iter()
+        .flat_map(|q| evaluate(q, doc, context))
+        .collect();
+    // sort_document_order also removes duplicates.
+    doc.sort_document_order(&mut out);
+    Ok(out)
+}
 
 /// A canonical wrapper: one absolute path per annotated target.
 #[derive(Debug, Clone)]
@@ -22,17 +46,6 @@ impl CanonicalWrapper {
         CanonicalWrapper {
             paths: sorted.iter().map(|&t| canonical_path(doc, t)).collect(),
         }
-    }
-
-    /// Applies the wrapper to a document: the union of all paths' results.
-    pub fn extract(&self, doc: &Document) -> Vec<NodeId> {
-        let mut out: Vec<NodeId> = self
-            .paths
-            .iter()
-            .flat_map(|p| evaluate(p, doc, doc.root()))
-            .collect();
-        doc.sort_document_order(&mut out);
-        out
     }
 
     /// The textual form of the wrapper (paths joined by ` | `).
@@ -55,6 +68,18 @@ impl CanonicalWrapper {
     }
 }
 
+/// Canonical wrappers extract the union of their absolute paths (the paths
+/// start at the document root, so the context only gates validity).
+impl Extractor for CanonicalWrapper {
+    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+        extract_union(&self.paths, doc, context)
+    }
+
+    fn describe(&self) -> String {
+        self.expression()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -62,15 +87,14 @@ mod tests {
 
     #[test]
     fn selects_exactly_the_targets_on_the_training_page() {
-        let doc = parse_html(
-            "<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>",
-        )
-        .unwrap();
+        let doc = parse_html("<html><body><ul><li>a</li><li>b</li><li>c</li></ul></body></html>")
+            .unwrap();
         let targets = doc.elements_by_tag("li");
         let wrapper = CanonicalWrapper::induce(&doc, &targets);
         assert_eq!(wrapper.len(), 3);
-        assert_eq!(wrapper.extract(&doc), targets);
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), targets);
         assert!(wrapper.expression().contains(" | "));
+        assert_eq!(wrapper.describe(), wrapper.expression());
         assert!(!wrapper.is_empty());
     }
 
@@ -80,11 +104,10 @@ mod tests {
         let p1 = v1.elements_by_tag("p");
         let wrapper = CanonicalWrapper::induce(&v1, &p1);
         // An advert div inserted before shifts div[1] → div[2].
-        let v2 = parse_html(
-            "<html><body><div class=\"ad\">ad</div><div><p>x</p></div></body></html>",
-        )
-        .unwrap();
-        let selected = wrapper.extract(&v2);
+        let v2 =
+            parse_html("<html><body><div class=\"ad\">ad</div><div><p>x</p></div></body></html>")
+                .unwrap();
+        let selected = wrapper.extract_root(&v2).unwrap();
         let expected = v2.elements_by_tag("p");
         assert_ne!(selected, expected, "canonical wrapper should have broken");
     }

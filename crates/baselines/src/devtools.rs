@@ -6,8 +6,48 @@
 //! if one is present on the target or an ancestor.  This module reproduces
 //! that behaviour.
 
+use crate::canonical::extract_union;
 use wi_dom::{Document, NodeId};
+use wi_induction::{ExtractError, Extractor};
 use wi_xpath::{canonical_step, Axis, NodeTest, Predicate, Query, Step};
+
+/// A devtools-style wrapper: one id-anchored (or canonical) expression per
+/// annotated target, extracted as a union.
+#[derive(Debug, Clone)]
+pub struct DevtoolsWrapper {
+    /// One expression per target, in document order of the targets.
+    pub queries: Vec<Query>,
+}
+
+impl DevtoolsWrapper {
+    /// Builds the devtools wrapper for a set of targets on a document.
+    pub fn induce(doc: &Document, targets: &[NodeId]) -> DevtoolsWrapper {
+        let mut sorted = targets.to_vec();
+        doc.sort_document_order(&mut sorted);
+        DevtoolsWrapper {
+            queries: sorted.iter().map(|&t| devtools_wrapper(doc, t)).collect(),
+        }
+    }
+
+    /// The textual form of the wrapper (expressions joined by ` | `).
+    pub fn expression(&self) -> String {
+        self.queries
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+impl Extractor for DevtoolsWrapper {
+    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+        extract_union(&self.queries, doc, context)
+    }
+
+    fn describe(&self) -> String {
+        self.expression()
+    }
+}
 
 /// Builds the devtools-style expression for a single node: the shortest
 /// suffix of the canonical path rooted at the nearest ancestor-or-self with a
@@ -16,7 +56,7 @@ use wi_xpath::{canonical_step, Axis, NodeTest, Predicate, Query, Step};
 pub fn devtools_wrapper(doc: &Document, node: NodeId) -> Query {
     // Find the nearest ancestor-or-self carrying a unique id.
     let anchor = doc.ancestors_or_self(node).find(|&n| {
-        doc.attribute(n, "id").map_or(false, |id| {
+        doc.attribute(n, "id").is_some_and(|id| {
             doc.descendants(doc.root())
                 .filter(|&m| doc.attribute(m, "id") == Some(id))
                 .count()
@@ -59,10 +99,7 @@ mod tests {
         .unwrap();
         let p2 = doc.elements_by_tag("p")[1];
         let q = devtools_wrapper(&doc, p2);
-        assert_eq!(
-            q.to_string(),
-            r#"descendant::div[@id="main"]/child::p[2]"#
-        );
+        assert_eq!(q.to_string(), r#"descendant::div[@id="main"]/child::p[2]"#);
         assert_eq!(evaluate(&q, &doc, doc.root()), vec![p2]);
     }
 
@@ -81,6 +118,16 @@ mod tests {
         let q = devtools_wrapper(&doc, p);
         assert!(q.absolute);
         assert_eq!(evaluate(&q, &doc, doc.root()), vec![p]);
+    }
+
+    #[test]
+    fn wrapper_struct_extracts_all_targets_via_the_trait() {
+        let doc = parse_html(r#"<html><body><div id="main"><p>a</p><p>b</p></div></body></html>"#)
+            .unwrap();
+        let ps = doc.elements_by_tag("p");
+        let wrapper = DevtoolsWrapper::induce(&doc, &ps);
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), ps);
+        assert!(wrapper.describe().contains(" | "));
     }
 
     #[test]

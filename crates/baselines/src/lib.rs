@@ -27,6 +27,9 @@ pub mod treeedit;
 pub mod weir;
 
 pub use canonical::CanonicalWrapper;
-pub use devtools::devtools_wrapper;
-pub use treeedit::{ChangeModel, TreeEditInducer};
-pub use weir::WeirInducer;
+pub use devtools::{devtools_wrapper, DevtoolsWrapper};
+pub use treeedit::{ChangeModel, TreeEditInducer, TreeEditWrapper};
+pub use weir::{WeirInducer, WeirWrapper};
+
+// The unified extraction interface every baseline implements.
+pub use wi_induction::{ExtractError, Extractor};

@@ -17,8 +17,10 @@
 //! * [`TreeEditInducer::induce`] enumerates accurate candidates in the weak
 //!   fragment and ranks them by estimated survival probability.
 
+use crate::canonical::extract_union;
 use std::collections::HashMap;
 use wi_dom::{Document, NodeId};
+use wi_induction::{ExtractError, Extractor};
 use wi_xpath::{evaluate, Axis, NodeTest, Predicate, Query, Step};
 
 /// Per-feature change probabilities (per snapshot step).
@@ -71,7 +73,7 @@ impl ChangeModel {
             let (a, b) = (pair[0], pair[1]);
             let feats_a = attribute_features(a);
             let feats_b = attribute_features(b);
-            for (key, _) in &feats_a {
+            for key in feats_a.keys() {
                 let kept = feats_b.contains_key(key);
                 match key.1.as_str() {
                     "id" => {
@@ -260,6 +262,20 @@ impl TreeEditInducer {
         accurate.into_iter().map(|(q, _)| q).collect()
     }
 
+    /// Induces a [`TreeEditWrapper`] for a set of annotated targets: the
+    /// top-ranked (highest survival probability) candidate per target,
+    /// extracted as a union.
+    pub fn induce_wrapper(&self, doc: &Document, targets: &[NodeId]) -> TreeEditWrapper {
+        let mut sorted = targets.to_vec();
+        doc.sort_document_order(&mut sorted);
+        TreeEditWrapper {
+            queries: sorted
+                .iter()
+                .filter_map(|&t| self.induce(doc, t).into_iter().next())
+                .collect(),
+        }
+    }
+
     /// Candidate steps describing one node in the weak fragment: bare tag,
     /// tag with one attribute equality, or tag with a positional predicate.
     fn node_steps(&self, doc: &Document, node: NodeId, axis: Axis) -> Vec<Step> {
@@ -281,6 +297,36 @@ impl TreeEditInducer {
                 .with_predicate(Predicate::Position(doc.sibling_index(node) as u32)),
         );
         steps
+    }
+}
+
+/// The applied form of the tree-edit baseline: the survival-ranked top
+/// expression of each annotated target.
+#[derive(Debug, Clone)]
+pub struct TreeEditWrapper {
+    /// One top-ranked expression per target, in document order of the
+    /// targets (targets for which no accurate candidate exists are skipped).
+    pub queries: Vec<Query>,
+}
+
+impl TreeEditWrapper {
+    /// The textual form of the wrapper (expressions joined by ` | `).
+    pub fn expression(&self) -> String {
+        self.queries
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+impl Extractor for TreeEditWrapper {
+    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+        extract_union(&self.queries, doc, context)
+    }
+
+    fn describe(&self) -> String {
+        self.expression()
     }
 }
 
@@ -350,15 +396,25 @@ mod tests {
     }
 
     #[test]
+    fn induced_wrapper_extracts_through_the_trait() {
+        let doc = page("main");
+        let span = doc.elements_by_tag("span")[0];
+        let inducer = TreeEditInducer::new(ChangeModel::default(), 5);
+        let wrapper = inducer.induce_wrapper(&doc, &[span]);
+        assert_eq!(wrapper.queries.len(), 1);
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), vec![span]);
+        assert_eq!(wrapper.describe(), wrapper.expression());
+    }
+
+    #[test]
     fn survival_probability_ordering() {
         let model = ChangeModel::default();
         let by_id = wi_xpath::parse_query(r#"descendant::div[@id="content"]"#).unwrap();
         let by_class = wi_xpath::parse_query(r#"descendant::div[@class="main"]"#).unwrap();
         let by_pos = wi_xpath::parse_query("descendant::div[3]").unwrap();
-        let long = wi_xpath::parse_query(
-            r#"descendant::div[@id="content"]/child::div[2]/child::span[1]"#,
-        )
-        .unwrap();
+        let long =
+            wi_xpath::parse_query(r#"descendant::div[@id="content"]/child::div[2]/child::span[1]"#)
+                .unwrap();
         let p_id = model.survival_probability(&by_id);
         let p_class = model.survival_probability(&by_class);
         let p_pos = model.survival_probability(&by_pos);

@@ -13,8 +13,9 @@
 //!   from the closest ancestor with a unique `id` — and *relative*
 //!   expressions anchored on a close-by template text node.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use wi_dom::{Document, NodeId};
+use wi_induction::{ExtractError, Extractor};
 use wi_xpath::{canonical_step, evaluate, Axis, NodeTest, Predicate, Query, Step, StringFunction};
 
 /// One same-template page with the annotated target node (the value WEIR is
@@ -48,6 +49,13 @@ impl Default for WeirInducer {
 }
 
 impl WeirInducer {
+    /// Induces a [`WeirWrapper`] from a group of same-template pages.
+    pub fn induce_wrapper(&self, pages: &[WeirPage<'_>]) -> WeirWrapper {
+        WeirWrapper {
+            expressions: self.induce(pages),
+        }
+    }
+
     /// Induces the (unranked) expression set from a group of same-template
     /// pages.  Expressions are kept only if they select exactly the annotated
     /// node on every input page.
@@ -110,7 +118,7 @@ impl WeirInducer {
         let anchors: Vec<NodeId> = doc
             .ancestors_or_self(page.target)
             .filter(|&n| {
-                doc.attribute(n, "id").map_or(false, |id| {
+                doc.attribute(n, "id").is_some_and(|id| {
                     doc.descendants(doc.root())
                         .filter(|&m| doc.attribute(m, "id") == Some(id))
                         .count()
@@ -170,11 +178,7 @@ impl WeirInducer {
                 Some(l) => l,
                 None => continue,
             };
-            let up = doc
-                .ancestors(anchor)
-                .take_while(|&n| n != lca)
-                .count()
-                + 1;
+            let up = doc.ancestors(anchor).take_while(|&n| n != lca).count() + 1;
             // anchor step
             let mut steps = vec![Step::new(Axis::Descendant, NodeTest::Tag(anchor_tag))
                 .with_predicate(Predicate::StringCompare {
@@ -199,6 +203,61 @@ impl WeirInducer {
             out.push(Query::new(steps));
         }
         out
+    }
+}
+
+/// The applied form of WEIR's unranked expression set.
+///
+/// Every WEIR expression selects (at most) the same single value node on a
+/// page, so extraction is a plurality vote: the node(s) selected by the
+/// largest number of expressions win.  As the page evolves and individual
+/// expressions break, the vote degrades gracefully instead of flipping to
+/// whichever expression happens to be listed first.
+#[derive(Debug, Clone)]
+pub struct WeirWrapper {
+    /// The induced expressions (unranked, as WEIR emits them).
+    pub expressions: Vec<Query>,
+}
+
+impl WeirWrapper {
+    /// The textual form of the wrapper (expressions joined by ` | `).
+    pub fn expression(&self) -> String {
+        self.expressions
+            .iter()
+            .map(|q| q.to_string())
+            .collect::<Vec<_>>()
+            .join(" | ")
+    }
+}
+
+impl Extractor for WeirWrapper {
+    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+        if self.expressions.is_empty() {
+            return Err(ExtractError::EmptyWrapper);
+        }
+        if !doc.contains(context) {
+            return Err(ExtractError::InvalidContext(context));
+        }
+        let mut votes: BTreeMap<NodeId, usize> = BTreeMap::new();
+        for q in &self.expressions {
+            for node in evaluate(q, doc, context) {
+                *votes.entry(node).or_insert(0) += 1;
+            }
+        }
+        let Some(&max_votes) = votes.values().max() else {
+            return Ok(Vec::new());
+        };
+        let mut out: Vec<NodeId> = votes
+            .into_iter()
+            .filter(|&(_, v)| v == max_votes)
+            .map(|(n, _)| n)
+            .collect();
+        doc.sort_document_order(&mut out);
+        Ok(out)
+    }
+
+    fn describe(&self) -> String {
+        self.expression()
     }
 }
 
@@ -228,8 +287,11 @@ mod tests {
 
     fn target(doc: &Document, value: &str) -> NodeId {
         doc.descendants(doc.root())
-            .find(|&n| doc.is_element(n) && doc.normalized_text(n) == value
-                && doc.tag_name(n) == Some("span"))
+            .find(|&n| {
+                doc.is_element(n)
+                    && doc.normalized_text(n) == value
+                    && doc.tag_name(n) == Some("span")
+            })
             .unwrap()
     }
 
@@ -314,5 +376,38 @@ mod tests {
     #[test]
     fn empty_input_yields_empty_output() {
         assert!(WeirInducer::default().induce(&[]).is_empty());
+        let empty = WeirWrapper {
+            expressions: vec![],
+        };
+        let doc = hotel_page("H", "C", false);
+        assert_eq!(
+            empty.extract_root(&doc).unwrap_err(),
+            ExtractError::EmptyWrapper
+        );
+    }
+
+    #[test]
+    fn wrapper_votes_across_its_expressions() {
+        let pages: Vec<Document> = (0..5)
+            .map(|i| hotel_page(&format!("Hotel {i}"), &format!("Nation {i}"), false))
+            .collect();
+        let weir_pages: Vec<WeirPage<'_>> = pages
+            .iter()
+            .enumerate()
+            .map(|(i, doc)| WeirPage {
+                doc,
+                target: target(doc, &format!("Nation {i}")),
+            })
+            .collect();
+        let wrapper = WeirInducer::default().induce_wrapper(&weir_pages);
+        assert!(!wrapper.expressions.is_empty());
+        // On a training page the plurality vote is exactly the target.
+        let expected = target(&pages[0], "Nation 0");
+        assert_eq!(wrapper.extract_root(&pages[0]).unwrap(), vec![expected]);
+        // On a changed page some expressions break but the vote still
+        // singles out one node.
+        let changed = hotel_page("Hotel 0", "Nation 0", true);
+        let selected = wrapper.extract_root(&changed).unwrap();
+        assert_eq!(selected, vec![target(&changed, "Nation 0")]);
     }
 }

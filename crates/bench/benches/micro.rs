@@ -109,11 +109,35 @@ fn bench_multi_induction(c: &mut Criterion) {
     });
 }
 
+fn bench_batch_extraction(c: &mut Criterion) {
+    use wi_induction::Extractor;
+    let site = Site::new(Vertical::Movies, 11);
+    let task = wi_webgen::tasks::WrapperTask::new(
+        site.clone(),
+        0,
+        PageKind::Detail,
+        wi_webgen::tasks::TargetRole::PrimaryValue,
+    );
+    let (doc, targets) = task.page_with_targets(Day(0));
+    let wrapper = WrapperInducer::with_k(5)
+        .try_induce_best(&doc, &targets)
+        .expect("induction succeeds");
+    let docs: Vec<_> = (0..64)
+        .map(|step| site.render(0, Day(step * 30), PageKind::Detail))
+        .collect();
+    c.bench_function("extract_batch_parallel_64_docs", |b| {
+        b.iter(|| wrapper.extract_batch(&docs))
+    });
+    c.bench_function("extract_batch_sequential_64_docs", |b| {
+        b.iter(|| wrapper.extract_batch_sequential(&docs))
+    });
+}
+
 criterion_group! {
     name = micro;
     config = Criterion::default().sample_size(20);
     targets = bench_parse_html, bench_xpath_evaluate, bench_canonical_path,
               bench_scoring, bench_page_generation, bench_single_induction,
-              bench_multi_induction
+              bench_multi_induction, bench_batch_extraction
 }
 criterion_main!(micro);

@@ -1,6 +1,7 @@
 //! High-level convenience API: [`WrapperInducer`] and [`Wrapper`].
 
 use crate::config::InductionConfig;
+use crate::error::InduceError;
 use crate::induce::induce;
 use crate::sample::Sample;
 use wi_dom::{Document, NodeId};
@@ -31,19 +32,24 @@ impl Wrapper {
         self.instance.query.to_string()
     }
 
-    /// Applies the wrapper to a document (evaluated from the root).
-    pub fn extract(&self, doc: &Document) -> Vec<NodeId> {
-        evaluate(&self.instance.query, doc, doc.root())
-    }
-
-    /// Applies the wrapper from an explicit context node.
+    /// Extraction itself lives on the [`crate::Extractor`] trait, which
+    /// `Wrapper` implements: `wrapper.extract(&doc, doc.root())` or
+    /// `wrapper.extract_root(&doc)`.
+    ///
+    /// This method is the pre-`Extractor` shim for callers that still want
+    /// an infallible evaluation from an explicit context node.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the `Extractor` trait: `wrapper.extract(&doc, context)`"
+    )]
     pub fn extract_from(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
         evaluate(&self.instance.query, doc, context)
     }
 
-    /// Extracts and returns the normalized text of each selected node.
+    /// Extracts (from the root) and returns the normalized text of each
+    /// selected node.
     pub fn extract_text(&self, doc: &Document) -> Vec<String> {
-        self.extract(doc)
+        evaluate(&self.instance.query, doc, doc.root())
             .into_iter()
             .map(|n| doc.normalized_text(n))
             .collect()
@@ -92,7 +98,58 @@ impl WrapperInducer {
         induce(&[sample], &self.config)
     }
 
+    /// Induces ranked query instances from validated samples, with typed
+    /// errors for every failure mode.
+    pub fn try_induce(&self, samples: &[Sample<'_>]) -> Result<Vec<QueryInstance>, InduceError> {
+        if samples.is_empty() {
+            return Err(InduceError::NoSamples);
+        }
+        for sample in samples {
+            if sample.targets.is_empty() {
+                return Err(InduceError::NoTargets);
+            }
+            if let Some(&missing) = sample.targets.iter().find(|&&t| !sample.doc.contains(t)) {
+                return Err(InduceError::MissingTarget(missing));
+            }
+        }
+        let ranked = induce(samples, &self.config);
+        if ranked.is_empty() {
+            return Err(InduceError::NoWrapperFound);
+        }
+        Ok(ranked)
+    }
+
+    /// Induces ranked instances from a single annotated page (context =
+    /// document root), with typed errors.
+    pub fn try_induce_single(
+        &self,
+        doc: &Document,
+        targets: &[NodeId],
+    ) -> Result<Vec<QueryInstance>, InduceError> {
+        let sample = Sample::from_root(doc, targets);
+        self.try_induce(&[sample])
+    }
+
+    /// Induces and returns the top-ranked wrapper, with typed errors.
+    ///
+    /// This is the replacement for the old `Option`-returning
+    /// [`induce_best`](Self::induce_best): an empty target set, a stale node
+    /// id and an empty candidate ranking are now distinguishable.
+    pub fn try_induce_best(
+        &self,
+        doc: &Document,
+        targets: &[NodeId],
+    ) -> Result<Wrapper, InduceError> {
+        Ok(Wrapper::new(
+            self.try_induce_single(doc, targets)?.remove(0),
+        ))
+    }
+
     /// Induces and returns only the top-ranked wrapper, if any.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `try_induce_best`, which reports why induction failed"
+    )]
     pub fn induce_best(&self, doc: &Document, targets: &[NodeId]) -> Option<Wrapper> {
         self.induce_single(doc, targets)
             .into_iter()
@@ -104,6 +161,7 @@ impl WrapperInducer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::extract::Extractor;
     use wi_dom::parse_html;
 
     #[test]
@@ -117,26 +175,45 @@ mod tests {
         .unwrap();
         let prices = doc.elements_by_class("price");
         let inducer = WrapperInducer::with_k(5);
-        let wrapper = inducer.induce_best(&doc, &prices).expect("a wrapper");
-        assert_eq!(wrapper.extract(&doc), prices);
+        let wrapper = inducer.try_induce_best(&doc, &prices).expect("a wrapper");
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), prices);
         assert_eq!(wrapper.extract_text(&doc), vec!["10", "20"]);
         assert!(!wrapper.expression().is_empty());
         assert_eq!(format!("{wrapper}"), wrapper.expression());
     }
 
     #[test]
-    fn induce_best_none_for_empty_targets() {
+    fn try_induce_reports_typed_errors() {
+        let doc = parse_html("<body><p>x</p></body>").unwrap();
+        let inducer = WrapperInducer::default();
+        assert_eq!(
+            inducer.try_induce_best(&doc, &[]).unwrap_err(),
+            InduceError::NoTargets
+        );
+        assert_eq!(inducer.try_induce(&[]).unwrap_err(), InduceError::NoSamples);
+        let stale = wi_dom::NodeId::from_index(10_000);
+        assert_eq!(
+            inducer.try_induce_best(&doc, &[stale]).unwrap_err(),
+            InduceError::MissingTarget(stale)
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_induce_best_shim_still_works() {
         let doc = parse_html("<body><p>x</p></body>").unwrap();
         let inducer = WrapperInducer::default();
         assert!(inducer.induce_best(&doc, &[]).is_none());
+        let p = doc.elements_by_tag("p");
+        let wrapper = inducer.induce_best(&doc, &p).expect("a wrapper");
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), p);
     }
 
     #[test]
     fn extract_from_context() {
-        let doc = parse_html(
-            r#"<body><div id="a"><em>x</em></div><div id="b"><em>y</em></div></body>"#,
-        )
-        .unwrap();
+        let doc =
+            parse_html(r#"<body><div id="a"><em>x</em></div><div id="b"><em>y</em></div></body>"#)
+                .unwrap();
         let div_a = doc.element_by_id("a").unwrap();
         let em_a = doc.elements_by_tag("em")[0];
         let targets = vec![em_a];
@@ -144,6 +221,10 @@ mod tests {
         let inducer = WrapperInducer::default();
         let instances = inducer.induce(&[sample]);
         let wrapper = Wrapper::new(instances[0].clone());
-        assert_eq!(wrapper.extract_from(&doc, div_a), vec![em_a]);
+        assert_eq!(wrapper.extract(&doc, div_a).unwrap(), vec![em_a]);
+        #[allow(deprecated)]
+        {
+            assert_eq!(wrapper.extract_from(&doc, div_a), vec![em_a]);
+        }
     }
 }

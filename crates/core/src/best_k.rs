@@ -77,11 +77,7 @@ impl BestK {
     /// the candidate is present in the table afterwards.
     pub fn insert(&mut self, candidate: QueryInstance) -> bool {
         let key = candidate.query.to_string();
-        if let Some(pos) = self
-            .items
-            .iter()
-            .position(|q| q.query.to_string() == key)
-        {
+        if let Some(pos) = self.items.iter().position(|q| q.query.to_string() == key) {
             // Keep whichever of the two duplicates ranks better.
             if rank_order(&candidate, &self.items[pos]) == std::cmp::Ordering::Less {
                 self.items[pos] = candidate;

@@ -129,9 +129,7 @@ pub fn build_gadget(instance: &SetCoverInstance) -> InductionGadget {
         }
         sets.push(set_el);
     }
-    let doc = el("html")
-        .child(el("body").children(sets))
-        .into_document();
+    let doc = el("html").child(el("body").children(sets)).into_document();
     let targets = doc.elements_by_tag("item");
     InductionGadget { doc, targets }
 }
@@ -155,13 +153,7 @@ mod tests {
         // Universe {0..4}; optimal cover is {S0, S2} of size 2.
         SetCoverInstance::new(
             5,
-            vec![
-                vec![0, 1, 2],
-                vec![1, 3],
-                vec![3, 4],
-                vec![2],
-                vec![0, 4],
-            ],
+            vec![vec![0, 1, 2], vec![1, 3], vec![3, 4], vec![2], vec![0, 4]],
         )
     }
 

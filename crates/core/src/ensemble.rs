@@ -76,9 +76,7 @@ impl QueryFeatures {
                     Predicate::HasAttribute(name) => {
                         self.attributes.insert(name.clone());
                     }
-                    Predicate::StringCompare {
-                        source, value, ..
-                    } => {
+                    Predicate::StringCompare { source, value, .. } => {
                         match source {
                             TextSource::Attribute(name) => {
                                 self.attributes.insert(name.clone());
@@ -209,11 +207,7 @@ impl WrapperEnsemble {
     }
 
     /// Induces an ensemble from a single annotated page (context = root).
-    pub fn induce_single(
-        doc: &Document,
-        targets: &[NodeId],
-        config: &EnsembleConfig,
-    ) -> Self {
+    pub fn induce_single(doc: &Document, targets: &[NodeId], config: &EnsembleConfig) -> Self {
         let sample = Sample::from_root(doc, targets);
         Self::induce(&[sample], &InductionConfig::default(), config)
     }
@@ -224,8 +218,7 @@ impl WrapperEnsemble {
             return WrapperEnsemble::default();
         };
         let f05_floor = best.f05() * config.min_relative_f05 - 1e-9;
-        let eligible: Vec<&QueryInstance> =
-            pool.iter().filter(|q| q.f05() >= f05_floor).collect();
+        let eligible: Vec<&QueryInstance> = pool.iter().filter(|q| q.f05() >= f05_floor).collect();
 
         let mut members: Vec<QueryInstance> = Vec::with_capacity(config.size);
         let mut member_features: Vec<QueryFeatures> = Vec::with_capacity(config.size);
@@ -246,8 +239,7 @@ impl WrapperEnsemble {
         // Pass 2: fill up with the best remaining candidates (distinct
         // expressions only) if the pool did not contain enough diversity.
         if members.len() < config.size {
-            let taken: BTreeSet<String> =
-                members.iter().map(|m| m.query.to_string()).collect();
+            let taken: BTreeSet<String> = members.iter().map(|m| m.query.to_string()).collect();
             for candidate in &eligible {
                 if members.len() >= config.size {
                     break;
@@ -278,24 +270,32 @@ impl WrapperEnsemble {
     /// Evaluates every member on a document and returns the per-node vote
     /// counts, in document order.
     pub fn votes(&self, doc: &Document) -> Vec<(NodeId, usize)> {
+        self.votes_from(doc, doc.root())
+    }
+
+    /// Like [`votes`](Self::votes), evaluated from an explicit context node.
+    pub fn votes_from(&self, doc: &Document, context: NodeId) -> Vec<(NodeId, usize)> {
         let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
         for member in &self.members {
-            for node in evaluate(&member.query, doc, doc.root()) {
+            for node in evaluate(&member.query, doc, context) {
                 *counts.entry(node).or_insert(0) += 1;
             }
         }
         let mut nodes: Vec<NodeId> = counts.keys().copied().collect();
         doc.sort_document_order(&mut nodes);
-        nodes
-            .into_iter()
-            .map(|n| (n, counts[&n]))
-            .collect()
+        nodes.into_iter().map(|n| (n, counts[&n])).collect()
     }
 
     /// Nodes selected by a strict majority of the members.
     pub fn extract_majority(&self, doc: &Document) -> Vec<NodeId> {
+        self.extract_majority_from(doc, doc.root())
+    }
+
+    /// Like [`extract_majority`](Self::extract_majority), evaluated from an
+    /// explicit context node.
+    pub fn extract_majority_from(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
         let threshold = self.members.len() / 2 + 1;
-        self.votes(doc)
+        self.votes_from(doc, context)
             .into_iter()
             .filter(|(_, votes)| *votes >= threshold)
             .map(|(node, _)| node)
@@ -409,8 +409,8 @@ mod tests {
 
     #[test]
     fn features_recurse_into_nested_path_predicates() {
-        let q = parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#)
-            .unwrap();
+        let q =
+            parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#).unwrap();
         let features = QueryFeatures::of(&q);
         assert!(features.attributes.contains("class"));
         assert!(features.constants.contains("contentSmLeft"));
@@ -421,7 +421,9 @@ mod tests {
     fn overlap_is_one_for_identical_and_zero_for_disjoint_means() {
         let a = QueryFeatures::of(&parse_query(r#"descendant::span[@itemprop="name"]"#).unwrap());
         let b = QueryFeatures::of(&parse_query(r#"descendant::span[@itemprop="name"]"#).unwrap());
-        let c = QueryFeatures::of(&parse_query(r#"descendant::div[@id="content"]/child::span"#).unwrap());
+        let c = QueryFeatures::of(
+            &parse_query(r#"descendant::div[@id="content"]/child::span"#).unwrap(),
+        );
         assert_eq!(a.overlap(&b), 1.0);
         assert_eq!(a.overlap(&c), 0.0);
         // Overlap is symmetric.
@@ -439,9 +441,12 @@ mod tests {
     fn induced_ensemble_members_are_exact_and_distinct() {
         let doc = parse_html(MOVIE_PAGE).unwrap();
         let target = director_span(&doc);
-        let ensemble =
-            WrapperEnsemble::induce_single(&doc, &[target], &EnsembleConfig::default());
-        assert!(ensemble.len() >= 2, "expected ≥2 members, got {:?}", ensemble.expressions());
+        let ensemble = WrapperEnsemble::induce_single(&doc, &[target], &EnsembleConfig::default());
+        assert!(
+            ensemble.len() >= 2,
+            "expected ≥2 members, got {:?}",
+            ensemble.expressions()
+        );
         let expressions = ensemble.expressions();
         let distinct: BTreeSet<&String> = expressions.iter().collect();
         assert_eq!(distinct.len(), expressions.len(), "duplicate members");
@@ -533,9 +538,8 @@ mod tests {
         assert!(empty.extract_union(&doc).is_empty());
         assert_eq!(empty.agreement(&doc), 1.0);
 
-        let single = WrapperEnsemble::from_members(vec![instance(
-            r#"descendant::span[@itemprop="name"]"#,
-        )]);
+        let single =
+            WrapperEnsemble::from_members(vec![instance(r#"descendant::span[@itemprop="name"]"#)]);
         assert_eq!(single.len(), 1);
         assert_eq!(single.agreement(&doc), 1.0);
         assert_eq!(single.extract_majority(&doc), vec![director_span(&doc)]);
@@ -558,8 +562,7 @@ mod tests {
         .unwrap();
         let targets = doc.elements_by_class("title");
         assert_eq!(targets.len(), 3);
-        let ensemble =
-            WrapperEnsemble::induce_single(&doc, &targets, &EnsembleConfig::default());
+        let ensemble = WrapperEnsemble::induce_single(&doc, &targets, &EnsembleConfig::default());
         assert!(!ensemble.is_empty());
         assert_eq!(ensemble.extract_majority(&doc), targets);
     }

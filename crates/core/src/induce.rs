@@ -100,11 +100,7 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
     let mut tables = Tables::init(doc, u, &[lca], head_axis, config);
     tables.seed_best(lca, tail);
     if let Some(head_spine) = spine(doc, head_axis, u, lca) {
-        let without_lca: Vec<NodeId> = head_spine
-            .iter()
-            .copied()
-            .filter(|&n| n != lca)
-            .collect();
+        let without_lca: Vec<NodeId> = head_spine.iter().copied().filter(|&n| n != lca).collect();
         tables.seed_targets(&without_lca, targets);
     }
     induce_path(doc, u, &[lca], head_axis, &mut tables, config)
@@ -272,7 +268,12 @@ mod tests {
         let result = induce(&[sample], &cfg());
         let top = &result[0];
         let selected = evaluate(&top.query, &doc, doc.root());
-        assert_eq!(selected.len(), 6, "expected the full list from {}", top.query);
+        assert_eq!(
+            selected.len(),
+            6,
+            "expected the full list from {}",
+            top.query
+        );
     }
 
     #[test]
@@ -327,12 +328,17 @@ mod tests {
         let price = doc.elements_by_class("price");
         let sample = Sample::new(&doc, img, &price);
         let result = induce(&[sample], &cfg());
-        assert!(!result.is_empty(), "two-directional induction found nothing");
+        assert!(
+            !result.is_empty(),
+            "two-directional induction found nothing"
+        );
         let top = &result[0];
         assert_eq!(evaluate(&top.query, &doc, img), price);
         // The query must go up first and then down.
-        assert!(top.query.steps[0].axis == wi_xpath::Axis::Ancestor
-            || top.query.steps[0].axis == wi_xpath::Axis::Parent);
+        assert!(
+            top.query.steps[0].axis == wi_xpath::Axis::Ancestor
+                || top.query.steps[0].axis == wi_xpath::Axis::Parent
+        );
     }
 
     #[test]

@@ -89,10 +89,7 @@ impl Tables {
     }
 
     fn best_of(&self, node: NodeId) -> Vec<QueryInstance> {
-        self.best
-            .get(&node)
-            .map(|b| b.to_vec())
-            .unwrap_or_default()
+        self.best.get(&node).map(|b| b.to_vec()).unwrap_or_default()
     }
 
     fn targets_of(&self, node: NodeId, fallback: &[NodeId]) -> Vec<NodeId> {
@@ -150,10 +147,7 @@ pub fn induce_path(
                     .entry((n, t))
                     .or_insert_with(|| step_patterns(doc, n, t, axis, config))
                     .clone();
-                let entry = tables
-                    .best
-                    .entry(n)
-                    .or_insert_with(|| BestK::new(config.k));
+                let entry = tables.best.entry(n).or_insert_with(|| BestK::new(config.k));
                 for p in &patterns {
                     for inst in &best_t {
                         let combined = p.concat(&inst.query);
@@ -301,14 +295,7 @@ mod tests {
         let span = doc.elements_by_tag("span")[0];
         let config = cfg().with_k(3);
         let mut tables = Tables::init(&doc, doc.root(), &[span], Axis::Child, &config);
-        let result = induce_path(
-            &doc,
-            doc.root(),
-            &[span],
-            Axis::Child,
-            &mut tables,
-            &config,
-        );
+        let result = induce_path(&doc, doc.root(), &[span], Axis::Child, &mut tables, &config);
         assert!(result.len() <= 3);
         assert!(!result.is_empty());
     }

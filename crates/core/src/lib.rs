@@ -55,11 +55,15 @@
 
 pub mod api;
 pub mod best_k;
+pub mod bundle;
 pub mod complexity;
 pub mod config;
 pub mod ensemble;
+pub mod error;
+pub mod extract;
 pub mod induce;
 pub mod induce_path;
+pub mod json;
 pub mod node_pattern;
 pub mod sample;
 pub mod spine;
@@ -67,8 +71,11 @@ pub mod step_pattern;
 
 pub use api::{Wrapper, WrapperInducer};
 pub use best_k::BestK;
+pub use bundle::{BundleEntry, WrapperBundle, BUNDLE_FORMAT_VERSION};
 pub use config::InductionConfig;
 pub use ensemble::{EnsembleConfig, QueryFeatures, WrapperEnsemble};
+pub use error::{BundleError, ExtractError, InduceError};
+pub use extract::Extractor;
 pub use induce::induce;
 pub use induce_path::induce_path;
 pub use node_pattern::node_patterns;

@@ -46,11 +46,7 @@ impl NodePattern {
 /// Generates the candidate node patterns for `node`, in roughly the order the
 /// paper lists them (most general first, attribute comparisons next, text
 /// comparisons last).
-pub fn node_patterns(
-    doc: &Document,
-    node: NodeId,
-    config: &InductionConfig,
-) -> Vec<NodePattern> {
+pub fn node_patterns(doc: &Document, node: NodeId, config: &InductionConfig) -> Vec<NodePattern> {
     let mut patterns = Vec::new();
 
     match doc.kind(node) {
@@ -182,8 +178,7 @@ mod tests {
 
     #[test]
     fn element_patterns_cover_tag_and_attributes() {
-        let doc = parse_html(r#"<body><div id="main" class="content box">x</div></body>"#)
-            .unwrap();
+        let doc = parse_html(r#"<body><div id="main" class="content box">x</div></body>"#).unwrap();
         let div = doc.element_by_id("main").unwrap();
         let patterns = node_patterns(&doc, div, &config());
         let rendered: Vec<String> = patterns
@@ -241,31 +236,45 @@ mod tests {
 
     #[test]
     fn template_only_policy_filters_volatile_text() {
-        let doc = parse_html("<body><h4>Director:</h4><p>Breaking headline xyz</p></body>")
-            .unwrap();
-        let cfg = config().with_text_policy(TextPolicy::TemplateOnly(vec![
-            "Director:".to_string(),
-        ]));
+        let doc =
+            parse_html("<body><h4>Director:</h4><p>Breaking headline xyz</p></body>").unwrap();
+        let cfg =
+            config().with_text_policy(TextPolicy::TemplateOnly(vec!["Director:".to_string()]));
         let h4 = doc.elements_by_tag("h4")[0];
         let p = doc.elements_by_tag("p")[0];
         let h4_preds: Vec<_> = node_patterns(&doc, h4, &cfg)
             .into_iter()
             .flat_map(|p| p.predicates)
-            .filter(|p| matches!(p, Predicate::StringCompare { source: wi_xpath::TextSource::NormalizedText, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Predicate::StringCompare {
+                        source: wi_xpath::TextSource::NormalizedText,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert!(!h4_preds.is_empty());
         let p_preds: Vec<_> = node_patterns(&doc, p, &cfg)
             .into_iter()
             .flat_map(|p| p.predicates)
-            .filter(|p| matches!(p, Predicate::StringCompare { source: wi_xpath::TextSource::NormalizedText, .. }))
+            .filter(|p| {
+                matches!(
+                    p,
+                    Predicate::StringCompare {
+                        source: wi_xpath::TextSource::NormalizedText,
+                        ..
+                    }
+                )
+            })
             .collect();
         assert!(p_preds.is_empty());
     }
 
     #[test]
     fn ignored_attributes_skipped() {
-        let doc =
-            parse_html(r#"<body><div style="color: red" id="k">x</div></body>"#).unwrap();
+        let doc = parse_html(r#"<body><div style="color: red" id="k">x</div></body>"#).unwrap();
         let div = doc.element_by_id("k").unwrap();
         let patterns = node_patterns(&doc, div, &config());
         assert!(patterns
@@ -274,9 +283,10 @@ mod tests {
                 pred,
                 Predicate::StringCompare { source: wi_xpath::TextSource::Attribute(a), .. } if a == "style"
             ))));
-        assert!(patterns
+        assert!(patterns.iter().any(|p| p
+            .predicates
             .iter()
-            .any(|p| p.predicates.iter().any(|pred| pred.string_constant() == Some("k"))));
+            .any(|pred| pred.string_constant() == Some("k"))));
     }
 
     #[test]
@@ -296,12 +306,14 @@ mod tests {
         let input = doc.elements_by_tag("input")[0];
         let patterns = node_patterns(&doc, input, &config());
         // No equality on the empty `disabled` value, but type="text" present.
-        assert!(patterns
+        assert!(patterns.iter().all(|p| p
+            .predicates
             .iter()
-            .all(|p| p.predicates.iter().all(|pred| pred.string_constant() != Some(""))));
-        assert!(patterns
+            .all(|pred| pred.string_constant() != Some(""))));
+        assert!(patterns.iter().any(|p| p
+            .predicates
             .iter()
-            .any(|p| p.predicates.iter().any(|pred| pred.string_constant() == Some("text"))));
+            .any(|pred| pred.string_constant() == Some("text"))));
     }
 
     #[test]
@@ -314,6 +326,6 @@ mod tests {
         assert!(patterns.iter().all(|pat| pat
             .predicates
             .iter()
-            .all(|pred| pred.string_constant().map_or(true, |s| s.len() <= 60))));
+            .all(|pred| pred.string_constant().is_none_or(|s| s.len() <= 60))));
     }
 }

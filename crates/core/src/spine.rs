@@ -49,10 +49,7 @@ pub fn spine(doc: &Document, axis: Axis, u: NodeId, v: NodeId) -> Option<Vec<Nod
             if !doc.is_ancestor_of(u, v) {
                 return None;
             }
-            let mut path: Vec<NodeId> = doc
-                .ancestors_or_self(v)
-                .take_while(|&n| n != u)
-                .collect();
+            let mut path: Vec<NodeId> = doc.ancestors_or_self(v).take_while(|&n| n != u).collect();
             path.push(u);
             path.reverse();
             Some(path)
@@ -61,10 +58,7 @@ pub fn spine(doc: &Document, axis: Axis, u: NodeId, v: NodeId) -> Option<Vec<Nod
             if !doc.is_ancestor_of(v, u) {
                 return None;
             }
-            let mut path: Vec<NodeId> = doc
-                .ancestors_or_self(u)
-                .take_while(|&n| n != v)
-                .collect();
+            let mut path: Vec<NodeId> = doc.ancestors_or_self(u).take_while(|&n| n != v).collect();
             path.push(v);
             Some(path)
         }
@@ -181,31 +175,25 @@ mod tests {
         let d = doc();
         let lis = d.elements_by_tag("li");
         // All list items are descendants of the root.
-        assert_eq!(
-            common_base_axis(&d, d.root(), &lis),
-            Some(Axis::Child)
-        );
+        assert_eq!(common_base_axis(&d, d.root(), &lis), Some(Axis::Child));
         // From the first li, the other two are following siblings.
         assert_eq!(
-            common_base_axis(&d, lis[0], &lis[1..].to_vec()),
+            common_base_axis(&d, lis[0], &lis[1..]),
             Some(Axis::FollowingSibling)
         );
         // From the last li, the others are preceding siblings.
         assert_eq!(
-            common_base_axis(&d, lis[2], &vec![lis[0], lis[1]]),
+            common_base_axis(&d, lis[2], &[lis[0], lis[1]]),
             Some(Axis::PrecedingSibling)
         );
         // From an li, the body is an ancestor.
         let body = d.elements_by_tag("body")[0];
-        assert_eq!(
-            common_base_axis(&d, lis[0], &vec![body]),
-            Some(Axis::Parent)
-        );
+        assert_eq!(common_base_axis(&d, lis[0], &[body]), Some(Axis::Parent));
         // Mixed: one ancestor and one sibling — no common base axis.
-        assert_eq!(common_base_axis(&d, lis[0], &vec![body, lis[1]]), None);
+        assert_eq!(common_base_axis(&d, lis[0], &[body, lis[1]]), None);
         // Targets in a different subtree — no common base axis from an li.
         let side = d.element_by_id("side").unwrap();
-        assert_eq!(common_base_axis(&d, lis[0], &vec![side]), None);
+        assert_eq!(common_base_axis(&d, lis[0], &[side]), None);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub fn step_patterns(
 
     // Sideways checks (child axis only, per Algorithm 1).
     if axis == Axis::Child && config.enable_sideways {
+        let same_role = same_role_group(doc, t);
         for (s, sideways_axis) in sideways_sources(doc, t, config) {
             // The step from s to t along the sideways axis, refined to be
             // unique from s.
@@ -54,14 +55,17 @@ pub fn step_patterns(
             }
             let s_direct = is_direct(doc, axis, n, s);
             for s_pat in node_patterns(doc, s, config) {
+                // The anchor pattern must be *determining*: a pattern that
+                // also matches the target (or one of its same-role siblings)
+                // turns a positionally refined sideways step into a shifted
+                // window over the sibling list — under negative noise those
+                // windows match precision-1 subsets of the annotations and
+                // outrank the generalising wrapper.
+                if same_role.iter().any(|&m| pattern_matches(doc, &s_pat, m)) {
+                    continue;
+                }
                 for side in &side_steps {
-                    push_axis_variants(
-                        &mut candidates,
-                        &s_pat,
-                        axis,
-                        s_direct,
-                        Some(side.clone()),
-                    );
+                    push_axis_variants(&mut candidates, &s_pat, axis, s_direct, Some(side.clone()));
                 }
             }
         }
@@ -107,6 +111,29 @@ fn push_axis_variants(
     }
 }
 
+/// `t` together with its same-role siblings (same tag, same `class`): the
+/// nodes a sideways anchor pattern must *not* match to count as determining.
+fn same_role_group(doc: &Document, t: NodeId) -> Vec<NodeId> {
+    std::iter::once(t)
+        .chain(doc.preceding_siblings(t))
+        .chain(doc.following_siblings(t))
+        .filter(|&m| {
+            doc.tag_name(m) == doc.tag_name(t)
+                && doc.attribute(m, "class") == doc.attribute(t, "class")
+        })
+        .collect()
+}
+
+/// Returns `true` if the axis-less pattern matches `node`.
+fn pattern_matches(doc: &Document, pattern: &NodePattern, node: NodeId) -> bool {
+    let probe = Step {
+        axis: Axis::SelfAxis,
+        test: pattern.test.clone(),
+        predicates: pattern.predicates.clone(),
+    };
+    evaluate_step(&probe, doc, node) == vec![node]
+}
+
 /// Chooses the siblings of `t` that are worth using as sideways-check
 /// sources: element siblings with at least one attribute or some text,
 /// nearest first, bounded by the configuration.
@@ -118,11 +145,7 @@ fn push_axis_variants(
 /// same-role sibling would make the wrapper depend on volatile data nodes
 /// and would let noisy samples pull the induction towards contiguous-subset
 /// queries instead of generalising over the whole list.
-fn sideways_sources(
-    doc: &Document,
-    t: NodeId,
-    config: &InductionConfig,
-) -> Vec<(NodeId, Axis)> {
+fn sideways_sources(doc: &Document, t: NodeId, config: &InductionConfig) -> Vec<(NodeId, Axis)> {
     let mut sources = Vec::new();
     let same_role = |s: NodeId| {
         doc.tag_name(s) == doc.tag_name(t) && doc.attribute(s, "class") == doc.attribute(t, "class")
@@ -289,13 +312,7 @@ fn select_candidates(
     };
 
     for inst in &scored {
-        if inst.query.len() == 1
-            && inst
-                .query
-                .steps
-                .iter()
-                .all(|s| s.predicates.is_empty())
-        {
+        if inst.query.len() == 1 && inst.query.steps.iter().all(|s| s.predicates.is_empty()) {
             emit(&inst.query, &mut out);
         }
     }
@@ -481,8 +498,7 @@ mod tests {
         let first_a = doc.elements_by_tag("a")[0];
         let pats = strings(&step_patterns(&doc, div, first_a, Axis::Child, &cfg()));
         assert!(
-            pats.iter()
-                .any(|p| p.contains("following-sibling::")),
+            pats.iter().any(|p| p.contains("following-sibling::")),
             "expected a sideways check among {pats:?}"
         );
         // Sideways patterns start from the header's pattern.

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use wi_dom::{Document, DocumentBuilder, NodeId};
-use wi_induction::{EnsembleConfig, InductionConfig, WrapperEnsemble, WrapperInducer};
+use wi_induction::{EnsembleConfig, Extractor, InductionConfig, WrapperEnsemble, WrapperInducer};
 use wi_scoring::rank_order;
 use wi_xpath::{evaluate, is_ds_xpath, is_plausible};
 
@@ -172,8 +172,8 @@ proptest! {
     fn multi_target_induction_is_exact_on_clean_lists(n in 2usize..9) {
         let (doc, targets) = list_page(n);
         let inducer = WrapperInducer::with_k(5);
-        let top = inducer.induce_best(&doc, &targets).expect("a wrapper");
-        prop_assert_eq!(top.extract(&doc), targets);
+        let top = inducer.try_induce_best(&doc, &targets).expect("a wrapper");
+        prop_assert_eq!(top.extract_root(&doc).unwrap(), targets);
         prop_assert!(top.instance.is_exact());
     }
 
@@ -192,10 +192,10 @@ proptest! {
             .map(|(_, &t)| t)
             .collect();
         let inducer = WrapperInducer::with_k(5);
-        let clean_top = inducer.induce_best(&doc, &targets).expect("clean wrapper");
-        let noisy_top = inducer.induce_best(&doc, &noisy).expect("noisy wrapper");
+        let clean_top = inducer.try_induce_best(&doc, &targets).expect("clean wrapper");
+        let noisy_top = inducer.try_induce_best(&doc, &noisy).expect("noisy wrapper");
         prop_assert_eq!(
-            noisy_top.extract(&doc),
+            noisy_top.extract_root(&doc).unwrap(),
             targets.clone(),
             "noisy induction no longer selects the full list"
         );
@@ -214,8 +214,8 @@ proptest! {
         noisy.push(promo);
         doc.clone().sort_document_order(&mut noisy);
         let inducer = WrapperInducer::with_k(5);
-        let top = inducer.induce_best(&doc, &noisy).expect("a wrapper");
-        prop_assert_eq!(top.extract(&doc), targets);
+        let top = inducer.try_induce_best(&doc, &noisy).expect("a wrapper");
+        prop_assert_eq!(top.extract_root(&doc).unwrap(), targets);
     }
 
     /// Ensembles induced on list pages agree with the single-wrapper result

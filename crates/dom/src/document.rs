@@ -107,11 +107,7 @@ impl Document {
     }
 
     /// Creates a new, detached element node owned by this document.
-    pub fn create_element(
-        &mut self,
-        tag: impl Into<String>,
-        attributes: Vec<Attribute>,
-    ) -> NodeId {
+    pub fn create_element(&mut self, tag: impl Into<String>, attributes: Vec<Attribute>) -> NodeId {
         self.alloc(NodeData::Element {
             tag: tag.into(),
             attributes,
@@ -568,10 +564,7 @@ mod tests {
             .descendants(doc.root())
             .filter_map(|n| doc.tag_name(n).map(|s| s.to_string()))
             .collect();
-        assert_eq!(
-            tags,
-            vec!["html", "body", "div", "h4", "a", "span", "div"]
-        );
+        assert_eq!(tags, vec!["html", "body", "div", "h4", "a", "span", "div"]);
     }
 
     #[test]
@@ -582,10 +575,7 @@ mod tests {
             .ancestors(span)
             .filter_map(|n| doc.tag_name(n).map(|s| s.to_string()))
             .collect();
-        assert_eq!(
-            tags,
-            vec!["a", "div", "body", "html", DOCUMENT_ROOT_TAG]
-        );
+        assert_eq!(tags, vec!["a", "div", "body", "html", DOCUMENT_ROOT_TAG]);
     }
 
     #[test]

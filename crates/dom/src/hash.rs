@@ -231,7 +231,7 @@ mod tests {
         let sb = b.elements_by_tag("span");
         assert!(!result_sets_equivalent(&a, &sa, &b, &sb));
         // size mismatch
-        assert!(!result_sets_equivalent(&a, &sa, &b, &sb[..1].to_vec()));
+        assert!(!result_sets_equivalent(&a, &sa, &b, &sb[..1]));
     }
 
     #[test]

@@ -62,9 +62,7 @@ impl Document {
     /// Inserts `node` immediately before `reference` (they become siblings).
     pub fn insert_before(&mut self, reference: NodeId, node: NodeId) -> Result<()> {
         self.check(reference)?;
-        let parent = self
-            .parent(reference)
-            .ok_or(DomError::CannotModifyRoot)?;
+        let parent = self.parent(reference).ok_or(DomError::CannotModifyRoot)?;
         self.check_attachable(parent, node)?;
         let prev = self.node(reference).prev_sibling;
         {
@@ -85,9 +83,7 @@ impl Document {
     /// Inserts `node` immediately after `reference` (they become siblings).
     pub fn insert_after(&mut self, reference: NodeId, node: NodeId) -> Result<()> {
         self.check(reference)?;
-        let parent = self
-            .parent(reference)
-            .ok_or(DomError::CannotModifyRoot)?;
+        let parent = self.parent(reference).ok_or(DomError::CannotModifyRoot)?;
         self.check_attachable(parent, node)?;
         let next = self.node(reference).next_sibling;
         {

@@ -48,8 +48,8 @@ impl Default for ParseOptions {
 
 /// Tags that never have children ("void elements" in HTML).
 pub const VOID_ELEMENTS: &[&str] = &[
-    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param",
-    "source", "track", "wbr",
+    "area", "base", "br", "col", "embed", "hr", "img", "input", "link", "meta", "param", "source",
+    "track", "wbr",
 ];
 
 /// Tags whose open tag implicitly closes a preceding unclosed element of the
@@ -111,10 +111,7 @@ impl<'a> Parser<'a> {
     }
 
     fn starts_with(&self, prefix: &str) -> bool {
-        self.input[self.pos..]
-            .as_bytes()
-            .len()
-            >= prefix.len()
+        self.input[self.pos..].len() >= prefix.len()
             && self.input[self.pos..self.pos + prefix.len()].eq_ignore_ascii_case(prefix)
     }
 
@@ -276,10 +273,7 @@ impl<'a> Parser<'a> {
     fn parse_raw_text(&mut self, tag: &str) {
         let close = format!("</{tag}");
         let rest = &self.input[self.pos..];
-        let end = rest
-            .to_ascii_lowercase()
-            .find(&close)
-            .unwrap_or(rest.len());
+        let end = rest.to_ascii_lowercase().find(&close).unwrap_or(rest.len());
         let content = &rest[..end];
         if !content.trim().is_empty() {
             self.builder.text(content);

@@ -81,7 +81,7 @@ fn serialize_node(
             }
             let is_void = VOID_ELEMENTS.contains(&tag.as_str());
             if is_void {
-                out.push_str(">");
+                out.push('>');
                 if options.pretty {
                     out.push('\n');
                 }
@@ -164,9 +164,7 @@ mod tests {
 
     #[test]
     fn escapes_attributes() {
-        let doc = el("a")
-            .attr("title", "say \"hi\" & <go>")
-            .into_document();
+        let doc = el("a").attr("title", "say \"hi\" & <go>").into_document();
         let html = to_html(&doc);
         assert!(html.contains("say &quot;hi&quot; &amp; &lt;go>"));
     }

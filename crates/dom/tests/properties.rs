@@ -3,17 +3,15 @@
 //! mutation.
 
 use proptest::prelude::*;
-use wi_dom::{parse_html, structural_hash, subtree_equal, to_html, Document, DocumentBuilder, NodeId};
+use wi_dom::{
+    parse_html, structural_hash, subtree_equal, to_html, Document, DocumentBuilder, NodeId,
+};
 
 /// A compact description of a random tree: rows of
 /// `(depth, tag index, attribute choice, text choice)` interpreted in
 /// pre-order by a [`DocumentBuilder`].
 fn arb_document() -> impl Strategy<Value = Document> {
-    prop::collection::vec(
-        (0usize..5, 0usize..7, 0usize..4, 0usize..4),
-        1..60,
-    )
-    .prop_map(|rows| {
+    prop::collection::vec((0usize..5, 0usize..7, 0usize..4, 0usize..4), 1..60).prop_map(|rows| {
         // Only tags without HTML implied-end-tag rules: nesting any of these
         // inside itself survives a serialize → parse round trip unchanged.
         let tags = ["div", "span", "section", "ul", "article", "a", "h2"];

@@ -7,7 +7,7 @@
 //! Without arguments every experiment is run at the full (paper-sized)
 //! scale; `--quick` switches to the reduced scale used by the benches.
 //! Individual experiments: `fig3 fig4 fig5 fig6 fig7 table1 table2
-//! sota-dalvi sota-weir noise-real change-rate timing params`.
+//! sota-dalvi sota-weir noise-real change-rate timing params batch`.
 
 use wi_eval::experiments;
 use wi_eval::Scale;
@@ -16,10 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let scale = if quick { Scale::quick() } else { Scale::full() };
-    let selected: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with('-')).collect();
 
     let all = [
         "timing",
@@ -35,6 +32,7 @@ fn main() {
         "params",
         "fig7",
         "noise-real",
+        "batch",
     ];
     let to_run: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -46,7 +44,10 @@ fn main() {
     };
 
     if to_run.is_empty() {
-        eprintln!("no known experiment selected; choose from: {}", all.join(" "));
+        eprintln!(
+            "no known experiment selected; choose from: {}",
+            all.join(" ")
+        );
         std::process::exit(2);
     }
 
@@ -66,6 +67,7 @@ fn main() {
             "params" => experiments::params_report::render(&scale),
             "fig7" => experiments::fig7::render(&scale),
             "noise-real" => experiments::noise_real::render(&scale),
+            "batch" => experiments::batch::render(&scale),
             _ => unreachable!(),
         };
         println!("{output}");

@@ -68,7 +68,13 @@ pub fn render(scale: &Scale) -> String {
     format!(
         "== Section 6.2: c-change statistics ==\n{}",
         render_table(
-            &["dataset", "avg c-changes", "max", ">5 c-changes", "wrappers"],
+            &[
+                "dataset",
+                "avg c-changes",
+                "max",
+                ">5 c-changes",
+                "wrappers"
+            ],
             &rows
         )
     )

@@ -122,7 +122,10 @@ pub fn render_characteristics(c: &Characteristics, title: &str) -> String {
             ]
         })
         .collect();
-    out.push_str(&render_table(&["nodetest", "step1", "step2", "step3+"], &rows));
+    out.push_str(&render_table(
+        &["nodetest", "step1", "step2", "step3+"],
+        &rows,
+    ));
     let rows: Vec<Vec<String>> = c
         .predicates
         .iter()
@@ -135,7 +138,10 @@ pub fn render_characteristics(c: &Characteristics, title: &str) -> String {
             ]
         })
         .collect();
-    out.push_str(&render_table(&["predicate", "step1", "step2", "step3+"], &rows));
+    out.push_str(&render_table(
+        &["predicate", "step1", "step2", "step3+"],
+        &rows,
+    ));
     out
 }
 

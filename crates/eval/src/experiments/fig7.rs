@@ -96,7 +96,10 @@ pub fn render(scale: &Scale) -> String {
         .collect();
     format!(
         "== Figure 7: identical induction results under annotation noise ==\n{}",
-        render_table(&["noise model", "intensity", "identical results", "samples"], &rows)
+        render_table(
+            &["noise model", "intensity", "identical results", "samples"],
+            &rows
+        )
     )
 }
 

@@ -1,6 +1,7 @@
 //! One module per table / figure of the paper's evaluation, plus the shared
 //! plumbing they use.
 
+pub mod batch;
 pub mod change_rate;
 pub mod fig3;
 pub mod fig4;
@@ -105,10 +106,8 @@ pub fn robustness_experiment(tasks: &[WrapperTask], scale: &Scale) -> Robustness
         let induced_outcome = induced_query
             .as_ref()
             .map(|q| run_robustness_standard(task, q, scale.snapshot_interval));
-        let human_outcome =
-            run_robustness_standard(task, &human_query, scale.snapshot_interval);
-        let canonical_outcome =
-            run_robustness_standard(task, &canonical, scale.snapshot_interval);
+        let human_outcome = run_robustness_standard(task, &human_query, scale.snapshot_interval);
+        let canonical_outcome = run_robustness_standard(task, &canonical, scale.snapshot_interval);
 
         results.push(TaskRobustness {
             task_id: task.id(),
@@ -152,9 +151,7 @@ fn summarise(tasks: Vec<TaskRobustness>) -> RobustnessReport {
         std::collections::BTreeMap::new();
     for t in &tasks {
         if let Some(o) = &t.induced {
-            *reason_counts
-                .entry(format!("{:?}", o.reason))
-                .or_insert(0) += 1;
+            *reason_counts.entry(format!("{:?}", o.reason)).or_insert(0) += 1;
         }
     }
 
@@ -249,7 +246,11 @@ mod tests {
         assert!(!report.tasks.is_empty());
         assert!(report.render("smoke").contains("mean valid days"));
         for t in &report.tasks {
-            assert!(t.induced_expression.is_some(), "induction failed for {}", t.task_id);
+            assert!(
+                t.induced_expression.is_some(),
+                "induction failed for {}",
+                t.task_id
+            );
         }
     }
 

@@ -53,7 +53,10 @@ pub fn render_parameters() -> String {
             format!("{}", p.function_score(*f)),
         ]);
     }
-    rows.push(vec!["positional factor".to_string(), format!("{}", p.positional_factor)]);
+    rows.push(vec![
+        "positional factor".to_string(),
+        format!("{}", p.positional_factor),
+    ]);
     rows.push(vec!["last()".to_string(), format!("{}", p.last_score)]);
     rows.push(vec![
         "no-function penalty".to_string(),
@@ -149,10 +152,8 @@ mod tests {
     #[test]
     fn robustness_experiment_is_reused() {
         // Keep the shared engine exercised from this module too.
-        let report = crate::experiments::robustness_experiment(
-            &single_node_tasks(2),
-            &Scale::tiny(),
-        );
+        let report =
+            crate::experiments::robustness_experiment(&single_node_tasks(2), &Scale::tiny());
         assert_eq!(report.tasks.len(), 2);
     }
 }

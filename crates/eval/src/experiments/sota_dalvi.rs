@@ -32,9 +32,21 @@ pub struct PeriodResult {
 /// Runs the Dalvi-style comparison over the three periods the paper uses.
 pub fn run(scale: &Scale) -> Vec<PeriodResult> {
     let periods = [
-        ("2004-2006", Day::from_ymd(2004, 1, 1), Day::from_ymd(2006, 6, 1)),
-        ("2005-2007", Day::from_ymd(2005, 1, 1), Day::from_ymd(2007, 6, 1)),
-        ("2006-2008", Day::from_ymd(2006, 1, 1), Day::from_ymd(2008, 6, 1)),
+        (
+            "2004-2006",
+            Day::from_ymd(2004, 1, 1),
+            Day::from_ymd(2006, 6, 1),
+        ),
+        (
+            "2005-2007",
+            Day::from_ymd(2005, 1, 1),
+            Day::from_ymd(2007, 6, 1),
+        ),
+        (
+            "2006-2008",
+            Day::from_ymd(2006, 1, 1),
+            Day::from_ymd(2008, 6, 1),
+        ),
     ];
     let task = imdb_director_task();
     let archive = ArchiveSimulator::new(task.site.clone(), task.page_index, task.kind);

@@ -149,10 +149,26 @@ pub fn run(scale: &Scale) -> WeirComparison {
 pub fn render(scale: &Scale) -> String {
     let r = run(scale);
     let rows = vec![
-        vec!["top-10 average survival".to_string(), pct(r.ours_top10_avg), pct(r.weir_top10_avg)],
-        vec!["best expression survival".to_string(), pct(r.ours_best), pct(r.weir_best)],
-        vec!["top-ranked expression survival".to_string(), pct(r.ours_top_ranked), String::new()],
-        vec!["fully robust (whole period)".to_string(), pct(r.ours_fully_robust), pct(r.weir_fully_robust)],
+        vec![
+            "top-10 average survival".to_string(),
+            pct(r.ours_top10_avg),
+            pct(r.weir_top10_avg),
+        ],
+        vec![
+            "best expression survival".to_string(),
+            pct(r.ours_best),
+            pct(r.weir_best),
+        ],
+        vec![
+            "top-ranked expression survival".to_string(),
+            pct(r.ours_top_ranked),
+            String::new(),
+        ],
+        vec![
+            "fully robust (whole period)".to_string(),
+            pct(r.ours_fully_robust),
+            pct(r.weir_fully_robust),
+        ],
     ];
     format!(
         "== Section 6.1: comparison with WEIR [2] on same-template hotel pages ({} sets, 2012-2016) ==\n{}",

@@ -84,7 +84,13 @@ pub fn render(scale: &Scale, rows: usize) -> String {
     format!(
         "== Table 1: matching single nodes ==\n{}",
         render_table(
-            &["site/role", "wrapper", "expression", "valid days", "c-changes"],
+            &[
+                "site/role",
+                "wrapper",
+                "expression",
+                "valid days",
+                "c-changes"
+            ],
             &table_rows
         )
     )

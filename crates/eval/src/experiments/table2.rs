@@ -76,7 +76,14 @@ pub fn render(scale: &Scale, rows: usize) -> String {
     format!(
         "== Table 2: matching multiple nodes ==\n{}",
         render_table(
-            &["site/role", "wrapper", "expression", "#res", "valid days", "c-changes"],
+            &[
+                "site/role",
+                "wrapper",
+                "expression",
+                "#res",
+                "valid days",
+                "c-changes"
+            ],
             &table_rows
         )
     )

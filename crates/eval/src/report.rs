@@ -62,7 +62,7 @@ pub fn median(values: &[i64]) -> f64 {
     let mut v = values.to_vec();
     v.sort_unstable();
     let mid = v.len() / 2;
-    if v.len() % 2 == 0 {
+    if v.len().is_multiple_of(2) {
         (v[mid - 1] + v[mid]) as f64 / 2.0
     } else {
         v[mid] as f64

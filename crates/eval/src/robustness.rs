@@ -2,11 +2,16 @@
 //! breaks, and classifying why (the paper's break groups (a)–(f)).
 
 use serde::{Deserialize, Serialize};
-use wi_dom::{Document, NodeId};
+use wi_dom::NodeId;
 use wi_webgen::archive::ArchiveSimulator;
 use wi_webgen::date::{Day, OBSERVATION_END, OBSERVATION_START};
 use wi_webgen::tasks::WrapperTask;
 use wi_xpath::{canonical_path, evaluate, Query};
+
+// The runner drives every wrapper through the workspace-wide [`Extractor`]
+// interface from `wi-induction` (implemented by `Wrapper`,
+// `WrapperEnsemble`, raw `Query`s and all four baselines).
+pub use wi_induction::{ExtractError, Extractor};
 
 /// Why a wrapper's evaluation run ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -19,6 +24,9 @@ pub enum BreakReason {
     ArchiveIssue,
     /// The intended targets disappeared from the page (group f).
     TargetsRemoved,
+    /// The extractor itself failed (empty wrapper, stale context, corrupt
+    /// artifact) rather than merely selecting the wrong nodes.
+    ExtractorFailed,
 }
 
 /// The outcome of replaying one wrapper over one task's snapshots.
@@ -34,33 +42,6 @@ pub struct RobustnessOutcome {
     pub c_changes: usize,
     /// Number of snapshots the wrapper was evaluated on.
     pub snapshots_checked: usize,
-}
-
-/// A wrapper under evaluation: anything that can extract a node set from a
-/// document.
-pub trait Extractor {
-    /// Extracts the wrapper's node set from a page.
-    fn extract(&self, doc: &Document) -> Vec<NodeId>;
-    /// A printable form of the wrapper.
-    fn describe(&self) -> String;
-}
-
-impl Extractor for Query {
-    fn extract(&self, doc: &Document) -> Vec<NodeId> {
-        evaluate(self, doc, doc.root())
-    }
-    fn describe(&self) -> String {
-        self.to_string()
-    }
-}
-
-impl Extractor for wi_baselines::CanonicalWrapper {
-    fn extract(&self, doc: &Document) -> Vec<NodeId> {
-        wi_baselines::CanonicalWrapper::extract(self, doc)
-    }
-    fn describe(&self) -> String {
-        self.expression()
-    }
 }
 
 /// Replays `wrapper` over the snapshots of `task` from `start` to `end` (at
@@ -98,7 +79,13 @@ pub fn run_robustness(
             reason = BreakReason::TargetsRemoved;
             break;
         }
-        let mut selected = wrapper.extract(doc);
+        let mut selected = match wrapper.extract(doc, doc.root()) {
+            Ok(selected) => selected,
+            Err(_) => {
+                reason = BreakReason::ExtractorFailed;
+                break;
+            }
+        };
         doc.sort_document_order(&mut selected);
         let mut expected = truth.clone();
         doc.sort_document_order(&mut expected);
@@ -185,8 +172,7 @@ mod tests {
             let (doc, targets) = t.page_with_targets(Day(0));
             let canonical = wi_baselines::CanonicalWrapper::induce(&doc, &targets);
             let human = parse_query(&t.human_wrapper).unwrap();
-            canonical_total +=
-                run_robustness(&t, &canonical, Day(0), Day(1000), 50).valid_days;
+            canonical_total += run_robustness(&t, &canonical, Day(0), Day(1000), 50).valid_days;
             human_total += run_robustness(&t, &human, Day(0), Day(1000), 50).valid_days;
         }
         assert!(

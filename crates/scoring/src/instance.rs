@@ -170,11 +170,13 @@ mod tests {
         sort_and_dedup(&mut v);
         assert_eq!(v.len(), 3);
         // Exact, cheap instances first.
-        assert_eq!(
-            v[0].query.to_string(),
-            r#"descendant::div[@id="x"]"#
+        assert_eq!(v[0].query.to_string(), r#"descendant::div[@id="x"]"#);
+        assert!(
+            v.iter()
+                .filter(|q| q.query.to_string() == "descendant::div")
+                .count()
+                == 1
         );
-        assert!(v.iter().filter(|q| q.query.to_string() == "descendant::div").count() == 1);
     }
 
     #[test]

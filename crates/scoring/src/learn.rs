@@ -334,7 +334,10 @@ mod tests {
         ];
         let base = ScoringParams::paper_defaults();
         let initial = rank_agreement(&corpus, &base);
-        assert!(initial < 0.7, "corpus must contradict the defaults, got {initial}");
+        assert!(
+            initial < 0.7,
+            "corpus must contradict the defaults, got {initial}"
+        );
         let result = calibrate(&corpus, base.clone(), &CalibrationConfig::default());
         assert!(result.final_agreement >= result.initial_agreement);
         assert!(

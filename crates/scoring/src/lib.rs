@@ -35,6 +35,8 @@ pub mod score;
 
 pub use fscore::{f_beta, f_score_05, precision, recall, Counts};
 pub use instance::{rank_order, QueryInstance};
-pub use learn::{calibrate, rank_agreement, CalibrationConfig, CalibrationResult, SurvivalObservation};
+pub use learn::{
+    calibrate, rank_agreement, CalibrationConfig, CalibrationResult, SurvivalObservation,
+};
 pub use params::ScoringParams;
 pub use score::{score_predicate, score_query, score_step};

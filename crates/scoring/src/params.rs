@@ -221,7 +221,7 @@ mod tests {
     fn params_are_cloneable_and_debuggable() {
         let p = ScoringParams::paper_defaults();
         let q = p.clone();
-        assert_eq!(format!("{:?}", p).is_empty(), false);
+        assert!(!format!("{:?}", p).is_empty());
         assert_eq!(q.decay, p.decay);
     }
 }

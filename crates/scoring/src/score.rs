@@ -193,18 +193,9 @@ mod tests {
     #[test]
     fn last_and_positional_scores() {
         let params = ScoringParams::paper_defaults();
-        assert_eq!(
-            score_predicate(&Predicate::Position(3), &params),
-            60.0
-        );
-        assert_eq!(
-            score_predicate(&Predicate::LastOffset(0), &params),
-            20.0
-        );
-        assert_eq!(
-            score_predicate(&Predicate::LastOffset(2), &params),
-            60.0
-        );
+        assert_eq!(score_predicate(&Predicate::Position(3), &params), 60.0);
+        assert_eq!(score_predicate(&Predicate::LastOffset(0), &params), 20.0);
+        assert_eq!(score_predicate(&Predicate::LastOffset(2), &params), 60.0);
     }
 
     #[test]
@@ -216,7 +207,10 @@ mod tests {
             &params,
         );
         assert!(short < long);
-        assert_eq!(long - short, ("News and Latest Reviews".len() - "News".len()) as f64);
+        assert_eq!(
+            long - short,
+            ("News and Latest Reviews".len() - "News".len()) as f64
+        );
     }
 
     #[test]

@@ -273,15 +273,13 @@ fn arb_corpus() -> impl Strategy<Value = Vec<SurvivalObservation>> {
         r#"descendant::h1[contains(.,"Top")]"#,
         "descendant::li[last()]",
     ];
-    prop::collection::vec(
-        (prop::sample::select(expressions), 0.0f64..2000.0),
-        2..10,
+    prop::collection::vec((prop::sample::select(expressions), 0.0f64..2000.0), 2..10).prop_map(
+        |rows| {
+            rows.into_iter()
+                .map(|(expr, days)| SurvivalObservation::new(parse_query(expr).unwrap(), days))
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .map(|(expr, days)| SurvivalObservation::new(parse_query(expr).unwrap(), days))
-            .collect()
-    })
 }
 
 proptest! {

@@ -165,9 +165,6 @@ mod tests {
         let snaps =
             archive.snapshots_every(Day::from_ymd(2004, 1, 1), Day::from_ymd(2006, 6, 1), 60);
         assert!(snaps.len() >= 14);
-        assert_eq!(
-            snaps[1].day.offset() - snaps[0].day.offset(),
-            60
-        );
+        assert_eq!(snaps[1].day.offset() - snaps[0].day.offset(), 60);
     }
 }

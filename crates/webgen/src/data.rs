@@ -77,7 +77,8 @@ impl PageData {
         let location = stable.city();
         let organisation = stable.organisation();
 
-        let list_len = (4 + (mix_seed(&[site_seed, page_index]) % 6) as i64
+        let list_len = (4
+            + (mix_seed(&[site_seed, page_index]) % 6) as i64
             + (content_epoch % 3) as i64) as usize;
         let list_items = (0..list_len)
             .map(|_| ListItem {

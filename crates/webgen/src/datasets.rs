@@ -170,12 +170,17 @@ mod tests {
         let verticals: std::collections::HashSet<_> =
             tasks.iter().map(|t| t.site.vertical).collect();
         assert!(verticals.len() >= 10, "only {} verticals", verticals.len());
-        let sites: std::collections::HashSet<_> =
-            tasks.iter().map(|t| t.site.id.clone()).collect();
+        let sites: std::collections::HashSet<_> = tasks.iter().map(|t| t.site.id.clone()).collect();
         assert!(sites.len() >= 50);
         for task in tasks.iter().take(12) {
             let (_, targets) = task.page_with_targets(Day(0));
-            assert_eq!(targets.len(), 1, "task {} has {} targets", task.id(), targets.len());
+            assert_eq!(
+                targets.len(),
+                1,
+                "task {} has {} targets",
+                task.id(),
+                targets.len()
+            );
         }
     }
 
@@ -211,8 +216,7 @@ mod tests {
         for set in &corpus {
             assert_eq!(set.len(), 10);
             // All pages of a set share the template (same site id).
-            let ids: std::collections::HashSet<_> =
-                set.iter().map(|t| t.site.id.clone()).collect();
+            let ids: std::collections::HashSet<_> = set.iter().map(|t| t.site.id.clone()).collect();
             assert_eq!(ids.len(), 1);
             // …but show different entities.
             let (_, t0) = set[0].page_with_targets(Day::from_ymd(2012, 1, 1));

@@ -18,9 +18,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Template regions that can disappear from a page ("diminishing targets",
 /// the paper's break group (f)).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum BlockKind {
     /// The primary label–value row (e.g. the Director row).
     PrimaryField,
@@ -49,9 +47,7 @@ impl BlockKind {
 }
 
 /// Names (classes / ids) that semantic-rename events can hit.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SemanticName {
     /// The id of the main content container.
     ContainerId,
@@ -302,11 +298,7 @@ impl Timeline {
     /// Whether the archive snapshot at `day` is served broken (empty or
     /// truncated).  Deterministic per (site, day).
     pub fn snapshot_broken(&self, day: Day) -> bool {
-        let mut rng = StdRng::seed_from_u64(mix_seed(&[
-            self.seed,
-            0xb40c,
-            day.offset() as u64,
-        ]));
+        let mut rng = StdRng::seed_from_u64(mix_seed(&[self.seed, 0xb40c, day.offset() as u64]));
         rng.random_bool(self.broken_snapshot_prob)
     }
 
@@ -341,8 +333,10 @@ mod tests {
             for pair in t.events.windows(2) {
                 assert!(pair[0].0 <= pair[1].0);
             }
-            assert!(t.events.iter().all(|(d, _)| d.offset() >= p.window.0
-                && d.offset() <= p.window.1));
+            assert!(t
+                .events
+                .iter()
+                .all(|(d, _)| d.offset() >= p.window.0 && d.offset() <= p.window.1));
         }
     }
 
@@ -365,10 +359,16 @@ mod tests {
             name: SemanticName::ContainerId,
             to: "main-area".to_string(),
         });
-        assert_eq!(e.semantic(SemanticName::ContainerId, "content"), "main-area");
+        assert_eq!(
+            e.semantic(SemanticName::ContainerId, "content"),
+            "main-area"
+        );
         e.apply(&ChangeEvent::Redesign);
         // Individually renamed names keep their value; others get namespaced.
-        assert_eq!(e.semantic(SemanticName::ContainerId, "content"), "main-area");
+        assert_eq!(
+            e.semantic(SemanticName::ContainerId, "content"),
+            "main-area"
+        );
         assert_eq!(
             e.semantic(SemanticName::BlockClass, "txt-block"),
             "txt-block-r1"

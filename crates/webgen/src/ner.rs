@@ -122,8 +122,7 @@ pub fn run_ner(
     }
 
     let spurious_count = ((truth.len() as f64) * spurious_rate).round() as usize;
-    let structural_count =
-        ((spurious_count as f64) * config.structural_share).round() as usize;
+    let structural_count = ((spurious_count as f64) * config.structural_share).round() as usize;
     let random_count = spurious_count.saturating_sub(structural_count);
 
     let mut structural_pool = structural_noise_pool(doc, view, kind);
@@ -180,11 +179,9 @@ fn structural_noise_pool(doc: &Document, view: &PageView, kind: EntityKind) -> V
             // Sidebar refinement list entries.
             innermost(doc, &view.data.secondary_people)
         }
-        EntityKind::Money => innermost(doc, &[view.data.price.clone()]),
-        EntityKind::Date => innermost(doc, &[view.data.date.clone()]),
-        EntityKind::Location | EntityKind::Organisation => {
-            innermost(doc, &view.data.related)
-        }
+        EntityKind::Money => innermost(doc, std::slice::from_ref(&view.data.price)),
+        EntityKind::Date => innermost(doc, std::slice::from_ref(&view.data.date)),
+        EntityKind::Location | EntityKind::Organisation => innermost(doc, &view.data.related),
     }
 }
 

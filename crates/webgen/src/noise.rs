@@ -51,7 +51,10 @@ impl NoiseKind {
 
     /// Whether the noise removes targets (negative) or adds spurious ones.
     pub fn is_negative(self) -> bool {
-        matches!(self, NoiseKind::NegativeRandom | NoiseKind::NegativeMidRandom)
+        matches!(
+            self,
+            NoiseKind::NegativeRandom | NoiseKind::NegativeMidRandom
+        )
     }
 }
 
@@ -126,14 +129,12 @@ fn negative_random(
 /// expression) to the target nodes".
 pub fn structurally_related(doc: &Document, targets: &[NodeId]) -> Vec<NodeId> {
     let target_set: std::collections::HashSet<NodeId> = targets.iter().copied().collect();
-    let tags: std::collections::HashSet<&str> = targets
-        .iter()
-        .filter_map(|&t| doc.tag_name(t))
-        .collect();
+    let tags: std::collections::HashSet<&str> =
+        targets.iter().filter_map(|&t| doc.tag_name(t)).collect();
     doc.descendants(doc.root())
         .filter(|&n| doc.is_element(n))
         .filter(|&n| !target_set.contains(&n))
-        .filter(|&n| doc.tag_name(n).map_or(false, |t| tags.contains(t)))
+        .filter(|&n| doc.tag_name(n).is_some_and(|t| tags.contains(t)))
         .collect()
 }
 

@@ -81,15 +81,13 @@ pub fn render_page(input: &RenderInput<'_>) -> Document {
     // the classic cause of canonical-path breaks.
     for i in 0..epoch.promo_blocks {
         body_children.push(
-            el("div")
-                .attr("class", input.c("promo"))
-                .child(
-                    el("a").attr("href", format!("/promo/{i}")).child(
-                        el("img")
-                            .attr("class", "banner")
-                            .attr("src", format!("/img/banner{i}.png")),
-                    ),
+            el("div").attr("class", input.c("promo")).child(
+                el("a").attr("href", format!("/promo/{i}")).child(
+                    el("img")
+                        .attr("class", "banner")
+                        .attr("src", format!("/img/banner{i}.png")),
                 ),
+            ),
         );
     }
 
@@ -121,7 +119,11 @@ pub fn render_page(input: &RenderInput<'_>) -> Document {
                         .attr("content", input.data.paragraphs[0].clone()),
                 ),
         )
-        .child(el("body").attr("class", input.c("page")).children(body_children))
+        .child(
+            el("body")
+                .attr("class", input.c("page"))
+                .children(body_children),
+        )
         .into_document()
 }
 
@@ -133,13 +135,16 @@ fn render_header(input: &RenderInput<'_>) -> TreeSpec {
         .attr("class", input.c("header"));
 
     header = header.child(
-        el("a").attr("href", "/").attr("class", input.c("logo-link")).child(
-            el("img")
-                .attr("class", "logo")
-                .attr("id", "logo")
-                .attr("src", "/img/logo.png")
-                .attr("alt", "logo"),
-        ),
+        el("a")
+            .attr("href", "/")
+            .attr("class", input.c("logo-link"))
+            .child(
+                el("img")
+                    .attr("class", "logo")
+                    .attr("id", "logo")
+                    .attr("src", "/img/logo.png")
+                    .attr("alt", "logo"),
+            ),
     );
 
     if style.has_search && epoch.has_block(BlockKind::SearchForm) {
@@ -154,18 +159,24 @@ fn render_header(input: &RenderInput<'_>) -> TreeSpec {
                         .attr("name", "q")
                         .attr("placeholder", "Search"),
                 )
-                .child(
-                    el("input")
-                        .attr("type", "submit")
-                        .attr("value", "Go"),
-                ),
+                .child(el("input").attr("type", "submit").attr("value", "Go")),
         );
     }
 
     let nav_count = (style.nav_items as i32 + epoch.nav_delta).clamp(2, 12) as usize;
     let sections = [
-        "Home", "World", "Business", "Technology", "Science", "Health", "Sports", "Arts",
-        "Style", "Travel", "Video", "Archive",
+        "Home",
+        "World",
+        "Business",
+        "Technology",
+        "Science",
+        "Health",
+        "Sports",
+        "Arts",
+        "Style",
+        "Travel",
+        "Video",
+        "Archive",
     ];
     let mut nav = el("ul").attr("class", input.c("nav"));
     for section in sections.iter().take(nav_count) {
@@ -232,16 +243,18 @@ fn render_main_content(input: &RenderInput<'_>) -> TreeSpec {
 
         // Secondary people row ("Stars: …").
         if epoch.has_block(BlockKind::PeopleRow) {
-            let mut row = el("div")
-                .attr("class", input.sem(SemanticName::BlockClass, &input.c("block")));
+            let mut row = el("div").attr(
+                "class",
+                input.sem(SemanticName::BlockClass, &input.c("block")),
+            );
             row = row.child(
                 el("h4")
                     .attr("class", input.sem(SemanticName::LabelClass, "inline"))
                     .child(text("Stars:")),
             );
             for person in &data.secondary_people {
-                let mut span = el("span")
-                    .attr("class", input.sem(SemanticName::ValueClass, "itemprop"));
+                let mut span =
+                    el("span").attr("class", input.sem(SemanticName::ValueClass, "itemprop"));
                 if style.uses_microdata {
                     span = span.attr("itemprop", "name");
                 }
@@ -293,12 +306,7 @@ fn render_main_content(input: &RenderInput<'_>) -> TreeSpec {
     main
 }
 
-fn render_field_row(
-    input: &RenderInput<'_>,
-    label: &str,
-    value: &str,
-    index: usize,
-) -> TreeSpec {
+fn render_field_row(input: &RenderInput<'_>, label: &str, value: &str, index: usize) -> TreeSpec {
     let style = input.style;
     let block_class = input.sem(SemanticName::BlockClass, &input.c("block"));
     let label_class = input.sem(SemanticName::LabelClass, "inline");
@@ -315,11 +323,7 @@ fn render_field_row(
     match style.label_style {
         LabelStyle::Heading => el("div")
             .attr("class", block_class)
-            .child(
-                el("h4")
-                    .attr("class", label_class)
-                    .child(text(label)),
-            )
+            .child(el("h4").attr("class", label_class).child(text(label)))
             .child(value_node),
         LabelStyle::Strong => el("div")
             .attr("class", block_class)
@@ -336,7 +340,12 @@ fn render_field_row(
 fn render_main_list(input: &RenderInput<'_>) -> TreeSpec {
     let style = input.style;
     let list_class = input.sem(SemanticName::ListClass, &input.c("list-box"));
-    let items: Vec<&ListItem> = input.data.list_items.iter().take(input.shown_items).collect();
+    let items: Vec<&ListItem> = input
+        .data
+        .list_items
+        .iter()
+        .take(input.shown_items)
+        .collect();
 
     let mut container = el("div")
         .attr("class", list_class)

@@ -180,9 +180,11 @@ mod tests {
     fn styles_vary_across_seeds() {
         let styles: Vec<SiteStyle> = (0..30).map(SiteStyle::from_seed).collect();
         let microdata = styles.iter().filter(|s| s.uses_microdata).count();
-        assert!(microdata > 3 && microdata < 27, "microdata share {microdata}/30");
-        let list_kinds: std::collections::HashSet<_> =
-            styles.iter().map(|s| s.list_kind).collect();
+        assert!(
+            microdata > 3 && microdata < 27,
+            "microdata share {microdata}/30"
+        );
+        let list_kinds: std::collections::HashSet<_> = styles.iter().map(|s| s.list_kind).collect();
         assert!(list_kinds.len() >= 2);
         let prefixes: std::collections::HashSet<_> =
             styles.iter().map(|s| s.class_prefix.clone()).collect();
@@ -199,8 +201,7 @@ mod tests {
 
     #[test]
     fn verticals_have_unique_slugs() {
-        let slugs: std::collections::HashSet<_> =
-            Vertical::ALL.iter().map(|v| v.slug()).collect();
+        let slugs: std::collections::HashSet<_> = Vertical::ALL.iter().map(|v| v.slug()).collect();
         assert_eq!(slugs.len(), Vertical::ALL.len());
     }
 

@@ -199,13 +199,15 @@ pub fn find_targets(doc: &Document, view: &PageView, role: TargetRole) -> Vec<No
             .collect(),
         TargetRole::NextLink => innermost_with_texts(doc, &["Next".to_string()], Some("a")),
         TargetRole::MainHeadline => {
-            innermost_with_texts(doc, &[data.entity_title.clone()], Some("h1"))
+            innermost_with_texts(doc, std::slice::from_ref(&data.entity_title), Some("h1"))
         }
-        TargetRole::PrimaryValue => {
-            innermost_with_texts(doc, &[data.fields[0].1.clone()], None)
+        TargetRole::PrimaryValue => innermost_with_texts(doc, &[data.fields[0].1.clone()], None),
+        TargetRole::PriceValue => {
+            innermost_with_texts(doc, std::slice::from_ref(&data.price), None)
         }
-        TargetRole::PriceValue => innermost_with_texts(doc, &[data.price.clone()], None),
-        TargetRole::RatingValue => innermost_with_texts(doc, &[data.rating.clone()], None),
+        TargetRole::RatingValue => {
+            innermost_with_texts(doc, std::slice::from_ref(&data.rating), None)
+        }
         TargetRole::SecondaryPeople => {
             // The same names may appear elsewhere (e.g. a sidebar facet on
             // shopping sites); the intended targets are the ones inside the
@@ -255,8 +257,7 @@ pub fn find_targets(doc: &Document, view: &PageView, role: TargetRole) -> Vec<No
                 .filter(|&link| {
                     doc.ancestors(link).any(|anc| {
                         doc.element_children(anc).any(|c| {
-                            doc.tag_name(c) == Some("h3")
-                                && doc.normalized_text(c) == "Related"
+                            doc.tag_name(c) == Some("h3") && doc.normalized_text(c) == "Related"
                         })
                     })
                 })
@@ -264,8 +265,18 @@ pub fn find_targets(doc: &Document, view: &PageView, role: TargetRole) -> Vec<No
         }
         TargetRole::NavEntries => {
             let sections = [
-                "Home", "World", "Business", "Technology", "Science", "Health", "Sports",
-                "Arts", "Style", "Travel", "Video", "Archive",
+                "Home",
+                "World",
+                "Business",
+                "Technology",
+                "Science",
+                "Health",
+                "Sports",
+                "Arts",
+                "Style",
+                "Travel",
+                "Video",
+                "Archive",
             ];
             let labels: Vec<String> = sections.iter().map(|s| s.to_string()).collect();
             innermost_with_texts(doc, &labels, Some("a"))
@@ -282,7 +293,7 @@ fn view_vertical(view: &PageView) -> Option<Vertical> {
     }
 }
 
-fn shown_items<'a>(view: &'a PageView) -> impl Iterator<Item = &'a crate::data::ListItem> {
+fn shown_items(view: &PageView) -> impl Iterator<Item = &crate::data::ListItem> {
     view.data.list_items.iter().take(view.shown_items)
 }
 
@@ -292,21 +303,17 @@ fn innermost_with_texts(doc: &Document, values: &[String], tag: Option<&str>) ->
     if values.is_empty() {
         return Vec::new();
     }
-    let value_set: std::collections::HashSet<&str> =
-        values.iter().map(|s| s.as_str()).collect();
+    let value_set: std::collections::HashSet<&str> = values.iter().map(|s| s.as_str()).collect();
     let mut matches: Vec<NodeId> = doc
         .descendants(doc.root())
         .filter(|&n| doc.is_element(n))
-        .filter(|&n| tag.map_or(true, |t| doc.tag_name(n) == Some(t)))
+        .filter(|&n| tag.is_none_or(|t| doc.tag_name(n) == Some(t)))
         .filter(|&n| value_set.contains(doc.normalized_text(n).as_str()))
         .collect();
     // Keep only innermost matches (drop any match that has another match as
     // a descendant).
     let match_set: std::collections::HashSet<NodeId> = matches.iter().copied().collect();
-    matches.retain(|&n| {
-        !doc.descendants(n)
-            .any(|d| d != n && match_set.contains(&d))
-    });
+    matches.retain(|&n| !doc.descendants(n).any(|d| d != n && match_set.contains(&d)));
     matches
 }
 
@@ -384,10 +391,7 @@ pub fn human_wrapper(site: &Site, role: TargetRole) -> String {
                 ListKind::Table => "td",
                 _ => "span",
             };
-            format!(
-                r#"descendant::{tag}[@class="{}"]"#,
-                style.cls("item-price")
-            )
+            format!(r#"descendant::{tag}[@class="{}"]"#, style.cls("item-price"))
         }
         TargetRole::ListRows => match style.list_kind {
             ListKind::UnorderedList => format!(
@@ -545,8 +549,18 @@ mod tests {
 
     #[test]
     fn task_ids_are_unique_per_role_and_site() {
-        let a = WrapperTask::new(Site::new(Vertical::News, 1), 0, PageKind::Detail, TargetRole::MainHeadline);
-        let b = WrapperTask::new(Site::new(Vertical::News, 1), 0, PageKind::Detail, TargetRole::NextLink);
+        let a = WrapperTask::new(
+            Site::new(Vertical::News, 1),
+            0,
+            PageKind::Detail,
+            TargetRole::MainHeadline,
+        );
+        let b = WrapperTask::new(
+            Site::new(Vertical::News, 1),
+            0,
+            PageKind::Detail,
+            TargetRole::NextLink,
+        );
         assert_ne!(a.id(), b.id());
     }
 }

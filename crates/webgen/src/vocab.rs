@@ -10,17 +10,70 @@ use rand::{Rng, SeedableRng};
 
 /// First names used for person generation.
 pub const FIRST_NAMES: &[&str] = &[
-    "Martin", "Sofia", "Quentin", "Ava", "Noah", "Olivia", "Liam", "Emma", "Mason", "Isabella",
-    "Ethan", "Mia", "Lucas", "Amelia", "Henry", "Charlotte", "Leo", "Harper", "Jack", "Grace",
-    "Daniel", "Chloe", "Samuel", "Ella", "David", "Nora", "Joseph", "Lily", "Victor", "Ruth",
+    "Martin",
+    "Sofia",
+    "Quentin",
+    "Ava",
+    "Noah",
+    "Olivia",
+    "Liam",
+    "Emma",
+    "Mason",
+    "Isabella",
+    "Ethan",
+    "Mia",
+    "Lucas",
+    "Amelia",
+    "Henry",
+    "Charlotte",
+    "Leo",
+    "Harper",
+    "Jack",
+    "Grace",
+    "Daniel",
+    "Chloe",
+    "Samuel",
+    "Ella",
+    "David",
+    "Nora",
+    "Joseph",
+    "Lily",
+    "Victor",
+    "Ruth",
 ];
 
 /// Last names used for person generation.
 pub const LAST_NAMES: &[&str] = &[
-    "Scorsese", "Coppola", "Tarantino", "Bigelow", "Anderson", "Nolan", "Kurosawa", "Miller",
-    "Johnson", "Williams", "Brown", "Jones", "Garcia", "Davis", "Rodriguez", "Martinez",
-    "Hernandez", "Lopez", "Gonzalez", "Wilson", "Lee", "Walker", "Hall", "Allen", "Young",
-    "King", "Wright", "Scott", "Torres", "Nguyen",
+    "Scorsese",
+    "Coppola",
+    "Tarantino",
+    "Bigelow",
+    "Anderson",
+    "Nolan",
+    "Kurosawa",
+    "Miller",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Lee",
+    "Walker",
+    "Hall",
+    "Allen",
+    "Young",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
 ];
 
 /// Nouns for titles (movies, products, articles, hotels).
@@ -32,49 +85,144 @@ pub const TITLE_NOUNS: &[&str] = &[
 
 /// Adjectives for titles.
 pub const TITLE_ADJECTIVES: &[&str] = &[
-    "Silent", "Golden", "Hidden", "Broken", "Electric", "Distant", "Crimson", "Frozen",
-    "Restless", "Lucky", "Midnight", "Endless", "Roaring", "Quiet", "Painted", "Savage",
-    "Velvet", "Northern", "Wandering", "Final",
+    "Silent",
+    "Golden",
+    "Hidden",
+    "Broken",
+    "Electric",
+    "Distant",
+    "Crimson",
+    "Frozen",
+    "Restless",
+    "Lucky",
+    "Midnight",
+    "Endless",
+    "Roaring",
+    "Quiet",
+    "Painted",
+    "Savage",
+    "Velvet",
+    "Northern",
+    "Wandering",
+    "Final",
 ];
 
 /// City names for locations.
 pub const CITIES: &[&str] = &[
-    "San Francisco", "Edinburgh", "Oxford", "Lisbon", "Kyoto", "Toronto", "Melbourne",
-    "Valparaiso", "Reykjavik", "Marrakesh", "Lucerne", "Tallinn", "Porto", "Savannah",
-    "Wellington", "Bergen", "Ljubljana", "Galway", "Bruges", "Dubrovnik",
+    "San Francisco",
+    "Edinburgh",
+    "Oxford",
+    "Lisbon",
+    "Kyoto",
+    "Toronto",
+    "Melbourne",
+    "Valparaiso",
+    "Reykjavik",
+    "Marrakesh",
+    "Lucerne",
+    "Tallinn",
+    "Porto",
+    "Savannah",
+    "Wellington",
+    "Bergen",
+    "Ljubljana",
+    "Galway",
+    "Bruges",
+    "Dubrovnik",
 ];
 
 /// Countries for locations.
 pub const COUNTRIES: &[&str] = &[
-    "United States", "United Kingdom", "Portugal", "Japan", "Canada", "Australia", "Chile",
-    "Iceland", "Morocco", "Switzerland", "Estonia", "New Zealand", "Norway", "Slovenia",
-    "Ireland", "Belgium", "Croatia", "France", "Italy", "Spain",
+    "United States",
+    "United Kingdom",
+    "Portugal",
+    "Japan",
+    "Canada",
+    "Australia",
+    "Chile",
+    "Iceland",
+    "Morocco",
+    "Switzerland",
+    "Estonia",
+    "New Zealand",
+    "Norway",
+    "Slovenia",
+    "Ireland",
+    "Belgium",
+    "Croatia",
+    "France",
+    "Italy",
+    "Spain",
 ];
 
 /// Organisation names.
 pub const ORGANISATIONS: &[&str] = &[
-    "Acme Corp", "Globex", "Initech", "Umbrella Partners", "Stark Industries", "Wayne Enterprises",
-    "Hooli", "Vandelay Industries", "Wonka Labs", "Tyrell Analytics", "Cyberdyne Systems",
-    "Aperture Research", "Oscorp", "Soylent Foods", "Gringotts Finance",
+    "Acme Corp",
+    "Globex",
+    "Initech",
+    "Umbrella Partners",
+    "Stark Industries",
+    "Wayne Enterprises",
+    "Hooli",
+    "Vandelay Industries",
+    "Wonka Labs",
+    "Tyrell Analytics",
+    "Cyberdyne Systems",
+    "Aperture Research",
+    "Oscorp",
+    "Soylent Foods",
+    "Gringotts Finance",
 ];
 
 /// Product categories.
 pub const PRODUCT_CATEGORIES: &[&str] = &[
-    "Wireless Headphones", "Espresso Machine", "Trail Backpack", "Mechanical Keyboard",
-    "Road Bike", "Field Camera", "Desk Lamp", "Air Purifier", "Hiking Boots", "Watch",
-    "Notebook", "Monitor", "Drone", "Blender", "Tent",
+    "Wireless Headphones",
+    "Espresso Machine",
+    "Trail Backpack",
+    "Mechanical Keyboard",
+    "Road Bike",
+    "Field Camera",
+    "Desk Lamp",
+    "Air Purifier",
+    "Hiking Boots",
+    "Watch",
+    "Notebook",
+    "Monitor",
+    "Drone",
+    "Blender",
+    "Tent",
 ];
 
 /// Month names used when formatting textual dates.
 pub const MONTHS: &[&str] = &[
-    "January", "February", "March", "April", "May", "June", "July", "August", "September",
-    "October", "November", "December",
+    "January",
+    "February",
+    "March",
+    "April",
+    "May",
+    "June",
+    "July",
+    "August",
+    "September",
+    "October",
+    "November",
+    "December",
 ];
 
 /// Headline verbs for news generation.
 pub const HEADLINE_VERBS: &[&str] = &[
-    "announces", "unveils", "reports", "wins", "faces", "expands", "launches", "acquires",
-    "reviews", "confirms", "delays", "opens",
+    "announces",
+    "unveils",
+    "reports",
+    "wins",
+    "faces",
+    "expands",
+    "launches",
+    "acquires",
+    "reviews",
+    "confirms",
+    "delays",
+    "opens",
 ];
 
 /// A deterministic content generator seeded per (site, page, epoch).
@@ -154,7 +302,11 @@ impl ValueGen {
 
     /// A product name.
     pub fn product(&mut self) -> String {
-        format!("{} {}", self.pick(TITLE_ADJECTIVES), self.pick(PRODUCT_CATEGORIES))
+        format!(
+            "{} {}",
+            self.pick(TITLE_ADJECTIVES),
+            self.pick(PRODUCT_CATEGORIES)
+        )
     }
 
     /// A price string ("$123.45").
@@ -215,7 +367,8 @@ impl ValueGen {
 pub fn mix_seed(parts: &[u64]) -> u64 {
     let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
     for &p in parts {
-        h ^= p.wrapping_add(0x9e37_79b9_7f4a_7c15)
+        h ^= p
+            .wrapping_add(0x9e37_79b9_7f4a_7c15)
             .wrapping_add(h << 6)
             .wrapping_add(h >> 2);
         h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);

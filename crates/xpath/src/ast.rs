@@ -142,7 +142,10 @@ impl Axis {
 
     /// Whether the axis moves strictly downward in the tree.
     pub fn is_downward(self) -> bool {
-        matches!(self, Axis::Child | Axis::Descendant | Axis::DescendantOrSelf)
+        matches!(
+            self,
+            Axis::Child | Axis::Descendant | Axis::DescendantOrSelf
+        )
     }
 
     /// Whether the axis moves strictly upward in the tree.
@@ -589,10 +592,7 @@ mod tests {
         assert_eq!(Axis::FollowingSibling.transitive(), Axis::FollowingSibling);
         assert_eq!(Axis::Child.reverse(), Axis::Parent);
         assert_eq!(Axis::Descendant.reverse(), Axis::Ancestor);
-        assert_eq!(
-            Axis::FollowingSibling.reverse(),
-            Axis::PrecedingSibling
-        );
+        assert_eq!(Axis::FollowingSibling.reverse(), Axis::PrecedingSibling);
         assert!(Axis::Ancestor.is_reverse());
         assert!(!Axis::Child.is_reverse());
         assert!(Axis::FollowingSibling.is_sideways());
@@ -613,10 +613,8 @@ mod tests {
     #[test]
     fn display_matches_paper_syntax() {
         let q = Query::new(vec![
-            Step::new(Axis::Descendant, NodeTest::tag("div")).with_predicate(Predicate::text_fn(
-                StringFunction::StartsWith,
-                "Director:",
-            )),
+            Step::new(Axis::Descendant, NodeTest::tag("div"))
+                .with_predicate(Predicate::text_fn(StringFunction::StartsWith, "Director:")),
             Step::new(Axis::Descendant, NodeTest::tag("span"))
                 .with_predicate(Predicate::attr_equals("itemprop", "name")),
         ]);
@@ -636,11 +634,13 @@ mod tests {
         ]);
         assert_eq!(q.to_string(), r#"descendant::img[@class="adv"][1]/@src"#);
 
-        let q2 = Query::new(vec![Step::new(Axis::Child, NodeTest::tag("li"))
-            .with_predicate(Predicate::LastOffset(0))]);
+        let q2 =
+            Query::new(vec![Step::new(Axis::Child, NodeTest::tag("li"))
+                .with_predicate(Predicate::LastOffset(0))]);
         assert_eq!(q2.to_string(), "child::li[last()]");
-        let q3 = Query::new(vec![Step::new(Axis::Child, NodeTest::tag("li"))
-            .with_predicate(Predicate::LastOffset(2))]);
+        let q3 =
+            Query::new(vec![Step::new(Axis::Child, NodeTest::tag("li"))
+                .with_predicate(Predicate::LastOffset(2))]);
         assert_eq!(q3.to_string(), "child::li[last()-2]");
         let q4 = Query::new(vec![Step::new(Axis::Child, NodeTest::AnyNode)
             .with_predicate(Predicate::HasAttribute("id".into()))]);

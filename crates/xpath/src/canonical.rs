@@ -207,10 +207,7 @@ mod tests {
         let p2 = v2.elements_by_tag("p");
         // Positional indices of p[2]/p[3] under div.b are unchanged (span has
         // a different tag), so no c-change is recorded.
-        assert_eq!(
-            c_changes_multi(&[(&v1, p1.clone()), (&v2, p2.clone())]),
-            0
-        );
+        assert_eq!(c_changes_multi(&[(&v1, p1.clone()), (&v2, p2.clone())]), 0);
         // Inserting another p at the start of div.b shifts the indices.
         let v3 = parse_html(
             r#"<html><body>
@@ -223,9 +220,6 @@ mod tests {
         let targets3 = vec![p3v[0], p3v[2], p3v[3]];
         // tracked targets: in v1 all three p's; in v3 "one", "two", "three".
         let targets1 = p1;
-        assert_eq!(
-            c_changes_multi(&[(&v1, targets1), (&v3, targets3)]),
-            1
-        );
+        assert_eq!(c_changes_multi(&[(&v1, targets1), (&v3, targets3)]), 1);
     }
 }

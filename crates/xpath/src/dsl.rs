@@ -129,10 +129,8 @@ mod tests {
 
     #[test]
     fn push_step_and_free_function() {
-        let s = step(Axis::Descendant, NodeTest::tag("p")).with_predicate(Predicate::text_fn(
-            StringFunction::Contains,
-            "Hit",
-        ));
+        let s = step(Axis::Descendant, NodeTest::tag("p"))
+            .with_predicate(Predicate::text_fn(StringFunction::Contains, "Hit"));
         let q = QueryBuilder::new().push_step(s).build();
         assert_eq!(q.to_string(), r#"descendant::p[contains(.,"Hit")]"#);
     }

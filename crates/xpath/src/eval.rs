@@ -293,10 +293,9 @@ mod tests {
 
     #[test]
     fn positions_are_per_context_node() {
-        let doc = parse_html(
-            "<body><ul><li>a</li><li>b</li></ul><ul><li>c</li><li>d</li></ul></body>",
-        )
-        .unwrap();
+        let doc =
+            parse_html("<body><ul><li>a</li><li>b</li></ul><ul><li>c</li><li>d</li></ul></body>")
+                .unwrap();
         let q = parse_query("descendant::ul/child::li[1]").unwrap();
         let r = evaluate(&q, &doc, doc.root());
         assert_eq!(r.len(), 2);
@@ -327,8 +326,7 @@ mod tests {
             </table></body>"#,
         )
         .unwrap();
-        let q = parse_query(r#"descendant::tr[contains(.,"News")]/following-sibling::tr"#)
-            .unwrap();
+        let q = parse_query(r#"descendant::tr[contains(.,"News")]/following-sibling::tr"#).unwrap();
         let r = evaluate(&q, &doc, doc.root());
         assert_eq!(r.len(), 2);
 
@@ -355,8 +353,8 @@ mod tests {
         let r = evaluate(&q, &doc, doc.root());
         assert_eq!(r.len(), 2);
 
-        let q = parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#)
-            .unwrap();
+        let q =
+            parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#).unwrap();
         let r = evaluate(&q, &doc, doc.root());
         assert_eq!(r.len(), 1);
         assert_eq!(doc.tag_name(r[0]), Some("img"));
@@ -433,10 +431,8 @@ mod tests {
 
     #[test]
     fn results_are_document_ordered_and_deduped() {
-        let doc = parse_html(
-            "<body><div><span>a</span></div><div><span>b</span></div></body>",
-        )
-        .unwrap();
+        let doc =
+            parse_html("<body><div><span>a</span></div><div><span>b</span></div></body>").unwrap();
         // Both div contexts can reach both spans through ancestor/descendant
         // detours; the result must still be deduplicated.
         let q = parse_query("descendant::div/ancestor::body/descendant::span").unwrap();

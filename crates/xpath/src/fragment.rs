@@ -42,10 +42,11 @@ pub fn uses_only_ds_axes(query: &Query) -> bool {
 /// Returns `true` if no predicate uses constructs outside the fragment
 /// (nested path predicates are the only such construct in this AST).
 pub fn uses_only_ds_predicates(query: &Query) -> bool {
-    query
-        .steps
-        .iter()
-        .all(|s| s.predicates.iter().all(|p| !matches!(p, Predicate::Path(_))))
+    query.steps.iter().all(|s| {
+        s.predicates
+            .iter()
+            .all(|p| !matches!(p, Predicate::Path(_)))
+    })
 }
 
 /// Classifies the axis sequence of a query as one-directional (returning the
@@ -243,12 +244,14 @@ mod tests {
 
     #[test]
     fn plausibility_checks_strings_and_ints() {
-        let doc = parse_html(
-            r#"<html><body><div class="content">Director: Someone</div></body></html>"#,
-        )
-        .unwrap();
+        let doc =
+            parse_html(r#"<html><body><div class="content">Director: Someone</div></body></html>"#)
+                .unwrap();
         let docs = vec![&doc];
-        assert!(is_plausible(&q(r#"descendant::div[@class="content"]"#), &docs));
+        assert!(is_plausible(
+            &q(r#"descendant::div[@class="content"]"#),
+            &docs
+        ));
         assert!(is_plausible(
             &q(r#"descendant::div[starts-with(.,"Director:")]"#),
             &docs

@@ -102,7 +102,7 @@ impl<'a> Parser<'a> {
         let mut steps: Vec<Step> = Vec::new();
 
         // A single "." is the empty (context) query.
-        if self.peek() == Some(b'.') && self.peek_at(1).map_or(true, |b| b == b' ') {
+        if self.peek() == Some(b'.') && self.peek_at(1).is_none_or(|b| b == b' ') {
             // Only if the whole remaining input is ".".
             let rest = self.input[self.pos..].trim();
             if rest == "." {
@@ -171,8 +171,8 @@ impl<'a> Parser<'a> {
         let axis;
         let test;
         if self.peek() == Some(b':') && self.peek_at(1) == Some(b':') {
-            let ax = Axis::from_name(&name)
-                .ok_or_else(|| self.err(format!("unknown axis '{name}'")))?;
+            let ax =
+                Axis::from_name(&name).ok_or_else(|| self.err(format!("unknown axis '{name}'")))?;
             self.pos += 2;
             axis = ax;
             if axis == Axis::Attribute {
@@ -459,7 +459,10 @@ mod tests {
         assert_eq!(q.steps.len(), 5);
         assert!(q.steps.iter().all(|s| s.axis == Axis::Child));
         assert_eq!(q.steps[2].predicates[0], Predicate::Position(4));
-        assert_eq!(q.to_string(), "/child::html[1]/child::body[1]/child::div[4]/child::a[1]/child::span[1]");
+        assert_eq!(
+            q.to_string(),
+            "/child::html[1]/child::body[1]/child::div[4]/child::a[1]/child::span[1]"
+        );
     }
 
     #[test]
@@ -476,7 +479,10 @@ mod tests {
         assert_eq!(q.steps[1].axis, Axis::Attribute);
         assert_eq!(q.steps[1].test, NodeTest::tag("href"));
         let q = parse_query("descendant::div[@id]").unwrap();
-        assert_eq!(q.steps[0].predicates[0], Predicate::HasAttribute("id".into()));
+        assert_eq!(
+            q.steps[0].predicates[0],
+            Predicate::HasAttribute("id".into())
+        );
         let q = parse_query("attribute::class").unwrap();
         assert_eq!(q.steps[0].axis, Axis::Attribute);
     }
@@ -498,10 +504,7 @@ mod tests {
             Predicate::text_fn(StringFunction::StartsWith, "Top")
         );
         let q = parse_query(r#"descendant::a[ends-with(@href,".pdf")]"#).unwrap();
-        assert_eq!(
-            q.steps[0].predicates[0].string_constant(),
-            Some(".pdf")
-        );
+        assert_eq!(q.steps[0].predicates[0].string_constant(), Some(".pdf"));
     }
 
     #[test]
@@ -521,8 +524,8 @@ mod tests {
 
     #[test]
     fn parses_nested_path_predicate() {
-        let q = parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#)
-            .unwrap();
+        let q =
+            parse_query(r#"descendant::img[ancestor::div[1][@class="contentSmLeft"]]"#).unwrap();
         match &q.steps[0].predicates[0] {
             Predicate::Path(inner) => {
                 assert_eq!(inner.steps.len(), 1);
@@ -535,9 +538,8 @@ mod tests {
 
     #[test]
     fn parses_human_wrapper_with_following_axis() {
-        let q =
-            parse_query(r#"descendant::p[contains(., "Hit")]/following::ul[1]/descendant::li"#)
-                .unwrap();
+        let q = parse_query(r#"descendant::p[contains(., "Hit")]/following::ul[1]/descendant::li"#)
+            .unwrap();
         assert_eq!(q.steps[1].axis, Axis::Following);
         assert_eq!(q.steps[1].predicates[0], Predicate::Position(1));
     }

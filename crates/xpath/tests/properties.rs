@@ -49,8 +49,7 @@ fn arb_tag() -> impl Strategy<Value = NodeTest> {
         Just(NodeTest::AnyElement),
         Just(NodeTest::AnyNode),
         Just(NodeTest::Text),
-        prop::sample::select(vec!["div", "span", "li", "a", "input", "h1"])
-            .prop_map(NodeTest::tag),
+        prop::sample::select(vec!["div", "span", "li", "a", "input", "h1"]).prop_map(NodeTest::tag),
     ]
 }
 
@@ -101,20 +100,21 @@ fn arb_predicate() -> impl Strategy<Value = Predicate> {
 }
 
 fn arb_step() -> impl Strategy<Value = Step> {
-    (arb_axis(), arb_tag(), prop::collection::vec(arb_predicate(), 0..3)).prop_map(
-        |(axis, test, predicates)| Step {
+    (
+        arb_axis(),
+        arb_tag(),
+        prop::collection::vec(arb_predicate(), 0..3),
+    )
+        .prop_map(|(axis, test, predicates)| Step {
             axis,
             test,
             predicates,
-        },
-    )
+        })
 }
 
 fn arb_query() -> impl Strategy<Value = Query> {
-    (any::<bool>(), prop::collection::vec(arb_step(), 1..4)).prop_map(|(absolute, steps)| Query {
-        absolute,
-        steps,
-    })
+    (any::<bool>(), prop::collection::vec(arb_step(), 1..4))
+        .prop_map(|(absolute, steps)| Query { absolute, steps })
 }
 
 fn elements(doc: &Document, context: NodeId) -> Vec<NodeId> {

@@ -15,10 +15,16 @@ fn main() {
     let scale = Scale::quick();
 
     let single = fig3::run(&scale);
-    println!("{}", single.render("Figure 3 (reduced): single-node robustness"));
+    println!(
+        "{}",
+        single.render("Figure 3 (reduced): single-node robustness")
+    );
     println!();
     let multi = fig4::run(&scale);
-    println!("{}", multi.render("Figure 4 (reduced): multi-node robustness"));
+    println!(
+        "{}",
+        multi.render("Figure 4 (reduced): multi-node robustness")
+    );
 
     println!("\nper-task detail (single-node):");
     for task in single.tasks.iter().take(10) {

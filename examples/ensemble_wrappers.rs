@@ -41,12 +41,16 @@ fn main() {
     for task in &tasks {
         println!("== {} ==", task.id());
         let (page, targets) = task.page_with_targets(Day(0));
-        let ensemble =
-            WrapperEnsemble::induce_single(&page, &targets, &EnsembleConfig::default());
+        let ensemble = WrapperEnsemble::induce_single(&page, &targets, &EnsembleConfig::default());
 
         println!("ensemble members (independent selection means):");
         for (i, member) in ensemble.members.iter().enumerate() {
-            println!("  #{:<2} score {:>8.1}  {}", i + 1, member.score, member.query);
+            println!(
+                "  #{:<2} score {:>8.1}  {}",
+                i + 1,
+                member.score,
+                member.query
+            );
         }
 
         // Replay the ensemble over archive snapshots at 120-day intervals.
@@ -56,10 +60,17 @@ fn main() {
             let day = Day(step * 120);
             let (snapshot, truth) = task.page_with_targets(day);
             if truth.is_empty() {
-                println!("  day {:>4}: targets removed from the page — stopping", day.0);
+                println!(
+                    "  day {:>4}: targets removed from the page — stopping",
+                    day.0
+                );
                 break;
             }
-            let majority = ensemble.extract_majority(&snapshot);
+            // The ensemble is itself an `Extractor`: majority vote from the
+            // snapshot root.
+            let majority = ensemble
+                .extract(&snapshot, snapshot.root())
+                .expect("ensemble has members");
             let agreement = ensemble.agreement(&snapshot);
             let majority_ok = majority == truth;
             for (i, member) in ensemble.members.iter().enumerate() {
@@ -91,7 +102,10 @@ fn main() {
         ScoringParams::paper_defaults(),
         &CalibrationConfig::default(),
     );
-    println!("== scoring calibration on {} observations ==", survival_corpus.len());
+    println!(
+        "== scoring calibration on {} observations ==",
+        survival_corpus.len()
+    );
     println!(
         "rank agreement: {:.3} (paper defaults) -> {:.3} (calibrated)",
         result.initial_agreement, result.final_agreement

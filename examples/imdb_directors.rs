@@ -8,7 +8,7 @@
 //! ```
 
 use wrapper_induction::baselines::CanonicalWrapper;
-use wrapper_induction::eval::robustness::{run_robustness_standard, Extractor};
+use wrapper_induction::eval::robustness::run_robustness_standard;
 use wrapper_induction::prelude::*;
 use wrapper_induction::webgen::date::Day;
 use wrapper_induction::webgen::site::{PageKind, Site};
@@ -21,7 +21,10 @@ fn main() {
     let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::PrimaryValue);
     let (page, targets) = task.page_with_targets(Day(0));
     println!("site: {}", task.site.id);
-    println!("target (ground truth): {:?}", page.normalized_text(targets[0]));
+    println!(
+        "target (ground truth): {:?}",
+        page.normalized_text(targets[0])
+    );
     println!("human reference wrapper: {}\n", task.human_wrapper);
 
     // Induce from the single annotated page, restricting text predicates to
@@ -53,11 +56,7 @@ fn main() {
         let outcome = run_robustness_standard(&task, wrapper, 20);
         println!(
             "  {:<10} valid for {:>5} days ({} snapshots, {} c-changes, ended: {:?})",
-            name,
-            outcome.valid_days,
-            outcome.snapshots_checked,
-            outcome.c_changes,
-            outcome.reason
+            name, outcome.valid_days, outcome.snapshots_checked, outcome.c_changes, outcome.reason
         );
     }
 }

@@ -40,12 +40,15 @@ fn main() {
         .with_text_policy(TextPolicy::TemplateOnly(view.data.template_labels()));
     let inducer = WrapperInducer::new(config);
     let sample = Sample::from_root(&page, &annotation.annotated);
-    let ranked = inducer.induce(&[sample]);
+    let ranked = inducer
+        .try_induce(&[sample])
+        .expect("the noisy annotations still induce a wrapper");
     let top = &ranked[0];
     println!("\ninduced wrapper: {}", top.query);
 
-    // Compare what it selects with the true entity list.
-    let mut selected = evaluate(&top.query, &page, page.root());
+    // Compare what it selects with the true entity list (the query is an
+    // `Extractor` like every other wrapper kind).
+    let mut selected = top.query.extract(&page, page.root()).unwrap();
     page.sort_document_order(&mut selected);
     let mut truth = annotation.truth.clone();
     page.sort_document_order(&mut truth);
@@ -57,6 +60,8 @@ fn main() {
     if selected == truth {
         println!("\n=> the noisy annotations were generalised into the intended person list.");
     } else {
-        println!("\n=> the wrapper deviates from the intended list (this is one of the hard cases).");
+        println!(
+            "\n=> the wrapper deviates from the intended list (this is one of the hard cases)."
+        );
     }
 }

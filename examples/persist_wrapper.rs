@@ -1,0 +1,74 @@
+//! The wrapper lifecycle of a production extraction service: induce a
+//! wrapper once, save it as a versioned JSON artifact, reload it (possibly
+//! in a different process, weeks later) and extract across many page
+//! versions with the parallel batch engine.
+//!
+//! ```text
+//! cargo run --release --example persist_wrapper
+//! ```
+
+use wrapper_induction::induction::config::TextPolicy;
+use wrapper_induction::prelude::*;
+use wrapper_induction::webgen::{Day, PageKind, Site, TargetRole, Vertical, WrapperTask};
+
+fn main() {
+    // 1. Induce — once, from a single annotated page.
+    let site = Site::new(Vertical::Movies, 17);
+    let task = WrapperTask::new(site.clone(), 0, PageKind::Detail, TargetRole::PrimaryValue);
+    let (page, targets) = task.page_with_targets(Day(0));
+    let config = InductionConfig::default()
+        .with_text_policy(TextPolicy::TemplateOnly(task.template_labels(Day(0))));
+    let wrapper = config_induce(&config, &page, &targets);
+    println!("induced wrapper: {}", wrapper.expression());
+
+    // 2. Save — the wrapper becomes a storable, versioned JSON artifact.
+    let bundle = WrapperBundle::from_wrapper(&wrapper, config.params.clone()).with_label(task.id());
+    let path = std::env::temp_dir().join("persist_wrapper_example.json");
+    bundle.save_json(&path).expect("bundle saves");
+    println!(
+        "saved artifact:   {} ({} bytes)",
+        path.display(),
+        std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0)
+    );
+
+    // 3. Reload — a fresh process only needs the artifact.
+    let reloaded = WrapperBundle::load_json(&path).expect("bundle loads");
+    println!(
+        "reloaded bundle:  label {:?}, format v{}, {} expression(s)",
+        reloaded.label.as_deref().unwrap_or("-"),
+        reloaded.version,
+        reloaded.entries.len()
+    );
+
+    // 4. Extract at scale — every archive snapshot of six years, through the
+    //    parallel batch path of the unified `Extractor` interface.
+    let docs: Vec<Document> = (0..110)
+        .map(|step| site.render(0, Day(step * 20), PageKind::Detail))
+        .collect();
+    let started = std::time::Instant::now();
+    let results = reloaded.extract_batch(&docs);
+    let elapsed = started.elapsed();
+    let extracted = results
+        .iter()
+        .filter(|r| r.as_ref().is_ok_and(|nodes| !nodes.is_empty()))
+        .count();
+    println!(
+        "batch-extracted {} snapshots in {:.1} ms ({} with a non-empty selection)",
+        docs.len(),
+        elapsed.as_secs_f64() * 1000.0,
+        extracted
+    );
+
+    // The reloaded artifact behaves exactly like the in-memory wrapper.
+    let direct = wrapper.extract_batch(&docs);
+    assert_eq!(results, direct, "artifact diverged from the live wrapper");
+    println!("reloaded artifact matches the live wrapper on every snapshot");
+
+    std::fs::remove_file(&path).ok();
+}
+
+fn config_induce(config: &InductionConfig, page: &Document, targets: &[NodeId]) -> Wrapper {
+    WrapperInducer::new(config.clone())
+        .try_induce_best(page, targets)
+        .expect("induction succeeds on the annotated page")
+}

@@ -8,6 +8,8 @@
 use wrapper_induction::prelude::*;
 
 fn main() {
+    // `Extractor` (from the prelude) is the one interface every wrapper
+    // kind implements: induced wrappers, ensembles, bundles and baselines.
     // A (simplified) IMDB-style movie page.
     let page_v1 = parse_html(
         r#"<html><body>
@@ -33,8 +35,7 @@ fn main() {
     let director = page_v1
         .descendants(page_v1.root())
         .find(|&n| {
-            page_v1.normalized_text(n) == "Martin Scorsese"
-                && page_v1.tag_name(n) == Some("span")
+            page_v1.normalized_text(n) == "Martin Scorsese" && page_v1.tag_name(n) == Some("span")
         })
         .expect("director span exists");
 
@@ -84,10 +85,11 @@ fn main() {
     );
 
     // Compare with the canonical (devtools-style) wrapper, which breaks.
-    let canonical =
-        wrapper_induction::baselines::CanonicalWrapper::induce(&page_v1, &[director]);
+    // Both wrappers are driven through the same `Extractor` interface.
+    let canonical = wrapper_induction::baselines::CanonicalWrapper::induce(&page_v1, &[director]);
     let canonical_result: Vec<String> = canonical
-        .extract(&page_v2)
+        .extract_root(&page_v2)
+        .expect("extraction runs")
         .into_iter()
         .map(|n| page_v2.normalized_text(n))
         .collect();

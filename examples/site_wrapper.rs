@@ -41,10 +41,11 @@ fn main() {
             .with_text_policy(TextPolicy::TemplateOnly(task.template_labels(Day(0))));
         let inducer = WrapperInducer::new(config);
         let sample = Sample::from_root(&page, &targets);
-        let ranked = inducer.induce(&[sample]);
-        match ranked.first() {
-            Some(top) => {
-                let selected = evaluate(&top.query, &page, page.root());
+        // Typed induction errors distinguish "no candidate" from bad input.
+        match inducer.try_induce(&[sample]) {
+            Ok(ranked) => {
+                let top = &ranked[0];
+                let selected = top.query.extract(&page, page.root()).unwrap();
                 println!(
                     "{role:?}  ({} target(s), selects {})\n  induced: {}\n  human:   {}\n",
                     targets.len(),
@@ -53,7 +54,10 @@ fn main() {
                     task.human_wrapper
                 );
             }
-            None => println!("{role:?}: induction produced no candidate\n"),
+            Err(InduceError::NoWrapperFound) => {
+                println!("{role:?}: induction produced no candidate\n")
+            }
+            Err(e) => println!("{role:?}: bad sample: {e}\n"),
         }
     }
 }

@@ -38,34 +38,52 @@
 //!
 //! // 3. Induce a ranked list of robust dsXPath wrappers.
 //! let inducer = WrapperInducer::default();
-//! let wrapper = inducer.induce_best(&doc, &[director]).unwrap();
+//! let wrapper = inducer.try_induce_best(&doc, &[director]).unwrap();
 //!
-//! // 4. Apply the wrapper (to this page, or to future versions of it).
-//! assert_eq!(wrapper.extract(&doc), vec![director]);
+//! // 4. Apply the wrapper (to this page, or to future versions of it)
+//! //    through the workspace-wide `Extractor` interface.
+//! assert_eq!(wrapper.extract(&doc, doc.root()).unwrap(), vec![director]);
+//!
+//! // 5. Persist it as a versioned JSON artifact and reload it later.
+//! let bundle = WrapperBundle::from_wrapper(&wrapper, Default::default());
+//! let reloaded = WrapperBundle::from_json_str(&bundle.to_json_string()).unwrap();
+//! assert_eq!(reloaded.extract(&doc, doc.root()).unwrap(), vec![director]);
 //! ```
+//!
+//! ## The extraction-service surface
+//!
+//! * [`prelude::Extractor`] — one interface over induced wrappers,
+//!   ensembles, raw queries, bundles and all four baseline inducers, with a
+//!   parallel [`extract_batch`](prelude::Extractor::extract_batch) for
+//!   archive-scale workloads,
+//! * [`prelude::WrapperBundle`] — induced wrappers as storable, versioned
+//!   JSON artifacts (`save_json` / `load_json`),
+//! * typed errors ([`prelude::InduceError`], [`prelude::ExtractError`],
+//!   [`induction::BundleError`]) instead of `Option`s and panics.
 
 #![deny(missing_docs)]
 
-/// The DOM substrate (`wi-dom`).
-pub use wi_dom as dom;
-/// The XPath engine (`wi-xpath`).
-pub use wi_xpath as xpath;
-/// Robustness scoring and ranking (`wi-scoring`).
-pub use wi_scoring as scoring;
-/// The wrapper induction algorithms (`wi-induction`).
-pub use wi_induction as induction;
-/// The synthetic web substrate (`wi-webgen`).
-pub use wi_webgen as webgen;
 /// Baseline inducers (`wi-baselines`).
 pub use wi_baselines as baselines;
+/// The DOM substrate (`wi-dom`).
+pub use wi_dom as dom;
 /// The experiment harness (`wi-eval`).
 pub use wi_eval as eval;
+/// The wrapper induction algorithms (`wi-induction`).
+pub use wi_induction as induction;
+/// Robustness scoring and ranking (`wi-scoring`).
+pub use wi_scoring as scoring;
+/// The synthetic web substrate (`wi-webgen`).
+pub use wi_webgen as webgen;
+/// The XPath engine (`wi-xpath`).
+pub use wi_xpath as xpath;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use wi_dom::{parse_html, to_html, Document, NodeId};
     pub use wi_induction::{
-        EnsembleConfig, InductionConfig, Sample, Wrapper, WrapperEnsemble, WrapperInducer,
+        BundleError, EnsembleConfig, ExtractError, Extractor, InduceError, InductionConfig, Sample,
+        Wrapper, WrapperBundle, WrapperEnsemble, WrapperInducer,
     };
     pub use wi_scoring::{QueryInstance, ScoringParams};
     pub use wi_xpath::{evaluate, parse_query, Query};

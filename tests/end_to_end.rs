@@ -33,7 +33,8 @@ fn induction_is_accurate_on_every_vertical() {
         let mut selected = evaluate(&top.query, &doc, doc.root());
         doc.sort_document_order(&mut selected);
         assert_eq!(
-            selected, targets,
+            selected,
+            targets,
             "top wrapper {} is inaccurate on {}",
             top.query,
             task.id()
@@ -70,8 +71,12 @@ fn induced_wrapper_transfers_to_other_pages_of_the_template() {
     let (_, _, top) = induce_top(&task);
     // Apply the wrapper induced on page 0 to pages 1..4 of the same site.
     for page in 1..4 {
-        let other_task =
-            WrapperTask::new(site.clone(), page, PageKind::Detail, TargetRole::PrimaryValue);
+        let other_task = WrapperTask::new(
+            site.clone(),
+            page,
+            PageKind::Detail,
+            TargetRole::PrimaryValue,
+        );
         let (doc, targets) = other_task.page_with_targets(Day(0));
         let selected = evaluate(&top.query, &doc, doc.root());
         assert_eq!(

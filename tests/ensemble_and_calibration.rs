@@ -7,7 +7,9 @@ use wrapper_induction::baselines::CanonicalWrapper;
 use wrapper_induction::eval::robustness::{run_robustness, Extractor};
 use wrapper_induction::induction::{EnsembleConfig, WrapperEnsemble};
 use wrapper_induction::prelude::*;
-use wrapper_induction::scoring::{calibrate, rank_agreement, CalibrationConfig, SurvivalObservation};
+use wrapper_induction::scoring::{
+    calibrate, rank_agreement, CalibrationConfig, SurvivalObservation,
+};
 use wrapper_induction::webgen::{Day, PageKind, Site, TargetRole, Vertical, WrapperTask};
 
 fn tasks() -> Vec<WrapperTask> {
@@ -29,20 +31,6 @@ fn tasks() -> Vec<WrapperTask> {
             )
         })
         .collect()
-}
-
-/// Adapter so an ensemble can be replayed by the robustness runner.
-struct MajorityExtractor {
-    ensemble: WrapperEnsemble,
-}
-
-impl Extractor for MajorityExtractor {
-    fn extract(&self, doc: &Document) -> Vec<NodeId> {
-        self.ensemble.extract_majority(doc)
-    }
-    fn describe(&self) -> String {
-        self.ensemble.expressions().join(" | ")
-    }
 }
 
 #[test]
@@ -69,9 +57,9 @@ fn ensemble_majority_is_at_least_as_robust_as_the_canonical_baseline() {
     for task in tasks() {
         let (doc, targets) = task.page_with_targets(Day(0));
         let ensemble = WrapperEnsemble::induce_single(&doc, &targets, &EnsembleConfig::default());
-        let majority = MajorityExtractor { ensemble };
         let canonical = CanonicalWrapper::induce(&doc, &targets);
-        ensemble_days += run_robustness(&task, &majority, Day(0), Day(1200), 60).valid_days;
+        // The ensemble is replayed directly: it implements `Extractor`.
+        ensemble_days += run_robustness(&task, &ensemble, Day(0), Day(1200), 60).valid_days;
         canonical_days += run_robustness(&task, &canonical, Day(0), Day(1200), 60).valid_days;
     }
     assert!(
@@ -129,7 +117,11 @@ fn calibration_from_robustness_outcomes_never_hurts() {
             ));
         }
     }
-    assert!(corpus.len() >= 8, "expected a reasonable corpus, got {}", corpus.len());
+    assert!(
+        corpus.len() >= 8,
+        "expected a reasonable corpus, got {}",
+        corpus.len()
+    );
     let base = ScoringParams::paper_defaults();
     let initial = rank_agreement(&corpus, &base);
     let result = calibrate(
@@ -146,6 +138,6 @@ fn calibration_from_robustness_outcomes_never_hurts() {
     let task = tasks().remove(0);
     let (doc, targets) = task.page_with_targets(Day(0));
     let inducer = WrapperInducer::new(InductionConfig::default().with_params(result.params));
-    let wrapper = inducer.induce_best(&doc, &targets).expect("a wrapper");
-    assert_eq!(wrapper.extract(&doc), targets);
+    let wrapper = inducer.try_induce_best(&doc, &targets).expect("a wrapper");
+    assert_eq!(wrapper.extract_root(&doc).unwrap(), targets);
 }

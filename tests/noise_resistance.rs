@@ -79,10 +79,15 @@ fn noisy_induction_still_recovers_the_true_targets() {
             continue;
         }
         total += 1;
-        let noisy_targets =
-            apply_noise(&doc, &targets, NoiseKind::NegativeMidRandom, 0.3, 99 + i as u64);
-        let instances = WrapperInducer::new(induction_config_for(task, 5))
-            .induce_single(&doc, &noisy_targets);
+        let noisy_targets = apply_noise(
+            &doc,
+            &targets,
+            NoiseKind::NegativeMidRandom,
+            0.3,
+            99 + i as u64,
+        );
+        let instances =
+            WrapperInducer::new(induction_config_for(task, 5)).induce_single(&doc, &noisy_targets);
         let top = instances.first().expect("a wrapper");
         let selected = evaluate(&top.query, &doc, doc.root());
         if targets.iter().all(|t| selected.contains(t)) {
@@ -98,7 +103,9 @@ fn noisy_induction_still_recovers_the_true_targets() {
 
 #[test]
 fn simulated_ner_annotations_drive_usable_wrappers() {
+    use wrapper_induction::induction::config::TextPolicy;
     use wrapper_induction::webgen::ner::{annotate_listing_page, EntityKind, NerConfig};
+    use wrapper_induction::webgen::site::PageKind;
 
     let sites = datasets::ner_pages(3);
     let mut usable = 0usize;
@@ -111,20 +118,29 @@ fn simulated_ner_annotations_drive_usable_wrappers() {
             continue;
         }
         total += 1;
-        let wrapper = WrapperInducer::with_k(5)
-            .induce_best(&doc, &annotation.annotated)
+        // As in the paper's evaluation (Section 6.2/6.4), text predicates
+        // are restricted to template labels: data texts like the annotated
+        // entity mentions themselves must not be overfitted.
+        let view = site.page_view(0, Day(0), PageKind::Listing);
+        let config = InductionConfig::default()
+            .with_k(5)
+            .with_text_policy(TextPolicy::TemplateOnly(view.data.template_labels()));
+        let wrapper = WrapperInducer::new(config)
+            .try_induce_best(&doc, &annotation.annotated)
             .expect("a wrapper");
-        let selected = wrapper.extract(&doc);
+        let selected = wrapper.extract_root(&doc).expect("extraction succeeds");
         // "Usable" in the paper's sense: the induced expression identifies
         // the intended set of nodes despite the annotator's noise.
-        let truth: std::collections::HashSet<NodeId> =
-            annotation.truth.iter().copied().collect();
+        let truth: std::collections::HashSet<NodeId> = annotation.truth.iter().copied().collect();
         let selected_set: std::collections::HashSet<NodeId> = selected.iter().copied().collect();
         if selected_set == truth {
             usable += 1;
         }
     }
-    assert!(total >= 2, "too few NER pages with enough annotations ({total})");
+    assert!(
+        total >= 2,
+        "too few NER pages with enough annotations ({total})"
+    );
     assert!(
         usable >= 1,
         "no NER-annotated page produced the intended wrapper ({usable}/{total})"
