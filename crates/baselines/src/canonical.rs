@@ -6,12 +6,13 @@
 
 use wi_dom::{Document, NodeId};
 use wi_induction::{ExtractError, Extractor};
-use wi_xpath::{canonical_path, evaluate, Query};
+use wi_xpath::{canonical_path, evaluate_with, EvalContext, Query};
 
 /// Evaluates a set of queries from `context` and returns the union of their
 /// results in document order (the extraction rule shared by the multi-path
-/// baselines).
+/// baselines), reusing the evaluation buffers of `cx`.
 pub(crate) fn extract_union(
+    cx: &mut EvalContext,
     queries: &[Query],
     doc: &Document,
     context: NodeId,
@@ -22,10 +23,10 @@ pub(crate) fn extract_union(
     if !doc.contains(context) {
         return Err(ExtractError::InvalidContext(context));
     }
-    let mut out: Vec<NodeId> = queries
-        .iter()
-        .flat_map(|q| evaluate(q, doc, context))
-        .collect();
+    let mut out: Vec<NodeId> = Vec::new();
+    for q in queries {
+        out.extend(evaluate_with(cx, q, doc, context));
+    }
     // sort_document_order also removes duplicates.
     doc.sort_document_order(&mut out);
     Ok(out)
@@ -71,8 +72,13 @@ impl CanonicalWrapper {
 /// Canonical wrappers extract the union of their absolute paths (the paths
 /// start at the document root, so the context only gates validity).
 impl Extractor for CanonicalWrapper {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
-        extract_union(&self.paths, doc, context)
+    fn extract_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        extract_union(cx, &self.paths, doc, context)
     }
 
     fn describe(&self) -> String {

@@ -321,8 +321,13 @@ impl TreeEditWrapper {
 }
 
 impl Extractor for TreeEditWrapper {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
-        extract_union(&self.queries, doc, context)
+    fn extract_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        extract_union(cx, &self.queries, doc, context)
     }
 
     fn describe(&self) -> String {

@@ -16,7 +16,9 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use wi_dom::{Document, NodeId};
 use wi_induction::{ExtractError, Extractor};
-use wi_xpath::{canonical_step, evaluate, Axis, NodeTest, Predicate, Query, Step, StringFunction};
+use wi_xpath::{
+    canonical_step, evaluate, evaluate_with, Axis, NodeTest, Predicate, Query, Step, StringFunction,
+};
 
 /// One same-template page with the annotated target node (the value WEIR is
 /// supposed to extract on that page).
@@ -231,7 +233,12 @@ impl WeirWrapper {
 }
 
 impl Extractor for WeirWrapper {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+    fn extract_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
         if self.expressions.is_empty() {
             return Err(ExtractError::EmptyWrapper);
         }
@@ -240,7 +247,7 @@ impl Extractor for WeirWrapper {
         }
         let mut votes: BTreeMap<NodeId, usize> = BTreeMap::new();
         for q in &self.expressions {
-            for node in evaluate(q, doc, context) {
+            for node in evaluate_with(cx, q, doc, context) {
                 *votes.entry(node).or_insert(0) += 1;
             }
         }

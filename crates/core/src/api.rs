@@ -48,8 +48,16 @@ impl Wrapper {
 
     /// Extracts (from the root) and returns the normalized text of each
     /// selected node.
+    ///
+    /// Callers extracting from many documents should prefer
+    /// [`Extractor::extract_with`](crate::Extractor::extract_with) (or
+    /// [`extract_batch`](crate::Extractor::extract_batch)) and read the text
+    /// themselves: those paths reuse one evaluation context across
+    /// documents.
     pub fn extract_text(&self, doc: &Document) -> Vec<String> {
-        evaluate(&self.instance.query, doc, doc.root())
+        use crate::extract::Extractor;
+        self.extract_root(doc)
+            .unwrap_or_default()
             .into_iter()
             .map(|n| doc.normalized_text(n))
             .collect()

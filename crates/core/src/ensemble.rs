@@ -29,7 +29,7 @@ use crate::induce::induce;
 use crate::sample::Sample;
 use wi_dom::{Document, NodeId};
 use wi_scoring::QueryInstance;
-use wi_xpath::{evaluate, Predicate, Query, TextSource};
+use wi_xpath::{evaluate, evaluate_with, EvalContext, Predicate, Query, TextSource};
 
 /// The structural "means of selection" a query relies on.
 ///
@@ -275,9 +275,20 @@ impl WrapperEnsemble {
 
     /// Like [`votes`](Self::votes), evaluated from an explicit context node.
     pub fn votes_from(&self, doc: &Document, context: NodeId) -> Vec<(NodeId, usize)> {
+        self.votes_from_with(&mut EvalContext::new(), doc, context)
+    }
+
+    /// Like [`votes_from`](Self::votes_from), reusing the evaluation buffers
+    /// of `cx` across the members (and across calls).
+    pub fn votes_from_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Vec<(NodeId, usize)> {
         let mut counts: BTreeMap<NodeId, usize> = BTreeMap::new();
         for member in &self.members {
-            for node in evaluate(&member.query, doc, context) {
+            for node in evaluate_with(cx, &member.query, doc, context) {
                 *counts.entry(node).or_insert(0) += 1;
             }
         }
@@ -294,8 +305,19 @@ impl WrapperEnsemble {
     /// Like [`extract_majority`](Self::extract_majority), evaluated from an
     /// explicit context node.
     pub fn extract_majority_from(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
+        self.extract_majority_from_with(&mut EvalContext::new(), doc, context)
+    }
+
+    /// Like [`extract_majority_from`](Self::extract_majority_from), reusing
+    /// the evaluation buffers of `cx`.
+    pub fn extract_majority_from_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Vec<NodeId> {
         let threshold = self.members.len() / 2 + 1;
-        self.votes_from(doc, context)
+        self.votes_from_with(cx, doc, context)
             .into_iter()
             .filter(|(_, votes)| *votes >= threshold)
             .map(|(node, _)| node)

@@ -26,7 +26,7 @@ use crate::api::Wrapper;
 use crate::ensemble::WrapperEnsemble;
 use crate::error::ExtractError;
 use wi_dom::{Document, NodeId};
-use wi_xpath::{evaluate, Query};
+use wi_xpath::{evaluate_with, EvalContext, Query};
 
 /// Number of documents below which [`Extractor::extract_batch`] stays on the
 /// calling thread: spawning threads for a couple of pages costs more than it
@@ -40,7 +40,30 @@ const PARALLEL_THRESHOLD: usize = 8;
 /// available cores with scoped threads.
 pub trait Extractor: Send + Sync {
     /// Extracts the wrapper's node set from `doc`, evaluated from `context`.
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError>;
+    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+        self.extract_with(&mut EvalContext::new(), doc, context)
+    }
+
+    /// Like [`extract`](Extractor::extract), but threading a reusable
+    /// [`EvalContext`] through the evaluation.
+    ///
+    /// The context carries the evaluator's scratch buffers, so a caller that
+    /// extracts from many documents — the batch engine, the robustness
+    /// harness, the benches — pays the buffer allocations once instead of
+    /// per document.  (Per-document index builds are amortized separately:
+    /// each [`Document`] caches its own order/tag indexes across every query
+    /// evaluated on it.)  Implementations that do not evaluate queries can
+    /// ignore the context; the two methods must agree, and each has a
+    /// default in terms of the other, so implementors override exactly one.
+    fn extract_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        let _ = cx;
+        self.extract(doc, context)
+    }
 
     /// A printable form of the wrapper.
     fn describe(&self) -> String;
@@ -54,7 +77,8 @@ pub trait Extractor: Send + Sync {
     /// returning one result per input, in input order.
     ///
     /// Large batches are spread over all available cores; small batches run
-    /// on the calling thread.  The results are exactly those of
+    /// on the calling thread.  Each worker reuses one [`EvalContext`] for
+    /// its whole chunk.  The results are exactly those of
     /// [`extract_batch_sequential`](Extractor::extract_batch_sequential).
     fn extract_batch(&self, docs: &[Document]) -> Vec<Result<Vec<NodeId>, ExtractError>> {
         let workers = std::thread::available_parallelism()
@@ -71,9 +95,10 @@ pub trait Extractor: Send + Sync {
                 .chunks(chunk_size)
                 .map(|chunk| {
                     scope.spawn(move || {
+                        let mut cx = EvalContext::new();
                         chunk
                             .iter()
-                            .map(|doc| self.extract_root(doc))
+                            .map(|doc| self.extract_with(&mut cx, doc, doc.root()))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -91,7 +116,10 @@ pub trait Extractor: Send + Sync {
         &self,
         docs: &[Document],
     ) -> Vec<Result<Vec<NodeId>, ExtractError>> {
-        docs.iter().map(|doc| self.extract_root(doc)).collect()
+        let mut cx = EvalContext::new();
+        docs.iter()
+            .map(|doc| self.extract_with(&mut cx, doc, doc.root()))
+            .collect()
     }
 }
 
@@ -105,9 +133,14 @@ fn check_context(doc: &Document, context: NodeId) -> Result<(), ExtractError> {
 
 /// A raw query is the smallest extractor.
 impl Extractor for Query {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+    fn extract_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
         check_context(doc, context)?;
-        Ok(evaluate(self, doc, context))
+        Ok(evaluate_with(cx, self, doc, context))
     }
 
     fn describe(&self) -> String {
@@ -116,8 +149,13 @@ impl Extractor for Query {
 }
 
 impl Extractor for Wrapper {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
-        self.instance.query.extract(doc, context)
+    fn extract_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        self.instance.query.extract_with(cx, doc, context)
     }
 
     fn describe(&self) -> String {
@@ -127,12 +165,17 @@ impl Extractor for Wrapper {
 
 /// Ensembles extract by majority vote over their members.
 impl Extractor for WrapperEnsemble {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+    fn extract_with(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
         if self.is_empty() {
             return Err(ExtractError::EmptyWrapper);
         }
         check_context(doc, context)?;
-        Ok(self.extract_majority_from(doc, context))
+        Ok(self.extract_majority_from_with(cx, doc, context))
     }
 
     fn describe(&self) -> String {

@@ -5,7 +5,9 @@ use crate::iter::{
     Ancestors, Children, Descendants, DescendantsOrSelf, FollowingSiblings, PrecedingSiblings,
 };
 use crate::node::{Attribute, Node, NodeData, NodeId, NodeKind};
+use crate::order::{OrderIndex, TagIndex};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// An HTML/XML document: a tree of element and text nodes stored in an arena.
 ///
@@ -16,10 +18,21 @@ use serde::{Deserialize, Serialize};
 ///
 /// Node ids remain stable across mutations; removed nodes are only detached,
 /// never reused.
+///
+/// Ordered queries (`document_order`, `is_ancestor_of`, `sort_document_order`,
+/// the `following`/`preceding` axes and the tag lookups) are served by lazily
+/// built indexes; see [`crate::order`] for the invalidation contract.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Document {
     pub(crate) nodes: Vec<Node>,
     root: NodeId,
+    /// Bumped by every mutation; cached indexes are valid only while their
+    /// recorded epoch equals this counter.
+    epoch: u64,
+    /// Lazily built pre/post-order numbering (see [`crate::order`]).
+    order: OnceLock<OrderIndex>,
+    /// Lazily built tag-name → elements lookup (see [`crate::order`]).
+    tags: OnceLock<TagIndex>,
 }
 
 /// Reserved tag name of the synthetic document root.
@@ -41,7 +54,42 @@ impl Document {
         Document {
             nodes: vec![root_node],
             root: NodeId(0),
+            epoch: 0,
+            order: OnceLock::new(),
+            tags: OnceLock::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Order / tag indexes (see the `order` module for the contract).
+    // ------------------------------------------------------------------
+
+    /// The document's mutation epoch.  Every mutating operation increments
+    /// it; a cached [`OrderIndex`]/[`TagIndex`] is valid iff its recorded
+    /// epoch equals this value.
+    pub fn order_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The document-order index, built on first use after a mutation.
+    pub fn order_index(&self) -> &OrderIndex {
+        self.order
+            .get_or_init(|| OrderIndex::build(self, self.epoch))
+    }
+
+    /// The tag-name index, built on first use after a mutation.
+    pub fn tag_index(&self) -> &TagIndex {
+        self.tags
+            .get_or_init(|| TagIndex::build(self, self.order_index()))
+    }
+
+    /// Drops the cached indexes and bumps the epoch.  Called by every
+    /// mutation primitive; call it from any new mutation operation that does
+    /// not go through the existing ones.
+    pub(crate) fn invalidate_indexes(&mut self) {
+        self.epoch += 1;
+        self.order.take();
+        self.tags.take();
     }
 
     /// Returns the synthetic document root node.
@@ -101,6 +149,10 @@ impl Document {
     // ------------------------------------------------------------------
 
     pub(crate) fn alloc(&mut self, data: NodeData) -> NodeId {
+        // Growing the arena does not reorder live nodes, but the index arrays
+        // are sized to the arena, so allocation participates in the same
+        // epoch contract as the structural mutations.
+        self.invalidate_indexes();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(data));
         id
@@ -247,39 +299,84 @@ impl Document {
     }
 
     /// Nodes strictly after `id` in document order that are not descendants
-    /// of `id` (the XPath `following` axis).
+    /// of `id` (the XPath `following` axis), returned in document order.
+    ///
+    /// With the order index this is a contiguous range scan: everything
+    /// pre-numbered after `id`'s subtree follows `id`.
     pub fn following(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for anc in self.ancestors_or_self(id) {
-            for sib in self.following_siblings(anc) {
-                out.extend(self.descendants_or_self(sib));
+        let index = self.order_index();
+        match index.subtree_range(id) {
+            Some(range) => index.nodes_in_order()[range.end..].to_vec(),
+            None => {
+                // Detached node: fall back to the structural walk.  Sort
+                // structurally too — inside a detached subtree, raw id order
+                // need not coincide with document order.
+                let mut out = Vec::new();
+                for anc in self.ancestors_or_self(id) {
+                    for sib in self.following_siblings(anc) {
+                        out.extend(self.descendants_or_self(sib));
+                    }
+                }
+                out.sort_by(|&a, &b| self.document_order_unindexed(a, b));
+                out
             }
         }
-        out.sort_unstable();
-        out
     }
 
     /// Nodes strictly before `id` in document order that are not ancestors of
     /// `id` (the XPath `preceding` axis), returned in document order.
+    ///
+    /// With the order index this scans the pre-order prefix before `id` and
+    /// drops ancestors with an O(1) post-number test per candidate.
     pub fn preceding(&self, id: NodeId) -> Vec<NodeId> {
-        let mut out = Vec::new();
-        for anc in self.ancestors_or_self(id) {
-            for sib in self.preceding_siblings(anc) {
-                out.extend(self.descendants_or_self(sib));
+        let index = self.order_index();
+        match (index.subtree_range(id), index.post(id)) {
+            (Some(range), Some(post)) => index.nodes_in_order()[..range.start]
+                .iter()
+                .copied()
+                // Ancestors are the prefix nodes whose interval contains
+                // `id`, i.e. those with a larger post number.
+                .filter(|&n| index.post(n).is_some_and(|p| p < post))
+                .collect(),
+            _ => {
+                let mut out = Vec::new();
+                for anc in self.ancestors_or_self(id) {
+                    for sib in self.preceding_siblings(anc) {
+                        out.extend(self.descendants_or_self(sib));
+                    }
+                }
+                out.sort_by(|&a, &b| self.document_order_unindexed(a, b));
+                out
             }
         }
-        out.sort_unstable();
-        out
     }
 
     /// Returns `true` if `ancestor` is a proper ancestor of `node`.
+    ///
+    /// O(1) via the order index once built; nodes outside the tree (freshly
+    /// created or detached) fall back to walking the parent chain.
     pub fn is_ancestor_of(&self, ancestor: NodeId, node: NodeId) -> bool {
+        match self.order_index().is_ancestor_of(ancestor, node) {
+            Some(answer) => answer,
+            None => self.is_ancestor_walking(ancestor, node),
+        }
+    }
+
+    /// Ancestor test by walking the parent chain, without touching (or
+    /// building) the order index.  Mutation primitives use this for their
+    /// cycle checks so that a burst of edits never pays an index rebuild per
+    /// edit.
+    pub(crate) fn is_ancestor_walking(&self, ancestor: NodeId, node: NodeId) -> bool {
         self.ancestors(node).any(|a| a == ancestor)
     }
 
-    /// Depth of a node: the root has depth 0.
+    /// Depth of a node: the root has depth 0.  O(1) via the order index for
+    /// nodes in the tree.
     pub fn depth(&self, id: NodeId) -> usize {
-        self.ancestors(id).count()
+        match self.order_index().depth(id) {
+            Some(d) => d as usize,
+            None => self.ancestors(id).count(),
+        }
     }
 
     /// 1-based position of the node among *all* children of its parent
@@ -319,8 +416,12 @@ impl Document {
     }
 
     /// Number of nodes in the subtree rooted at `id` (including `id`).
+    /// O(1) via the order index for nodes in the tree.
     pub fn subtree_size(&self, id: NodeId) -> usize {
-        self.descendants_or_self(id).count()
+        match self.order_index().subtree_size(id) {
+            Some(s) => s as usize,
+            None => self.descendants_or_self(id).count(),
+        }
     }
 
     /// The least common ancestor of a non-empty set of nodes.
@@ -349,20 +450,56 @@ impl Document {
     }
 
     /// Compares two nodes by document order (pre-order of the tree).
+    ///
+    /// O(1) per comparison via the order index: one array lookup per node.
+    /// Nodes outside the tree (detached) sort after all tree nodes; two
+    /// detached nodes are compared structurally (their order within the
+    /// detached subtree), as the pre-index comparator did.
     pub fn document_order(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
         if a == b {
             return std::cmp::Ordering::Equal;
         }
-        // Node ids are allocated in pre-order by the parser/builder, but
-        // mutations may violate that, so compute positions structurally.
+        let index = self.order_index();
+        match (index.position(a), index.position(b)) {
+            (Some(pa), Some(pb)) => pa.cmp(&pb),
+            (Some(_), None) => std::cmp::Ordering::Less,
+            (None, Some(_)) => std::cmp::Ordering::Greater,
+            (None, None) => self.document_order_unindexed(a, b),
+        }
+    }
+
+    /// The pre-index comparator: compares two nodes by rebuilding both root
+    /// paths (two allocations, O(depth) time per comparison).
+    ///
+    /// Kept as the reference implementation for the order-index property
+    /// tests and the `order_index` benchmark; production code should use
+    /// [`document_order`](Self::document_order).
+    pub fn document_order_unindexed(&self, a: NodeId, b: NodeId) -> std::cmp::Ordering {
+        if a == b {
+            return std::cmp::Ordering::Equal;
+        }
         let path_a = self.path_from_root(a);
         let path_b = self.path_from_root(b);
         path_a.cmp(&path_b)
     }
 
     /// Sorts and deduplicates a vector of nodes into document order.
+    ///
+    /// When every node is in the tree (the overwhelmingly common case) the
+    /// order index is fetched once and each comparison is one array lookup —
+    /// no allocation inside the sort.  A set containing detached nodes falls
+    /// back to the structural comparator so their relative order stays
+    /// correct.
     pub fn sort_document_order(&self, nodes: &mut Vec<NodeId>) {
-        nodes.sort_by(|&a, &b| self.document_order(a, b));
+        if nodes.len() <= 1 {
+            return;
+        }
+        let index = self.order_index();
+        if nodes.iter().all(|&n| index.position(n).is_some()) {
+            nodes.sort_unstable_by_key(|&n| index.position(n).unwrap_or(u32::MAX));
+        } else {
+            nodes.sort_by(|&a, &b| self.document_order(a, b));
+        }
         nodes.dedup();
     }
 
@@ -458,10 +595,42 @@ impl Document {
     // ------------------------------------------------------------------
 
     /// All live element nodes with the given tag name, in document order.
+    /// Served by the tag index: no tree walk after the first lookup.
     pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
-        self.descendants(self.root)
-            .filter(|&n| self.tag_name(n) == Some(tag))
-            .collect()
+        self.tag_index().nodes(tag).to_vec()
+    }
+
+    /// The elements with the given tag inside the subtree of `context`
+    /// (excluding `context` itself), in document order, as a slice into the
+    /// tag index.
+    ///
+    /// This is the fast path for `descendant::tag` steps: two binary
+    /// searches over the tag's pre-ordered node list select exactly the
+    /// subtree range, skipping non-matching subtrees entirely.  Returns
+    /// `None` when `context` is not in the tree (detached), in which case
+    /// callers should walk [`descendants`](Self::descendants).
+    pub fn descendants_by_tag_slice(&self, context: NodeId, tag: &str) -> Option<&[NodeId]> {
+        let index = self.order_index();
+        let range = index.subtree_range(context)?;
+        let list = self.tag_index().nodes(tag);
+        // Every indexed tag node has a position; compare by pre number.
+        let pos = |n: NodeId| index.position(n).unwrap_or(u32::MAX) as usize;
+        let lo = list.partition_point(|&n| pos(n) <= range.start);
+        let hi = list.partition_point(|&n| pos(n) < range.end);
+        Some(&list[lo..hi])
+    }
+
+    /// The elements with the given tag inside the subtree of `context`
+    /// (excluding `context` itself), in document order.  Works for detached
+    /// contexts too, via a subtree walk.
+    pub fn descendants_by_tag(&self, context: NodeId, tag: &str) -> Vec<NodeId> {
+        match self.descendants_by_tag_slice(context, tag) {
+            Some(slice) => slice.to_vec(),
+            None => self
+                .descendants(context)
+                .filter(|&n| self.tag_name(n) == Some(tag))
+                .collect(),
+        }
     }
 
     /// First element with a matching `id` attribute, if any.
@@ -652,6 +821,31 @@ mod tests {
         let mut v = vec![span, h4, span];
         doc.sort_document_order(&mut v);
         assert_eq!(v, vec![h4, span]);
+    }
+
+    #[test]
+    fn detached_subtree_order_is_structural_not_id_based() {
+        // Inside a detached subtree, children attached in reverse allocation
+        // order must still compare structurally (the (None, None) fallback),
+        // not by raw node id.
+        let mut doc = sample();
+        let d = doc.create_element("div", vec![]);
+        let first_alloc = doc.create_element("span", vec![]);
+        let second_alloc = doc.create_element("span", vec![]);
+        doc.append_child(d, second_alloc).unwrap();
+        doc.append_child(d, first_alloc).unwrap();
+        assert!(second_alloc > first_alloc);
+
+        assert_eq!(
+            doc.document_order(second_alloc, first_alloc),
+            std::cmp::Ordering::Less
+        );
+        let mut v = vec![first_alloc, second_alloc];
+        doc.sort_document_order(&mut v);
+        assert_eq!(v, vec![second_alloc, first_alloc]);
+        // The walking fallbacks of following/preceding sort structurally too.
+        assert_eq!(doc.following(second_alloc), vec![first_alloc]);
+        assert_eq!(doc.preceding(first_alloc), vec![second_alloc]);
     }
 
     #[test]

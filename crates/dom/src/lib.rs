@@ -10,6 +10,11 @@
 //! * O(1) structural navigation (parent, first/last child, previous/next
 //!   sibling) and iterator-based **axes** (ancestors, descendants, siblings,
 //!   following/preceding) used by the XPath evaluator,
+//! * a lazily built **document-order index** ([`order`]) — pre/post-order
+//!   numbering with epoch-based invalidation — that makes document-order
+//!   comparison, ancestor tests and the `following`/`preceding` axes O(1)
+//!   per node after one O(n) build; **read the [`order`] module docs before
+//!   adding mutation operations**,
 //! * the `text-value` / `normalize-space` semantics of XPath 1.0,
 //! * **structural subtree equality and hashing** (node-id free), which is the
 //!   basis of the paper's robustness definition ("there exists a bijection π
@@ -49,6 +54,7 @@ pub mod hash;
 pub mod iter;
 pub mod mutation;
 pub mod node;
+pub mod order;
 pub mod parser;
 pub mod serializer;
 
@@ -57,5 +63,6 @@ pub use document::Document;
 pub use error::DomError;
 pub use hash::{structural_hash, subtree_equal};
 pub use node::{Attribute, NodeData, NodeId, NodeKind};
+pub use order::{OrderIndex, TagIndex};
 pub use parser::{parse_html, ParseOptions};
 pub use serializer::{to_html, SerializeOptions};

@@ -22,6 +22,7 @@ impl Document {
     pub fn prepend_child(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
         self.check(parent)?;
         self.check_attachable(parent, child)?;
+        self.invalidate_indexes();
         let old_first = self.node(parent).first_child;
         {
             let c = self.node_mut(child);
@@ -42,6 +43,7 @@ impl Document {
     fn insert_child_at_end(&mut self, parent: NodeId, child: NodeId) -> Result<()> {
         self.check(parent)?;
         self.check_attachable(parent, child)?;
+        self.invalidate_indexes();
         let old_last = self.node(parent).last_child;
         {
             let c = self.node_mut(child);
@@ -64,6 +66,7 @@ impl Document {
         self.check(reference)?;
         let parent = self.parent(reference).ok_or(DomError::CannotModifyRoot)?;
         self.check_attachable(parent, node)?;
+        self.invalidate_indexes();
         let prev = self.node(reference).prev_sibling;
         {
             let n = self.node_mut(node);
@@ -85,6 +88,7 @@ impl Document {
         self.check(reference)?;
         let parent = self.parent(reference).ok_or(DomError::CannotModifyRoot)?;
         self.check_attachable(parent, node)?;
+        self.invalidate_indexes();
         let next = self.node(reference).next_sibling;
         {
             let n = self.node_mut(node);
@@ -110,7 +114,7 @@ impl Document {
         }
         // Attaching a node that is an ancestor of the parent would create a
         // cycle.
-        if parent == node || self.is_ancestor_of(node, parent) {
+        if parent == node || self.is_ancestor_walking(node, parent) {
             return Err(DomError::WouldCreateCycle);
         }
         Ok(())
@@ -125,6 +129,7 @@ impl Document {
         if id == self.root() {
             return Err(DomError::CannotModifyRoot);
         }
+        self.invalidate_indexes();
         let (parent, prev, next) = {
             let n = self.node(id);
             (n.parent, n.prev_sibling, n.next_sibling)
@@ -150,6 +155,7 @@ impl Document {
     /// marked as dead so they no longer appear in any traversal.
     pub fn remove_subtree(&mut self, id: NodeId) -> Result<()> {
         self.detach(id)?;
+        self.invalidate_indexes();
         let ids: Vec<NodeId> = self.descendants_or_self(id).collect();
         for d in ids {
             self.node_mut(d).detached = true;
@@ -160,6 +166,7 @@ impl Document {
     /// Renames an element node.
     pub fn rename_element(&mut self, id: NodeId, new_tag: impl Into<String>) -> Result<()> {
         self.check(id)?;
+        self.invalidate_indexes();
         match &mut self.node_mut(id).data {
             NodeData::Element { tag, .. } => {
                 *tag = new_tag.into();
@@ -177,6 +184,7 @@ impl Document {
         value: impl Into<String>,
     ) -> Result<()> {
         self.check(id)?;
+        self.invalidate_indexes();
         let name = name.into();
         let value = value.into();
         match &mut self.node_mut(id).data {
@@ -195,6 +203,7 @@ impl Document {
     /// Removes an attribute from an element node; returns whether it existed.
     pub fn remove_attribute(&mut self, id: NodeId, name: &str) -> Result<bool> {
         self.check(id)?;
+        self.invalidate_indexes();
         match &mut self.node_mut(id).data {
             NodeData::Element { attributes, .. } => {
                 let before = attributes.len();
@@ -208,6 +217,7 @@ impl Document {
     /// Replaces the character data of a text node.
     pub fn set_text(&mut self, id: NodeId, content: impl Into<String>) -> Result<()> {
         self.check(id)?;
+        self.invalidate_indexes();
         match &mut self.node_mut(id).data {
             NodeData::Text(t) => {
                 *t = content.into();
@@ -497,6 +507,66 @@ mod tests {
         assert_eq!(doc.parent(copy), Some(body));
         assert_eq!(doc.tag_name(copy), Some("body"));
         assert_eq!(doc.elements_by_tag("div").len(), divs_before * 2);
+    }
+
+    #[test]
+    fn every_mutation_op_bumps_the_epoch() {
+        // The order/tag indexes are only correct if *every* mutating
+        // operation invalidates them; enumerate the full mutation surface.
+        let mut doc = base();
+        let mut last = doc.order_epoch();
+        let expect_bump = |doc: &Document, op: &str, last: &mut u64| {
+            assert!(doc.order_epoch() > *last, "{op} did not bump the epoch");
+            *last = doc.order_epoch();
+        };
+
+        let a = doc.element_by_id("a").unwrap();
+        let b = doc.element_by_id("b").unwrap();
+        let body = doc.elements_by_tag("body")[0];
+
+        let fresh = doc.create_element("div", vec![]);
+        expect_bump(&doc, "create_element", &mut last);
+        doc.append_child(body, fresh).unwrap();
+        expect_bump(&doc, "append_child", &mut last);
+        let fresh2 = doc.create_text("t");
+        expect_bump(&doc, "create_text", &mut last);
+        doc.prepend_child(fresh, fresh2).unwrap();
+        expect_bump(&doc, "prepend_child", &mut last);
+        let n1 = doc.create_element("p", vec![]);
+        last = doc.order_epoch();
+        doc.insert_before(b, n1).unwrap();
+        expect_bump(&doc, "insert_before", &mut last);
+        let n2 = doc.create_element("p", vec![]);
+        last = doc.order_epoch();
+        doc.insert_after(b, n2).unwrap();
+        expect_bump(&doc, "insert_after", &mut last);
+        doc.detach(n1).unwrap();
+        expect_bump(&doc, "detach", &mut last);
+        doc.remove_subtree(n2).unwrap();
+        expect_bump(&doc, "remove_subtree", &mut last);
+        doc.rename_element(a, "section").unwrap();
+        expect_bump(&doc, "rename_element", &mut last);
+        doc.set_attribute(a, "k", "v").unwrap();
+        expect_bump(&doc, "set_attribute", &mut last);
+        doc.remove_attribute(a, "k").unwrap();
+        expect_bump(&doc, "remove_attribute", &mut last);
+        let t = doc.children(a).next().unwrap();
+        doc.set_text(t, "x").unwrap();
+        expect_bump(&doc, "set_text", &mut last);
+        doc.wrap_in_element(a, "div", vec![]).unwrap();
+        expect_bump(&doc, "wrap_in_element", &mut last);
+        doc.unwrap_element(doc.parent(a).unwrap()).unwrap();
+        expect_bump(&doc, "unwrap_element", &mut last);
+        doc.clone_subtree(a, body).unwrap();
+        expect_bump(&doc, "clone_subtree", &mut last);
+        let other = base();
+        let src = other.element_by_id("a").unwrap();
+        doc.import_subtree(&other, src, body).unwrap();
+        expect_bump(&doc, "import_subtree", &mut last);
+
+        // And a queried index always matches the current epoch.
+        assert_eq!(doc.order_index().epoch(), doc.order_epoch());
+        assert_eq!(doc.tag_index().epoch(), doc.order_epoch());
     }
 
     #[test]

@@ -279,3 +279,238 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Order-index properties: the indexed document-order operations must agree
+// with the structural (path-walking) reference implementations under random
+// mutation sequences, and the epoch invalidation must never serve a stale
+// index.
+// ---------------------------------------------------------------------------
+
+/// A random edit applied to a random live node (indices are taken modulo the
+/// current live node / element counts, so every op is applicable to every
+/// document).
+#[derive(Debug, Clone)]
+enum Edit {
+    AppendNew(usize),
+    PrependNew(usize),
+    InsertBefore(usize),
+    InsertAfter(usize),
+    Detach(usize),
+    RemoveSubtree(usize),
+    Rename(usize),
+    SetAttribute(usize),
+    Wrap(usize),
+    Unwrap(usize),
+    CloneSubtree(usize, usize),
+}
+
+fn arb_edits() -> impl Strategy<Value = Vec<Edit>> {
+    let edit = prop_oneof![
+        any::<usize>().prop_map(Edit::AppendNew),
+        any::<usize>().prop_map(Edit::PrependNew),
+        any::<usize>().prop_map(Edit::InsertBefore),
+        any::<usize>().prop_map(Edit::InsertAfter),
+        any::<usize>().prop_map(Edit::Detach),
+        any::<usize>().prop_map(Edit::RemoveSubtree),
+        any::<usize>().prop_map(Edit::Rename),
+        any::<usize>().prop_map(Edit::SetAttribute),
+        any::<usize>().prop_map(Edit::Wrap),
+        any::<usize>().prop_map(Edit::Unwrap),
+        (any::<usize>(), any::<usize>()).prop_map(|(a, b)| Edit::CloneSubtree(a, b)),
+    ];
+    prop::collection::vec(edit, 1..12)
+}
+
+/// Picks a live non-root node by index (or `None` on an empty body).
+fn pick(doc: &Document, i: usize) -> Option<NodeId> {
+    let nodes: Vec<NodeId> = doc.descendants(doc.root()).collect();
+    if nodes.len() <= 2 {
+        return None; // keep html/body intact so edits stay applicable
+    }
+    Some(nodes[2 + i % (nodes.len() - 2)])
+}
+
+/// Applies one edit; returns whether the document was touched at all.
+fn apply_edit(doc: &mut Document, edit: &Edit) -> bool {
+    match edit {
+        Edit::AppendNew(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            let fresh = doc.create_element("ins", vec![]);
+            doc.append_child(target, fresh).is_ok()
+        }
+        Edit::PrependNew(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            let fresh = doc.create_element("ins", vec![]);
+            doc.prepend_child(target, fresh).is_ok()
+        }
+        Edit::InsertBefore(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            let fresh = doc.create_element("ins", vec![]);
+            doc.insert_before(target, fresh).is_ok()
+        }
+        Edit::InsertAfter(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            let fresh = doc.create_element("ins", vec![]);
+            doc.insert_after(target, fresh).is_ok()
+        }
+        Edit::Detach(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.detach(target).is_ok()
+        }
+        Edit::RemoveSubtree(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.remove_subtree(target).is_ok()
+        }
+        Edit::Rename(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.is_element(target) && doc.rename_element(target, "ren").is_ok()
+        }
+        Edit::SetAttribute(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.is_element(target) && doc.set_attribute(target, "data-e", "1").is_ok()
+        }
+        Edit::Wrap(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.wrap_in_element(target, "wrap", vec![]).is_ok()
+        }
+        Edit::Unwrap(i) => {
+            let Some(target) = pick(doc, *i) else {
+                return false;
+            };
+            doc.is_element(target) && doc.unwrap_element(target).is_ok()
+        }
+        Edit::CloneSubtree(i, j) => {
+            let (Some(src), Some(dst)) = (pick(doc, *i), pick(doc, *j)) else {
+                return false;
+            };
+            doc.clone_subtree(src, dst).is_ok()
+        }
+    }
+}
+
+/// Reference `following` axis: structural walk, as implemented before the
+/// order index existed.
+fn following_reference(doc: &Document, id: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for anc in std::iter::once(id).chain(doc.ancestors(id)) {
+        for sib in doc.following_siblings(anc) {
+            out.extend(doc.descendants_or_self(sib));
+        }
+    }
+    // The pre-index implementation sorted by raw id, which only coincides
+    // with document order on unmutated documents; sort structurally instead.
+    out.sort_by(|&a, &b| doc.document_order_unindexed(a, b));
+    out
+}
+
+/// Reference `preceding` axis: structural walk.
+fn preceding_reference(doc: &Document, id: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    for anc in std::iter::once(id).chain(doc.ancestors(id)) {
+        for sib in doc.preceding_siblings(anc) {
+            out.extend(doc.descendants_or_self(sib));
+        }
+    }
+    out.sort_by(|&a, &b| doc.document_order_unindexed(a, b));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every edit of a random mutation sequence, the indexed
+    /// `document_order` / `sort_document_order` / `is_ancestor_of` / `depth`
+    /// / `subtree_size` and the `following`/`preceding` range scans agree
+    /// with the structural reference implementations on all live nodes.
+    #[test]
+    fn indexed_order_agrees_with_reference_under_mutations(
+        doc in arb_document(),
+        edits in arb_edits(),
+    ) {
+        let mut doc = doc;
+        for edit in &edits {
+            apply_edit(&mut doc, edit);
+
+            let live = all_nodes(&doc);
+            // document_order agrees with the path-based comparator.
+            for (k, &a) in live.iter().enumerate() {
+                let b = live[(k * 7 + 3) % live.len()];
+                prop_assert_eq!(
+                    doc.document_order(a, b),
+                    doc.document_order_unindexed(a, b),
+                    "order mismatch for {} vs {} after {:?}", a, b, edit
+                );
+            }
+            // Sorting a reversed copy reproduces pre-order.
+            let mut shuffled: Vec<NodeId> = live.iter().rev().copied().collect();
+            doc.sort_document_order(&mut shuffled);
+            prop_assert_eq!(&shuffled, &live);
+            // Ancestor tests, depth and subtree size agree with walks.
+            for (k, &n) in live.iter().enumerate() {
+                let m = live[(k * 5 + 1) % live.len()];
+                let walked = doc.ancestors(n).any(|a| a == m);
+                prop_assert_eq!(doc.is_ancestor_of(m, n), walked);
+                prop_assert_eq!(doc.depth(n), doc.ancestors(n).count());
+                prop_assert_eq!(doc.subtree_size(n), doc.descendants_or_self(n).count());
+            }
+            // following / preceding range scans agree with the tree walks.
+            for &n in live.iter().take(8) {
+                prop_assert_eq!(doc.following(n), following_reference(&doc, n));
+                prop_assert_eq!(doc.preceding(n), preceding_reference(&doc, n));
+            }
+            // Tag index agrees with a linear scan.
+            for tag in ["div", "span", "ins", "ren", "wrap"] {
+                let scan: Vec<NodeId> = doc
+                    .descendants(doc.root())
+                    .filter(|&n| doc.tag_name(n) == Some(tag))
+                    .collect();
+                prop_assert_eq!(doc.elements_by_tag(tag), scan);
+            }
+        }
+    }
+
+    /// Every mutating operation bumps the epoch, and a queried index always
+    /// carries the current epoch — the invalidation can never serve a stale
+    /// index.
+    #[test]
+    fn every_edit_bumps_the_epoch_and_indexes_are_never_stale(
+        doc in arb_document(),
+        edits in arb_edits(),
+    ) {
+        let mut doc = doc;
+        // Force-build both indexes so that staleness would be observable.
+        let _ = doc.order_index();
+        let _ = doc.tag_index();
+        for edit in &edits {
+            let before = doc.order_epoch();
+            let touched = apply_edit(&mut doc, edit);
+            if touched {
+                prop_assert!(
+                    doc.order_epoch() > before,
+                    "edit {:?} did not bump the epoch", edit
+                );
+            }
+            prop_assert_eq!(doc.order_index().epoch(), doc.order_epoch());
+            prop_assert_eq!(doc.tag_index().epoch(), doc.order_epoch());
+        }
+    }
+}

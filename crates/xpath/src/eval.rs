@@ -36,8 +36,13 @@ pub struct EvalOutput {
 
 impl EvalOutput {
     /// The paper's *anchor nodes*: every node selected during evaluation
-    /// except the final targets.
-    pub fn anchors(&self) -> Vec<NodeId> {
+    /// except the final targets, in document order, deduplicated.
+    ///
+    /// Document order is determined by `doc` (cheap through its order
+    /// index): after mutations, raw `NodeId` order no longer coincides with
+    /// document order, so sorting by id — as this method once did — would
+    /// return anchors out of order.
+    pub fn anchors(&self, doc: &Document) -> Vec<NodeId> {
         let mut anchors: Vec<NodeId> = self
             .after_step
             .iter()
@@ -45,78 +50,198 @@ impl EvalOutput {
             .flatten()
             .copied()
             .collect();
-        anchors.sort_unstable();
-        anchors.dedup();
+        doc.sort_document_order(&mut anchors);
         anchors
+    }
+}
+
+/// Reusable scratch buffers for query evaluation.
+///
+/// Evaluating a query needs three working vectors (current context set, next
+/// context set, per-context candidate list).  Allocating them per evaluation
+/// is measurable when induction evaluates thousands of candidate queries per
+/// page, so callers that evaluate in a loop — the induction search, batch
+/// extraction, the baselines — create one `EvalContext` and pass it to
+/// [`evaluate_with`]; the buffers' capacity is retained across calls.
+#[derive(Debug, Default)]
+pub struct EvalContext {
+    current: Vec<NodeId>,
+    next: Vec<NodeId>,
+    candidates: Vec<NodeId>,
+    /// Lazily created context for nested path-predicate evaluations, so
+    /// `div[descendant::span]` reuses buffers per candidate instead of
+    /// allocating three vectors each time.
+    nested: Option<Box<EvalContext>>,
+}
+
+impl EvalContext {
+    /// Creates a context with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
 /// Evaluates a query relative to `context`, returning the selected nodes in
 /// document order without duplicates.
 pub fn evaluate(query: &Query, doc: &Document, context: NodeId) -> Vec<NodeId> {
-    evaluate_with_anchors(query, doc, context).result
+    let mut cx = EvalContext::new();
+    evaluate_with(&mut cx, query, doc, context)
+}
+
+/// Like [`evaluate`], but reusing the buffers of `cx` across calls.
+///
+/// This is the hot path: no intermediate node set is cloned, the working
+/// vectors are ping-ponged between steps, and evaluation stops as soon as a
+/// step selects nothing.
+pub fn evaluate_with(
+    cx: &mut EvalContext,
+    query: &Query,
+    doc: &Document,
+    context: NodeId,
+) -> Vec<NodeId> {
+    evaluate_core(cx, query, doc, context);
+    // The result vector leaves the pool; the (typically larger) intermediate
+    // buffers stay for the next call.
+    std::mem::take(&mut cx.current)
+}
+
+/// Runs the step loop, leaving the final node set in `cx.current`.
+fn evaluate_core(cx: &mut EvalContext, query: &Query, doc: &Document, context: NodeId) {
+    let start = if query.absolute { doc.root() } else { context };
+    let mut current = std::mem::take(&mut cx.current);
+    let mut next = std::mem::take(&mut cx.next);
+    let mut candidates = std::mem::take(&mut cx.candidates);
+    current.clear();
+    current.push(start);
+    for step in &query.steps {
+        next.clear();
+        for &ctx in &current {
+            evaluate_step_into(step, doc, ctx, &mut candidates, &mut cx.nested);
+            next.extend_from_slice(&candidates);
+        }
+        doc.sort_document_order(&mut next);
+        std::mem::swap(&mut current, &mut next);
+        if current.is_empty() {
+            break;
+        }
+    }
+    cx.current = current;
+    cx.next = next;
+    cx.candidates = candidates;
 }
 
 /// Evaluates a query and records the intermediate ("anchor") node sets.
 pub fn evaluate_with_anchors(query: &Query, doc: &Document, context: NodeId) -> EvalOutput {
     let start = if query.absolute { doc.root() } else { context };
-    let mut current = vec![start];
-    let mut after_step = Vec::with_capacity(query.steps.len());
+    let mut after_step: Vec<Vec<NodeId>> = Vec::with_capacity(query.steps.len());
+    let mut candidates = Vec::new();
+    let mut nested = None;
     for step in &query.steps {
         let mut next: Vec<NodeId> = Vec::new();
-        for &ctx in &current {
-            next.extend(evaluate_step(step, doc, ctx));
+        let current: &[NodeId] = match after_step.last() {
+            Some(prev) => prev,
+            None => std::slice::from_ref(&start),
+        };
+        for &ctx in current {
+            evaluate_step_into(step, doc, ctx, &mut candidates, &mut nested);
+            next.extend_from_slice(&candidates);
         }
         doc.sort_document_order(&mut next);
-        after_step.push(next.clone());
-        current = next;
-        if current.is_empty() {
-            // Remaining steps cannot select anything; record empty sets so
-            // `after_step.len() == query.steps.len()` still holds.
-            continue;
-        }
+        // The set is moved into `after_step`, not cloned: the next iteration
+        // reads it back as `current`, and a failed step simply leaves every
+        // later set empty.
+        after_step.push(next);
     }
-    while after_step.len() < query.steps.len() {
-        after_step.push(Vec::new());
-    }
-    EvalOutput {
-        result: current,
-        after_step,
-    }
+    let result = after_step.last().cloned().unwrap_or_else(|| vec![start]);
+    EvalOutput { result, after_step }
 }
 
 /// Evaluates a single step from one context node.  Candidates are returned in
 /// axis order (the order positional predicates refer to).
 pub fn evaluate_step(step: &Step, doc: &Document, context: NodeId) -> Vec<NodeId> {
-    let mut candidates = axis_nodes(step.axis, doc, context);
-    candidates.retain(|&n| node_test_matches(&step.test, step.axis, doc, n));
-    for pred in &step.predicates {
-        candidates = apply_predicate(pred, doc, candidates);
-    }
+    let mut candidates = Vec::new();
+    evaluate_step_into(step, doc, context, &mut candidates, &mut None);
     candidates
+}
+
+/// Appends the elements with `tag` inside the subtree of `context`: via the
+/// tag index when `context` is in the tree, by walking otherwise.
+fn descendants_by_tag_into(doc: &Document, context: NodeId, tag: &str, out: &mut Vec<NodeId>) {
+    if let Some(slice) = doc.descendants_by_tag_slice(context, tag) {
+        out.extend_from_slice(slice);
+    } else {
+        out.extend(
+            doc.descendants(context)
+                .filter(|&n| doc.tag_name(n) == Some(tag)),
+        );
+    }
+}
+
+/// Core of [`evaluate_step`]: fills `candidates` (cleared first) with the
+/// step's selection from one context node, reusing the vector's capacity.
+/// `nested` holds the scratch context for path predicates.
+fn evaluate_step_into(
+    step: &Step,
+    doc: &Document,
+    context: NodeId,
+    candidates: &mut Vec<NodeId>,
+    nested: &mut Option<Box<EvalContext>>,
+) {
+    candidates.clear();
+    // Fast path: `descendant::tag` (and `descendant-or-self::tag`) steps are
+    // answered from the tag index as a pre-order range — subtrees without the
+    // tag are never visited.
+    match (step.axis, &step.test) {
+        (Axis::Descendant, NodeTest::Tag(tag)) => {
+            descendants_by_tag_into(doc, context, tag, candidates);
+        }
+        (Axis::DescendantOrSelf, NodeTest::Tag(tag)) => {
+            if doc.tag_name(context) == Some(tag.as_str()) {
+                candidates.push(context);
+            }
+            descendants_by_tag_into(doc, context, tag, candidates);
+        }
+        _ => {
+            axis_nodes_into(step.axis, doc, context, candidates);
+            candidates.retain(|&n| node_test_matches(&step.test, step.axis, doc, n));
+        }
+    }
+    for pred in &step.predicates {
+        apply_predicate(pred, doc, candidates, nested);
+    }
 }
 
 /// Returns the nodes reachable from `context` along `axis`, in axis order.
 pub fn axis_nodes(axis: Axis, doc: &Document, context: NodeId) -> Vec<NodeId> {
+    let mut out = Vec::new();
+    axis_nodes_into(axis, doc, context, &mut out);
+    out
+}
+
+/// Appends the nodes reachable from `context` along `axis` to `out`, in axis
+/// order, reusing `out`'s capacity.
+fn axis_nodes_into(axis: Axis, doc: &Document, context: NodeId, out: &mut Vec<NodeId>) {
     match axis {
-        Axis::Child => doc.children(context).collect(),
-        Axis::Descendant => doc.descendants(context).collect(),
-        Axis::DescendantOrSelf => doc.descendants_or_self(context).collect(),
-        Axis::Parent => doc.parent(context).into_iter().collect(),
-        Axis::Ancestor => doc.ancestors(context).collect(),
-        Axis::AncestorOrSelf => doc.ancestors_or_self(context).collect(),
-        Axis::FollowingSibling => doc.following_siblings(context).collect(),
-        Axis::PrecedingSibling => doc.preceding_siblings(context).collect(),
-        Axis::Following => doc.following(context),
+        Axis::Child => out.extend(doc.children(context)),
+        Axis::Descendant => out.extend(doc.descendants(context)),
+        Axis::DescendantOrSelf => out.extend(doc.descendants_or_self(context)),
+        Axis::Parent => out.extend(doc.parent(context)),
+        Axis::Ancestor => out.extend(doc.ancestors(context)),
+        Axis::AncestorOrSelf => out.extend(doc.ancestors_or_self(context)),
+        Axis::FollowingSibling => out.extend(doc.following_siblings(context)),
+        Axis::PrecedingSibling => out.extend(doc.preceding_siblings(context)),
+        // `following`/`preceding` are contiguous range scans over the
+        // document-order index.
+        Axis::Following => out.extend(doc.following(context)),
         Axis::Preceding => {
             // preceding is a reverse axis: nearest node first.
-            let mut v = doc.preceding(context);
-            v.reverse();
-            v
+            let start = out.len();
+            out.extend(doc.preceding(context));
+            out[start..].reverse();
         }
-        Axis::SelfAxis => vec![context],
+        Axis::SelfAxis => out.push(context),
         // Attribute axis: stay on the element (see module documentation).
-        Axis::Attribute => vec![context],
+        Axis::Attribute => out.push(context),
     }
 }
 
@@ -139,50 +264,58 @@ fn node_test_matches(test: &NodeTest, axis: Axis, doc: &Document, node: NodeId) 
     }
 }
 
-fn apply_predicate(pred: &Predicate, doc: &Document, candidates: Vec<NodeId>) -> Vec<NodeId> {
+/// Filters `candidates` in place by one predicate.  Positional predicates
+/// keep (at most) the addressed element; the filter predicates `retain`.
+/// Path predicates evaluate through the `nested` scratch context.
+fn apply_predicate(
+    pred: &Predicate,
+    doc: &Document,
+    candidates: &mut Vec<NodeId>,
+    nested: &mut Option<Box<EvalContext>>,
+) {
     match pred {
         Predicate::Position(n) => {
             let idx = *n as usize;
-            if idx >= 1 && idx <= candidates.len() {
-                vec![candidates[idx - 1]]
-            } else {
-                Vec::new()
-            }
+            let kept = (idx >= 1)
+                .then(|| candidates.get(idx - 1).copied())
+                .flatten();
+            candidates.clear();
+            candidates.extend(kept);
         }
         Predicate::LastOffset(offset) => {
             let len = candidates.len();
             let offset = *offset as usize;
-            if offset < len {
-                vec![candidates[len - 1 - offset]]
-            } else {
-                Vec::new()
-            }
+            let kept = (offset < len).then(|| candidates[len - 1 - offset]);
+            candidates.clear();
+            candidates.extend(kept);
         }
-        Predicate::HasAttribute(name) => candidates
-            .into_iter()
-            .filter(|&c| doc.has_attribute(c, name))
-            .collect(),
+        Predicate::HasAttribute(name) => {
+            candidates.retain(|&c| doc.has_attribute(c, name));
+        }
         Predicate::StringCompare {
             func,
             source,
             value,
-        } => candidates
-            .into_iter()
-            .filter(|&c| {
-                let content = match source {
-                    TextSource::Attribute(a) => match doc.attribute(c, a) {
-                        Some(v) => v.to_string(),
-                        None => return false,
-                    },
-                    TextSource::NormalizedText => doc.normalized_text(c),
-                };
-                func.apply(&content, value)
-            })
-            .collect(),
-        Predicate::Path(q) => candidates
-            .into_iter()
-            .filter(|&c| !evaluate(q, doc, c).is_empty())
-            .collect(),
+        } => {
+            candidates.retain(|&c| match source {
+                // Compare against the borrowed attribute value directly; the
+                // per-candidate `to_string` the old code paid here showed up
+                // in induction profiles.
+                TextSource::Attribute(a) => {
+                    doc.attribute(c, a).is_some_and(|v| func.apply(v, value))
+                }
+                TextSource::NormalizedText => func.apply(&doc.normalized_text(c), value),
+            });
+        }
+        Predicate::Path(q) => {
+            let cx = nested.get_or_insert_with(Default::default);
+            candidates.retain(|&c| {
+                // Existence test only: run the step loop and read the final
+                // set in place, keeping every buffer in the nested pool.
+                evaluate_core(cx, q, doc, c);
+                !cx.current.is_empty()
+            });
+        }
     }
 }
 
@@ -206,8 +339,44 @@ pub fn selects_exactly(
 /// Returns `true` if node `target` is reachable from `context` along the
 /// transitive closure of the given base axis (`v ∈ (β::*)(u)` in the paper's
 /// notation, with β the transitive axis).
+///
+/// The traversal is short-circuited instead of materializing the full axis
+/// node list: ancestor/descendant reachability is the document order index's
+/// O(1) interval test, sibling reachability is a same-parent check plus one
+/// O(1) order comparison, and `following`/`preceding` combine the two.
 pub fn reachable_via(axis: Axis, doc: &Document, context: NodeId, target: NodeId) -> bool {
-    axis_nodes(axis.transitive(), doc, context).contains(&target)
+    use std::cmp::Ordering;
+    // The shortcuts below reason in document order, which is only defined
+    // for nodes in the tree; detached endpoints take the materializing path.
+    let index = doc.order_index();
+    if index.position(context).is_none() || index.position(target).is_none() {
+        return axis_nodes(axis.transitive(), doc, context).contains(&target);
+    }
+    let same_parent = || doc.parent(context).is_some() && doc.parent(context) == doc.parent(target);
+    match axis.transitive() {
+        Axis::Descendant => doc.is_ancestor_of(context, target),
+        Axis::Ancestor => doc.is_ancestor_of(target, context),
+        Axis::DescendantOrSelf => context == target || doc.is_ancestor_of(context, target),
+        Axis::AncestorOrSelf => context == target || doc.is_ancestor_of(target, context),
+        Axis::FollowingSibling => {
+            same_parent() && doc.document_order(context, target) == Ordering::Less
+        }
+        Axis::PrecedingSibling => {
+            same_parent() && doc.document_order(context, target) == Ordering::Greater
+        }
+        Axis::Following => {
+            doc.document_order(context, target) == Ordering::Less
+                && !doc.is_ancestor_of(context, target)
+        }
+        Axis::Preceding => {
+            doc.document_order(context, target) == Ordering::Greater
+                && !doc.is_ancestor_of(target, context)
+        }
+        Axis::SelfAxis | Axis::Attribute => context == target,
+        // Non-transitive axes cannot come out of `Axis::transitive`, but fall
+        // back to the materializing check rather than panicking.
+        other => axis_nodes(other, doc, context).contains(&target),
+    }
 }
 
 #[cfg(test)]
@@ -424,7 +593,7 @@ mod tests {
         let out = evaluate_with_anchors(&q, &doc, doc.root());
         assert_eq!(out.result.len(), 1);
         assert_eq!(out.after_step.len(), 2);
-        let anchors = out.anchors();
+        let anchors = out.anchors(&doc);
         assert_eq!(anchors.len(), 1);
         assert_eq!(doc.attribute(anchors[0], "class"), Some("txt-block"));
     }
@@ -463,6 +632,113 @@ mod tests {
         let a = doc.elements_by_tag("a")[0];
         assert!(reachable_via(Axis::FollowingSibling, &doc, h4s[0], a));
         assert!(reachable_via(Axis::PrecedingSibling, &doc, a, h4s[0]));
+    }
+
+    #[test]
+    fn anchors_are_document_ordered_after_mutations() {
+        // Regression: anchors used to be deduplicated by sorting raw node
+        // ids.  Prepending a later-allocated element puts arena order and
+        // document order in conflict; anchors must follow document order.
+        let mut doc = parse_html(r#"<body><div class="b"><span>old</span></div></body>"#).unwrap();
+        let body = doc.elements_by_tag("body")[0];
+        let new_div = doc.create_element("div", vec![wi_dom::Attribute::new("class", "b")]);
+        doc.prepend_child(body, new_div).unwrap();
+        let new_span = doc.create_element("span", vec![]);
+        doc.append_child(new_div, new_span).unwrap();
+
+        let divs = doc.elements_by_tag("div");
+        assert_eq!(divs, vec![new_div, doc.elements_by_tag("div")[1]]);
+        assert!(
+            new_div > divs[1],
+            "arena order must disagree with doc order"
+        );
+
+        let q = parse_query("descendant::div/descendant::span").unwrap();
+        let out = evaluate_with_anchors(&q, &doc, doc.root());
+        let anchors = out.anchors(&doc);
+        assert_eq!(anchors, divs, "anchors must be in document order");
+    }
+
+    #[test]
+    fn descendant_tag_fast_path_matches_walk() {
+        let mut doc = imdb_like();
+        // Mutate so the tag index covers a post-edit tree as well.
+        let body = doc.elements_by_tag("body")[0];
+        let extra = doc.create_element("span", vec![]);
+        doc.prepend_child(body, extra).unwrap();
+
+        for q in ["descendant::span", "descendant-or-self::span"] {
+            let q = parse_query(q).unwrap();
+            for ctx in [doc.root(), body, doc.elements_by_tag("a")[0], extra] {
+                let fast = evaluate(&q, &doc, ctx);
+                let mut walk: Vec<_> = doc
+                    .descendants_or_self(ctx)
+                    .filter(|&n| doc.tag_name(n) == Some("span"))
+                    .collect();
+                if !q.steps[0].axis.name().contains("or-self") && doc.tag_name(ctx) == Some("span")
+                {
+                    walk.retain(|&n| n != ctx);
+                }
+                assert_eq!(fast, walk, "{} from {}", q, ctx);
+            }
+        }
+        // Detached contexts take the walking fallback.
+        let detached = doc.create_element("div", vec![]);
+        let inner = doc.create_element("span", vec![]);
+        doc.append_child(detached, inner).unwrap();
+        let q = parse_query("descendant::span").unwrap();
+        assert_eq!(evaluate(&q, &doc, detached), vec![inner]);
+    }
+
+    #[test]
+    fn evaluate_with_reuses_buffers_consistently() {
+        let doc = imdb_like();
+        let queries = [
+            r#"descendant::div[starts-with(.,"Director:")]/descendant::span[@itemprop="name"]"#,
+            "descendant::table/descendant::td",
+            "descendant::a/@href",
+            "child::html/child::body/child::div",
+        ];
+        let mut cx = EvalContext::new();
+        for expr in queries {
+            let q = parse_query(expr).unwrap();
+            assert_eq!(
+                evaluate_with(&mut cx, &q, &doc, doc.root()),
+                evaluate(&q, &doc, doc.root()),
+                "{expr}"
+            );
+        }
+    }
+
+    #[test]
+    fn reachability_handles_detached_nodes() {
+        let mut doc = parse_html("<body><p>x</p></body>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        let d = doc.create_element("div", vec![]);
+        let first_alloc = doc.create_element("span", vec![]);
+        let second_alloc = doc.create_element("span", vec![]);
+        doc.append_child(d, second_alloc).unwrap();
+        doc.append_child(d, first_alloc).unwrap();
+
+        // An in-tree node never reaches a detached one via following.
+        assert!(!reachable_via(Axis::Following, &doc, p, d));
+        assert!(!reachable_via(Axis::Preceding, &doc, d, p));
+        // Detached siblings are ordered structurally, not by id.
+        assert!(reachable_via(
+            Axis::FollowingSibling,
+            &doc,
+            second_alloc,
+            first_alloc
+        ));
+        assert!(!reachable_via(
+            Axis::FollowingSibling,
+            &doc,
+            first_alloc,
+            second_alloc
+        ));
+        // Containment within the detached subtree still works.
+        assert!(reachable_via(Axis::Child, &doc, d, first_alloc));
+        assert!(reachable_via(Axis::Parent, &doc, first_alloc, d));
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub mod parser;
 pub use ast::{Axis, NodeTest, Predicate, Query, Step, StringFunction, TextSource};
 pub use canonical::{c_changes, canonical_path, canonical_step};
 pub use dsl::{step, QueryBuilder};
-pub use eval::{evaluate, evaluate_with_anchors, EvalOutput};
+pub use eval::{evaluate, evaluate_with, evaluate_with_anchors, EvalContext, EvalOutput};
 pub use fragment::{is_ds_xpath, is_one_directional, is_plausible, Direction};
 pub use parser::{parse_query, ParseError};

@@ -235,7 +235,7 @@ proptest! {
         if let Some(last) = output.after_step.last() {
             prop_assert_eq!(last, &output.result);
         }
-        let anchors = output.anchors();
+        let anchors = output.anchors(&doc);
         for anchor in &anchors {
             prop_assert!(
                 output.after_step.iter().any(|set| set.contains(anchor)),
@@ -340,5 +340,43 @@ proptest! {
         mixed.steps.push(Step::new(Axis::Parent, NodeTest::AnyNode));
         mixed.steps.push(Step::new(Axis::Child, NodeTest::AnyNode));
         prop_assert!(!is_one_directional(&mixed));
+    }
+
+    /// The short-circuited `reachable_via` agrees with materializing the
+    /// transitive axis and testing membership, for every axis and a sample
+    /// of node pairs.
+    #[test]
+    fn reachability_short_circuit_agrees_with_materialization(doc in arb_document()) {
+        use wi_xpath::eval::{axis_nodes, reachable_via};
+        let nodes: Vec<NodeId> = doc.descendants_or_self(doc.root()).collect();
+        let axes = [
+            Axis::Child, Axis::Parent, Axis::FollowingSibling, Axis::PrecedingSibling,
+            Axis::Descendant, Axis::Ancestor, Axis::DescendantOrSelf, Axis::AncestorOrSelf,
+            Axis::Following, Axis::Preceding, Axis::SelfAxis, Axis::Attribute,
+        ];
+        for (i, &context) in nodes.iter().enumerate().step_by(3) {
+            let target = nodes[(i * 11 + 5) % nodes.len()];
+            for axis in axes {
+                let expected = axis_nodes(axis.transitive(), &doc, context).contains(&target);
+                prop_assert_eq!(
+                    reachable_via(axis, &doc, context, target),
+                    expected,
+                    "axis {} from {} to {}", axis, context, target
+                );
+            }
+        }
+    }
+
+    /// `evaluate_with` (buffer reuse across many queries) returns exactly
+    /// what a fresh `evaluate` returns.
+    #[test]
+    fn buffer_reuse_matches_fresh_evaluation(doc in arb_document(), queries in prop::collection::vec(arb_query(), 1..6)) {
+        let mut cx = wi_xpath::EvalContext::new();
+        for q in &queries {
+            prop_assert_eq!(
+                wi_xpath::evaluate_with(&mut cx, q, &doc, doc.root()),
+                evaluate(q, &doc, doc.root())
+            );
+        }
     }
 }
