@@ -153,6 +153,31 @@ impl WrapperInducer {
         ))
     }
 
+    /// Re-induces a wrapper on a (new version of a) page from the *values* a
+    /// previous wrapper extracted, returning the top-ranked wrapper together
+    /// with the harvested target nodes.
+    ///
+    /// This is the re-induction path of the wrapper lifecycle: when a
+    /// deployed wrapper breaks and cannot be re-anchored in place, its
+    /// last-known-good extraction texts are located on the evolved page
+    /// (innermost value match, see
+    /// [`harvest_targets_by_text`](crate::sample::harvest_targets_by_text)),
+    /// annotated as a fresh [`Sample`], and run through `induce` again.
+    /// Fails with [`InduceError::EmptyHarvest`] when none of the texts occur
+    /// on the page (the target has genuinely disappeared).
+    pub fn try_induce_from_texts(
+        &self,
+        doc: &Document,
+        texts: &[String],
+    ) -> Result<(Wrapper, Vec<NodeId>), InduceError> {
+        let targets = crate::sample::harvest_targets_by_text(doc, texts);
+        if targets.is_empty() {
+            return Err(InduceError::EmptyHarvest);
+        }
+        let wrapper = self.try_induce_best(doc, &targets)?;
+        Ok((wrapper, targets))
+    }
+
     /// Induces and returns only the top-ranked wrapper, if any.
     #[deprecated(
         since = "0.1.0",
@@ -215,6 +240,38 @@ mod tests {
         let p = doc.elements_by_tag("p");
         let wrapper = inducer.induce_best(&doc, &p).expect("a wrapper");
         assert_eq!(wrapper.extract_root(&doc).unwrap(), p);
+    }
+
+    #[test]
+    fn reinduction_from_texts_finds_and_wraps_the_values() {
+        // The "evolved" page: same data, renamed classes.
+        let doc = parse_html(
+            r#"<body><div id="products-v2">
+                <span class="amount">10</span>
+                <span class="amount">20</span>
+            </div><div id="side"><span>10 reasons</span></div></body>"#,
+        )
+        .unwrap();
+        let inducer = WrapperInducer::with_k(5);
+        let texts = vec!["10".to_string(), "20".to_string()];
+        let (wrapper, targets) = inducer
+            .try_induce_from_texts(&doc, &texts)
+            .expect("re-induction succeeds");
+        assert_eq!(targets, doc.elements_by_class("amount"));
+        use crate::extract::Extractor;
+        assert_eq!(wrapper.extract_root(&doc).unwrap(), targets);
+
+        // Values that are nowhere on the page are a typed failure.
+        assert_eq!(
+            inducer
+                .try_induce_from_texts(&doc, &["gone".to_string()])
+                .unwrap_err(),
+            InduceError::EmptyHarvest
+        );
+        assert_eq!(
+            inducer.try_induce_from_texts(&doc, &[]).unwrap_err(),
+            InduceError::EmptyHarvest
+        );
     }
 
     #[test]

@@ -64,6 +64,13 @@ pub struct WrapperBundle {
     pub version: u32,
     /// Optional free-form label (task id, site id, …).
     pub label: Option<String>,
+    /// Lifecycle revision of this bundle: 0 for a freshly induced bundle,
+    /// bumped by every maintenance repair (re-anchor or re-induction).  The
+    /// `wi-maintain` registry keys its per-site version history on this.
+    pub revision: u32,
+    /// Free-form provenance note for the current revision (e.g. the repair
+    /// that produced it); `None` for freshly induced bundles.
+    pub provenance: Option<String>,
     /// The scoring parameters in force when the wrappers were induced.
     pub params: ScoringParams,
     /// The stored expressions, best-ranked first.
@@ -76,6 +83,8 @@ impl WrapperBundle {
         WrapperBundle {
             version: BUNDLE_FORMAT_VERSION,
             label: None,
+            revision: 0,
+            provenance: None,
             params,
             entries: instances
                 .iter()
@@ -102,6 +111,20 @@ impl WrapperBundle {
     pub fn with_label(mut self, label: impl Into<String>) -> Self {
         self.label = Some(label.into());
         self
+    }
+
+    /// Returns a copy of this bundle with new entries, the revision bumped
+    /// by one and the given provenance note — the shape every maintenance
+    /// repair produces.  Label, params and format version are preserved.
+    pub fn revised(&self, entries: Vec<BundleEntry>, provenance: impl Into<String>) -> Self {
+        WrapperBundle {
+            version: self.version,
+            label: self.label.clone(),
+            revision: self.revision + 1,
+            provenance: Some(provenance.into()),
+            params: self.params.clone(),
+            entries,
+        }
     }
 
     /// Rebuilds the ranked instances, re-parsing every expression and
@@ -139,6 +162,15 @@ impl WrapperBundle {
         ];
         if let Some(label) = &self.label {
             members.push(("label".into(), JsonValue::String(label.clone())));
+        }
+        if self.revision > 0 {
+            members.push((
+                "revision".into(),
+                JsonValue::Number(f64::from(self.revision)),
+            ));
+        }
+        if let Some(provenance) = &self.provenance {
+            members.push(("provenance".into(), JsonValue::String(provenance.clone())));
         }
         members.push(("params".into(), params_to_json(&self.params)));
         members.push((
@@ -193,6 +225,16 @@ impl WrapperBundle {
             .get("label")
             .and_then(JsonValue::as_str)
             .map(String::from);
+        // Lifecycle metadata is optional: bundles written before the
+        // maintenance subsystem (or never repaired) are revision 0.
+        let revision = value
+            .get("revision")
+            .and_then(JsonValue::as_u32)
+            .unwrap_or(0);
+        let provenance = value
+            .get("provenance")
+            .and_then(JsonValue::as_str)
+            .map(String::from);
         let params = params_from_json(
             value
                 .get("params")
@@ -231,6 +273,8 @@ impl WrapperBundle {
         Ok(WrapperBundle {
             version,
             label,
+            revision,
+            provenance,
             params,
             entries,
         })
@@ -258,10 +302,15 @@ enum CompiledBundle {
 }
 
 impl Extractor for CompiledBundle {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
+    fn extract_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
         match self {
-            CompiledBundle::Single(query) => query.extract(doc, context),
-            CompiledBundle::Ensemble(ensemble) => ensemble.extract(doc, context),
+            CompiledBundle::Single(query) => query.extract_with(cx, doc, context),
+            CompiledBundle::Ensemble(ensemble) => ensemble.extract_with(cx, doc, context),
         }
     }
 
@@ -299,8 +348,13 @@ impl WrapperBundle {
 /// The batch paths compile the stored expressions once for the whole batch
 /// instead of once per document.
 impl Extractor for WrapperBundle {
-    fn extract(&self, doc: &Document, context: NodeId) -> Result<Vec<NodeId>, ExtractError> {
-        self.compile()?.extract(doc, context)
+    fn extract_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        self.compile()?.extract_with(cx, doc, context)
     }
 
     fn describe(&self) -> String {
@@ -530,6 +584,38 @@ mod tests {
             reloaded.to_ensemble().unwrap().expressions(),
             ensemble.expressions()
         );
+    }
+
+    #[test]
+    fn revision_metadata_round_trips_and_defaults_to_zero() {
+        let doc = parse_html(PAGE).unwrap();
+        let t = target(&doc);
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(&doc, &[t])
+            .unwrap();
+        let v0 = WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults())
+            .with_label("imdb");
+        assert_eq!(v0.revision, 0);
+        assert!(v0.provenance.is_none());
+        // Revision 0 stays off the wire (old readers see the same artifact).
+        assert!(!v0.to_json_string().contains("revision"));
+        assert_eq!(
+            WrapperBundle::from_json_str(&v0.to_json_string())
+                .unwrap()
+                .revision,
+            0
+        );
+
+        let v1 = v0.revised(v0.entries.clone(), "re-anchored @class main -> main-r1");
+        assert_eq!(v1.revision, 1);
+        assert_eq!(v1.label, v0.label);
+        let reloaded = WrapperBundle::from_json_str(&v1.to_json_string()).unwrap();
+        assert_eq!(reloaded.revision, 1);
+        assert_eq!(
+            reloaded.provenance.as_deref(),
+            Some("re-anchored @class main -> main-r1")
+        );
+        assert_eq!(v1.revised(v1.entries.clone(), "again").revision, 2);
     }
 
     #[test]

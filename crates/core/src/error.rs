@@ -24,6 +24,10 @@ pub enum InduceError {
     MissingTarget(NodeId),
     /// The induction ran but produced no candidate expression.
     NoWrapperFound,
+    /// Value-based target harvesting found none of the given texts on the
+    /// page (re-induction from last-known-good extractions has nothing to
+    /// annotate).
+    EmptyHarvest,
     /// A DOM-level failure while preparing the samples.
     Dom(DomError),
 }
@@ -41,6 +45,9 @@ impl fmt::Display for InduceError {
             }
             InduceError::NoWrapperFound => {
                 write!(f, "induction produced no candidate expression")
+            }
+            InduceError::EmptyHarvest => {
+                write!(f, "none of the given texts occur on the page")
             }
             InduceError::Dom(e) => write!(f, "DOM error during induction: {e}"),
         }

@@ -79,5 +79,5 @@ pub use extract::Extractor;
 pub use induce::induce;
 pub use induce_path::induce_path;
 pub use node_pattern::node_patterns;
-pub use sample::Sample;
+pub use sample::{harvest_targets_by_text, Sample};
 pub use step_pattern::step_patterns;

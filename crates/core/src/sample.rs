@@ -51,6 +51,39 @@ impl<'a> Sample<'a> {
     }
 }
 
+/// Finds annotation targets on a page by *value*: the innermost elements
+/// whose normalized text equals one of `values`, in document order.
+///
+/// This is how a maintenance pipeline turns the last-known-good extraction
+/// of a broken wrapper into fresh annotations on a new page version (and how
+/// the paper's automated annotators locate known instances on a page): the
+/// extracted *values* survive a template change even when the node identities
+/// and the wrapper's anchors do not.  Outer elements whose text merely
+/// contains a match (because they wrap a matching descendant) are dropped.
+pub fn harvest_targets_by_text(doc: &Document, values: &[String]) -> Vec<NodeId> {
+    // Empty values carry no identity: matching them would "find" every
+    // text-less element on the page (images, inputs, separators).
+    let value_set: std::collections::HashSet<&str> = values
+        .iter()
+        .map(|s| s.as_str())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if value_set.is_empty() {
+        return Vec::new();
+    }
+    let mut matches: Vec<NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_element(n))
+        .filter(|&n| value_set.contains(doc.normalized_text(n).as_str()))
+        .collect();
+    // Keep only innermost matches.  The match set is small, so a pairwise
+    // O(1) interval test (the document-order index) beats walking each
+    // match's subtree.
+    let all = matches.clone();
+    matches.retain(|&n| !all.iter().any(|&d| doc.is_ancestor_of(n, d)));
+    matches
+}
+
 /// Computes `⟨t+, f+, f−⟩` of a result node set against a target node set.
 pub fn counts_against(result: &[NodeId], targets: &[NodeId]) -> Counts {
     use std::collections::HashSet;
@@ -95,6 +128,28 @@ mod tests {
         let p = doc.elements_by_tag("p");
         let c = counts_against(&[p[0], p[0]], &[p[0]]);
         assert_eq!(c, Counts::new(1, 0, 0));
+    }
+
+    #[test]
+    fn harvest_picks_innermost_matches_in_document_order() {
+        let doc = parse_html(
+            r#"<body>
+                <div><a href="/x"><span>Scorsese</span></a></div>
+                <p>De Niro</p>
+                <div>Scorsese</div>
+            </body>"#,
+        )
+        .unwrap();
+        let values = vec!["Scorsese".to_string(), "De Niro".to_string()];
+        let found = harvest_targets_by_text(&doc, &values);
+        // The wrapping <a> and <div> also have text "Scorsese"; only the
+        // innermost span (and the later leaf div) qualify.
+        let span = doc.elements_by_tag("span")[0];
+        let p = doc.elements_by_tag("p")[0];
+        let leaf_div = doc.elements_by_tag("div")[1];
+        assert_eq!(found, vec![span, p, leaf_div]);
+        assert!(harvest_targets_by_text(&doc, &[]).is_empty());
+        assert!(harvest_targets_by_text(&doc, &["missing".into()]).is_empty());
     }
 
     #[test]

@@ -92,6 +92,20 @@ impl Document {
         self.tags.take();
     }
 
+    /// Parses HTML text into a document with default [`crate::ParseOptions`].
+    ///
+    /// Convenience constructor equivalent to [`crate::parse_html`]; callers
+    /// no longer need to thread a [`crate::DocumentBuilder`] (or reach for
+    /// the free function) to get from markup to a `Document`.
+    pub fn parse(html: &str) -> Result<Document> {
+        crate::parser::parse_html(html)
+    }
+
+    /// Parses HTML text with explicit [`crate::ParseOptions`].
+    pub fn parse_with(html: &str, options: crate::parser::ParseOptions) -> Result<Document> {
+        crate::parser::parse_html_with(html, options)
+    }
+
     /// Returns the synthetic document root node.
     pub fn root(&self) -> NodeId {
         self.root

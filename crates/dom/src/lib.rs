@@ -64,5 +64,5 @@ pub use error::DomError;
 pub use hash::{structural_hash, subtree_equal};
 pub use node::{Attribute, NodeData, NodeId, NodeKind};
 pub use order::{OrderIndex, TagIndex};
-pub use parser::{parse_html, ParseOptions};
+pub use parser::{parse_html, parse_html_with, ParseOptions};
 pub use serializer::{to_html, SerializeOptions};

@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 use wi_dom::{
     parse_html, structural_hash, subtree_equal, to_html, Document, DocumentBuilder, NodeId,
+    ParseOptions,
 };
 
 /// A compact description of a random tree: rows of
@@ -168,6 +169,80 @@ proptest! {
         let b = reparsed.root_element().unwrap();
         prop_assert_eq!(structural_hash(&doc, a), structural_hash(&reparsed, b));
         prop_assert!(subtree_equal(&doc, a, &reparsed, b));
+    }
+
+    /// Parser → serializer → parser is a fixpoint that preserves document
+    /// order, the tag index and all text content, for every [`ParseOptions`]
+    /// variation.  This is the invariant the maintenance replay loop relies
+    /// on: a wrapper verified against a re-parsed snapshot must see exactly
+    /// the tree the original snapshot had.
+    #[test]
+    fn parse_serialize_parse_preserves_order_tags_and_text(doc in arb_document()) {
+        let html = to_html(&doc);
+        let variations = [
+            ParseOptions::default(),
+            ParseOptions { skip_whitespace_text: false, ..Default::default() },
+            ParseOptions { lowercase_names: false, ..Default::default() },
+            ParseOptions { decode_entities: false, ..Default::default() },
+        ];
+        // The generated documents use lowercase tags and entity-free text, so
+        // every option variation must converge to the same tree (compact
+        // serialization emits no inter-element whitespace for
+        // `skip_whitespace_text` to disagree on).
+        for options in variations {
+            let reparsed = Document::parse_with(&html, options).unwrap();
+
+            // Document order: the pre-order signature (tag names and text
+            // payloads, in index order) is identical.
+            let signature = |d: &Document| -> Vec<String> {
+                d.descendants(d.root())
+                    .map(|n| match d.tag_name(n) {
+                        Some(t) => format!("<{t}>"),
+                        None => d.text_content(n).unwrap_or_default().to_string(),
+                    })
+                    .collect()
+            };
+            prop_assert_eq!(signature(&doc), signature(&reparsed));
+
+            // Tag index: same tags, same per-tag counts, and each tag list in
+            // the same relative document order (checked via the pre-order
+            // positions of the order index).
+            for tag in ["html", "body", "div", "span", "section", "ul", "article", "a", "h2"] {
+                let original = doc.elements_by_tag(tag);
+                let round_tripped = reparsed.elements_by_tag(tag);
+                prop_assert_eq!(original.len(), round_tripped.len(), "tag {} count", tag);
+                let order = reparsed.order_index();
+                let positions: Vec<u32> = round_tripped
+                    .iter()
+                    .map(|&n| order.position(n).expect("indexed"))
+                    .collect();
+                prop_assert!(positions.windows(2).all(|w| w[0] < w[1]));
+            }
+
+            // Text content survives (string-value of the whole tree).
+            prop_assert_eq!(
+                doc.normalized_text(doc.root()),
+                reparsed.normalized_text(reparsed.root())
+            );
+
+            // And the round trip is a fixpoint: serializing the re-parsed
+            // tree reproduces the markup byte for byte.
+            prop_assert_eq!(&to_html(&reparsed), &html);
+        }
+
+        // A pretty-printed serialization parses back to the same element
+        // structure under the default (whitespace-skipping) options.
+        let pretty = wi_dom::serializer::to_html_with(
+            &doc,
+            &wi_dom::SerializeOptions { pretty: true, indent: 2 },
+        );
+        let from_pretty = Document::parse(&pretty).unwrap();
+        let tags = |d: &Document| -> Vec<String> {
+            d.descendants(d.root())
+                .filter_map(|n| d.tag_name(n).map(str::to_string))
+                .collect()
+        };
+        prop_assert_eq!(tags(&doc), tags(&from_pretty));
     }
 
     /// Structural hashing is insensitive to node identity: cloning a subtree

@@ -1,13 +1,18 @@
 //! Command-line driver that regenerates the paper's tables and figures.
 //!
 //! ```text
-//! run_experiments [--quick] [experiment ...]
+//! run_experiments [--quick | --smoke] [experiment ...]
 //! ```
 //!
 //! Without arguments every experiment is run at the full (paper-sized)
-//! scale; `--quick` switches to the reduced scale used by the benches.
-//! Individual experiments: `fig3 fig4 fig5 fig6 fig7 table1 table2
-//! sota-dalvi sota-weir noise-real change-rate timing params batch`.
+//! scale; `--quick` switches to the reduced scale used by the benches, and
+//! `--smoke` to the even smaller CI scale.  Individual experiments: `fig3
+//! fig4 fig5 fig6 fig7 table1 table2 sota-dalvi sota-weir noise-real
+//! change-rate timing params batch maintenance`.
+//!
+//! The `maintenance` experiment is *gated*: the process exits non-zero when
+//! verifier recall, drift-classification accuracy or post-break repair F1
+//! fall below their fixed floors on the deterministic seed.
 
 use wi_eval::experiments;
 use wi_eval::Scale;
@@ -15,7 +20,14 @@ use wi_eval::Scale;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let scale = if quick { Scale::quick() } else { Scale::full() };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let scale = if smoke {
+        Scale::tiny()
+    } else if quick {
+        Scale::quick()
+    } else {
+        Scale::full()
+    };
     let selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with('-')).collect();
 
     let all = [
@@ -33,6 +45,7 @@ fn main() {
         "fig7",
         "noise-real",
         "batch",
+        "maintenance",
     ];
     let to_run: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -68,6 +81,13 @@ fn main() {
             "fig7" => experiments::fig7::render(&scale),
             "noise-real" => experiments::noise_real::render(&scale),
             "batch" => experiments::batch::render(&scale),
+            "maintenance" => match experiments::maintenance::render_checked(&scale) {
+                Ok(output) => output,
+                Err(report_with_violations) => {
+                    eprintln!("{report_with_violations}");
+                    std::process::exit(1);
+                }
+            },
             _ => unreachable!(),
         };
         println!("{output}");

@@ -1,0 +1,561 @@
+//! The `maintenance` experiment: the full wrapper lifecycle (verify →
+//! classify → repair) replayed over the deterministic webgen archive,
+//! scored against the generated ground truth.
+//!
+//! For every task an exact wrapper is induced on the first snapshot,
+//! installed in a [`Registry`], and maintained across the whole observation
+//! window through the parallel [`Registry::maintain_batch`] driver.  The
+//! webgen timelines then provide what no real-world archive can: per-epoch
+//! ground-truth targets *and* the generated change class behind every break,
+//! so the experiment reports
+//!
+//! * **verifier recall/precision** — how many genuinely broken epochs the
+//!   (ground-truth-blind) verifier flags,
+//! * **drift-classification accuracy** — how often the classifier's break
+//!   group matches the timeline's [`ChangeClass`] for the break window,
+//! * **repair recovery** — the mean post-break extraction F1 of the
+//!   maintained wrapper, against the same wrapper left unrepaired,
+//! * **survival curves** — the fraction of tasks extracting correctly at
+//!   each epoch, with and without repair.
+//!
+//! The three headline numbers are gated:
+//! [`MaintenanceReport::floor_violations`] lists every violated floor and
+//! [`render_checked`] turns them into a failing run, which CI exercises in
+//! smoke mode (`run_experiments maintenance --smoke`).
+
+use crate::report::{pct, render_table};
+use crate::scale::Scale;
+use serde::{Deserialize, Serialize};
+use wi_dom::{Document, NodeId};
+use wi_induction::sample::counts_against;
+use wi_induction::{Extractor, WrapperBundle, WrapperInducer};
+use wi_maintain::{DriftClass, Maintainer, MaintenanceJob, PageVersion, Registry};
+use wi_maintain::{LastKnownGood, MaintenanceLog};
+use wi_scoring::f_beta;
+use wi_webgen::datasets::{multi_node_tasks, single_node_tasks};
+use wi_webgen::date::{Day, OBSERVATION_END, OBSERVATION_START};
+use wi_webgen::epoch::ChangeClass;
+use wi_webgen::tasks::WrapperTask;
+
+/// The gated verifier-recall floor (asserted in tests and enforced by
+/// `run_experiments maintenance`).
+pub const VERIFIER_RECALL_FLOOR: f64 = 0.95;
+/// Minimum drift-classification accuracy over flagged breaks.
+pub const CLASSIFICATION_ACCURACY_FLOOR: f64 = 0.80;
+/// Minimum mean post-break extraction F1 with repair enabled.
+pub const REPAIR_RECOVERY_FLOOR: f64 = 0.90;
+
+/// One point of the survival curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SurvivalPoint {
+    /// Epoch day.
+    pub day: i64,
+    /// Fraction of (non-broken-capture) tasks extracting correctly with the
+    /// maintained wrapper.
+    pub with_repair: f64,
+    /// Same fraction for the never-repaired wrapper.
+    pub without_repair: f64,
+}
+
+/// The aggregated result of the maintenance experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaintenanceReport {
+    /// Tasks maintained.
+    pub tasks: usize,
+    /// Epochs replayed per task.
+    pub epochs_per_task: usize,
+    /// Broken-capture epochs skipped (paper group (e)).
+    pub broken_capture_epochs: usize,
+    /// Epochs where the in-force wrapper's extraction differed from ground
+    /// truth (excluding broken captures).
+    pub broken_epochs: usize,
+    /// … of which the verifier flagged.
+    pub flagged_broken_epochs: usize,
+    /// Healthy epochs the verifier flagged anyway.
+    pub false_flags: usize,
+    /// … of which had an *empty* ground truth (the target legitimately
+    /// disappeared; a ground-truth-blind verifier keeps flagging the empty
+    /// extraction).
+    pub false_flags_empty_truth: usize,
+    /// `flagged_broken_epochs / broken_epochs`.
+    pub verifier_recall: f64,
+    /// `flagged_broken / (flagged_broken + false_flags)`.
+    pub verifier_precision: f64,
+    /// First-break events (transitions correct → broken, flagged).
+    pub break_events: usize,
+    /// … of which the classifier matched the generated change class.
+    pub class_matches: usize,
+    /// `class_matches / break_events`.
+    pub classification_accuracy: f64,
+    /// Confusion counts `(generated class, classified class, count)`.
+    pub confusion: Vec<(String, String, usize)>,
+    /// Repairs installed across all tasks.
+    pub repairs: usize,
+    /// Post-break epochs scored for F1 (non-empty truth, healthy capture).
+    pub post_break_epochs: usize,
+    /// Mean post-break extraction F1 of the maintained wrapper.
+    pub post_break_f1_with_repair: f64,
+    /// Mean post-break extraction F1 of the never-repaired wrapper.
+    pub post_break_f1_without_repair: f64,
+    /// Survival curve samples.
+    pub survival: Vec<SurvivalPoint>,
+}
+
+impl MaintenanceReport {
+    /// Returns the floor violations of this run (empty when all gates pass).
+    pub fn floor_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.broken_epochs > 0 && self.verifier_recall < VERIFIER_RECALL_FLOOR {
+            violations.push(format!(
+                "verifier recall {} below floor {}",
+                pct(self.verifier_recall),
+                pct(VERIFIER_RECALL_FLOOR)
+            ));
+        }
+        if self.break_events > 0 && self.classification_accuracy < CLASSIFICATION_ACCURACY_FLOOR {
+            violations.push(format!(
+                "drift-classification accuracy {} below floor {}",
+                pct(self.classification_accuracy),
+                pct(CLASSIFICATION_ACCURACY_FLOOR)
+            ));
+        }
+        if self.post_break_epochs > 0 && self.post_break_f1_with_repair < REPAIR_RECOVERY_FLOOR {
+            violations.push(format!(
+                "post-break F1 with repair {:.3} below floor {:.2}",
+                self.post_break_f1_with_repair, REPAIR_RECOVERY_FLOOR
+            ));
+        }
+        violations
+    }
+}
+
+/// One maintained task, ready for scoring.
+struct TaskRun {
+    task: WrapperTask,
+    job: MaintenanceJob,
+    log: MaintenanceLog,
+    original: WrapperBundle,
+}
+
+/// Runs the experiment.
+pub fn run(scale: &Scale) -> MaintenanceReport {
+    let mut tasks: Vec<WrapperTask> = single_node_tasks(scale.single_tasks);
+    tasks.extend(multi_node_tasks(scale.multi_tasks));
+
+    // Induce + install + build jobs.
+    let mut registry = Registry::new();
+    let mut jobs: Vec<MaintenanceJob> = Vec::new();
+    let mut kept: Vec<(WrapperTask, WrapperBundle)> = Vec::new();
+    for task in tasks {
+        let (doc0, targets0) = task.page_with_targets(Day(0));
+        if targets0.is_empty() {
+            continue;
+        }
+        let instances = super::induce_for_task(&task, scale.k);
+        let Some(top) = instances.into_iter().next() else {
+            continue;
+        };
+        let bundle = WrapperBundle::from_instances(
+            std::slice::from_ref(&top),
+            wi_scoring::ScoringParams::paper_defaults(),
+        )
+        .with_label(task.id());
+        let site_key = task.id();
+        registry.install(&site_key, bundle.clone(), 0);
+
+        let archive = wi_webgen::archive::ArchiveSimulator::new(
+            task.site.clone(),
+            task.page_index,
+            task.kind,
+        );
+        let pages: Vec<PageVersion> = snapshot_days(scale.snapshot_interval)
+            .into_iter()
+            .map(|day| PageVersion {
+                day: day.offset(),
+                doc: archive.snapshot(day).doc,
+            })
+            .collect();
+        jobs.push(MaintenanceJob {
+            site: site_key,
+            pages,
+            seed_lkg: Some(LastKnownGood::capture_for(&bundle, &doc0, 0, &targets0)),
+            inducer: Some(WrapperInducer::new(super::induction_config_for(
+                &task, scale.k,
+            ))),
+        });
+        kept.push((task, bundle));
+    }
+
+    // The parallel batch driver: one evaluation context per worker.
+    let maintainer = Maintainer::default();
+    let logs = registry.maintain_batch(&jobs, &maintainer);
+
+    let runs: Vec<TaskRun> = kept
+        .into_iter()
+        .zip(jobs)
+        .zip(logs)
+        .map(|(((task, original), job), log)| TaskRun {
+            task,
+            job,
+            log,
+            original,
+        })
+        .collect();
+
+    score(runs, scale)
+}
+
+/// The snapshot days of the observation window at the scale's interval.
+fn snapshot_days(interval: i64) -> Vec<Day> {
+    let mut days = Vec::new();
+    let mut d = OBSERVATION_START;
+    while d <= OBSERVATION_END {
+        days.push(d);
+        d = d.plus(interval);
+    }
+    days
+}
+
+/// Whether an extraction equals the ground-truth node set.
+fn extraction_correct(doc: &Document, extracted: &[NodeId], truth: &[NodeId]) -> bool {
+    let mut a = extracted.to_vec();
+    let mut b = truth.to_vec();
+    doc.sort_document_order(&mut a);
+    doc.sort_document_order(&mut b);
+    a == b
+}
+
+/// F1 of an extraction against the ground-truth node set.
+fn extraction_f1(extracted: &[NodeId], truth: &[NodeId]) -> f64 {
+    let counts = counts_against(extracted, truth);
+    f_beta(counts.tp, counts.fp, counts.fne, 1.0)
+}
+
+/// Every change class generated inside a break window, with block removals
+/// scoped to the wrapper's own block (a removal elsewhere is positional
+/// churn for this wrapper).
+fn window_classes(
+    timeline: &wi_webgen::epoch::Timeline,
+    after: Day,
+    upto: Day,
+    role_block: Option<wi_webgen::epoch::BlockKind>,
+) -> Vec<ChangeClass> {
+    let mut classes: Vec<ChangeClass> = timeline
+        .events_between(after, upto)
+        .iter()
+        .map(|(_, event)| match event {
+            wi_webgen::epoch::ChangeEvent::RemoveBlock(b) if role_block != Some(*b) => {
+                ChangeClass::Positional
+            }
+            other => other.change_class(),
+        })
+        .collect();
+    classes.sort();
+    classes.dedup();
+    classes
+}
+
+/// Maps the classifier's break group onto the generated change class.
+fn classes_match(truth: ChangeClass, predicted: DriftClass) -> bool {
+    matches!(
+        (truth, predicted),
+        (ChangeClass::Positional, DriftClass::Positional)
+            | (ChangeClass::AttributeRename, DriftClass::AttributeRename)
+            | (ChangeClass::Redesign, DriftClass::Redesign)
+            | (ChangeClass::TargetRemoved, DriftClass::TargetRemoved)
+            | (ChangeClass::BrokenSnapshot, DriftClass::PageBroken)
+    )
+}
+
+/// Scores the maintenance logs against ground truth.
+fn score(runs: Vec<TaskRun>, scale: &Scale) -> MaintenanceReport {
+    let epochs_per_task = runs.first().map(|r| r.log.outcomes.len()).unwrap_or(0);
+
+    let mut broken_capture_epochs = 0usize;
+    let mut broken_epochs = 0usize;
+    let mut flagged_broken = 0usize;
+    let mut false_flags = 0usize;
+    let mut false_flags_empty_truth = 0usize;
+    let mut break_events = 0usize;
+    let mut class_matches = 0usize;
+    let mut confusion: std::collections::BTreeMap<(String, String), usize> =
+        std::collections::BTreeMap::new();
+    let mut repairs = 0usize;
+    let mut f1_with_sum = 0.0f64;
+    let mut f1_without_sum = 0.0f64;
+    let mut post_break_epochs = 0usize;
+    // survival[j] = (with-repair correct, without-repair correct, counted)
+    let mut survival = vec![(0usize, 0usize, 0usize); epochs_per_task];
+
+    for run in &runs {
+        let timeline = &run.task.site.timeline;
+        let role_block = run.task.role.can_disappear().then(|| run.task.role.block());
+        let mut cx = wi_xpath::EvalContext::new();
+        let mut last_correct_day = OBSERVATION_START.offset() - scale.snapshot_interval;
+        let mut first_break_day: Option<i64> = None;
+
+        for (j, outcome) in run.log.outcomes.iter().enumerate() {
+            let day = Day(outcome.day);
+            let doc = &run.job.pages[j].doc;
+            if timeline.snapshot_broken(day) {
+                broken_capture_epochs += 1;
+                continue;
+            }
+            let truth = run.task.targets_in(doc, day);
+            // The pre-repair extraction of the in-force bundle is recorded
+            // in the verifier's health report.
+            let broken = !extraction_correct(doc, &outcome.health.extracted, &truth);
+
+            if broken {
+                broken_epochs += 1;
+                if outcome.flagged {
+                    flagged_broken += 1;
+                }
+                if first_break_day.is_none() {
+                    first_break_day = Some(outcome.day);
+                }
+                // A *break event*: the first broken epoch after a correct
+                // one, with the verifier's flag (the classifier only sees
+                // flagged snapshots).
+                if outcome.flagged && last_correct_day >= outcome.day - scale.snapshot_interval {
+                    if let Some(predicted) = outcome.drift {
+                        break_events += 1;
+                        let dominant = timeline.dominant_change_between(
+                            Day(last_correct_day),
+                            day,
+                            role_block,
+                        );
+                        // A coarse snapshot interval can pack several
+                        // generated changes into one break window; the
+                        // classifier is right when it names any of them.
+                        let matched =
+                            window_classes(timeline, Day(last_correct_day), day, role_block)
+                                .into_iter()
+                                .any(|truth_class| classes_match(truth_class, predicted));
+                        if matched {
+                            class_matches += 1;
+                        }
+                        *confusion
+                            .entry((dominant.label().to_string(), predicted.label().to_string()))
+                            .or_insert(0) += 1;
+                    }
+                }
+            } else {
+                if outcome.flagged {
+                    false_flags += 1;
+                    if truth.is_empty() {
+                        false_flags_empty_truth += 1;
+                    }
+                }
+                last_correct_day = outcome.day;
+            }
+            if outcome.repaired {
+                repairs += 1;
+            }
+
+            // Survival + post-break F1 compare the *maintained* pipeline
+            // (extraction after any repair) with the never-repaired bundle.
+            let maintained_correct = extraction_correct(doc, &outcome.extracted, &truth);
+            let original_extracted = run
+                .original
+                .extract_with(&mut cx, doc, doc.root())
+                .unwrap_or_default();
+            let original_correct = extraction_correct(doc, &original_extracted, &truth);
+            survival[j].0 += maintained_correct as usize;
+            survival[j].1 += original_correct as usize;
+            survival[j].2 += 1;
+
+            if let Some(first) = first_break_day {
+                if outcome.day >= first && !truth.is_empty() {
+                    f1_with_sum += extraction_f1(&outcome.extracted, &truth);
+                    f1_without_sum += extraction_f1(&original_extracted, &truth);
+                    post_break_epochs += 1;
+                }
+            }
+        }
+    }
+
+    let survival: Vec<SurvivalPoint> = runs
+        .first()
+        .map(|r| {
+            survival
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, _, counted))| *counted > 0)
+                .map(|(j, &(with, without, counted))| SurvivalPoint {
+                    day: r.log.outcomes[j].day,
+                    with_repair: with as f64 / counted as f64,
+                    without_repair: without as f64 / counted as f64,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    MaintenanceReport {
+        tasks: runs.len(),
+        epochs_per_task,
+        broken_capture_epochs,
+        broken_epochs,
+        flagged_broken_epochs: flagged_broken,
+        false_flags,
+        false_flags_empty_truth,
+        verifier_recall: flagged_broken as f64 / broken_epochs.max(1) as f64,
+        verifier_precision: flagged_broken as f64 / (flagged_broken + false_flags).max(1) as f64,
+        break_events,
+        class_matches,
+        classification_accuracy: class_matches as f64 / break_events.max(1) as f64,
+        confusion: confusion
+            .into_iter()
+            .map(|((truth, predicted), count)| (truth, predicted, count))
+            .collect(),
+        repairs,
+        post_break_epochs,
+        post_break_f1_with_repair: f1_with_sum / post_break_epochs.max(1) as f64,
+        post_break_f1_without_repair: f1_without_sum / post_break_epochs.max(1) as f64,
+        survival,
+    }
+}
+
+/// Renders the report.
+pub fn render(scale: &Scale) -> String {
+    let report = run(scale);
+    render_report(&report)
+}
+
+/// Renders the report and returns an error listing every violated floor
+/// (the `run_experiments` binary exits non-zero on `Err`).
+pub fn render_checked(scale: &Scale) -> Result<String, String> {
+    let report = run(scale);
+    let rendered = render_report(&report);
+    let violations = report.floor_violations();
+    if violations.is_empty() {
+        Ok(rendered)
+    } else {
+        Err(format!(
+            "{rendered}\nMAINTENANCE FLOOR VIOLATIONS:\n  {}",
+            violations.join("\n  ")
+        ))
+    }
+}
+
+fn render_report(report: &MaintenanceReport) -> String {
+    let mut out = String::from("== Wrapper lifecycle maintenance over the archive ==\n");
+    out.push_str(&format!(
+        "tasks {} · epochs/task {} · broken captures skipped {}\n",
+        report.tasks, report.epochs_per_task, report.broken_capture_epochs
+    ));
+    out.push_str(&format!(
+        "verifier: {} of {} broken epochs flagged (recall {}, precision {}, \
+         false flags {} — {} on legitimately empty targets)\n",
+        report.flagged_broken_epochs,
+        report.broken_epochs,
+        pct(report.verifier_recall),
+        pct(report.verifier_precision),
+        report.false_flags,
+        report.false_flags_empty_truth
+    ));
+    out.push_str(&format!(
+        "classifier: {} of {} flagged breaks matched the generated class (accuracy {})\n",
+        report.class_matches,
+        report.break_events,
+        pct(report.classification_accuracy)
+    ));
+    if !report.confusion.is_empty() {
+        let rows: Vec<Vec<String>> = report
+            .confusion
+            .iter()
+            .map(|(t, p, c)| vec![t.clone(), p.clone(), c.to_string()])
+            .collect();
+        out.push_str(&render_table(
+            &["generated class", "classified as", "count"],
+            &rows,
+        ));
+    }
+    out.push_str(&format!(
+        "repair: {} repairs · post-break F1 {:.3} with repair vs {:.3} without ({} epochs)\n",
+        report.repairs,
+        report.post_break_f1_with_repair,
+        report.post_break_f1_without_repair,
+        report.post_break_epochs
+    ));
+    out.push_str("survival (fraction of tasks extracting correctly):\n");
+    let step = (report.survival.len() / 10).max(1);
+    let rows: Vec<Vec<String>> = report
+        .survival
+        .iter()
+        .step_by(step)
+        .map(|p| {
+            vec![
+                Day(p.day).to_string(),
+                pct(p.with_repair),
+                pct(p.without_repair),
+            ]
+        })
+        .collect();
+    out.push_str(&render_table(&["epoch", "with repair", "without"], &rows));
+    out.push_str(&format!(
+        "floors: recall >= {}, classification >= {}, post-break F1 >= {:.2} — {}\n",
+        pct(VERIFIER_RECALL_FLOOR),
+        pct(CLASSIFICATION_ACCURACY_FLOOR),
+        REPAIR_RECOVERY_FLOOR,
+        if report.floor_violations().is_empty() {
+            "pass"
+        } else {
+            "FAIL"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maintenance_meets_the_acceptance_floors() {
+        // The deterministic seed the acceptance criteria are pinned to.
+        let report = run(&Scale::tiny());
+        assert!(report.tasks >= 5, "only {} tasks ran", report.tasks);
+        assert!(
+            report.broken_epochs > 0,
+            "the timelines produced no breaks to verify against"
+        );
+        assert!(
+            report.verifier_recall >= VERIFIER_RECALL_FLOOR,
+            "verifier recall {} (flagged {}/{})",
+            report.verifier_recall,
+            report.flagged_broken_epochs,
+            report.broken_epochs
+        );
+        assert!(report.break_events > 0);
+        assert!(
+            report.classification_accuracy >= CLASSIFICATION_ACCURACY_FLOOR,
+            "classification accuracy {} (confusion {:?})",
+            report.classification_accuracy,
+            report.confusion
+        );
+        assert!(
+            report.post_break_f1_with_repair >= REPAIR_RECOVERY_FLOOR,
+            "post-break F1 {} over {} epochs",
+            report.post_break_f1_with_repair,
+            report.post_break_epochs
+        );
+        assert!(
+            report.post_break_f1_with_repair > report.post_break_f1_without_repair,
+            "repair must beat no-repair ({} vs {})",
+            report.post_break_f1_with_repair,
+            report.post_break_f1_without_repair
+        );
+        assert!(report.floor_violations().is_empty());
+    }
+
+    #[test]
+    fn render_reports_the_headline_numbers() {
+        let rendered = render(&Scale::tiny());
+        assert!(rendered.contains("verifier:"));
+        assert!(rendered.contains("classifier:"));
+        assert!(rendered.contains("post-break F1"));
+        assert!(rendered.contains("survival"));
+        assert!(render_checked(&Scale::tiny()).is_ok());
+    }
+}

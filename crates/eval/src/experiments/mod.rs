@@ -8,6 +8,7 @@ pub mod fig4;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod maintenance;
 pub mod noise_real;
 pub mod params_report;
 pub mod sota_dalvi;

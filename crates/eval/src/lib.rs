@@ -18,6 +18,7 @@
 //! | parameters + decay ablation (§6.3) | [`experiments::params_report`] | `run_experiments params` |
 //! | Figure 7 (synthetic noise) | [`experiments::fig7`] | `run_experiments fig7` |
 //! | real-life NER noise (§6.4) | [`experiments::noise_real`] | `run_experiments noise-real` |
+//! | wrapper lifecycle (verify/classify/repair) | [`experiments::maintenance`] | `run_experiments maintenance` |
 //!
 //! All experiments take a [`Scale`] so the full paper-sized runs and quick
 //! smoke runs (used by the Criterion benches and integration tests) share the

@@ -1,0 +1,490 @@
+//! The maintenance loop: a per-wrapper state machine driven over a timeline
+//! of page versions.
+//!
+//! ```text
+//!             healthy                     flagged
+//!   Monitoring ───────► Monitoring          │
+//!        ▲                                  ▼
+//!        │ repair validated        classify → repair
+//!        └───────────────────┐              │ repair failed
+//!                            │              ▼
+//!                        Degraded ◄─────────┘
+//!                            │ `retire_after` consecutive failures,
+//!                            │ drift class TargetRemoved
+//!                            ▼
+//!                         Retired  (still verified, never repaired)
+//! ```
+//!
+//! Broken captures bypass the machine entirely: the wrapper, its state and
+//! its last-known-good pass through unchanged (see the repair-policy
+//! contract in the crate docs).
+
+use crate::drift::{DriftClass, DriftClassifier, DriftConfig, DriftReport};
+use crate::repair::{RepairAction, RepairConfig, Repairer};
+use crate::verify::{HealthReport, LastKnownGood, Verifier, VerifyConfig};
+use crate::PageVersion;
+use serde::{Deserialize, Serialize};
+use wi_induction::{WrapperBundle, WrapperInducer};
+use wi_xpath::EvalContext;
+
+/// The lifecycle state of a maintained wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WrapperState {
+    /// Healthy (or freshly repaired) and being watched.
+    Monitoring,
+    /// Flagged and not (yet) successfully repaired; repair is retried on
+    /// every subsequent snapshot.
+    Degraded,
+    /// Given up: the target is gone from the page.  Verification continues
+    /// (the wrapper un-retires if a later snapshot is healthy again), repair
+    /// does not.
+    Retired,
+}
+
+/// Everything the loop decided about one snapshot.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EpochOutcome {
+    /// The snapshot day.
+    pub day: i64,
+    /// Verifier verdict (signals included).
+    pub health: HealthReport,
+    /// `true` when the verifier flagged this snapshot (not healthy).
+    pub flagged: bool,
+    /// `true` when the flag was a broken capture (no classification beyond
+    /// [`DriftClass::PageBroken`], no repair).
+    pub page_broken: bool,
+    /// Drift classification, when the snapshot was flagged.
+    pub drift: Option<DriftClass>,
+    /// The repair applied on this snapshot, if any.
+    pub repair: Option<RepairAction>,
+    /// `true` when a repair was validated and installed on this snapshot.
+    pub repaired: bool,
+    /// Bundle revision in force *after* this snapshot.
+    pub revision: u32,
+    /// Lifecycle state after this snapshot.
+    pub state: WrapperState,
+    /// The extraction this epoch ends with: the repaired bundle's when a
+    /// repair was installed, the flagged bundle's otherwise.
+    pub extracted: Vec<wi_dom::NodeId>,
+}
+
+/// A bundle revision recorded by a maintenance run.
+#[derive(Debug, Clone)]
+pub struct RevisionEvent {
+    /// The day the revision was installed.
+    pub day: i64,
+    /// The revision number.
+    pub revision: u32,
+    /// Why (the repair's provenance).
+    pub cause: String,
+    /// The installed bundle.
+    pub bundle: WrapperBundle,
+}
+
+/// The full record of one maintenance run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceLog {
+    /// The maintained site/wrapper label.
+    pub label: String,
+    /// One outcome per page version, in input order.
+    pub outcomes: Vec<EpochOutcome>,
+    /// Every revision installed during the run, oldest first.
+    pub revisions: Vec<RevisionEvent>,
+    /// The bundle in force after the last snapshot.
+    pub bundle: WrapperBundle,
+    /// The last-known-good state after the last snapshot.
+    pub lkg: Option<LastKnownGood>,
+}
+
+impl MaintenanceLog {
+    /// How many snapshots were flagged (excluding broken captures).
+    pub fn wrapper_flags(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.flagged && !o.page_broken)
+            .count()
+    }
+
+    /// How many repairs were installed.
+    pub fn repairs(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.repaired).count()
+    }
+}
+
+/// Configuration of the whole loop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MaintainConfig {
+    /// Verification thresholds.
+    pub verify: VerifyConfig,
+    /// Classification bounds.
+    pub drift: DriftConfig,
+    /// Repair policies.
+    pub repair: RepairConfig,
+    /// Consecutive failed repairs with drift class
+    /// [`DriftClass::TargetRemoved`] before the wrapper retires.
+    pub retire_after: usize,
+}
+
+impl Default for MaintainConfig {
+    fn default() -> Self {
+        MaintainConfig {
+            verify: VerifyConfig::default(),
+            drift: DriftConfig::default(),
+            repair: RepairConfig::default(),
+            retire_after: 2,
+        }
+    }
+}
+
+/// Drives bundles through verify → classify → repair over page timelines.
+#[derive(Debug, Clone, Default)]
+pub struct Maintainer {
+    /// Loop configuration.
+    pub config: MaintainConfig,
+    /// The inducer used for re-induction repairs (callers configure text
+    /// policies etc. here).
+    pub inducer: WrapperInducer,
+}
+
+impl Maintainer {
+    /// Creates a maintainer with explicit configuration.
+    pub fn new(config: MaintainConfig, inducer: WrapperInducer) -> Maintainer {
+        Maintainer { config, inducer }
+    }
+
+    /// Runs the maintenance loop over a timeline, allocating a fresh
+    /// evaluation context.
+    pub fn run(
+        &self,
+        label: &str,
+        bundle: WrapperBundle,
+        pages: &[PageVersion],
+        seed_lkg: Option<LastKnownGood>,
+    ) -> MaintenanceLog {
+        self.run_with(&mut EvalContext::new(), label, bundle, pages, seed_lkg)
+    }
+
+    /// Runs the maintenance loop over a timeline, reusing the caller's
+    /// evaluation context (the batch driver passes one per worker).
+    pub fn run_with(
+        &self,
+        cx: &mut EvalContext,
+        label: &str,
+        bundle: WrapperBundle,
+        pages: &[PageVersion],
+        seed_lkg: Option<LastKnownGood>,
+    ) -> MaintenanceLog {
+        self.run_with_inducer(cx, label, bundle, pages, seed_lkg, &self.inducer)
+    }
+
+    /// Like [`run_with`](Maintainer::run_with) with an explicit re-induction
+    /// inducer: batch jobs override the shared maintainer's inducer when
+    /// their site needs a different induction configuration (e.g. its own
+    /// template-label text policy).
+    pub fn run_with_inducer(
+        &self,
+        cx: &mut EvalContext,
+        label: &str,
+        bundle: WrapperBundle,
+        pages: &[PageVersion],
+        seed_lkg: Option<LastKnownGood>,
+        inducer: &WrapperInducer,
+    ) -> MaintenanceLog {
+        let verifier = Verifier::new(self.config.verify.clone());
+        let classifier = DriftClassifier::new(self.config.drift.clone());
+        let repairer = Repairer::new(self.config.repair.clone(), verifier.clone());
+
+        let mut bundle = bundle;
+        let mut lkg = seed_lkg;
+        let mut state = WrapperState::Monitoring;
+        let mut consecutive_target_gone = 0usize;
+        let mut outcomes: Vec<EpochOutcome> = Vec::with_capacity(pages.len());
+        let mut revisions: Vec<RevisionEvent> = Vec::new();
+
+        for page in pages {
+            let health = verifier.check_with(cx, &bundle, &page.doc, page.day, lkg.as_ref());
+
+            if health.page_broken() {
+                // Archive artifact: pass through untouched.
+                outcomes.push(EpochOutcome {
+                    day: page.day,
+                    flagged: true,
+                    page_broken: true,
+                    drift: Some(DriftClass::PageBroken),
+                    repair: None,
+                    repaired: false,
+                    revision: bundle.revision,
+                    state,
+                    extracted: Vec::new(),
+                    health,
+                });
+                continue;
+            }
+
+            if health.healthy() {
+                let fresh =
+                    LastKnownGood::capture_for(&bundle, &page.doc, page.day, &health.extracted);
+                lkg = Some(match lkg.as_ref() {
+                    Some(previous) => LastKnownGood::advance(previous, fresh),
+                    None => fresh,
+                });
+                state = WrapperState::Monitoring;
+                consecutive_target_gone = 0;
+                outcomes.push(EpochOutcome {
+                    day: page.day,
+                    flagged: false,
+                    page_broken: false,
+                    drift: None,
+                    repair: None,
+                    repaired: false,
+                    revision: bundle.revision,
+                    state,
+                    extracted: health.extracted.clone(),
+                    health,
+                });
+                continue;
+            }
+
+            // Flagged: classify, then (unless retired) try to repair.
+            let drift: DriftReport =
+                classifier.classify_with(cx, &bundle, &page.doc, page.day, lkg.as_ref(), &health);
+            let mut repair_action = None;
+            let mut repaired = false;
+            let mut extracted = health.extracted.clone();
+
+            if state != WrapperState::Retired {
+                match repairer.repair_with(
+                    cx,
+                    &bundle,
+                    &page.doc,
+                    page.day,
+                    lkg.as_ref(),
+                    &drift,
+                    inducer,
+                ) {
+                    Some(outcome) => {
+                        bundle = outcome.bundle;
+                        revisions.push(RevisionEvent {
+                            day: page.day,
+                            revision: bundle.revision,
+                            cause: outcome.action.provenance(page.day),
+                            bundle: bundle.clone(),
+                        });
+                        let fresh = LastKnownGood::capture_for(
+                            &bundle,
+                            &page.doc,
+                            page.day,
+                            &outcome.extracted,
+                        );
+                        lkg = Some(match lkg.as_ref() {
+                            Some(previous) => LastKnownGood::advance(previous, fresh),
+                            None => fresh,
+                        });
+                        extracted = outcome.extracted.clone();
+                        repair_action = Some(outcome.action);
+                        repaired = true;
+                        state = WrapperState::Monitoring;
+                        consecutive_target_gone = 0;
+                    }
+                    None => {
+                        if drift.class == DriftClass::TargetRemoved {
+                            consecutive_target_gone += 1;
+                        } else {
+                            consecutive_target_gone = 0;
+                        }
+                        state = if consecutive_target_gone >= self.config.retire_after {
+                            WrapperState::Retired
+                        } else {
+                            WrapperState::Degraded
+                        };
+                    }
+                }
+            }
+
+            outcomes.push(EpochOutcome {
+                day: page.day,
+                flagged: true,
+                page_broken: false,
+                drift: Some(drift.class),
+                repair: repair_action,
+                repaired,
+                revision: bundle.revision,
+                state,
+                extracted,
+                health,
+            });
+        }
+
+        MaintenanceLog {
+            label: label.to_string(),
+            outcomes,
+            revisions,
+            bundle,
+            lkg,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::Document;
+    use wi_scoring::ScoringParams;
+
+    fn page(class: &str, values: &[&str]) -> Document {
+        let items: String = values
+            .iter()
+            .map(|v| format!(r#"<span class="{class}">{v}</span>"#))
+            .collect();
+        Document::parse(&format!(
+            r#"<html><body><div id="main"><h4>Prices:</h4>{items}</div>
+               <div id="side"><ul><li>a</li><li>b</li><li>c</li><li>d</li></ul></div>
+               </body></html>"#
+        ))
+        .unwrap()
+    }
+
+    fn induced(doc: &Document) -> WrapperBundle {
+        let targets = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.tag_name(n) == Some("span"))
+            .collect::<Vec<_>>();
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(doc, &targets)
+            .unwrap();
+        WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults()).with_label("p")
+    }
+
+    #[test]
+    fn healthy_timeline_stays_monitoring_with_zero_repairs() {
+        let v1 = page("p", &["1", "2", "3"]);
+        let bundle = induced(&v1);
+        let pages: Vec<PageVersion> = [
+            page("p", &["1", "2", "3"]),
+            page("p", &["4", "5", "6"]),
+            page("p", &["7", "8", "9"]),
+        ]
+        .into_iter()
+        .enumerate()
+        .map(|(i, doc)| PageVersion {
+            day: 20 * i as i64,
+            doc,
+        })
+        .collect();
+        let log = Maintainer::default().run("site", bundle, &pages, None);
+        assert_eq!(log.wrapper_flags(), 0);
+        assert_eq!(log.repairs(), 0);
+        assert!(log
+            .outcomes
+            .iter()
+            .all(|o| o.state == WrapperState::Monitoring));
+        assert_eq!(log.bundle.revision, 0);
+        assert_eq!(log.lkg.as_ref().unwrap().texts, vec!["7", "8", "9"]);
+    }
+
+    #[test]
+    fn rename_mid_timeline_is_flagged_classified_and_hot_swapped() {
+        let v1 = page("p", &["1", "2", "3"]);
+        let bundle = induced(&v1);
+        let pages = vec![
+            PageVersion {
+                day: 0,
+                doc: page("p", &["1", "2", "3"]),
+            },
+            PageVersion {
+                day: 20,
+                doc: page("price", &["4", "5", "6"]),
+            },
+            PageVersion {
+                day: 40,
+                doc: page("price", &["7", "8", "9"]),
+            },
+        ];
+        let log = Maintainer::default().run("site", bundle, &pages, None);
+        assert_eq!(log.wrapper_flags(), 1);
+        assert_eq!(log.repairs(), 1);
+        let o = &log.outcomes[1];
+        assert!(o.repaired);
+        assert_eq!(o.drift, Some(DriftClass::AttributeRename));
+        assert_eq!(o.revision, 1);
+        // After the hot swap day 40 is healthy again under the new anchor.
+        assert!(!log.outcomes[2].flagged);
+        assert_eq!(log.revisions.len(), 1);
+        assert!(log.revisions[0].cause.contains("re-anchored"));
+    }
+
+    #[test]
+    fn gone_target_degrades_then_retires_and_repair_stops() {
+        let v1 = Document::parse(
+            r#"<body><div class="blk"><h4>Director:</h4><span class="v">S</span></div>
+               <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+        )
+        .unwrap();
+        let targets = v1.elements_by_class("v");
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(&v1, &targets)
+            .unwrap();
+        let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults());
+        let gone = Document::parse(
+            r#"<body><ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+        )
+        .unwrap();
+        let pages = vec![
+            PageVersion {
+                day: 0,
+                doc: v1.clone(),
+            },
+            PageVersion {
+                day: 20,
+                doc: gone.clone(),
+            },
+            PageVersion {
+                day: 40,
+                doc: gone.clone(),
+            },
+            PageVersion {
+                day: 60,
+                doc: gone.clone(),
+            },
+        ];
+        let log = Maintainer::default().run("site", bundle, &pages, None);
+        assert_eq!(log.repairs(), 0);
+        assert_eq!(log.outcomes[1].state, WrapperState::Degraded);
+        assert_eq!(log.outcomes[1].drift, Some(DriftClass::TargetRemoved));
+        assert_eq!(log.outcomes[2].state, WrapperState::Retired);
+        assert_eq!(log.outcomes[3].state, WrapperState::Retired);
+        assert_eq!(log.bundle.revision, 0);
+    }
+
+    #[test]
+    fn broken_capture_passes_through_without_state_change() {
+        let v1 = page("p", &["1", "2", "3"]);
+        let bundle = induced(&v1);
+        let broken =
+            Document::parse("<html><body><p>Page cannot be crawled or displayed</p></body></html>")
+                .unwrap();
+        let pages = vec![
+            PageVersion {
+                day: 0,
+                doc: page("p", &["1", "2", "3"]),
+            },
+            PageVersion {
+                day: 20,
+                doc: broken,
+            },
+            PageVersion {
+                day: 40,
+                doc: page("p", &["4", "5", "6"]),
+            },
+        ];
+        let log = Maintainer::default().run("site", bundle, &pages, None);
+        let o = &log.outcomes[1];
+        assert!(o.page_broken);
+        assert_eq!(o.drift, Some(DriftClass::PageBroken));
+        assert!(!o.repaired);
+        // The broken capture neither repaired nor poisoned the LKG: day 40
+        // verifies healthy against the day-0 state.
+        assert!(!log.outcomes[2].flagged);
+        assert_eq!(log.repairs(), 0);
+    }
+}

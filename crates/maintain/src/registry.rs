@@ -1,0 +1,360 @@
+//! The bundle registry: versioned wrapper history per site, plus the
+//! parallel batch driver that runs many sites' timelines through the
+//! maintenance loop.
+
+use crate::lifecycle::{Maintainer, MaintenanceLog};
+use crate::verify::LastKnownGood;
+use crate::PageVersion;
+use std::collections::BTreeMap;
+use wi_induction::WrapperBundle;
+use wi_xpath::EvalContext;
+
+/// Number of jobs below which [`Registry::maintain_batch`] stays on the
+/// calling thread (mirrors `Extractor::extract_batch`).
+const PARALLEL_THRESHOLD: usize = 4;
+
+/// One versioned install of a bundle for a site.
+#[derive(Debug, Clone)]
+pub struct VersionRecord {
+    /// Revision number (the bundle's own `revision`).
+    pub revision: u32,
+    /// The day this revision was installed.
+    pub day: i64,
+    /// Why: `"installed"` for the initial induction, the repair provenance
+    /// otherwise.
+    pub cause: String,
+    /// The bundle at this revision.
+    pub bundle: WrapperBundle,
+}
+
+/// The work order for one site in a batch run.
+#[derive(Debug, Clone)]
+pub struct MaintenanceJob {
+    /// The site key (must have a bundle installed in the registry).
+    pub site: String,
+    /// The site's page timeline, oldest first.
+    pub pages: Vec<PageVersion>,
+    /// Optional seed last-known-good state (e.g. from the induction
+    /// snapshot); without one the first healthy snapshot bootstraps it.
+    pub seed_lkg: Option<LastKnownGood>,
+    /// Optional re-induction inducer override for this site (e.g. carrying
+    /// the site's template-label text policy); the shared maintainer's
+    /// inducer is used otherwise.
+    pub inducer: Option<wi_induction::WrapperInducer>,
+}
+
+/// Versioned bundle storage per site.
+///
+/// The registry is the single source of truth for "which wrapper extracts
+/// site X right now": [`install`](Registry::install) records revision 0,
+/// every validated repair appends a new [`VersionRecord`], and
+/// [`current`](Registry::current) always answers with the newest revision.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    sites: BTreeMap<String, Vec<VersionRecord>>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Installs a (freshly induced) bundle for a site.
+    pub fn install(&mut self, site: impl Into<String>, bundle: WrapperBundle, day: i64) {
+        let site = site.into();
+        let record = VersionRecord {
+            revision: bundle.revision,
+            day,
+            cause: "installed".to_string(),
+            bundle,
+        };
+        self.sites.entry(site).or_default().push(record);
+    }
+
+    /// The bundle currently in force for a site.
+    pub fn current(&self, site: &str) -> Option<&WrapperBundle> {
+        self.sites
+            .get(site)
+            .and_then(|versions| versions.last())
+            .map(|record| &record.bundle)
+    }
+
+    /// The full version history of a site, oldest first.
+    pub fn history(&self, site: &str) -> &[VersionRecord] {
+        self.sites.get(site).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The registered site keys, sorted.
+    pub fn sites(&self) -> impl Iterator<Item = &str> {
+        self.sites.keys().map(String::as_str)
+    }
+
+    /// Runs every job's timeline through the maintenance loop and commits
+    /// the resulting revisions, fanning the jobs out over all available
+    /// cores.  One [`EvalContext`] is created per worker and reused for the
+    /// worker's whole chunk, mirroring `Extractor::extract_batch`; the
+    /// results (and the committed history) are exactly those of
+    /// [`maintain_batch_sequential`](Registry::maintain_batch_sequential).
+    ///
+    /// Returns one log per job, in job order.  A job whose site has no
+    /// installed bundle yields an empty log.
+    pub fn maintain_batch(
+        &mut self,
+        jobs: &[MaintenanceJob],
+        maintainer: &Maintainer,
+    ) -> Vec<MaintenanceLog> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(jobs.len().max(1));
+        self.maintain_batch_with_workers(jobs, maintainer, workers)
+    }
+
+    /// The sequential reference implementation of
+    /// [`maintain_batch`](Registry::maintain_batch).
+    pub fn maintain_batch_sequential(
+        &mut self,
+        jobs: &[MaintenanceJob],
+        maintainer: &Maintainer,
+    ) -> Vec<MaintenanceLog> {
+        self.maintain_batch_with_workers(jobs, maintainer, 1)
+    }
+
+    /// Batch maintenance with an explicit worker count (the throughput bench
+    /// compares 1 vs N).
+    ///
+    /// A site may appear in at most one job per batch: two concurrent runs
+    /// from the same starting revision would commit conflicting histories.
+    /// Only the first job for a site runs; duplicates yield empty logs.
+    pub fn maintain_batch_with_workers(
+        &mut self,
+        jobs: &[MaintenanceJob],
+        maintainer: &Maintainer,
+        workers: usize,
+    ) -> Vec<MaintenanceLog> {
+        // Snapshot the current bundle of every job up front so the run is
+        // independent of commit order; duplicate sites get no bundle (and
+        // therefore an empty log) so they cannot fork the version history.
+        let mut seen: std::collections::HashSet<&str> = std::collections::HashSet::new();
+        let bundles: Vec<Option<WrapperBundle>> = jobs
+            .iter()
+            .map(|job| {
+                if !seen.insert(&job.site) {
+                    return None;
+                }
+                self.current(&job.site).cloned()
+            })
+            .collect();
+
+        let logs: Vec<MaintenanceLog> = if jobs.len() < PARALLEL_THRESHOLD || workers < 2 {
+            let mut cx = EvalContext::new();
+            jobs.iter()
+                .zip(&bundles)
+                .map(|(job, bundle)| run_job(&mut cx, maintainer, job, bundle.as_ref()))
+                .collect()
+        } else {
+            let chunk_size = jobs.len().div_ceil(workers);
+            let mut logs = Vec::with_capacity(jobs.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk_size)
+                    .zip(bundles.chunks(chunk_size))
+                    .map(|(job_chunk, bundle_chunk)| {
+                        scope.spawn(move || {
+                            let mut cx = EvalContext::new();
+                            job_chunk
+                                .iter()
+                                .zip(bundle_chunk)
+                                .map(|(job, bundle)| {
+                                    run_job(&mut cx, maintainer, job, bundle.as_ref())
+                                })
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    logs.extend(handle.join().expect("maintenance worker panicked"));
+                }
+            });
+            logs
+        };
+
+        // Commit the new revisions, in job order.
+        for (job, log) in jobs.iter().zip(&logs) {
+            let Some(versions) = self.sites.get_mut(&job.site) else {
+                continue;
+            };
+            for revision in &log.revisions {
+                versions.push(VersionRecord {
+                    revision: revision.revision,
+                    day: revision.day,
+                    cause: revision.cause.clone(),
+                    bundle: revision.bundle.clone(),
+                });
+            }
+        }
+        logs
+    }
+}
+
+/// Runs one job (an uninstalled site yields an empty log).
+fn run_job(
+    cx: &mut EvalContext,
+    maintainer: &Maintainer,
+    job: &MaintenanceJob,
+    bundle: Option<&WrapperBundle>,
+) -> MaintenanceLog {
+    match bundle {
+        Some(bundle) => maintainer.run_with_inducer(
+            cx,
+            &job.site,
+            bundle.clone(),
+            &job.pages,
+            job.seed_lkg.clone(),
+            job.inducer.as_ref().unwrap_or(&maintainer.inducer),
+        ),
+        None => MaintenanceLog {
+            label: job.site.clone(),
+            outcomes: Vec::new(),
+            revisions: Vec::new(),
+            bundle: WrapperBundle::from_instances(&[], Default::default()),
+            lkg: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_dom::Document;
+    use wi_induction::WrapperInducer;
+    use wi_scoring::ScoringParams;
+
+    fn page(class: &str, values: &[&str]) -> Document {
+        let items: String = values
+            .iter()
+            .map(|v| format!(r#"<span class="{class}">{v}</span>"#))
+            .collect();
+        Document::parse(&format!(
+            r#"<html><body><div id="main"><h4>Prices:</h4>{items}</div>
+               <ul><li>a</li><li>b</li><li>c</li><li>d</li></ul></body></html>"#
+        ))
+        .unwrap()
+    }
+
+    fn job(site: &str, rename_at: Option<usize>, epochs: usize) -> (MaintenanceJob, WrapperBundle) {
+        let v1 = page("p", &["1", "2", "3"]);
+        let targets: Vec<_> = v1.elements_by_class("p");
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(&v1, &targets)
+            .unwrap();
+        let bundle =
+            WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults()).with_label(site);
+        let pages: Vec<PageVersion> = (0..epochs)
+            .map(|i| {
+                let class = match rename_at {
+                    Some(at) if i >= at => "price",
+                    _ => "p",
+                };
+                let values = [format!("{i}0"), format!("{i}1"), format!("{i}2")];
+                let value_refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                PageVersion {
+                    day: 20 * i as i64,
+                    doc: page(class, &value_refs),
+                }
+            })
+            .collect();
+        (
+            MaintenanceJob {
+                site: site.to_string(),
+                pages,
+                seed_lkg: None,
+                inducer: None,
+            },
+            bundle,
+        )
+    }
+
+    #[test]
+    fn registry_versions_per_site() {
+        let mut registry = Registry::new();
+        let (job1, bundle1) = job("movies-01", Some(2), 4);
+        registry.install("movies-01", bundle1, 0);
+        assert_eq!(registry.current("movies-01").unwrap().revision, 0);
+        assert!(registry.current("unknown").is_none());
+
+        let logs = registry.maintain_batch_sequential(&[job1], &Maintainer::default());
+        assert_eq!(logs.len(), 1);
+        assert_eq!(logs[0].repairs(), 1);
+        let history = registry.history("movies-01");
+        assert_eq!(history.len(), 2);
+        assert_eq!(history[0].cause, "installed");
+        assert!(history[1].cause.contains("re-anchored"));
+        assert_eq!(registry.current("movies-01").unwrap().revision, 1);
+        assert_eq!(registry.sites().collect::<Vec<_>>(), vec!["movies-01"]);
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential() {
+        let mut sequential = Registry::new();
+        let mut parallel = Registry::new();
+        let jobs: Vec<MaintenanceJob> = (0..8)
+            .map(|i| {
+                let site = format!("site-{i:02}");
+                let (job, bundle) = super::tests::job(&site, (i % 2 == 0).then_some(2), 5);
+                sequential.install(&site, bundle.clone(), 0);
+                parallel.install(&site, bundle, 0);
+                job
+            })
+            .collect();
+        let maintainer = Maintainer::default();
+        let a = sequential.maintain_batch_sequential(&jobs, &maintainer);
+        let b = parallel.maintain_batch_with_workers(&jobs, &maintainer, 4);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.label, y.label);
+            assert_eq!(x.repairs(), y.repairs());
+            assert_eq!(x.bundle.revision, y.bundle.revision);
+            assert_eq!(
+                x.outcomes.iter().map(|o| o.flagged).collect::<Vec<_>>(),
+                y.outcomes.iter().map(|o| o.flagged).collect::<Vec<_>>()
+            );
+        }
+        for i in 0..8 {
+            let site = format!("site-{i:02}");
+            assert_eq!(
+                sequential.history(&site).len(),
+                parallel.history(&site).len()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_sites_in_one_batch_cannot_fork_the_history() {
+        let mut registry = Registry::new();
+        let (job_a, bundle) = job("dup-site", Some(1), 4);
+        let (job_b, _) = job("dup-site", Some(2), 4);
+        registry.install("dup-site", bundle, 0);
+        let logs = registry.maintain_batch_sequential(&[job_a, job_b], &Maintainer::default());
+        assert_eq!(logs.len(), 2);
+        assert!(!logs[0].outcomes.is_empty(), "first job runs");
+        assert!(logs[1].outcomes.is_empty(), "duplicate job is skipped");
+        // Exactly one history line: install + the first job's repair.
+        let revisions: Vec<u32> = registry
+            .history("dup-site")
+            .iter()
+            .map(|v| v.revision)
+            .collect();
+        assert_eq!(revisions, vec![0, 1]);
+    }
+
+    #[test]
+    fn uninstalled_sites_yield_empty_logs() {
+        let mut registry = Registry::new();
+        let (job, _) = job("never-installed", None, 3);
+        let logs = registry.maintain_batch(&[job], &Maintainer::default());
+        assert_eq!(logs.len(), 1);
+        assert!(logs[0].outcomes.is_empty());
+    }
+}

@@ -63,6 +63,48 @@ pub enum SemanticName {
     ValueClass,
 }
 
+/// The coarse *class* of a change, aligned with the paper's Section 6.2
+/// break groups.  This is the ground truth a maintenance subsystem's drift
+/// classifier is scored against: every [`ChangeEvent`] maps onto exactly one
+/// class via [`ChangeEvent::change_class`], and broken snapshots / content
+/// rotation (which are not timeline events) have their own classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ChangeClass {
+    /// Chrome churn that shifts positional indices on canonical paths
+    /// (groups (b)/(c): promo blocks, nav resizes, ad slots, list length).
+    Positional,
+    /// A semantic class/id rename (group (b)/(d): `"hp-content-block"` →
+    /// `"homepage-content-block"`).
+    AttributeRename,
+    /// A site-wide redesign (group (d)).
+    Redesign,
+    /// The wrapper's target block disappeared (group (f), diminishing
+    /// targets).
+    TargetRemoved,
+    /// The archive served an empty or truncated capture (group (e)).  Never
+    /// produced by [`ChangeEvent::change_class`]; attached by callers that
+    /// consult [`Timeline::snapshot_broken`].
+    BrokenSnapshot,
+    /// Only the rotating page data changed (no template event).  Never
+    /// produced by [`ChangeEvent::change_class`]; the class of an epoch
+    /// boundary with no structural event.
+    ContentOnly,
+}
+
+impl ChangeClass {
+    /// A short lowercase label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ChangeClass::Positional => "positional",
+            ChangeClass::AttributeRename => "attribute-rename",
+            ChangeClass::Redesign => "redesign",
+            ChangeClass::TargetRemoved => "target-removed",
+            ChangeClass::BrokenSnapshot => "broken-snapshot",
+            ChangeClass::ContentOnly => "content-only",
+        }
+    }
+}
+
 /// A single change event in a site's timeline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum ChangeEvent {
@@ -87,6 +129,21 @@ pub enum ChangeEvent {
     RemoveBlock(BlockKind),
     /// The main list gains or loses entries permanently.
     ListLengthDelta(i32),
+}
+
+impl ChangeEvent {
+    /// The break-group class of this event (see [`ChangeClass`]).
+    pub fn change_class(&self) -> ChangeClass {
+        match self {
+            ChangeEvent::PromoDelta(_)
+            | ChangeEvent::NavResize(_)
+            | ChangeEvent::AdSlotsDelta(_)
+            | ChangeEvent::ListLengthDelta(_) => ChangeClass::Positional,
+            ChangeEvent::SemanticRename { .. } => ChangeClass::AttributeRename,
+            ChangeEvent::Redesign => ChangeClass::Redesign,
+            ChangeEvent::RemoveBlock(_) => ChangeClass::TargetRemoved,
+        }
+    }
 }
 
 /// The accumulated state of a site's template at a given day.
@@ -302,6 +359,66 @@ impl Timeline {
         rng.random_bool(self.broken_snapshot_prob)
     }
 
+    /// The events scheduled strictly after `after` and up to (and including)
+    /// `upto`, in day order.  This is the ground-truth window a maintenance
+    /// run consults when a wrapper that was healthy at `after` is found
+    /// broken at `upto`.
+    pub fn events_between(&self, after: Day, upto: Day) -> &[(Day, ChangeEvent)] {
+        let lo = self.events.partition_point(|(d, _)| *d <= after);
+        let hi = self.events.partition_point(|(d, _)| *d <= upto);
+        &self.events[lo..hi]
+    }
+
+    /// The dominant [`ChangeClass`] of the window `(after, upto]`: the class
+    /// a drift classifier should report for a break observed at `upto` after
+    /// a healthy check at `after`.
+    ///
+    /// Broken snapshots dominate everything (the page itself is not
+    /// trustworthy), then removal of the wrapper's own block (once the
+    /// target is gone, concurrent template churn is moot), then redesigns
+    /// (which subsume renames), then renames, then positional churn.  When
+    /// no structural event falls in the window the class is
+    /// [`ChangeClass::ContentOnly`].
+    /// `role_block` restricts removal events to the block the maintained
+    /// wrapper actually targets: a sidebar removal is positional noise for a
+    /// headline wrapper, not a diminishing target.
+    pub fn dominant_change_between(
+        &self,
+        after: Day,
+        upto: Day,
+        role_block: Option<BlockKind>,
+    ) -> ChangeClass {
+        if self.snapshot_broken(upto) {
+            return ChangeClass::BrokenSnapshot;
+        }
+        let mut best = ChangeClass::ContentOnly;
+        let mut rank = 0u8;
+        for (_, event) in self.events_between(after, upto) {
+            let class = match event {
+                ChangeEvent::RemoveBlock(b) => {
+                    if role_block == Some(*b) {
+                        ChangeClass::TargetRemoved
+                    } else {
+                        ChangeClass::Positional
+                    }
+                }
+                other => other.change_class(),
+            };
+            let r = match class {
+                ChangeClass::TargetRemoved => 6,
+                ChangeClass::Redesign => 5,
+                ChangeClass::AttributeRename => 4,
+                ChangeClass::Positional => 2,
+                ChangeClass::ContentOnly | ChangeClass::BrokenSnapshot => 1,
+            };
+            if r > rank {
+                rank = r;
+                best = class;
+            }
+        }
+        best
+    }
+
     /// The day a block disappears, if it ever does.
     pub fn block_removed_at(&self, block: BlockKind) -> Option<Day> {
         self.events.iter().find_map(|(d, e)| match e {
@@ -399,6 +516,99 @@ mod tests {
             let day = t.block_removed_at(b).expect("block removal scheduled");
             assert!(!t.epoch_at(day).has_block(b));
             assert!(t.epoch_at(Day(day.offset() - 1)).has_block(b));
+        }
+    }
+
+    #[test]
+    fn events_between_is_exclusive_inclusive() {
+        let t = Timeline::generate(7, &EvolutionProfile::default());
+        assert!(!t.events.is_empty());
+        let (first_day, _) = t.events[0];
+        // A window ending exactly on an event day includes it …
+        let upto_first = t.events_between(Day(i64::MIN), first_day);
+        assert!(upto_first.iter().any(|(d, _)| *d == first_day));
+        // … and a window starting on it excludes it.
+        let after_first = t.events_between(first_day, Day(i64::MAX));
+        assert!(after_first.iter().all(|(d, _)| *d > first_day));
+        let total = t.events_between(Day(i64::MIN), Day(i64::MAX)).len();
+        assert_eq!(total, t.events.len());
+    }
+
+    #[test]
+    fn change_classes_map_break_groups() {
+        assert_eq!(
+            ChangeEvent::PromoDelta(1).change_class(),
+            ChangeClass::Positional
+        );
+        assert_eq!(
+            ChangeEvent::ListLengthDelta(-1).change_class(),
+            ChangeClass::Positional
+        );
+        assert_eq!(
+            ChangeEvent::SemanticRename {
+                name: SemanticName::BlockClass,
+                to: "x".into()
+            }
+            .change_class(),
+            ChangeClass::AttributeRename
+        );
+        assert_eq!(ChangeEvent::Redesign.change_class(), ChangeClass::Redesign);
+        assert_eq!(
+            ChangeEvent::RemoveBlock(BlockKind::Sidebar).change_class(),
+            ChangeClass::TargetRemoved
+        );
+    }
+
+    #[test]
+    fn dominant_change_prefers_structural_over_positional() {
+        let p = EvolutionProfile {
+            semantic_rename_prob: 1.0,
+            ..Default::default()
+        };
+        let t = Timeline::generate(2, &p);
+        let rename_day = t
+            .events
+            .iter()
+            .find_map(|(d, e)| matches!(e, ChangeEvent::SemanticRename { .. }).then_some(*d))
+            .expect("a rename is scheduled");
+        let class = t.dominant_change_between(Day(rename_day.offset() - 1), rename_day, None);
+        assert!(
+            class == ChangeClass::AttributeRename
+                || class == ChangeClass::Redesign
+                || class == ChangeClass::BrokenSnapshot,
+            "got {class:?}"
+        );
+        // An event-free window is content-only (pick a day far before the
+        // first event).
+        let quiet = t.dominant_change_between(Day(-4000), Day(-3999), None);
+        assert!(
+            quiet == ChangeClass::ContentOnly || quiet == ChangeClass::BrokenSnapshot,
+            "got {quiet:?}"
+        );
+    }
+
+    #[test]
+    fn dominant_change_scopes_removals_to_the_role_block() {
+        let p = EvolutionProfile {
+            block_removal_prob: 1.0,
+            semantic_rename_prob: 0.0,
+            redesign_prob: 0.0,
+            ..Default::default()
+        };
+        let t = Timeline::generate(11, &p);
+        let day = t.block_removed_at(BlockKind::Sidebar).unwrap();
+        if !t.snapshot_broken(day) {
+            // For a wrapper living in the sidebar the removal is a
+            // diminishing target …
+            assert_eq!(
+                t.dominant_change_between(Day(day.offset() - 1), day, Some(BlockKind::Sidebar)),
+                ChangeClass::TargetRemoved
+            );
+            // … for any other wrapper it is just positional churn.
+            assert_eq!(
+                t.dominant_change_between(Day(day.offset() - 1), day, Some(BlockKind::SearchForm)),
+                ChangeClass::Positional
+            );
         }
     }
 

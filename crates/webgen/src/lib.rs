@@ -48,7 +48,7 @@ pub mod vocab;
 
 pub use archive::{ArchiveSimulator, Snapshot};
 pub use date::Day;
-pub use epoch::{ChangeEvent, Epoch};
+pub use epoch::{ChangeClass, ChangeEvent, Epoch};
 pub use site::{PageKind, Site};
 pub use style::{SiteStyle, Vertical};
 pub use tasks::{TargetRole, WrapperTask};

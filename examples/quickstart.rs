@@ -11,7 +11,7 @@ fn main() {
     // `Extractor` (from the prelude) is the one interface every wrapper
     // kind implements: induced wrappers, ensembles, bundles and baselines.
     // A (simplified) IMDB-style movie page.
-    let page_v1 = parse_html(
+    let page_v1 = Document::parse(
         r#"<html><body>
           <div id="header"><input type="text" name="q"></div>
           <div id="content">
@@ -59,7 +59,7 @@ fn main() {
 
     // The same page months later: a promo box was inserted, positions
     // changed, the movie is a different one — the template survived.
-    let page_v2 = parse_html(
+    let page_v2 = Document::parse(
         r#"<html><body>
           <div id="header"><input type="text" name="q"></div>
           <div class="promo">Watch the trailer!</div>

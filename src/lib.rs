@@ -16,6 +16,9 @@
 //!   (`wi-webgen`),
 //! * [`baselines`] — canonical / devtools / tree-edit / WEIR comparators
 //!   (`wi-baselines`),
+//! * [`maintain`] — the wrapper lifecycle subsystem: verification, drift
+//!   classification and automatic repair over archive timelines
+//!   (`wi-maintain`),
 //! * [`eval`] — the experiment harness reproducing the paper's tables and
 //!   figures (`wi-eval`).
 //!
@@ -71,6 +74,9 @@ pub use wi_dom as dom;
 pub use wi_eval as eval;
 /// The wrapper induction algorithms (`wi-induction`).
 pub use wi_induction as induction;
+/// The wrapper lifecycle subsystem: verification, drift classification and
+/// repair over archive timelines (`wi-maintain`).
+pub use wi_maintain as maintain;
 /// Robustness scoring and ranking (`wi-scoring`).
 pub use wi_scoring as scoring;
 /// The synthetic web substrate (`wi-webgen`).
@@ -84,6 +90,10 @@ pub mod prelude {
     pub use wi_induction::{
         BundleError, EnsembleConfig, ExtractError, Extractor, InduceError, InductionConfig, Sample,
         Wrapper, WrapperBundle, WrapperEnsemble, WrapperInducer,
+    };
+    pub use wi_maintain::{
+        DriftClass, DriftClassifier, LastKnownGood, Maintainer, MaintenanceJob, PageVersion,
+        Registry, Repairer, Verifier,
     };
     pub use wi_scoring::{QueryInstance, ScoringParams};
     pub use wi_xpath::{evaluate, parse_query, Query};

@@ -161,7 +161,7 @@ fn html_roundtrip_preserves_induction_results() {
     let task = WrapperTask::new(site, 0, PageKind::Detail, TargetRole::PrimaryValue);
     let (doc, _targets, top) = induce_top(&task);
     let html = to_html(&doc);
-    let reparsed = parse_html(&html).expect("serialized page parses");
+    let reparsed = Document::parse(&html).expect("serialized page parses");
     let selected_original = evaluate(&top.query, &doc, doc.root());
     let selected_reparsed = evaluate(&top.query, &reparsed, reparsed.root());
     assert_eq!(selected_original.len(), selected_reparsed.len());

@@ -214,7 +214,7 @@ proptest! {
 /// Typed error paths surface through the whole stack.
 #[test]
 fn typed_errors_replace_silent_failures() {
-    let doc = parse_html("<body><p>x</p></body>").unwrap();
+    let doc = Document::parse("<body><p>x</p></body>").unwrap();
     let inducer = WrapperInducer::default();
     assert_eq!(
         inducer.try_induce_best(&doc, &[]).unwrap_err(),

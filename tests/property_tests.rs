@@ -46,7 +46,7 @@ proptest! {
     #[test]
     fn html_roundtrip_preserves_structure(doc in arb_document()) {
         let html = to_html(&doc);
-        let reparsed = parse_html(&html).unwrap();
+        let reparsed = Document::parse(&html).unwrap();
         let tags_a: Vec<String> = doc
             .descendants(doc.root())
             .filter_map(|n| doc.tag_name(n).map(String::from))
