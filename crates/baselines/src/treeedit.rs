@@ -21,7 +21,7 @@ use crate::canonical::extract_union;
 use std::collections::HashMap;
 use wi_dom::{Document, NodeId};
 use wi_induction::{ExtractError, Extractor};
-use wi_xpath::{evaluate, Axis, NodeTest, Predicate, Query, Step};
+use wi_xpath::{evaluate_with, Axis, NodeTest, Predicate, Query, Step};
 
 /// Per-feature change probabilities (per snapshot step).
 #[derive(Debug, Clone)]
@@ -244,9 +244,11 @@ impl TreeEditInducer {
         }
 
         // Keep only accurate candidates and rank by survival probability.
+        // One pooled context serves the whole accuracy filter.
+        let mut cx = wi_xpath::EvalContext::new();
         let mut accurate: Vec<(Query, f64)> = candidates
             .into_iter()
-            .filter(|q| evaluate(q, doc, doc.root()) == vec![target])
+            .filter(|q| evaluate_with(&mut cx, q, doc, doc.root()) == vec![target])
             .map(|q| {
                 let p = self.model.survival_probability(&q);
                 (q, p)
@@ -339,6 +341,7 @@ impl Extractor for TreeEditWrapper {
 mod tests {
     use super::*;
     use wi_dom::parse_html;
+    use wi_xpath::evaluate;
 
     fn page(extra_class: &str) -> Document {
         parse_html(&format!(

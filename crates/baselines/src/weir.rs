@@ -17,7 +17,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use wi_dom::{Document, NodeId};
 use wi_induction::{ExtractError, Extractor};
 use wi_xpath::{
-    canonical_step, evaluate, evaluate_with, Axis, NodeTest, Predicate, Query, Step, StringFunction,
+    canonical_step, evaluate_with, Axis, NodeTest, Predicate, Query, Step, StringFunction,
 };
 
 /// One same-template page with the annotated target node (the value WEIR is
@@ -73,6 +73,8 @@ impl WeirInducer {
         candidates.extend(self.relative_candidates(first, &static_texts));
 
         // Keep candidates that are single-valued and correct on all pages.
+        // One pooled context serves every candidate × page evaluation.
+        let mut cx = wi_xpath::EvalContext::new();
         let mut seen = HashSet::new();
         candidates
             .into_iter()
@@ -80,7 +82,7 @@ impl WeirInducer {
             .filter(|q| {
                 pages
                     .iter()
-                    .all(|p| evaluate(q, p.doc, p.doc.root()) == vec![p.target])
+                    .all(|p| evaluate_with(&mut cx, q, p.doc, p.doc.root()) == vec![p.target])
             })
             .collect()
     }
@@ -272,6 +274,7 @@ impl Extractor for WeirWrapper {
 mod tests {
     use super::*;
     use wi_dom::parse_html;
+    use wi_xpath::evaluate;
 
     fn hotel_page(name: &str, country: &str, with_promo: bool) -> Document {
         let promo = if with_promo {

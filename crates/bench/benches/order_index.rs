@@ -166,9 +166,13 @@ fn record_json(_c: &mut Criterion) {
         d.order_index().len()
     });
     let speedup = unindexed / indexed;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let json = format!(
-        "{{\n  \"page_nodes\": {},\n  \"sort_indexed_us\": {:.2},\n  \"sort_unindexed_us\": {:.2},\n  \"speedup\": {:.1},\n  \"index_build_plus_mutation_us\": {:.2},\n  \"iters_indexed\": {},\n  \"iters_unindexed\": 20\n}}\n",
+        "{{\n  \"page_nodes\": {},\n  \"machine_cores\": {},\n  \"sort_indexed_us\": {:.2},\n  \"sort_unindexed_us\": {:.2},\n  \"speedup\": {:.1},\n  \"index_build_plus_mutation_us\": {:.2},\n  \"iters_indexed\": {},\n  \"iters_unindexed\": 20\n}}\n",
         nodes.len(),
+        cores,
         indexed * 1e6,
         unindexed * 1e6,
         speedup,

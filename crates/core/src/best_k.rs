@@ -6,13 +6,19 @@
 //! sorted vector with bounded insertion and duplicate suppression.
 
 use std::collections::HashSet;
-use wi_scoring::{rank_order, QueryInstance};
+use wi_scoring::{rank_order, rank_order_lazy, QueryInstance};
 
 /// A bounded, ranked collection of the K best query instances seen so far.
+///
+/// Each stored instance caches its rendered expression, so duplicate
+/// suppression costs one render per insert instead of re-rendering the whole
+/// table.
 #[derive(Debug, Clone)]
 pub struct BestK {
     k: usize,
     items: Vec<QueryInstance>,
+    /// `keys[i]` is `items[i].query.to_string()`, kept in lockstep.
+    keys: Vec<String>,
 }
 
 impl BestK {
@@ -21,6 +27,7 @@ impl BestK {
         BestK {
             k: k.max(1),
             items: Vec::with_capacity(k.max(1)),
+            keys: Vec::with_capacity(k.max(1)),
         }
     }
 
@@ -72,18 +79,45 @@ impl BestK {
         }
     }
 
+    /// [`would_accept`](Self::would_accept) for a candidate that exists only
+    /// as parts — its F0.5, its robustness score, its step count, and a
+    /// render closure for its expression that runs only on a complete tie.
+    /// The induction inner loop calls this with an optimistic perfect
+    /// F-score before paying for the candidate's construction and
+    /// evaluation: a combination rejected here never materializes at all.
+    pub fn would_accept_lazy(
+        &self,
+        f05: f64,
+        score: f64,
+        len: usize,
+        render: impl FnOnce() -> String,
+    ) -> bool {
+        if self.items.len() < self.k {
+            return true;
+        }
+        match self.worst() {
+            Some(w) => rank_order_lazy(f05, score, len, render, w) == std::cmp::Ordering::Less,
+            None => true,
+        }
+    }
+
     /// Inserts a candidate, keeping the table sorted, deduplicated (by the
     /// textual form of the expression) and bounded by K.  Returns `true` if
     /// the candidate is present in the table afterwards.
     pub fn insert(&mut self, candidate: QueryInstance) -> bool {
-        let key = candidate.query.to_string();
-        if let Some(pos) = self.items.iter().position(|q| q.query.to_string() == key) {
+        let key = candidate.query.render();
+        if let Some(pos) = self.keys.iter().position(|k| *k == key) {
             // Keep whichever of the two duplicates ranks better.
-            if rank_order(&candidate, &self.items[pos]) == std::cmp::Ordering::Less {
-                self.items[pos] = candidate;
-                self.items.sort_by(rank_order);
+            if rank_order(&candidate, &self.items[pos]) != std::cmp::Ordering::Less {
+                return true;
             }
-            return true;
+            // The improved duplicate re-enters through the ordinary sorted
+            // insert below; the removal guarantees a free slot, so it always
+            // lands (rank_order is a total order — the text tie-break makes
+            // distinct expressions never compare equal — so the insertion
+            // point is the position a full re-sort would produce).
+            self.items.remove(pos);
+            self.keys.remove(pos);
         }
         if !self.would_accept(&candidate) {
             return false;
@@ -92,8 +126,10 @@ impl BestK {
             .items
             .partition_point(|q| rank_order(q, &candidate) != std::cmp::Ordering::Greater);
         self.items.insert(pos, candidate);
+        self.keys.insert(pos, key);
         if self.items.len() > self.k {
             self.items.truncate(self.k);
+            self.keys.truncate(self.k);
         }
         pos < self.k
     }

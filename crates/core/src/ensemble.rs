@@ -29,7 +29,7 @@ use crate::induce::induce;
 use crate::sample::Sample;
 use wi_dom::{Document, NodeId};
 use wi_scoring::QueryInstance;
-use wi_xpath::{evaluate, evaluate_with, EvalContext, Predicate, Query, TextSource};
+use wi_xpath::{evaluate_with, EvalContext, Predicate, Query, TextSource};
 
 /// The structural "means of selection" a query relies on.
 ///
@@ -350,10 +350,15 @@ impl WrapperEnsemble {
         if self.members.len() < 2 {
             return 1.0;
         }
+        let mut cx = EvalContext::new();
         let results: Vec<BTreeSet<NodeId>> = self
             .members
             .iter()
-            .map(|m| evaluate(&m.query, doc, doc.root()).into_iter().collect())
+            .map(|m| {
+                evaluate_with(&mut cx, &m.query, doc, doc.root())
+                    .into_iter()
+                    .collect()
+            })
             .collect();
         let mut total = 0.0;
         let mut pairs = 0usize;
@@ -474,7 +479,10 @@ mod tests {
         assert_eq!(distinct.len(), expressions.len(), "duplicate members");
         for member in &ensemble.members {
             assert!(member.is_exact(), "member {} not exact", member.query);
-            assert_eq!(evaluate(&member.query, &doc, doc.root()), vec![target]);
+            assert_eq!(
+                wi_xpath::evaluate(&member.query, &doc, doc.root()),
+                vec![target]
+            );
         }
         // Full agreement and exact majority extraction on the training page.
         assert_eq!(ensemble.agreement(&doc), 1.0);

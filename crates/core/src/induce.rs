@@ -15,26 +15,70 @@
 //! instances under the paper's ranking are returned.
 
 use crate::config::InductionConfig;
-use crate::induce_path::{induce_path, Tables};
+use crate::induce_path::{induce_path_with, Tables};
 use crate::sample::{counts_against, Sample};
 use crate::spine::{common_base_axis, spine};
 use wi_dom::NodeId;
 use wi_scoring::{rank_order, Counts, QueryInstance};
-use wi_xpath::evaluate;
+use wi_xpath::PrefixEvaluator;
+
+/// Number of samples below which [`induce`] stays on the calling thread:
+/// per-sample induction is expensive (milliseconds, not microseconds), so
+/// the fan-out pays off almost immediately — but a single sample has nothing
+/// to fan out.
+const PARALLEL_THRESHOLD: usize = 2;
 
 /// Induces the best-K ranked query instances for a set of samples.
 ///
 /// Returns an empty vector when no sample is well-formed or no candidate
 /// expression could be generated (e.g. targets unreachable from the context).
+///
+/// Per-sample induction fans out over the available cores (one candidate
+/// engine per sample, mirroring `Extractor::extract_batch`), and all
+/// candidate evaluation — the Algorithm 2 tables and the aggregation
+/// re-scoring — runs through the shared-prefix trie engine.  The results are
+/// byte-identical to [`crate::reference::induce_reference`], the retained
+/// naive path.
 pub fn induce(samples: &[Sample<'_>], config: &InductionConfig) -> Vec<QueryInstance> {
     let usable: Vec<&Sample<'_>> = samples.iter().filter(|s| s.is_well_formed()).collect();
     if usable.is_empty() {
         return Vec::new();
     }
 
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(usable.len());
+    let per_sample: Vec<Vec<QueryInstance>> = if usable.len() < PARALLEL_THRESHOLD || workers < 2 {
+        usable.iter().map(|s| induce_sample(s, config)).collect()
+    } else {
+        // One worker (and one candidate engine) per chunk of samples; the
+        // per-sample results are re-assembled in input order, so the
+        // aggregated candidate list is exactly the sequential one.
+        let chunk_size = usable.len().div_ceil(workers);
+        let mut results: Vec<Vec<QueryInstance>> = Vec::with_capacity(usable.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = usable
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|s| induce_sample(s, config))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("induction worker panicked"));
+            }
+        });
+        results
+    };
+
     let mut all_candidates: Vec<QueryInstance> = Vec::new();
-    for sample in &usable {
-        all_candidates.extend(induce_sample(sample, config));
+    for candidates in per_sample {
+        all_candidates.extend(candidates);
     }
 
     aggregate(&usable, all_candidates, config)
@@ -42,6 +86,16 @@ pub fn induce(samples: &[Sample<'_>], config: &InductionConfig) -> Vec<QueryInst
 
 /// Induces candidates for a single sample (Lines 2–15 of Algorithm 3).
 pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<QueryInstance> {
+    let mut eval = PrefixEvaluator::new(sample.doc);
+    induce_sample_with(&mut eval, sample, config)
+}
+
+/// [`induce_sample`], evaluating candidates through the caller's engine.
+pub fn induce_sample_with(
+    eval: &mut PrefixEvaluator<'_>,
+    sample: &Sample<'_>,
+    config: &InductionConfig,
+) -> Vec<QueryInstance> {
     let doc = sample.doc;
     let u = sample.context;
     let targets = sample.targets;
@@ -53,7 +107,7 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
 
     if let Some(axis) = common_base_axis(doc, u, targets) {
         let mut tables = Tables::init(doc, u, targets, axis, config);
-        return induce_path(doc, u, targets, axis, &mut tables, config);
+        return induce_path_with(eval, u, targets, axis, &mut tables, config);
     }
 
     // Two-directional query via the least common ancestor.
@@ -76,7 +130,7 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
         let filtered: Vec<NodeId> = targets.iter().copied().filter(|&t| t != u).collect();
         if let Some(axis) = common_base_axis(doc, u, &filtered) {
             let mut tables = Tables::init(doc, u, &filtered, axis, config);
-            return induce_path(doc, u, &filtered, axis, &mut tables, config);
+            return induce_path_with(eval, u, &filtered, axis, &mut tables, config);
         }
         return Vec::new();
     }
@@ -86,7 +140,7 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
         return Vec::new();
     };
     let mut tail_tables = Tables::init(doc, lca, targets, tail_axis, config);
-    let tail = induce_path(doc, lca, targets, tail_axis, &mut tail_tables, config);
+    let tail = induce_path_with(eval, lca, targets, tail_axis, &mut tail_tables, config);
     if tail.is_empty() {
         return Vec::new();
     }
@@ -103,30 +157,42 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
         let without_lca: Vec<NodeId> = head_spine.iter().copied().filter(|&n| n != lca).collect();
         tables.seed_targets(&without_lca, targets);
     }
-    induce_path(doc, u, &[lca], head_axis, &mut tables, config)
+    induce_path_with(eval, u, &[lca], head_axis, &mut tables, config)
 }
 
 /// Aggregates per-sample candidates over all samples (Line 16 of
 /// Algorithm 3): each distinct expression is re-evaluated on every sample,
 /// its counts summed, and the global best-K returned.
+///
+/// With the shared engine, one trie per sample memoizes the prefixes all
+/// candidates share, so the `candidates × samples` re-evaluation touches
+/// each distinct `(sample, prefix)` pair once.
 fn aggregate(
     samples: &[&Sample<'_>],
     candidates: Vec<QueryInstance>,
     config: &InductionConfig,
 ) -> Vec<QueryInstance> {
+    let mut engines: Vec<PrefixEvaluator<'_>> = if samples.len() == 1 {
+        Vec::new()
+    } else {
+        samples
+            .iter()
+            .map(|s| PrefixEvaluator::new(s.doc))
+            .collect()
+    };
     let mut seen = std::collections::HashSet::new();
     let mut rescored: Vec<QueryInstance> = Vec::new();
     for candidate in candidates {
-        if !seen.insert(candidate.query.to_string()) {
+        if !seen.insert(candidate.query.render()) {
             continue;
         }
         let counts = if samples.len() == 1 {
             candidate.counts
         } else {
             let mut total = Counts::default();
-            for s in samples {
-                let selected = evaluate(&candidate.query, s.doc, s.context);
-                total = total.add(&counts_against(&selected, s.targets));
+            for (s, engine) in samples.iter().zip(engines.iter_mut()) {
+                let selected = engine.evaluate(s.context, &candidate.query);
+                total = total.add(&counts_against(selected, s.targets));
             }
             total
         };
@@ -142,6 +208,7 @@ mod tests {
     use super::*;
     use wi_dom::parse_html;
     use wi_dom::Document;
+    use wi_xpath::evaluate;
 
     fn cfg() -> InductionConfig {
         InductionConfig::default()

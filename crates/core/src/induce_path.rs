@@ -12,20 +12,23 @@ use crate::best_k::BestK;
 use crate::config::InductionConfig;
 use crate::sample::counts_against;
 use crate::spine::{spine, transitive_reach};
-use crate::step_pattern::step_patterns;
-use std::collections::HashMap;
+use crate::step_pattern::{
+    assemble_candidates, generate_parts, is_direct, select_candidates, GeneratedParts,
+};
+use std::rc::Rc;
 use wi_dom::{Document, NodeId};
-use wi_scoring::QueryInstance;
-use wi_xpath::{evaluate, Axis, Query};
+use wi_scoring::{score_query_partial, QueryInstance};
+use wi_xpath::fx::FxMap;
+use wi_xpath::{Axis, PrefixEvaluator, Query};
 
 /// The DP state of Algorithm 2: per-node best-K tables and per-node relevant
 /// target sets.
 #[derive(Debug, Clone)]
 pub struct Tables {
     /// `best(n)` — the best-K instances leading from `n` to targets.
-    pub best: HashMap<NodeId, BestK>,
+    pub best: FxMap<NodeId, BestK>,
     /// `tar(n)` — the targets reachable from `n` along the induction axis.
-    pub tar: HashMap<NodeId, Vec<NodeId>>,
+    pub tar: FxMap<NodeId, Vec<NodeId>>,
     k: usize,
 }
 
@@ -33,8 +36,8 @@ impl Tables {
     /// Creates empty tables with capacity `k` per node.
     pub fn new(k: usize) -> Self {
         Tables {
-            best: HashMap::new(),
-            tar: HashMap::new(),
+            best: FxMap::default(),
+            tar: FxMap::default(),
             k: k.max(1),
         }
     }
@@ -91,13 +94,6 @@ impl Tables {
     fn best_of(&self, node: NodeId) -> Vec<QueryInstance> {
         self.best.get(&node).map(|b| b.to_vec()).unwrap_or_default()
     }
-
-    fn targets_of(&self, node: NodeId, fallback: &[NodeId]) -> Vec<NodeId> {
-        self.tar
-            .get(&node)
-            .cloned()
-            .unwrap_or_else(|| fallback.to_vec())
-    }
 }
 
 /// Runs Algorithm 2 and returns the ranked instances stored at `u`.
@@ -105,6 +101,9 @@ impl Tables {
 /// `tables` must have been initialised with [`Tables::init`] (and possibly
 /// seeded for the two-directional case).  The same `tables` value can be
 /// inspected afterwards, e.g. to look at intermediate anchors.
+///
+/// Convenience wrapper around [`induce_path_with`] using a throwaway
+/// shared-prefix engine; induction threads its per-sample engine instead.
 pub fn induce_path(
     doc: &Document,
     u: NodeId,
@@ -113,9 +112,51 @@ pub fn induce_path(
     tables: &mut Tables,
     config: &InductionConfig,
 ) -> Vec<QueryInstance> {
-    // Cache of step patterns per (n, t) pair — identical pairs recur when
-    // several targets share a spine prefix.
-    let mut pattern_cache: HashMap<(NodeId, NodeId), Vec<Query>> = HashMap::new();
+    let mut eval = PrefixEvaluator::new(doc);
+    induce_path_with(&mut eval, u, targets, axis, tables, config)
+}
+
+/// [`induce_path`], evaluating every candidate through the caller's
+/// shared-prefix engine.
+///
+/// This is the induction hot loop, engineered so that considering one
+/// `pattern / instance` combination costs almost nothing until it is
+/// admitted to the table:
+///
+/// * candidate **generation** is cached per `(target, direct)` — it does not
+///   depend on the context node (see
+///   [`generate_candidates`](crate::step_pattern)),
+/// * each pattern's node set and robustness-score prefix are derived **once
+///   per pattern** (a [`PrefixHandle`] into the candidate trie plus a
+///   plus-compositional prefix sum); every instance extends both by its own
+///   — usually empty — suffix,
+/// * the optimistic admission pre-check ranks the combination from those
+///   parts alone: a rejected combination is never concatenated, rendered,
+///   or evaluated,
+/// * an admitted combination evaluates through the trie
+///   ([`PrefixEvaluator::evaluate_from`]), so combinations sharing a pattern
+///   prefix pay for its node set exactly once per context.
+pub fn induce_path_with(
+    eval: &mut PrefixEvaluator<'_>,
+    u: NodeId,
+    targets: &[NodeId],
+    axis: Axis,
+    tables: &mut Tables,
+    config: &InductionConfig,
+) -> Vec<QueryInstance> {
+    let doc = eval.doc();
+    // Selected step patterns per (n, t) pair — identical pairs recur when
+    // several targets share a spine prefix — and generated (pre-selection)
+    // candidates per (t, direct), which do not depend on n at all.
+    let mut pattern_cache: FxMap<(NodeId, NodeId), Rc<Vec<Query>>> = FxMap::default();
+    let mut parts_cache: FxMap<NodeId, Rc<GeneratedParts>> = FxMap::default();
+    let mut generation_cache: FxMap<(NodeId, bool), Rc<Vec<Query>>> = FxMap::default();
+    // spine(u, t) recurs for every target sharing the anchor t.
+    let mut spine_cache: FxMap<NodeId, Option<Rc<Vec<NodeId>>>> = FxMap::default();
+    // F0.5 of the optimistic counts ⟨1, 0, 0⟩ used by the admission
+    // pre-check (computed once; exactly what `QueryInstance::new` with those
+    // counts would report).
+    let optimistic_f05 = wi_scoring::Counts::new(1, 0, 0).f_05();
 
     for &v in targets {
         if v == u {
@@ -134,40 +175,88 @@ pub fn induce_path(
         anchors.pop(); // drop u
         for &t in &anchors {
             // spine(u, t) − {t}: candidate context nodes strictly before t.
-            let Some(prefix) = spine(doc, axis, u, t) else {
-                continue;
+            let prefix = match spine_cache
+                .entry(t)
+                .or_insert_with(|| spine(doc, axis, u, t).map(Rc::new))
+            {
+                Some(p) => Rc::clone(p),
+                None => continue,
             };
             let best_t = tables.best_of(t);
             if best_t.is_empty() {
                 continue;
             }
             for &n in &prefix[..prefix.len() - 1] {
-                let relevant = tables.targets_of(n, targets);
-                let patterns = pattern_cache
-                    .entry((n, t))
-                    .or_insert_with(|| step_patterns(doc, n, t, axis, config))
-                    .clone();
-                let entry = tables.best.entry(n).or_insert_with(|| BestK::new(config.k));
-                for p in &patterns {
+                // Split borrow: `tar` is read-only here while `best` takes
+                // the table entry mutably.
+                let Tables { best, tar, .. } = &mut *tables;
+                let relevant: &[NodeId] = tar.get(&n).map(Vec::as_slice).unwrap_or(targets);
+                let patterns = match pattern_cache.get(&(n, t)) {
+                    Some(cached) => Rc::clone(cached),
+                    None => {
+                        let direct = is_direct(doc, axis, n, t);
+                        let generated = match generation_cache.get(&(t, direct)) {
+                            Some(g) => Rc::clone(g),
+                            None => {
+                                // Pattern/sideways *parts* are derived once
+                                // per target; only the cheap axis-variant
+                                // assembly differs between the two `direct`
+                                // values.
+                                let parts = match parts_cache.get(&t) {
+                                    Some(p) => Rc::clone(p),
+                                    None => {
+                                        let p = Rc::new(generate_parts(doc, t, axis, config));
+                                        parts_cache.insert(t, Rc::clone(&p));
+                                        p
+                                    }
+                                };
+                                let g = Rc::new(assemble_candidates(&parts, axis, direct));
+                                generation_cache.insert((t, direct), Rc::clone(&g));
+                                g
+                            }
+                        };
+                        let selected = Rc::new(select_candidates(eval, n, t, &generated, config));
+                        pattern_cache.insert((n, t), Rc::clone(&selected));
+                        selected
+                    }
+                };
+                let entry = best.entry(n).or_insert_with(|| BestK::new(config.k));
+                for p in patterns.iter() {
+                    // Derived once per pattern, shared by every instance
+                    // extending it: the memoized node set and the
+                    // plus-compositional score prefix.  (The walk is a memo
+                    // hit — the selection phase above already evaluated
+                    // every kept pattern from n.)
+                    let p_handle = eval.walk(n, p);
+                    let p_score = score_query_partial(0.0, 0, &p.steps, &config.params);
+                    let p_len = p.steps.len();
                     for inst in &best_t {
-                        let combined = p.concat(&inst.query);
+                        // The combination's exact robustness score, without
+                        // materializing it: extending the pattern's prefix
+                        // sum performs bit-for-bit the arithmetic scoring
+                        // the concatenated expression would.
+                        let score =
+                            score_query_partial(p_score, p_len, &inst.query.steps, &config.params);
+                        let len = p_len + inst.query.len();
                         // Cheap pre-check with an *optimistic* accuracy
                         // assumption (perfect F-score): if even then the
                         // candidate's robustness score would not let it enter
-                        // the table, the (comparatively expensive) evaluation
-                        // can be skipped without changing the result.
-                        let optimistic = QueryInstance::new(
-                            combined.clone(),
-                            wi_scoring::Counts::new(1, 0, 0),
-                            &config.params,
-                        );
-                        if !entry.would_accept(&optimistic) {
+                        // the table, the combination is skipped without ever
+                        // being concatenated or evaluated — the result
+                        // cannot change (the expression itself only breaks
+                        // exact rank ties, and the lazy render covers that).
+                        if !entry.would_accept_lazy(optimistic_f05, score, len, || {
+                            p.concat(&inst.query).to_string()
+                        }) {
                             continue;
                         }
-                        let selected = evaluate(&combined, doc, n);
-                        let counts = counts_against(&selected, &relevant);
-                        let instance = QueryInstance::new(combined, counts, &config.params);
-                        entry.insert(instance);
+                        let selected = eval.evaluate_from(p_handle, &inst.query);
+                        let counts = counts_against(selected, relevant);
+                        entry.insert(QueryInstance::from_parts(
+                            p.concat(&inst.query),
+                            counts,
+                            score,
+                        ));
                     }
                 }
             }
@@ -182,6 +271,7 @@ mod tests {
     use super::*;
     use crate::config::InductionConfig;
     use wi_dom::parse_html;
+    use wi_xpath::evaluate;
 
     fn cfg() -> InductionConfig {
         InductionConfig::default()

@@ -65,6 +65,7 @@ pub mod induce;
 pub mod induce_path;
 pub mod json;
 pub mod node_pattern;
+pub mod reference;
 pub mod sample;
 pub mod spine;
 pub mod step_pattern;
@@ -77,7 +78,8 @@ pub use ensemble::{EnsembleConfig, QueryFeatures, WrapperEnsemble};
 pub use error::{BundleError, ExtractError, InduceError};
 pub use extract::Extractor;
 pub use induce::induce;
-pub use induce_path::induce_path;
+pub use induce_path::{induce_path, induce_path_with};
 pub use node_pattern::node_patterns;
+pub use reference::induce_reference;
 pub use sample::{harvest_targets_by_text, Sample};
-pub use step_pattern::step_patterns;
+pub use step_pattern::{step_patterns, step_patterns_with};

@@ -85,10 +85,39 @@ pub fn harvest_targets_by_text(doc: &Document, values: &[String]) -> Vec<NodeId>
 }
 
 /// Computes `⟨t+, f+, f−⟩` of a result node set against a target node set.
+///
+/// Set semantics (duplicates on either side count once).  The typical inputs
+/// — an evaluator result and a handful of annotated targets — are small, so
+/// the counts are computed by linear scans below a size threshold and by
+/// fast-hashed sets above it; both branches produce identical counts.
 pub fn counts_against(result: &[NodeId], targets: &[NodeId]) -> Counts {
-    use std::collections::HashSet;
-    let result_set: HashSet<NodeId> = result.iter().copied().collect();
-    let target_set: HashSet<NodeId> = targets.iter().copied().collect();
+    const SCAN_LIMIT: usize = 48;
+    if result.len() <= SCAN_LIMIT && targets.len() <= SCAN_LIMIT {
+        let mut tp = 0u32;
+        let mut fne = 0u32;
+        for (i, &t) in targets.iter().enumerate() {
+            if targets[..i].contains(&t) {
+                continue; // duplicate target
+            }
+            if result.contains(&t) {
+                tp += 1;
+            } else {
+                fne += 1;
+            }
+        }
+        let mut fp = 0u32;
+        for (i, &r) in result.iter().enumerate() {
+            if result[..i].contains(&r) {
+                continue; // duplicate result entry
+            }
+            if !targets.contains(&r) {
+                fp += 1;
+            }
+        }
+        return Counts::new(tp, fp, fne);
+    }
+    let result_set: wi_xpath::fx::FxSet<NodeId> = result.iter().copied().collect();
+    let target_set: wi_xpath::fx::FxSet<NodeId> = targets.iter().copied().collect();
     let tp = result_set.intersection(&target_set).count() as u32;
     let fp = result_set.difference(&target_set).count() as u32;
     let fne = target_set.difference(&result_set).count() as u32;

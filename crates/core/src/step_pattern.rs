@@ -12,19 +12,28 @@
 //! least `t` when evaluated from `n` (general patterns), and the accuracy-
 //! refined variants select exactly `t`.  Ranking against the actual relevant
 //! targets happens later, in [`crate::induce_path`].
+//!
+//! The two phases are exposed separately so the induction DP can cache them
+//! at their natural granularity: [`generate_candidates`] depends only on the
+//! target (plus the directness bit), while [`select_candidates`] evaluates
+//! from the context node through the caller's shared-prefix engine.
 
 use crate::config::InductionConfig;
 use crate::node_pattern::{node_patterns, NodePattern};
 use wi_dom::{Document, NodeId};
-use wi_scoring::{rank_order, score_query, Counts, QueryInstance};
+use wi_scoring::{Counts, QueryInstance};
 use wi_xpath::eval::evaluate_step;
-use wi_xpath::{evaluate, Axis, Predicate, Query, Step};
+use wi_xpath::{Axis, Predicate, PrefixEvaluator, Query, Step};
 
 /// Generates the candidate queries leading from `n` to `t` along `axis`.
 ///
 /// `axis` must be one of the four base axes.  The result is deduplicated and
 /// bounded: at most `2 · config.k` queries, preferring (1) queries that match
 /// `t` uniquely from `n` and (2) low robustness scores.
+///
+/// Convenience wrapper around [`step_patterns_with`] that evaluates through
+/// a throwaway shared-prefix engine; induction passes its per-sample engine
+/// instead so candidate evaluations are memoized across the whole run.
 pub fn step_patterns(
     doc: &Document,
     n: NodeId,
@@ -32,18 +41,64 @@ pub fn step_patterns(
     axis: Axis,
     config: &InductionConfig,
 ) -> Vec<Query> {
+    let mut eval = PrefixEvaluator::new(doc);
+    step_patterns_with(&mut eval, n, t, axis, config)
+}
+
+/// [`step_patterns`], evaluating candidates through the caller's engine.
+pub fn step_patterns_with(
+    eval: &mut PrefixEvaluator<'_>,
+    n: NodeId,
+    t: NodeId,
+    axis: Axis,
+    config: &InductionConfig,
+) -> Vec<Query> {
     debug_assert!(Axis::BASE_AXES.contains(&axis), "axis must be a base axis");
+    let direct = is_direct(eval.doc(), axis, n, t);
+    let generated = generate_candidates(eval.doc(), t, axis, direct, config);
+    select_candidates(eval, n, t, &generated, config)
+}
 
-    let mut candidates: Vec<Query> = Vec::new();
+/// The generation phase of Algorithm 1: all candidate queries for target `t`
+/// along `axis`, **before** accuracy refinement and selection.
+///
+/// The output depends only on `(t, axis, direct, config)` — not on the
+/// context node — so the induction DP caches it per target and runs only
+/// [`select_candidates`] per context.  (`direct` must be
+/// `is_direct(doc, axis, n, t)`; for the sideways sources of the child axis
+/// the same bit applies, since a sibling of `t` shares `t`'s parent.)
+pub(crate) fn generate_candidates(
+    doc: &Document,
+    t: NodeId,
+    axis: Axis,
+    direct: bool,
+    config: &InductionConfig,
+) -> Vec<Query> {
+    assemble_candidates(&generate_parts(doc, t, axis, config), axis, direct)
+}
 
-    // Plain patterns for t itself: axis.transitive::<pattern> and, if t is a
-    // single axis step away from n, also axis::<pattern>.
-    let direct = is_direct(doc, axis, n, t);
-    for pat in node_patterns(doc, t, config) {
-        push_axis_variants(&mut candidates, &pat, axis, direct, None);
-    }
+/// The context-independent raw material of Algorithm 1 for one target: the
+/// target's node patterns, plus every admissible `(anchor pattern, sideways
+/// step)` combination.  Derived once per target; the per-`direct` axis
+/// variants are assembled separately by [`assemble_candidates`].
+#[derive(Debug)]
+pub(crate) struct GeneratedParts {
+    /// Node patterns of `t` itself.
+    plain: Vec<NodePattern>,
+    /// Determining anchor pattern × sideways step pairs (child axis only).
+    sideways: Vec<(NodePattern, Step)>,
+}
+
+pub(crate) fn generate_parts(
+    doc: &Document,
+    t: NodeId,
+    axis: Axis,
+    config: &InductionConfig,
+) -> GeneratedParts {
+    let plain = node_patterns(doc, t, config);
 
     // Sideways checks (child axis only, per Algorithm 1).
+    let mut sideways = Vec::new();
     if axis == Axis::Child && config.enable_sideways {
         let same_role = same_role_group(doc, t);
         for (s, sideways_axis) in sideways_sources(doc, t, config) {
@@ -53,7 +108,6 @@ pub fn step_patterns(
             if side_steps.is_empty() {
                 continue;
             }
-            let s_direct = is_direct(doc, axis, n, s);
             for s_pat in node_patterns(doc, s, config) {
                 // The anchor pattern must be *determining*: a pattern that
                 // also matches the target (or one of its same-role siblings)
@@ -65,19 +119,35 @@ pub fn step_patterns(
                     continue;
                 }
                 for side in &side_steps {
-                    push_axis_variants(&mut candidates, &s_pat, axis, s_direct, Some(side.clone()));
+                    sideways.push((s_pat.clone(), side.clone()));
                 }
             }
         }
     }
 
-    // Accuracy refinement and selection.
-    select_candidates(doc, n, t, candidates, config)
+    GeneratedParts { plain, sideways }
+}
+
+/// Assembles the candidate queries from pre-derived [`GeneratedParts`], in
+/// exactly the order the monolithic generation produced: plain patterns
+/// first, then the sideways combinations, each with its transitive-axis
+/// variant (and, when `direct`, the base-axis variant).  A sibling anchor
+/// shares `t`'s parent, so the target's directness bit applies to it too.
+pub(crate) fn assemble_candidates(parts: &GeneratedParts, axis: Axis, direct: bool) -> Vec<Query> {
+    let mut candidates: Vec<Query> =
+        Vec::with_capacity((parts.plain.len() + parts.sideways.len()) * (1 + usize::from(direct)));
+    for pat in &parts.plain {
+        push_axis_variants(&mut candidates, pat, axis, direct, None);
+    }
+    for (s_pat, side) in &parts.sideways {
+        push_axis_variants(&mut candidates, s_pat, axis, direct, Some(side.clone()));
+    }
+    candidates
 }
 
 /// Returns `true` if `t` is reachable from `n` with a *single* step of the
 /// base axis (`t ∈ axis(n)` in the paper's notation).
-fn is_direct(doc: &Document, axis: Axis, n: NodeId, t: NodeId) -> bool {
+pub(crate) fn is_direct(doc: &Document, axis: Axis, n: NodeId, t: NodeId) -> bool {
     match axis {
         Axis::Child => doc.parent(t) == Some(n),
         Axis::Parent => doc.parent(n) == Some(t),
@@ -244,52 +314,93 @@ fn dedup_steps(steps: Vec<Step>) -> Vec<Step> {
 /// and keeps a bounded selection: the best `k` accurate queries plus the best
 /// `k` general queries (ranked by accuracy-against-`{t}` first, score
 /// second).
-fn select_candidates(
-    doc: &Document,
+pub(crate) fn select_candidates(
+    eval: &mut PrefixEvaluator<'_>,
     n: NodeId,
     t: NodeId,
-    candidates: Vec<Query>,
+    candidates: &[Query],
     config: &InductionConfig,
 ) -> Vec<Query> {
-    let mut scored: Vec<QueryInstance> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
+    // Each kept candidate is rendered exactly once; the rendered form backs
+    // the duplicate check, the rank tie-breaks, the emit dedup and the final
+    // sort below, instead of being re-derived at every site.
+    let mut scored: Vec<(QueryInstance, String)> = Vec::new();
+    // Duplicate suppression indexed by the render's hash; the (rare)
+    // collision falls back to comparing the stored renders, so the dedup is
+    // exactly "same textual form" without cloning a key per candidate.
+    let mut seen: wi_xpath::fx::FxMap<u64, Vec<usize>> = wi_xpath::fx::FxMap::default();
 
-    let mut consider = |query: Query, result: &[NodeId], scored: &mut Vec<QueryInstance>| {
-        if !seen.insert(query.to_string()) {
-            return;
-        }
-        let tp = u32::from(result.contains(&t));
-        let fp = (result.len() as u32).saturating_sub(tp);
-        let fne = 1 - tp;
-        scored.push(QueryInstance::new(
-            query,
-            Counts::new(tp, fp, fne),
-            &config.params,
-        ));
-    };
+    let mut consider =
+        |query: Query, result: &[NodeId], scored: &mut Vec<(QueryInstance, String)>| {
+            let key = query.render();
+            let hash = {
+                use std::hash::{Hash, Hasher};
+                let mut h = wi_xpath::fx::FxHasher::default();
+                key.hash(&mut h);
+                h.finish()
+            };
+            let bucket = seen.entry(hash).or_default();
+            if bucket.iter().any(|&i| scored[i].1 == key) {
+                return;
+            }
+            bucket.push(scored.len());
+            let tp = u32::from(result.contains(&t));
+            let fp = (result.len() as u32).saturating_sub(tp);
+            let fne = 1 - tp;
+            scored.push((
+                QueryInstance::new(query, Counts::new(tp, fp, fne), &config.params),
+                key,
+            ));
+        };
 
+    // Scratch copy of an ambiguous candidate's result, so the refinement
+    // below can reuse it after the evaluator borrow ends.
+    let mut ambiguous: Vec<NodeId> = Vec::new();
+    // All candidates are relative queries from the same context: resolve the
+    // trie root once.
+    let from_n = eval.context_handle(n);
     for query in candidates {
-        let result = evaluate(&query, doc, n);
+        let result = eval.evaluate_from(from_n, query);
         if result.is_empty() || !result.contains(&t) {
             continue;
         }
-        consider(query.clone(), &result, &mut scored);
-        if result.len() > 1 {
+        let result_len = result.len();
+        if result_len > 1 {
+            ambiguous.clear();
+            ambiguous.extend_from_slice(result);
+        }
+        consider(query.clone(), result, &mut scored);
+        if result_len > 1 {
             // Positional refinement applies to the *first* step of the
             // pattern (the step whose selection is ambiguous from n); for
             // sideways patterns that step selects the sibling source, so we
             // refine by the position of whichever first-step candidate leads
             // to t.
-            if let Some(refined) = refine_first_step(doc, n, t, &query, config) {
-                let refined_result = evaluate(&refined, doc, n);
+            if let Some(refined) = refine_first_step(eval, n, t, query, &ambiguous, config) {
+                let refined_result = eval.evaluate_from(from_n, &refined);
                 if refined_result.contains(&t) {
-                    consider(refined, &refined_result, &mut scored);
+                    consider(refined, refined_result, &mut scored);
                 }
             }
         }
     }
 
-    scored.sort_by(rank_order);
+    // `rank_order` with the tie-break reading the pre-rendered forms (the
+    // plain comparator would re-render both sides on every exact tie).
+    scored.sort_by(|a, b| match b.0.f05().total_cmp(&a.0.f05()) {
+        std::cmp::Ordering::Equal => match a.0.score.total_cmp(&b.0.score) {
+            std::cmp::Ordering::Equal => match a.0.query.len().cmp(&b.0.query.len()) {
+                std::cmp::Ordering::Equal => a.1.cmp(&b.1),
+                other => other,
+            },
+            other => other,
+        },
+        other => other,
+    });
+    // From here on every instance travels with its cached render; scores
+    // come from the instances themselves — nothing below re-renders or
+    // re-scores a query.
+    let scored: Vec<(QueryInstance, String)> = scored;
 
     // Selection.  The table at the induce-path level ranks candidates
     // against the *relevant* targets tar(n), which stepPattern does not know
@@ -303,85 +414,113 @@ fn select_candidates(
     //  * general candidates, both the cheapest ones (short selective
     //    patterns that typically select whole template lists) and the most
     //    accurate-against-{t} ones.
-    let mut out: Vec<Query> = Vec::new();
-    let mut emitted = std::collections::HashSet::new();
-    let mut emit = |q: &Query, out: &mut Vec<Query>| {
-        if emitted.insert(q.to_string()) {
-            out.push(q.clone());
+    let mut out: Vec<(&QueryInstance, &str)> = Vec::new();
+    let mut emitted: wi_xpath::fx::FxSet<&str> = wi_xpath::fx::FxSet::default();
+    fn emit<'a>(
+        entry: &'a (QueryInstance, String),
+        emitted: &mut wi_xpath::fx::FxSet<&'a str>,
+        out: &mut Vec<(&'a QueryInstance, &'a str)>,
+    ) {
+        if emitted.insert(entry.1.as_str()) {
+            out.push((&entry.0, entry.1.as_str()));
         }
-    };
+    }
 
-    for inst in &scored {
+    for entry in &scored {
+        let inst = &entry.0;
         if inst.query.len() == 1 && inst.query.steps.iter().all(|s| s.predicates.is_empty()) {
-            emit(&inst.query, &mut out);
+            emit(entry, &mut emitted, &mut out);
         }
     }
 
-    let exact: Vec<&QueryInstance> = scored
+    let exact: Vec<&(QueryInstance, String)> = scored
         .iter()
-        .filter(|i| i.is_exact() && i.fp() == 0)
+        .filter(|(i, _)| i.is_exact() && i.fp() == 0)
         .collect();
-    for inst in exact.iter().take(2 * config.k) {
-        emit(&inst.query, &mut out);
+    for entry in exact.iter().take(2 * config.k) {
+        emit(entry, &mut emitted, &mut out);
     }
 
-    let general: Vec<&QueryInstance> = scored
+    let general: Vec<&(QueryInstance, String)> = scored
         .iter()
-        .filter(|i| !(i.is_exact() && i.fp() == 0))
+        .filter(|(i, _)| !(i.is_exact() && i.fp() == 0))
         .collect();
     // Cheapest general patterns first …
-    let mut by_score: Vec<&&QueryInstance> = general.iter().collect();
-    by_score.sort_by(|a, b| a.score.total_cmp(&b.score));
-    for inst in by_score.iter().take(config.k) {
-        emit(&inst.query, &mut out);
+    let mut by_score: Vec<&&(QueryInstance, String)> = general.iter().collect();
+    by_score.sort_by(|a, b| a.0.score.total_cmp(&b.0.score));
+    for entry in by_score.iter().take(config.k) {
+        emit(entry, &mut emitted, &mut out);
     }
     // … plus the most accurate-against-{t} general patterns.
-    for inst in general.iter().take(config.k) {
-        emit(&inst.query, &mut out);
+    for entry in general.iter().take(config.k) {
+        emit(entry, &mut emitted, &mut out);
     }
 
-    // Order by robustness score for downstream determinism.
-    out.sort_by(|a, b| {
-        score_query(a, &config.params)
-            .total_cmp(&score_query(b, &config.params))
-            .then_with(|| a.to_string().cmp(&b.to_string()))
-    });
-    out
+    // Order by robustness score for downstream determinism, reusing the
+    // cached scores and renders (the instance's cached score *is*
+    // `score_query` of its expression).
+    out.sort_by(|a, b| a.0.score.total_cmp(&b.0.score).then_with(|| a.1.cmp(b.1)));
+    out.into_iter()
+        .map(|(inst, _)| inst.query.clone())
+        .collect()
 }
 
 /// Refines the first step of `query` with a positional predicate so that the
 /// overall query gets closer to selecting `t` uniquely from `n`.
+///
+/// `query_result` is the candidate's full (document-ordered) result from
+/// `n`, which the caller already has: for a single-step query over a
+/// *forward* axis it equals the first step's axis-order selection exactly —
+/// forward-axis candidates from one context arrive in document order with
+/// no duplicates — so the common case pays no extra step evaluation at all.
 fn refine_first_step(
-    doc: &Document,
+    eval: &mut PrefixEvaluator<'_>,
     n: NodeId,
     t: NodeId,
     query: &Query,
+    query_result: &[NodeId],
     config: &InductionConfig,
 ) -> Option<Query> {
+    let doc = eval.doc();
     let first = query.steps.first()?;
     if first.predicates.iter().any(Predicate::is_positional) {
         return None;
     }
-    let first_selection = evaluate_step(first, doc, n);
+    // For a *forward* first axis the axis-order selection coincides with
+    // the trie's (document-ordered, dup-free) prefix set, so it is either
+    // the already-known full result (single-step queries) or a memoized
+    // prefix lookup; only reverse first axes pay a fresh step evaluation.
+    let forward = matches!(
+        first.axis,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::FollowingSibling
+    );
+    let owned: Vec<NodeId>;
+    let first_selection: &[NodeId] = if forward && query.steps.len() == 1 {
+        // The caller's full result *is* the first-step selection — borrow
+        // it; the single-step case below never touches the evaluator again.
+        query_result
+    } else if forward {
+        owned = eval.evaluate_prefix(n, query, 1).to_vec();
+        &owned
+    } else {
+        owned = evaluate_step(first, doc, n);
+        &owned
+    };
     if first_selection.len() <= 1 {
         return None;
     }
     // Find the first-step candidate from which the rest of the query reaches
     // t (for single-step queries that candidate is t itself).
     let rest = Query::new(query.steps[1..].to_vec());
-    let lead_to_t = |&candidate: &NodeId| {
-        if rest.is_empty() {
-            candidate == t
-        } else {
-            evaluate(&rest, doc, candidate).contains(&t)
-        }
-    };
     let target_in_first = if rest.is_empty() {
         t
     } else {
-        *first_selection.iter().find(|c| lead_to_t(c))?
+        first_selection
+            .iter()
+            .copied()
+            .find(|&candidate| eval.evaluate(candidate, &rest).contains(&t))?
     };
-    let refined_first = refine_with_position(first, &first_selection, target_in_first, config)?;
+    let refined_first = refine_with_position(first, first_selection, target_in_first, config)?;
     let mut steps = query.steps.clone();
     steps[0] = refined_first;
     Some(Query {
@@ -394,6 +533,7 @@ fn refine_first_step(
 mod tests {
     use super::*;
     use wi_dom::parse_html;
+    use wi_xpath::evaluate;
 
     fn cfg() -> InductionConfig {
         InductionConfig::default()

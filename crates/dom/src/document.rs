@@ -1,6 +1,7 @@
 //! The arena-based [`Document`] type and its navigation API.
 
 use crate::error::{DomError, Result};
+use crate::intern::{Interner, Sym};
 use crate::iter::{
     Ancestors, Children, Descendants, DescendantsOrSelf, FollowingSiblings, PrecedingSiblings,
 };
@@ -29,6 +30,10 @@ pub struct Document {
     /// Bumped by every mutation; cached indexes are valid only while their
     /// recorded epoch equals this counter.
     epoch: u64,
+    /// Per-document string interner for tag names, attribute names and
+    /// attribute values.  Append-only — never invalidated; see
+    /// [`crate::intern`] for the ownership contract.
+    interner: Interner,
     /// Lazily built pre/post-order numbering (see [`crate::order`]).
     order: OnceLock<OrderIndex>,
     /// Lazily built tag-name → elements lookup (see [`crate::order`]).
@@ -47,14 +52,17 @@ impl Default for Document {
 impl Document {
     /// Creates an empty document containing only the synthetic root node.
     pub fn new() -> Self {
-        let root_node = Node::new(NodeData::Element {
+        let mut interner = Interner::new();
+        let mut root_node = Node::new(NodeData::Element {
             tag: DOCUMENT_ROOT_TAG.to_string(),
             attributes: Vec::new(),
         });
+        root_node.tag_sym = interner.intern(DOCUMENT_ROOT_TAG);
         Document {
             nodes: vec![root_node],
             root: NodeId(0),
             epoch: 0,
+            interner,
             order: OnceLock::new(),
             tags: OnceLock::new(),
         }
@@ -169,7 +177,39 @@ impl Document {
         self.invalidate_indexes();
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(Node::new(data));
+        // Admission re-interns the payload from its strings, so imported
+        // subtrees can never smuggle a foreign document's symbols in.
+        self.sync_syms(id);
         id
+    }
+
+    /// Re-derives the interned symbols of a node from its string payload.
+    ///
+    /// Called by [`alloc`](Self::alloc) and by every payload-mutating
+    /// operation (`rename_element`, `set_attribute`, `remove_attribute`);
+    /// any new operation that rewrites `NodeData` strings must call it too,
+    /// or symbol-based lookups will silently miss the node.
+    pub(crate) fn sync_syms(&mut self, id: NodeId) {
+        // Split borrow: the arena slot and the interner are disjoint fields.
+        let Document {
+            nodes, interner, ..
+        } = self;
+        let node = &mut nodes[id.index()];
+        match &node.data {
+            NodeData::Element { tag, attributes } => {
+                node.tag_sym = interner.intern(tag);
+                node.attr_syms.clear();
+                node.attr_syms.extend(
+                    attributes
+                        .iter()
+                        .map(|a| (interner.intern(&a.name), interner.intern(&a.value))),
+                );
+            }
+            NodeData::Text(_) => {
+                node.tag_sym = Sym::UNSET;
+                node.attr_syms.clear();
+            }
+        }
     }
 
     /// Creates a new, detached element node owned by this document.
@@ -232,6 +272,63 @@ impl Document {
     /// Returns `true` if the element carries the given attribute.
     pub fn has_attribute(&self, id: NodeId, name: &str) -> bool {
         self.attribute(id, name).is_some()
+    }
+
+    // ------------------------------------------------------------------
+    // Symbol-based accessors (see `crate::intern` for the contract).
+    // ------------------------------------------------------------------
+
+    /// The document's string interner (read access; interning happens through
+    /// the arena allocator and the mutation primitives).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Looks up the symbol of a string **without interning it**.  `None`
+    /// means the string occurs nowhere in this document's tags, attribute
+    /// names or attribute values — a query needle resolving to `None` can
+    /// match nothing.
+    pub fn sym(&self, s: &str) -> Option<Sym> {
+        self.interner.get(s)
+    }
+
+    /// Resolves a symbol of this document back to its string.
+    pub fn resolve_sym(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
+    }
+
+    /// The interned tag name of an element (`None` for text nodes).
+    pub fn tag_sym(&self, id: NodeId) -> Option<Sym> {
+        let node = self.node(id);
+        (node.tag_sym != Sym::UNSET).then_some(node.tag_sym)
+    }
+
+    /// The interned `(name, value)` pairs of an element's attributes, in
+    /// insertion order (empty for text nodes).
+    pub fn attr_syms(&self, id: NodeId) -> &[(Sym, Sym)] {
+        &self.node(id).attr_syms
+    }
+
+    /// The interned value of the attribute with interned name `name`, if the
+    /// element carries it.
+    pub fn attribute_value_sym(&self, id: NodeId, name: Sym) -> Option<Sym> {
+        self.node(id)
+            .attr_syms
+            .iter()
+            .find(|&&(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Attribute lookup by interned name, resolving the value string.
+    pub fn attribute_by_sym(&self, id: NodeId, name: Sym) -> Option<&str> {
+        self.attribute_value_sym(id, name)
+            .map(|v| self.interner.resolve(v))
+    }
+
+    /// Returns `true` if the element carries an attribute with interned name
+    /// `name`.
+    pub fn has_attribute_sym(&self, id: NodeId, name: Sym) -> bool {
+        self.node(id).attr_syms.iter().any(|&(n, _)| n == name)
     }
 
     // ------------------------------------------------------------------
@@ -412,13 +509,13 @@ impl Document {
         let Some(parent) = self.parent(id) else {
             return 1;
         };
+        // Interned tags make the per-sibling comparison one integer compare;
+        // text nodes all carry the UNSET sentinel, which preserves "text
+        // nodes are counted together" (elements always have a real symbol).
+        let id_sym = self.node(id).tag_sym;
         let mut index = 0;
         for c in self.children(parent) {
-            let same = match (self.data(c), self.data(id)) {
-                (NodeData::Element { tag: a, .. }, NodeData::Element { tag: b, .. }) => a == b,
-                (NodeData::Text(_), NodeData::Text(_)) => true,
-                _ => false,
-            };
+            let same = self.node(c).tag_sym == id_sym;
             if same {
                 index += 1;
             }
@@ -611,7 +708,25 @@ impl Document {
     /// All live element nodes with the given tag name, in document order.
     /// Served by the tag index: no tree walk after the first lookup.
     pub fn elements_by_tag(&self, tag: &str) -> Vec<NodeId> {
-        self.tag_index().nodes(tag).to_vec()
+        self.elements_by_tag_slice(tag).to_vec()
+    }
+
+    /// [`elements_by_tag`](Self::elements_by_tag) as a slice into the tag
+    /// index, resolving the tag name through *this* document's interner (an
+    /// unknown name is the empty slice).  This is the only string entry
+    /// point to the tag index — it guarantees the interner and the index
+    /// belong to the same document.
+    pub fn elements_by_tag_slice(&self, tag: &str) -> &[NodeId] {
+        match self.sym(tag) {
+            Some(sym) => self.tag_index().nodes_sym(sym),
+            None => &[],
+        }
+    }
+
+    /// [`elements_by_tag`](Self::elements_by_tag) by interned tag name, as a
+    /// slice into the tag index.
+    pub fn elements_by_tag_sym(&self, tag: Sym) -> &[NodeId] {
+        self.tag_index().nodes_sym(tag)
     }
 
     /// The elements with the given tag inside the subtree of `context`
@@ -626,7 +741,13 @@ impl Document {
     pub fn descendants_by_tag_slice(&self, context: NodeId, tag: &str) -> Option<&[NodeId]> {
         let index = self.order_index();
         let range = index.subtree_range(context)?;
-        let list = self.tag_index().nodes(tag);
+        // An unknown needle matches nothing — the interner miss is the
+        // instant answer (the subtree range was still needed to tell a
+        // detached context apart).
+        let list = match self.sym(tag) {
+            Some(sym) => self.tag_index().nodes_sym(sym),
+            None => return Some(&[]),
+        };
         // Every indexed tag node has a position; compare by pre number.
         let pos = |n: NodeId| index.position(n).unwrap_or(u32::MAX) as usize;
         let lo = list.partition_point(|&n| pos(n) <= range.start);

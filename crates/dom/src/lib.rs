@@ -15,6 +15,11 @@
 //!   comparison, ancestor tests and the `following`/`preceding` axes O(1)
 //!   per node after one O(n) build; **read the [`order`] module docs before
 //!   adding mutation operations**,
+//! * a per-document **string interner** ([`intern`]) — tag names, attribute
+//!   names and attribute values resolve to dense [`Sym`] handles so the
+//!   query evaluator's inner loops are integer compares; append-only, never
+//!   invalidated (see the [`intern`] module docs for the ownership
+//!   contract),
 //! * the `text-value` / `normalize-space` semantics of XPath 1.0,
 //! * **structural subtree equality and hashing** (node-id free), which is the
 //!   basis of the paper's robustness definition ("there exists a bijection π
@@ -51,6 +56,7 @@ pub mod builder;
 pub mod document;
 pub mod error;
 pub mod hash;
+pub mod intern;
 pub mod iter;
 pub mod mutation;
 pub mod node;
@@ -62,6 +68,7 @@ pub use builder::{el, text, DocumentBuilder, TreeSpec};
 pub use document::Document;
 pub use error::DomError;
 pub use hash::{structural_hash, subtree_equal};
+pub use intern::{Interner, Sym};
 pub use node::{Attribute, NodeData, NodeId, NodeKind};
 pub use order::{OrderIndex, TagIndex};
 pub use parser::{parse_html, parse_html_with, ParseOptions};

@@ -170,10 +170,11 @@ impl Document {
         match &mut self.node_mut(id).data {
             NodeData::Element { tag, .. } => {
                 *tag = new_tag.into();
-                Ok(())
             }
-            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
+            NodeData::Text(_) => return Err(DomError::NotAnElement(id.index() as u32)),
         }
+        self.sync_syms(id);
+        Ok(())
     }
 
     /// Sets (or replaces) an attribute on an element node.
@@ -194,24 +195,27 @@ impl Document {
                 } else {
                     attributes.push(Attribute::new(name, value));
                 }
-                Ok(())
             }
-            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
+            NodeData::Text(_) => return Err(DomError::NotAnElement(id.index() as u32)),
         }
+        self.sync_syms(id);
+        Ok(())
     }
 
     /// Removes an attribute from an element node; returns whether it existed.
     pub fn remove_attribute(&mut self, id: NodeId, name: &str) -> Result<bool> {
         self.check(id)?;
         self.invalidate_indexes();
-        match &mut self.node_mut(id).data {
+        let existed = match &mut self.node_mut(id).data {
             NodeData::Element { attributes, .. } => {
                 let before = attributes.len();
                 attributes.retain(|a| a.name != name);
-                Ok(attributes.len() != before)
+                attributes.len() != before
             }
-            NodeData::Text(_) => Err(DomError::NotAnElement(id.index() as u32)),
-        }
+            NodeData::Text(_) => return Err(DomError::NotAnElement(id.index() as u32)),
+        };
+        self.sync_syms(id);
+        Ok(existed)
     }
 
     /// Replaces the character data of a text node.

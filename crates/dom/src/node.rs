@@ -7,6 +7,7 @@
 //! stored inline on their owning element (mirroring how the paper treats the
 //! `attribute` axis as a terminal step).
 
+use crate::intern::Sym;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -136,6 +137,13 @@ impl NodeData {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub(crate) struct Node {
     pub(crate) data: NodeData,
+    /// Interned tag name ([`Sym::UNSET`] for text nodes).  Kept in sync with
+    /// `data` by `Document::sync_syms`, which the arena allocator and every
+    /// payload-mutating operation call; see [`crate::intern`].
+    pub(crate) tag_sym: Sym,
+    /// Interned `(name, value)` of each attribute, parallel to
+    /// `data.attributes()`.  Same sync contract as `tag_sym`.
+    pub(crate) attr_syms: Vec<(Sym, Sym)>,
     pub(crate) parent: Option<NodeId>,
     pub(crate) first_child: Option<NodeId>,
     pub(crate) last_child: Option<NodeId>,
@@ -150,6 +158,8 @@ impl Node {
     pub(crate) fn new(data: NodeData) -> Self {
         Node {
             data,
+            tag_sym: Sym::UNSET,
+            attr_syms: Vec::new(),
             parent: None,
             first_child: None,
             last_child: None,

@@ -41,6 +41,7 @@
 //! walk.
 
 use crate::document::Document;
+use crate::intern::Sym;
 use crate::node::NodeId;
 use std::collections::HashMap;
 
@@ -190,22 +191,25 @@ impl OrderIndex {
 
 /// Tag-name → elements (in document order) lookup for a [`Document`].
 ///
-/// Built lazily from the pre-order sequence of the [`OrderIndex`]; shares the
-/// same epoch-based invalidation contract (see the
-/// [module documentation](self)).
+/// Keyed by interned tag [`Sym`]s (see [`crate::intern`]), so building it
+/// allocates no strings and a lookup by symbol is one integer-keyed hash
+/// probe.  Built lazily from the pre-order sequence of the [`OrderIndex`];
+/// shares the same epoch-based invalidation contract (see the
+/// [module documentation](self)).  Symbols themselves survive mutations —
+/// only the node lists are rebuilt.
 #[derive(Debug, Clone)]
 pub struct TagIndex {
     epoch: u64,
-    by_tag: HashMap<String, Vec<NodeId>>,
+    by_tag: HashMap<Sym, Vec<NodeId>>,
 }
 
 impl TagIndex {
     pub(crate) fn build(doc: &Document, order: &OrderIndex) -> TagIndex {
-        let mut by_tag: HashMap<String, Vec<NodeId>> = HashMap::new();
+        let mut by_tag: HashMap<Sym, Vec<NodeId>> = HashMap::new();
         // Skip the synthetic root: `elements_by_tag` has never reported it.
         for &id in order.nodes_in_order().iter().skip(1) {
-            if let Some(tag) = doc.tag_name(id) {
-                by_tag.entry(tag.to_string()).or_default().push(id);
+            if let Some(sym) = doc.tag_sym(id) {
+                by_tag.entry(sym).or_default().push(id);
             }
         }
         TagIndex {
@@ -219,9 +223,16 @@ impl TagIndex {
         self.epoch
     }
 
-    /// All elements with the given tag, in document order.
-    pub fn nodes(&self, tag: &str) -> &[NodeId] {
-        self.by_tag.get(tag).map(Vec::as_slice).unwrap_or(&[])
+    /// All elements with the given interned tag, in document order.
+    ///
+    /// The symbol must come from the document this index was built for
+    /// (see `wi_dom::intern` — symbols are per document family).  String
+    /// lookups go through
+    /// [`Document::elements_by_tag_slice`](crate::Document::elements_by_tag_slice),
+    /// which guarantees that pairing; `TagIndex` deliberately offers no
+    /// `&str` entry point that could be fed a foreign document's interner.
+    pub fn nodes_sym(&self, tag: Sym) -> &[NodeId] {
+        self.by_tag.get(&tag).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Number of distinct tag names in the document.
@@ -295,10 +306,25 @@ mod tests {
     fn tag_index_matches_linear_scan() {
         let doc = sample();
         let tags = doc.tag_index();
-        assert_eq!(tags.nodes("div"), &doc.elements_by_tag("div")[..]);
-        assert_eq!(tags.nodes("span"), &doc.elements_by_tag("span")[..]);
-        assert!(tags.nodes("table").is_empty());
-        assert!(tags.nodes(crate::document::DOCUMENT_ROOT_TAG).is_empty());
+        assert_eq!(
+            doc.elements_by_tag_slice("div"),
+            &doc.elements_by_tag("div")[..]
+        );
+        assert_eq!(
+            doc.elements_by_tag_slice("span"),
+            &doc.elements_by_tag("span")[..]
+        );
+        assert!(doc.elements_by_tag_slice("table").is_empty());
+        assert!(doc
+            .elements_by_tag_slice(crate::document::DOCUMENT_ROOT_TAG)
+            .is_empty());
         assert!(tags.tag_count() >= 4);
+        // Symbol-keyed lookup agrees with the string path.
+        let div_sym = doc.sym("div").unwrap();
+        assert_eq!(tags.nodes_sym(div_sym), doc.elements_by_tag_slice("div"));
+        assert_eq!(
+            doc.elements_by_tag_sym(div_sym),
+            &doc.elements_by_tag("div")[..]
+        );
     }
 }

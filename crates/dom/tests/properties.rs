@@ -563,6 +563,86 @@ proptest! {
         }
     }
 
+    /// Interning is unobservable: after every edit of a random mutation
+    /// sequence, every symbol-based accessor agrees with its string-based
+    /// counterpart, needles the document has never seen resolve to `None`,
+    /// and a serialize → parse round trip (which builds a *fresh* interner
+    /// with different numbering) is structurally identical — symbols never
+    /// leak into equality.
+    #[test]
+    fn interning_is_observably_identical_under_mutations(
+        doc in arb_document(),
+        edits in arb_edits(),
+    ) {
+        let mut doc = doc;
+        for edit in &edits {
+            apply_edit(&mut doc, edit);
+
+            for node in all_nodes(&doc) {
+                // Tag symbols resolve to the tag string (and only elements
+                // carry one).
+                match doc.tag_name(node) {
+                    Some(tag) => {
+                        let sym = doc.tag_sym(node).expect("element has a tag symbol");
+                        prop_assert_eq!(doc.resolve_sym(sym), tag);
+                        prop_assert_eq!(doc.sym(tag), Some(sym));
+                    }
+                    None => prop_assert_eq!(doc.tag_sym(node), None),
+                }
+                // Attribute symbols are parallel to the attribute list and
+                // resolve to the same strings.
+                let attrs = doc.attributes(node);
+                let syms = doc.attr_syms(node);
+                prop_assert_eq!(attrs.len(), syms.len());
+                for (a, &(name_sym, value_sym)) in attrs.iter().zip(syms) {
+                    prop_assert_eq!(doc.resolve_sym(name_sym), a.name.as_str());
+                    prop_assert_eq!(doc.resolve_sym(value_sym), a.value.as_str());
+                }
+                // Symbol-based lookups agree with the string-based ones.
+                for name in ["id", "class", "data-e", "href"] {
+                    let by_string = doc.attribute(node, name);
+                    let by_sym = doc.sym(name).and_then(|s| doc.attribute_by_sym(node, s));
+                    prop_assert_eq!(by_string, by_sym);
+                    prop_assert_eq!(
+                        doc.has_attribute(node, name),
+                        doc.sym(name).is_some_and(|s| doc.has_attribute_sym(node, s))
+                    );
+                }
+            }
+
+            // A needle the document has never seen misses the interner —
+            // the instant "no match" the evaluator relies on.
+            prop_assert_eq!(doc.sym("never-present-needle"), None);
+            prop_assert!(doc.elements_by_tag("never-present-needle").is_empty());
+
+            // Copy the tree into a *fresh* document: its interner assigns
+            // different numbers to the same strings, yet the copy is
+            // structurally identical — equality and hashing are
+            // string-based, symbols never leak into them.  (A serializer
+            // round trip would also merge adjacent text nodes created by
+            // unwrap edits, so the import is the precise cross-interner
+            // probe.)
+            if let Some(a) = doc.root_element() {
+                let mut fresh = Document::new();
+                let root = fresh.root();
+                let b = fresh.import_subtree(&doc, a, root).unwrap();
+                prop_assert_eq!(structural_hash(&doc, a), structural_hash(&fresh, b));
+                prop_assert!(subtree_equal(&doc, a, &fresh, b));
+            }
+        }
+
+        // Cross-document import re-interns through the arena allocator: the
+        // copied subtree's symbols belong to the destination document.
+        let other = parse_html(r#"<html><body><p class="imported">x</p></body></html>"#).unwrap();
+        let src = other.elements_by_tag("p")[0];
+        let body = doc.elements_by_tag("body")[0];
+        let copied = doc.import_subtree(&other, src, body).unwrap();
+        prop_assert_eq!(doc.attribute(copied, "class"), Some("imported"));
+        let class_sym = doc.sym("class").expect("interned on import");
+        prop_assert_eq!(doc.attribute_by_sym(copied, class_sym), Some("imported"));
+        prop_assert_eq!(doc.tag_sym(copied).map(|s| doc.resolve_sym(s)), Some("p"));
+    }
+
     /// Every mutating operation bumps the epoch, and a queried index always
     /// carries the current epoch — the invalidation can never serve a stale
     /// index.

@@ -6,7 +6,7 @@ use wi_dom::NodeId;
 use wi_webgen::archive::ArchiveSimulator;
 use wi_webgen::date::{Day, OBSERVATION_END, OBSERVATION_START};
 use wi_webgen::tasks::WrapperTask;
-use wi_xpath::{canonical_path, evaluate, Query};
+use wi_xpath::{canonical_path, evaluate_with, EvalContext, Query};
 
 // The runner drives every wrapper through the workspace-wide [`Extractor`]
 // interface from `wi-induction` (implemented by `Wrapper`,
@@ -65,6 +65,9 @@ pub fn run_robustness(
     let mut canonical_tracker: Option<(Query, Vec<NodeId>)> = None;
     let mut c_changes = 0usize;
     let mut day = start;
+    // One pooled context for the whole replay: the wrapper extraction and
+    // the c-change probe reuse the same buffers on every snapshot.
+    let mut cx = EvalContext::new();
 
     while day <= end {
         let snapshot = archive.snapshot(day);
@@ -79,7 +82,7 @@ pub fn run_robustness(
             reason = BreakReason::TargetsRemoved;
             break;
         }
-        let mut selected = match wrapper.extract(doc, doc.root()) {
+        let mut selected = match wrapper.extract_with(&mut cx, doc, doc.root()) {
             Ok(selected) => selected,
             Err(_) => {
                 reason = BreakReason::ExtractorFailed;
@@ -97,7 +100,7 @@ pub fn run_robustness(
         let first_target = expected[0];
         let canon_now = canonical_path(doc, first_target);
         if let Some((prev_canon, _)) = &canonical_tracker {
-            let reselected = evaluate(prev_canon, doc, doc.root());
+            let reselected = evaluate_with(&mut cx, prev_canon, doc, doc.root());
             if reselected != vec![first_target] {
                 c_changes += 1;
                 canonical_tracker = Some((canon_now, vec![first_target]));

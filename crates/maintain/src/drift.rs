@@ -29,7 +29,7 @@ use wi_dom::{Document, NodeId};
 use wi_induction::WrapperBundle;
 use wi_xpath::eval::evaluate_step;
 use wi_xpath::{
-    evaluate_with, parse_query, EvalContext, Predicate, Query, Step, StringFunction, TextSource,
+    parse_query, EvalContext, Predicate, PrefixEvaluator, Query, Step, StringFunction, TextSource,
 };
 
 /// The break groups of the paper's Section 6.2, as a drift classifier
@@ -210,6 +210,15 @@ impl DriftClassifier {
 
     /// Classifies one flagged snapshot, reusing the caller's evaluation
     /// context.
+    ///
+    /// All full-expression probes and prefix walks of the fix search run
+    /// through one per-call [`PrefixEvaluator`]: the prefix node sets are
+    /// memoized across the bundle's entries (ensemble members share
+    /// anchors) and across the relaxation/backtracking attempts, which used
+    /// to re-run every prefix per attempt.  The pooled context parameter is
+    /// kept so the maintenance pipeline threads one context uniformly
+    /// through verify → classify → repair (verification and repair replay
+    /// extraction through it).
     pub fn classify_with(
         &self,
         cx: &mut EvalContext,
@@ -219,6 +228,7 @@ impl DriftClassifier {
         lkg: Option<&LastKnownGood>,
         health: &HealthReport,
     ) -> DriftReport {
+        let _ = cx;
         if health.page_broken() {
             return DriftReport {
                 day,
@@ -227,6 +237,7 @@ impl DriftClassifier {
             };
         }
 
+        let mut prefix = PrefixEvaluator::new(doc);
         let mut entries = Vec::new();
         for (entry_idx, entry) in bundle.entries.iter().enumerate() {
             let Ok(query) = parse_query(&entry.expression) else {
@@ -237,14 +248,17 @@ impl DriftClassifier {
                 lkg,
                 config: &self.config,
             };
-            let initial = evaluate_with(cx, &query, doc, doc.root());
-            let (fixed, fixes) = if search.acceptable(&initial) {
+            let acceptable = {
+                let initial = prefix.evaluate(doc.root(), &query);
+                search.acceptable(initial)
+            };
+            let (fixed, fixes) = if acceptable {
                 (None, Vec::new())
             } else {
                 let mut candidate = query.clone();
                 let mut fixes = Vec::new();
                 let mut budget = self.config.search_budget;
-                if search.run(cx, &mut candidate, &mut fixes, &mut budget, 0) {
+                if search.run(&mut prefix, &mut candidate, &mut fixes, &mut budget, 0) {
                     (Some(candidate), fixes)
                 } else {
                     (None, Vec::new())
@@ -390,7 +404,7 @@ impl Search<'_> {
     /// expression and `fixes` describing every substitution.
     fn run(
         &self,
-        cx: &mut EvalContext,
+        prefix: &mut PrefixEvaluator<'_>,
         query: &mut Query,
         fixes: &mut Vec<QueryFix>,
         budget: &mut usize,
@@ -400,8 +414,11 @@ impl Search<'_> {
             return false;
         }
         *budget -= 1;
-        let result = evaluate_with(cx, query, self.doc, self.doc.root());
-        if self.acceptable(&result) {
+        let acceptable = {
+            let result = prefix.evaluate(self.doc.root(), query);
+            self.acceptable(result)
+        };
+        if acceptable {
             return true;
         }
         if depth >= self.config.max_fixes {
@@ -411,7 +428,7 @@ impl Search<'_> {
         // Walk the prefix to the first step that selects nothing.  Fix sites
         // are tried from that step backwards: an earlier positional anchor
         // picking the wrong sibling surfaces as a later step coming up empty.
-        let (failing, contexts_by_step) = self.prefix_contexts(query);
+        let (failing, contexts_by_step) = self.prefix_contexts(prefix, query);
         for step_idx in (0..=failing.min(query.steps.len().saturating_sub(1))).rev() {
             let contexts = &contexts_by_step[step_idx];
             if contexts.is_empty() {
@@ -445,7 +462,7 @@ impl Search<'_> {
                                     to,
                                 },
                             });
-                            if self.run(cx, query, fixes, budget, depth + 1) {
+                            if self.run(prefix, query, fixes, budget, depth + 1) {
                                 return true;
                             }
                             fixes.pop();
@@ -462,7 +479,7 @@ impl Search<'_> {
                                 predicate: pred_idx,
                                 kind: FixKind::Reposition { from, to },
                             });
-                            if self.run(cx, query, fixes, budget, depth + 1) {
+                            if self.run(prefix, query, fixes, budget, depth + 1) {
                                 return true;
                             }
                             fixes.pop();
@@ -483,24 +500,27 @@ impl Search<'_> {
     /// Evaluates every prefix of the query, returning the index of the first
     /// empty step (or the last step when none is empty but the result is
     /// unacceptable) plus the context set *before* each step.
-    fn prefix_contexts(&self, query: &Query) -> (usize, Vec<Vec<NodeId>>) {
+    ///
+    /// Every prefix set comes out of the shared trie, so re-walking the same
+    /// expression across relaxation attempts (which the backtracking search
+    /// does constantly) costs one trie lookup per step instead of a fresh
+    /// evaluation per attempt.
+    fn prefix_contexts(
+        &self,
+        prefix: &mut PrefixEvaluator<'_>,
+        query: &Query,
+    ) -> (usize, Vec<Vec<NodeId>>) {
+        let root = self.doc.root();
         let mut contexts_by_step: Vec<Vec<NodeId>> = Vec::with_capacity(query.steps.len());
-        let mut current = vec![self.doc.root()];
-        for (k, step) in query.steps.iter().enumerate() {
-            contexts_by_step.push(current.clone());
-            let mut next = Vec::new();
-            for &c in &current {
-                next.extend(evaluate_step(step, self.doc, c));
-            }
-            self.doc.sort_document_order(&mut next);
-            if next.is_empty() {
+        for k in 0..query.steps.len() {
+            contexts_by_step.push(prefix.evaluate_prefix(root, query, k).to_vec());
+            if prefix.evaluate_prefix(root, query, k + 1).is_empty() {
                 // Later steps have no contexts at all.
                 for _ in k + 1..query.steps.len() {
                     contexts_by_step.push(Vec::new());
                 }
                 return (k, contexts_by_step);
             }
-            current = next;
         }
         (query.steps.len().saturating_sub(1), contexts_by_step)
     }

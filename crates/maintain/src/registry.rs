@@ -13,6 +13,11 @@ use wi_xpath::EvalContext;
 /// calling thread (mirrors `Extractor::extract_batch`).
 const PARALLEL_THRESHOLD: usize = 4;
 
+/// Minimum jobs per worker: spawning a thread for fewer jobs than this costs
+/// more than it saves, so the fan-out is clamped to
+/// `jobs / MIN_JOBS_PER_WORKER` workers even when more cores are available.
+const MIN_JOBS_PER_WORKER: usize = 2;
+
 /// One versioned install of a bundle for a site.
 #[derive(Debug, Clone)]
 pub struct VersionRecord {
@@ -91,11 +96,19 @@ impl Registry {
     }
 
     /// Runs every job's timeline through the maintenance loop and commits
-    /// the resulting revisions, fanning the jobs out over all available
+    /// the resulting revisions, fanning the jobs out over the available
     /// cores.  One [`EvalContext`] is created per worker and reused for the
     /// worker's whole chunk, mirroring `Extractor::extract_batch`; the
     /// results (and the committed history) are exactly those of
     /// [`maintain_batch_sequential`](Registry::maintain_batch_sequential).
+    ///
+    /// The fan-out is **adaptive**: on a single-core machine
+    /// (`available_parallelism() == 1`), or when the batch is too small to
+    /// amortize thread spawns (fewer than [`PARALLEL_THRESHOLD`] jobs, or
+    /// fewer than [`MIN_JOBS_PER_WORKER`] jobs per would-be worker), the
+    /// batch stays on the calling thread — scoped threads on one core can
+    /// only add overhead (the 0.83× regression recorded in the pre-adaptive
+    /// `BENCH_maintain.json`).
     ///
     /// Returns one log per job, in job order.  A job whose site has no
     /// installed bundle yields an empty log.
@@ -104,10 +117,12 @@ impl Registry {
         jobs: &[MaintenanceJob],
         maintainer: &Maintainer,
     ) -> Vec<MaintenanceLog> {
-        let workers = std::thread::available_parallelism()
+        let cores = std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1)
-            .min(jobs.len().max(1));
+            .unwrap_or(1);
+        // Clamp to what the batch can keep busy: at most one worker per
+        // MIN_JOBS_PER_WORKER jobs.
+        let workers = cores.min(jobs.len() / MIN_JOBS_PER_WORKER).max(1);
         self.maintain_batch_with_workers(jobs, maintainer, workers)
     }
 

@@ -598,7 +598,7 @@ pub(crate) fn attribute_value_occurs(
             .unwrap_or(false)
     };
     match test {
-        NodeTest::Tag(tag) => doc.tag_index().nodes(tag).iter().copied().any(matches),
+        NodeTest::Tag(tag) => doc.elements_by_tag_slice(tag).iter().copied().any(matches),
         _ => doc
             .descendants(doc.root())
             .filter(|&n| doc.is_element(n))

@@ -37,6 +37,20 @@ impl QueryInstance {
         }
     }
 
+    /// Builds an instance from an **already computed** robustness score.
+    ///
+    /// The caller must pass exactly `score_query(&query, params)` — the
+    /// induction hot loop computes that value once for its admission
+    /// pre-check and hands it in here so the score is never derived twice
+    /// for the same candidate.
+    pub fn from_parts(query: Query, counts: Counts, score: f64) -> Self {
+        QueryInstance {
+            query,
+            counts,
+            score,
+        }
+    }
+
     /// Builds the paper's initial "empty query" instance ε = ⟨ε, 1, 0, 0⟩.
     pub fn epsilon(params: &ScoringParams) -> Self {
         QueryInstance::new(Query::empty(), Counts::new(1, 0, 0), params)
@@ -102,6 +116,38 @@ pub fn rank_order(a: &QueryInstance, b: &QueryInstance) -> Ordering {
 /// Returns `true` if `a` is strictly better ranked than `b`.
 pub fn strictly_better(a: &QueryInstance, b: &QueryInstance) -> bool {
     rank_order(a, b) == Ordering::Less
+}
+
+/// [`rank_order`] with the candidate side passed as parts, so a hot loop
+/// can rank a prospective instance against a stored one **without
+/// materializing it** (no query clone, no score recomputation): the
+/// rendered expression is produced by `a_render` **only** on a complete
+/// F-score/score/length tie.  The induction inner loop ranks millions of
+/// prospective combinations that lose (or win) on the score comparison
+/// alone; deferring the render means those never materialize the candidate
+/// expression at all.
+///
+/// `a_f05` and `a_score` must be the candidate's `counts.f_05()` and
+/// `score_query` values; the comparison is exactly
+/// `rank_order(&QueryInstance::from_parts(query, …), b)` for the query
+/// `a_render` describes.
+pub fn rank_order_lazy(
+    a_f05: f64,
+    a_score: f64,
+    a_len: usize,
+    a_render: impl FnOnce() -> String,
+    b: &QueryInstance,
+) -> Ordering {
+    match b.f05().total_cmp(&a_f05) {
+        Ordering::Equal => match a_score.total_cmp(&b.score) {
+            Ordering::Equal => match a_len.cmp(&b.query.len()) {
+                Ordering::Equal => a_render().cmp(&b.query.to_string()),
+                other => other,
+            },
+            other => other,
+        },
+        other => other,
+    }
 }
 
 /// Sorts a vector of instances into ranking order (best first) and removes

@@ -34,9 +34,9 @@ pub mod params;
 pub mod score;
 
 pub use fscore::{f_beta, f_score_05, precision, recall, Counts};
-pub use instance::{rank_order, QueryInstance};
+pub use instance::{rank_order, rank_order_lazy, strictly_better, QueryInstance};
 pub use learn::{
     calibrate, rank_agreement, CalibrationConfig, CalibrationResult, SurvivalObservation,
 };
 pub use params::ScoringParams;
-pub use score::{score_predicate, score_query, score_step};
+pub use score::{score_predicate, score_query, score_query_partial, score_step};

@@ -18,12 +18,24 @@ use wi_xpath::{NodeTest, Predicate, Query, Step, TextSource};
 
 /// Scores a full query expression.
 pub fn score_query(query: &Query, params: &ScoringParams) -> f64 {
-    query
-        .steps
-        .iter()
-        .enumerate()
-        .map(|(i, s)| score_step(s, params) * params.decay.powi(i as i32))
-        .sum()
+    score_query_partial(0.0, 0, &query.steps, params)
+}
+
+/// Folds the step scores of `steps` into a running sum, with step indices
+/// offset by `offset` — the plus-compositional form of [`score_query`].
+///
+/// `score_query(p / q)` equals
+/// `score_query_partial(score_query_partial(0.0, 0, p), p.len(), q)`
+/// **bit for bit**: the fold performs exactly the additions and
+/// multiplications (in the same order) that scoring the concatenated
+/// expression would, so the induction inner loop can score
+/// `pattern.concat(instance)` candidates by extending the pattern's
+/// pre-folded prefix sum instead of re-walking the pattern's steps for
+/// every instance.
+pub fn score_query_partial(acc: f64, offset: usize, steps: &[Step], params: &ScoringParams) -> f64 {
+    steps.iter().enumerate().fold(acc, |sum, (j, s)| {
+        sum + score_step(s, params) * params.decay.powi((offset + j) as i32)
+    })
 }
 
 /// Scores a single step (axis + node test + predicates), including the

@@ -405,6 +405,41 @@ pub struct Query {
 }
 
 impl Query {
+    /// Renders the query into `out` — byte-identical to the [`fmt::Display`]
+    /// implementation, but via direct string pushes instead of the formatter
+    /// machinery.  Induction renders every considered candidate once for
+    /// duplicate suppression and rank tie-breaking, which makes the
+    /// formatter dispatch itself measurable; the `rendering_matches_display`
+    /// property test pins the two forms together.
+    pub fn render_into(&self, out: &mut String) {
+        if self.absolute {
+            out.push('/');
+        }
+        if self.steps.is_empty() {
+            if !self.absolute {
+                out.push('.');
+            }
+            return;
+        }
+        for (i, s) in self.steps.iter().enumerate() {
+            if i > 0 {
+                out.push('/');
+            }
+            render_step_into(s, out);
+        }
+    }
+
+    /// [`render_into`](Self::render_into) into a fresh string — a faster
+    /// `to_string()`.
+    pub fn render(&self) -> String {
+        // Generously sized: a typical induction step renders to ~30 bytes
+        // ("descendant::div[@class=\"x\"]"), and a realloc costs more than
+        // the slack.
+        let mut out = String::with_capacity(48 * self.steps.len().max(1));
+        self.render_into(&mut out);
+        out
+    }
+
     /// Creates an empty relative query (the paper's "empty query" ε, which
     /// selects exactly the context node).
     pub fn empty() -> Self {
@@ -536,6 +571,91 @@ fn collect_ints(p: &Predicate, out: &mut Vec<u32>) {
             }
         }
         _ => {}
+    }
+}
+
+fn render_step_into(step: &Step, out: &mut String) {
+    if step.axis == Axis::Attribute {
+        out.push('@');
+        render_test_into(&step.test, out);
+    } else {
+        out.push_str(step.axis.name());
+        out.push_str("::");
+        render_test_into(&step.test, out);
+    }
+    for p in &step.predicates {
+        out.push('[');
+        render_predicate_into(p, out);
+        out.push(']');
+    }
+}
+
+fn render_test_into(test: &NodeTest, out: &mut String) {
+    match test {
+        NodeTest::AnyElement => out.push('*'),
+        NodeTest::AnyNode => out.push_str("node()"),
+        NodeTest::Text => out.push_str("text()"),
+        NodeTest::Tag(t) => out.push_str(t),
+    }
+}
+
+fn render_u32_into(mut n: u32, out: &mut String) {
+    let mut digits = [0u8; 10];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (n % 10) as u8;
+        n /= 10;
+        if n == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+}
+
+fn render_predicate_into(pred: &Predicate, out: &mut String) {
+    match pred {
+        Predicate::Position(n) => render_u32_into(*n, out),
+        Predicate::LastOffset(0) => out.push_str("last()"),
+        Predicate::LastOffset(n) => {
+            out.push_str("last()-");
+            render_u32_into(*n, out);
+        }
+        Predicate::HasAttribute(a) => {
+            out.push('@');
+            out.push_str(a);
+        }
+        Predicate::StringCompare {
+            func,
+            source,
+            value,
+        } => match func {
+            StringFunction::Equals => {
+                render_source_into(source, out);
+                out.push_str("=\"");
+                out.push_str(value);
+                out.push('"');
+            }
+            _ => {
+                out.push_str(func.name());
+                out.push('(');
+                render_source_into(source, out);
+                out.push_str(",\"");
+                out.push_str(value);
+                out.push_str("\")");
+            }
+        },
+        Predicate::Path(q) => q.render_into(out),
+    }
+}
+
+fn render_source_into(source: &TextSource, out: &mut String) {
+    match source {
+        TextSource::Attribute(a) => {
+            out.push('@');
+            out.push_str(a);
+        }
+        TextSource::NormalizedText => out.push('.'),
     }
 }
 

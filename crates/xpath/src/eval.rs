@@ -115,11 +115,22 @@ fn evaluate_core(cx: &mut EvalContext, query: &Query, doc: &Document, context: N
     current.push(start);
     for step in &query.steps {
         next.clear();
-        for &ctx in &current {
-            evaluate_step_into(step, doc, ctx, &mut candidates, &mut cx.nested);
-            next.extend_from_slice(&candidates);
+        if let [ctx] = current[..] {
+            // Single context: select straight into `next`, no scratch copy.
+            evaluate_step_into(step, doc, ctx, &mut next, &mut cx.nested);
+            // A forward-axis step from a single context emits candidates in
+            // document order with no duplicates (and predicates only
+            // filter), so the sort+dedup pass would be a no-op; skip it.
+            if !step_preserves_doc_order(step.axis) {
+                doc.sort_document_order(&mut next);
+            }
+        } else {
+            for &ctx in &current {
+                evaluate_step_into(step, doc, ctx, &mut candidates, &mut cx.nested);
+                next.extend_from_slice(&candidates);
+            }
+            doc.sort_document_order(&mut next);
         }
-        doc.sort_document_order(&mut next);
         std::mem::swap(&mut current, &mut next);
         if current.is_empty() {
             break;
@@ -128,6 +139,23 @@ fn evaluate_core(cx: &mut EvalContext, query: &Query, doc: &Document, context: N
     cx.current = current;
     cx.next = next;
     cx.candidates = candidates;
+}
+
+/// Whether a step along this axis, from one context node, yields candidates
+/// already in document order and free of duplicates (making the per-step
+/// sort+dedup a no-op).  Reverse axes emit nearest-first; the others emit in
+/// document order.
+pub(crate) fn step_preserves_doc_order(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Child
+            | Axis::Descendant
+            | Axis::DescendantOrSelf
+            | Axis::FollowingSibling
+            | Axis::Following
+            | Axis::SelfAxis
+            | Axis::Attribute
+    )
 }
 
 /// Evaluates a query and records the intermediate ("anchor") node sets.
@@ -180,7 +208,13 @@ fn descendants_by_tag_into(doc: &Document, context: NodeId, tag: &str, out: &mut
 /// Core of [`evaluate_step`]: fills `candidates` (cleared first) with the
 /// step's selection from one context node, reusing the vector's capacity.
 /// `nested` holds the scratch context for path predicates.
-fn evaluate_step_into(
+///
+/// Node-test and predicate needles are resolved to document [`Sym`]bols once
+/// per call (i.e. once per step application, never per candidate), so the
+/// retain loops below are integer compares; a needle that is absent from the
+/// document's interner cannot match anything and clears the candidate set
+/// outright.
+pub(crate) fn evaluate_step_into(
     step: &Step,
     doc: &Document,
     context: NodeId,
@@ -203,11 +237,39 @@ fn evaluate_step_into(
         }
         _ => {
             axis_nodes_into(step.axis, doc, context, candidates);
-            candidates.retain(|&n| node_test_matches(&step.test, step.axis, doc, n));
+            retain_node_test(&step.test, step.axis, doc, candidates);
         }
     }
     for pred in &step.predicates {
         apply_predicate(pred, doc, candidates, nested);
+    }
+}
+
+/// Filters `candidates` in place by the step's node test, resolving tag and
+/// attribute needles to symbols once for the whole candidate list.
+fn retain_node_test(test: &NodeTest, axis: Axis, doc: &Document, candidates: &mut Vec<NodeId>) {
+    if axis == Axis::Attribute {
+        // The node test names the attribute that must be present.
+        match test {
+            NodeTest::Tag(attr) => match doc.sym(attr) {
+                Some(sym) => candidates.retain(|&n| doc.has_attribute_sym(n, sym)),
+                None => candidates.clear(),
+            },
+            NodeTest::AnyElement | NodeTest::AnyNode => {
+                candidates.retain(|&n| doc.is_element(n) && !doc.attributes(n).is_empty());
+            }
+            NodeTest::Text => candidates.clear(),
+        }
+        return;
+    }
+    match test {
+        NodeTest::AnyElement => candidates.retain(|&n| doc.kind(n) == NodeKind::Element),
+        NodeTest::AnyNode => {}
+        NodeTest::Text => candidates.retain(|&n| doc.kind(n) == NodeKind::Text),
+        NodeTest::Tag(tag) => match doc.sym(tag) {
+            Some(sym) => candidates.retain(|&n| doc.tag_sym(n) == Some(sym)),
+            None => candidates.clear(),
+        },
     }
 }
 
@@ -245,28 +307,14 @@ fn axis_nodes_into(axis: Axis, doc: &Document, context: NodeId, out: &mut Vec<No
     }
 }
 
-fn node_test_matches(test: &NodeTest, axis: Axis, doc: &Document, node: NodeId) -> bool {
-    if axis == Axis::Attribute {
-        // The node test names the attribute that must be present.
-        return match test {
-            NodeTest::Tag(attr) => doc.has_attribute(node, attr),
-            NodeTest::AnyElement | NodeTest::AnyNode => {
-                doc.is_element(node) && !doc.attributes(node).is_empty()
-            }
-            NodeTest::Text => false,
-        };
-    }
-    match test {
-        NodeTest::AnyElement => doc.kind(node) == NodeKind::Element,
-        NodeTest::AnyNode => true,
-        NodeTest::Text => doc.kind(node) == NodeKind::Text,
-        NodeTest::Tag(tag) => doc.tag_name(node) == Some(tag.as_str()),
-    }
-}
-
 /// Filters `candidates` in place by one predicate.  Positional predicates
 /// keep (at most) the addressed element; the filter predicates `retain`.
 /// Path predicates evaluate through the `nested` scratch context.
+///
+/// Attribute needles resolve to symbols once per call; `[@a="v"]` equality
+/// compares two interned symbols per candidate (attribute *values* are
+/// interned too), and only the substring functions (`contains`,
+/// `starts-with`, `ends-with`) still read the value string.
 fn apply_predicate(
     pred: &Predicate,
     doc: &Document,
@@ -289,24 +337,40 @@ fn apply_predicate(
             candidates.clear();
             candidates.extend(kept);
         }
-        Predicate::HasAttribute(name) => {
-            candidates.retain(|&c| doc.has_attribute(c, name));
-        }
+        Predicate::HasAttribute(name) => match doc.sym(name) {
+            Some(sym) => candidates.retain(|&c| doc.has_attribute_sym(c, sym)),
+            None => candidates.clear(),
+        },
         Predicate::StringCompare {
             func,
             source,
             value,
-        } => {
-            candidates.retain(|&c| match source {
-                // Compare against the borrowed attribute value directly; the
-                // per-candidate `to_string` the old code paid here showed up
-                // in induction profiles.
-                TextSource::Attribute(a) => {
-                    doc.attribute(c, a).is_some_and(|v| func.apply(v, value))
+        } => match source {
+            TextSource::Attribute(a) => {
+                let Some(name) = doc.sym(a) else {
+                    candidates.clear();
+                    return;
+                };
+                if *func == crate::ast::StringFunction::Equals {
+                    // Equality is a pure symbol compare: a value absent from
+                    // the interner occurs on no element.
+                    match doc.sym(value) {
+                        Some(want) => {
+                            candidates.retain(|&c| doc.attribute_value_sym(c, name) == Some(want))
+                        }
+                        None => candidates.clear(),
+                    }
+                } else {
+                    candidates.retain(|&c| {
+                        doc.attribute_by_sym(c, name)
+                            .is_some_and(|v| func.apply(v, value))
+                    });
                 }
-                TextSource::NormalizedText => func.apply(&doc.normalized_text(c), value),
-            });
-        }
+            }
+            TextSource::NormalizedText => {
+                candidates.retain(|&c| func.apply(&doc.normalized_text(c), value));
+            }
+        },
         Predicate::Path(q) => {
             let cx = nested.get_or_insert_with(Default::default);
             candidates.retain(|&c| {

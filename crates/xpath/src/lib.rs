@@ -44,12 +44,17 @@ pub mod ast;
 pub mod canonical;
 pub mod dsl;
 pub mod eval;
+pub mod eval_reference;
 pub mod fragment;
+pub mod fx;
 pub mod parser;
+pub mod prefix;
 
 pub use ast::{Axis, NodeTest, Predicate, Query, Step, StringFunction, TextSource};
 pub use canonical::{c_changes, canonical_path, canonical_step};
 pub use dsl::{step, QueryBuilder};
 pub use eval::{evaluate, evaluate_with, evaluate_with_anchors, EvalContext, EvalOutput};
+pub use eval_reference::evaluate_reference;
 pub use fragment::{is_ds_xpath, is_one_directional, is_plausible, Direction};
 pub use parser::{parse_query, ParseError};
+pub use prefix::{PrefixEvaluator, PrefixHandle};

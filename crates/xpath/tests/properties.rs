@@ -380,3 +380,134 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Interning semantics: the evaluator resolves tag and attribute needles to
+// document symbols; these properties pin down that symbol resolution is
+// unobservable — including for needles that are absent from the document's
+// interner, which must behave exactly like present-but-unmatched needles.
+// ---------------------------------------------------------------------------
+
+/// Pure string-comparison reference for one non-positional predicate.
+fn string_pred_matches(doc: &Document, node: NodeId, pred: &Predicate) -> bool {
+    match pred {
+        Predicate::HasAttribute(name) => {
+            doc.attributes(node).iter().any(|a| a.name == name.as_str())
+        }
+        Predicate::StringCompare {
+            func,
+            source,
+            value,
+        } => match source {
+            TextSource::Attribute(name) => doc
+                .attributes(node)
+                .iter()
+                .find(|a| a.name == name.as_str())
+                .is_some_and(|a| func.apply(&a.value, value)),
+            TextSource::NormalizedText => func.apply(&doc.normalized_text(node), value),
+        },
+        _ => unreachable!("reference covers filter predicates only"),
+    }
+}
+
+/// Pure string-comparison reference for a node test on the descendant axis.
+fn string_test_matches(doc: &Document, node: NodeId, test: &NodeTest) -> bool {
+    match test {
+        NodeTest::AnyElement => doc.is_element(node),
+        NodeTest::AnyNode => true,
+        NodeTest::Text => doc.is_text(node),
+        NodeTest::Tag(tag) => doc.tag_name(node) == Some(tag.as_str()),
+    }
+}
+
+fn arb_filter_predicate() -> impl Strategy<Value = Predicate> {
+    let needle = prop_oneof![
+        arb_value(),
+        // Values guaranteed to be absent from every generated document: the
+        // interner miss path must be indistinguishable from a non-match.
+        Just("zz-absent-needle".to_string()),
+        Just(String::new()),
+    ];
+    prop_oneof![
+        arb_attr_name().prop_map(Predicate::HasAttribute),
+        Just(Predicate::HasAttribute("data-absent".into())),
+        (arb_function(), arb_source(), needle).prop_map(|(func, source, value)| {
+            Predicate::StringCompare {
+                func,
+                source,
+                value,
+            }
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// `descendant::<test>[preds…]` through the symbol-resolving evaluator
+    /// selects exactly the nodes a pure string-comparison reference keeps —
+    /// for present tags, absent tags, and needles the interner has never
+    /// seen.
+    #[test]
+    fn symbol_resolution_matches_string_reference(
+        doc in arb_document(),
+        test in prop_oneof![
+            arb_tag(),
+            Just(NodeTest::tag("table")), // never generated: absent from the interner
+        ],
+        preds in prop::collection::vec(arb_filter_predicate(), 0..3),
+    ) {
+        let step = Step { axis: Axis::Descendant, test: test.clone(), predicates: preds.clone() };
+        let selected = evaluate(&Query::new(vec![step]), &doc, doc.root());
+        let expected: Vec<NodeId> = doc
+            .descendants(doc.root())
+            .filter(|&n| string_test_matches(&doc, n, &test))
+            .filter(|&n| preds.iter().all(|p| string_pred_matches(&doc, n, p)))
+            .collect();
+        prop_assert_eq!(selected, expected);
+    }
+
+    /// The shared-prefix (trie) evaluator returns byte-identical node sets
+    /// to the naive evaluator for every query of a random batch, and every
+    /// prefix set equals evaluating the truncated query.
+    #[test]
+    fn prefix_evaluator_matches_fresh_evaluation(
+        doc in arb_document(),
+        queries in prop::collection::vec(arb_query(), 1..8),
+    ) {
+        let mut shared = wi_xpath::PrefixEvaluator::new(&doc);
+        for q in &queries {
+            prop_assert_eq!(
+                shared.evaluate(doc.root(), q),
+                &evaluate(q, &doc, doc.root())[..],
+                "{}", q
+            );
+            for len in 0..=q.steps.len() {
+                let truncated = Query { absolute: q.absolute, steps: q.steps[..len].to_vec() };
+                prop_assert_eq!(
+                    shared.evaluate_prefix(doc.root(), q, len),
+                    &evaluate(&truncated, &doc, doc.root())[..],
+                    "{} at prefix {}", q, len
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The manual renderer used by induction's hot paths is byte-identical
+    /// to the `Display` implementation for every expressible query.
+    #[test]
+    fn rendering_matches_display(q in arb_query()) {
+        prop_assert_eq!(q.render(), q.to_string());
+        // And steps render identically inside larger queries (nested paths).
+        let nested = Query::new(vec![Step {
+            axis: Axis::Descendant,
+            test: NodeTest::tag("div"),
+            predicates: vec![Predicate::Path(q.clone())],
+        }]);
+        prop_assert_eq!(nested.render(), nested.to_string());
+    }
+}
