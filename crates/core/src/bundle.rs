@@ -156,6 +156,14 @@ impl WrapperBundle {
 
     /// Renders the bundle as pretty-printed JSON.
     pub fn to_json_string(&self) -> String {
+        self.to_json_value().to_pretty()
+    }
+
+    /// Renders the bundle as a [`JsonValue`] tree — the same shape
+    /// `to_json_string` prints, reusable as a sub-object of a larger
+    /// document (the maintenance registry embeds bundles in its version-log
+    /// records this way).
+    pub fn to_json_value(&self) -> JsonValue {
         let mut members = vec![
             ("format".into(), JsonValue::String(BUNDLE_FORMAT.into())),
             ("version".into(), JsonValue::Number(f64::from(self.version))),
@@ -193,7 +201,7 @@ impl WrapperBundle {
                     .collect(),
             ),
         ));
-        JsonValue::Object(members).to_pretty()
+        JsonValue::Object(members)
     }
 
     /// Parses a bundle from JSON text.
@@ -202,6 +210,13 @@ impl WrapperBundle {
             offset: e.offset,
             message: e.message,
         })?;
+        Self::from_json_value(&value)
+    }
+
+    /// Rebuilds a bundle from an already-parsed [`JsonValue`] (the inverse
+    /// of [`to_json_value`](WrapperBundle::to_json_value)).  Every stored
+    /// expression is validated eagerly, exactly like `from_json_str`.
+    pub fn from_json_value(value: &JsonValue) -> Result<Self, BundleError> {
         let format = value
             .get("format")
             .and_then(JsonValue::as_str)

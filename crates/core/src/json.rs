@@ -86,6 +86,51 @@ impl JsonValue {
         out
     }
 
+    /// Renders the value as compact single-line JSON (no whitespace at all).
+    ///
+    /// This is the line format of the registry's append-only version logs:
+    /// one record per line, every byte significant, so a torn or corrupted
+    /// line is detectable and the `\n` terminator doubles as the record
+    /// commit marker.  Parsing the output yields an identical value, and
+    /// re-rendering a parsed compact line reproduces it byte-for-byte
+    /// (object member order is preserved).
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Number(n) => write_number(out, *n),
+            JsonValue::String(s) => write_string(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             JsonValue::Null => out.push_str("null"),
@@ -405,6 +450,34 @@ mod tests {
         assert_eq!(reparsed, value);
         // Byte-identical second round trip.
         assert_eq!(reparsed.to_pretty(), text);
+    }
+
+    #[test]
+    fn compact_rendering_round_trips_and_has_no_whitespace() {
+        let value = JsonValue::Object(vec![
+            ("n".into(), JsonValue::Number(1.5)),
+            ("s".into(), JsonValue::String("a \"b\"\n".into())),
+            (
+                "a".into(),
+                JsonValue::Array(vec![
+                    JsonValue::Null,
+                    JsonValue::Bool(false),
+                    JsonValue::Object(vec![]),
+                    JsonValue::Array(vec![]),
+                ]),
+            ),
+        ]);
+        let compact = value.to_compact();
+        assert_eq!(
+            compact,
+            "{\"n\":1.5,\"s\":\"a \\\"b\\\"\\n\",\"a\":[null,false,{},[]]}"
+        );
+        let reparsed = parse_json(&compact).unwrap();
+        assert_eq!(reparsed, value);
+        // Byte-identical second round trip (object order preserved).
+        assert_eq!(reparsed.to_compact(), compact);
+        // Compact and pretty agree on the value.
+        assert_eq!(parse_json(&value.to_pretty()).unwrap(), reparsed);
     }
 
     #[test]

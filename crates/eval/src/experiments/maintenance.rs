@@ -3,8 +3,12 @@
 //! scored against the generated ground truth.
 //!
 //! For every task an exact wrapper is induced on the first snapshot,
-//! installed in a [`Registry`], and maintained across the whole observation
-//! window through the parallel [`Registry::maintain_batch`] driver.  The
+//! installed in a *persisted* [`PersistentRegistry`] (sharded append-only
+//! version logs in a scratch directory — the production storage path), and
+//! maintained across the whole observation window through the parallel
+//! [`PersistentRegistry::maintain_batch`] driver.  The run closes with a
+//! durability gate: the live registry is dropped and recovered from its
+//! shard logs, and the recovery must restore every committed revision.  The
 //! webgen timelines then provide what no real-world archive can: per-epoch
 //! ground-truth targets *and* the generated change class behind every break,
 //! so the experiment reports
@@ -29,7 +33,7 @@ use serde::{Deserialize, Serialize};
 use wi_dom::{Document, NodeId};
 use wi_induction::sample::counts_against;
 use wi_induction::{Extractor, WrapperBundle, WrapperInducer};
-use wi_maintain::{DriftClass, Maintainer, MaintenanceJob, PageVersion, Registry};
+use wi_maintain::{DriftClass, Maintainer, MaintenanceJob, PageVersion, PersistentRegistry};
 use wi_maintain::{LastKnownGood, MaintenanceLog};
 use wi_scoring::f_beta;
 use wi_webgen::datasets::{multi_node_tasks, single_node_tasks};
@@ -99,6 +103,13 @@ pub struct MaintenanceReport {
     pub post_break_f1_without_repair: f64,
     /// Survival curve samples.
     pub survival: Vec<SurvivalPoint>,
+    /// Shards of the persisted registry the run maintained.
+    pub registry_shards: usize,
+    /// Bundle revisions the persisted registry held when the run finished.
+    pub persisted_revisions: usize,
+    /// … of which a fresh recovery from the shard logs restored.  Anything
+    /// other than equality is a durability bug and a gated floor violation.
+    pub recovered_revisions: usize,
 }
 
 impl MaintenanceReport {
@@ -125,6 +136,12 @@ impl MaintenanceReport {
                 self.post_break_f1_with_repair, REPAIR_RECOVERY_FLOOR
             ));
         }
+        if self.recovered_revisions != self.persisted_revisions {
+            violations.push(format!(
+                "registry recovery restored {} of {} committed revisions",
+                self.recovered_revisions, self.persisted_revisions
+            ));
+        }
         violations
     }
 }
@@ -137,13 +154,33 @@ struct TaskRun {
     original: WrapperBundle,
 }
 
+/// Shards of the experiment's persisted registry.
+const REGISTRY_SHARDS: usize = 8;
+
+/// A unique scratch directory for the run's persisted registry.
+fn registry_scratch_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "wi-eval-maintenance-registry-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
 /// Runs the experiment.
 pub fn run(scale: &Scale) -> MaintenanceReport {
     let mut tasks: Vec<WrapperTask> = single_node_tasks(scale.single_tasks);
     tasks.extend(multi_node_tasks(scale.multi_tasks));
 
-    // Induce + install + build jobs.
-    let mut registry = Registry::new();
+    // Induce + install + build jobs.  The registry is the *persisted* one:
+    // the experiment exercises the production storage path (sharded
+    // append-only logs in a scratch directory) and closes with a recovery
+    // that must restore every committed revision.
+    let scratch = registry_scratch_dir();
+    let _ = std::fs::remove_dir_all(&scratch);
+    let mut registry = PersistentRegistry::create(&scratch, REGISTRY_SHARDS)
+        .expect("scratch registry directory is writable");
     let mut jobs: Vec<MaintenanceJob> = Vec::new();
     let mut kept: Vec<(WrapperTask, WrapperBundle)> = Vec::new();
     for task in tasks {
@@ -161,7 +198,9 @@ pub fn run(scale: &Scale) -> MaintenanceReport {
         )
         .with_label(task.id());
         let site_key = task.id();
-        registry.install(&site_key, bundle.clone(), 0);
+        registry
+            .install(&site_key, bundle.clone(), 0)
+            .expect("install commits to the shard log");
 
         let archive = wi_webgen::archive::ArchiveSimulator::new(
             task.site.clone(),
@@ -186,9 +225,31 @@ pub fn run(scale: &Scale) -> MaintenanceReport {
         kept.push((task, bundle));
     }
 
-    // The parallel batch driver: one evaluation context per worker.
+    // The parallel batch driver: one evaluation context per worker, every
+    // revision and maintenance position committed to the shard logs.
     let maintainer = Maintainer::default();
-    let logs = registry.maintain_batch(&jobs, &maintainer);
+    let logs = registry
+        .maintain_batch(&jobs, &maintainer)
+        .expect("batch commits to the shard logs");
+
+    // Durability gate: drop the live registry and recover from disk — the
+    // recovery must be clean and restore every committed revision.
+    let persisted_revisions: usize = registry
+        .sites()
+        .map(|site| registry.history(site).len())
+        .sum();
+    drop(registry);
+    let recovered = PersistentRegistry::recover(&scratch).expect("registry recovers");
+    let recovered_revisions = if recovered.recovery_report().clean() {
+        recovered
+            .sites()
+            .map(|site| recovered.history(site).len())
+            .sum()
+    } else {
+        0 // a torn log on a cleanly written registry is a durability bug
+    };
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&scratch);
 
     let runs: Vec<TaskRun> = kept
         .into_iter()
@@ -202,7 +263,11 @@ pub fn run(scale: &Scale) -> MaintenanceReport {
         })
         .collect();
 
-    score(runs, scale)
+    let mut report = score(runs, scale);
+    report.registry_shards = REGISTRY_SHARDS;
+    report.persisted_revisions = persisted_revisions;
+    report.recovered_revisions = recovered_revisions;
+    report
 }
 
 /// The snapshot days of the observation window at the scale's interval.
@@ -413,6 +478,10 @@ fn score(runs: Vec<TaskRun>, scale: &Scale) -> MaintenanceReport {
         post_break_f1_with_repair: f1_with_sum / post_break_epochs.max(1) as f64,
         post_break_f1_without_repair: f1_without_sum / post_break_epochs.max(1) as f64,
         survival,
+        // Filled in by `run` once the persisted registry has been recovered.
+        registry_shards: 0,
+        persisted_revisions: 0,
+        recovered_revisions: 0,
     }
 }
 
@@ -477,6 +546,17 @@ fn render_report(report: &MaintenanceReport) -> String {
         report.post_break_f1_with_repair,
         report.post_break_f1_without_repair,
         report.post_break_epochs
+    ));
+    out.push_str(&format!(
+        "registry: {} revisions persisted across {} shards · recovery restored {} ({})\n",
+        report.persisted_revisions,
+        report.registry_shards,
+        report.recovered_revisions,
+        if report.recovered_revisions == report.persisted_revisions {
+            "0 lost"
+        } else {
+            "REVISIONS LOST"
+        }
     ));
     out.push_str("survival (fraction of tasks extracting correctly):\n");
     let step = (report.survival.len() / 10).max(1);
@@ -547,6 +627,13 @@ mod tests {
             report.post_break_f1_without_repair
         );
         assert!(report.floor_violations().is_empty());
+        // The persisted registry survived drop + recover with zero lost
+        // committed revisions.
+        assert!(report.persisted_revisions >= report.tasks);
+        assert_eq!(
+            report.recovered_revisions, report.persisted_revisions,
+            "registry recovery lost revisions"
+        );
     }
 
     #[test]
@@ -555,6 +642,8 @@ mod tests {
         assert!(rendered.contains("verifier:"));
         assert!(rendered.contains("classifier:"));
         assert!(rendered.contains("post-break F1"));
+        assert!(rendered.contains("registry:"));
+        assert!(rendered.contains("0 lost"));
         assert!(rendered.contains("survival"));
         assert!(render_checked(&Scale::tiny()).is_ok());
     }

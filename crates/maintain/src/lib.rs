@@ -30,6 +30,18 @@
 //!    parallel [`Registry::maintain_batch`] driver runs whole archives of
 //!    sites through the loop with one evaluation context per worker,
 //!    mirroring `Extractor::extract_batch`.
+//! 5. **Persist** ([`PersistentRegistry`]) — the production registry: site
+//!    histories sharded by FxHash of the site key, each shard an append-only
+//!    checksummed JSON-lines version log with a manifest.
+//!    [`PersistentRegistry::recover`] replays the logs back into the live
+//!    map (restoring the longest valid record prefix and surfacing anything
+//!    dropped as a typed [`RegistryError`]),
+//!    [`PersistentRegistry::maintain_batch`] persists every revision plus
+//!    each site's maintenance position (last-known-good, lifecycle state,
+//!    retirement streak) so restarts resume timelines byte-identically, and
+//!    [`PersistentRegistry::compact`] bounds log growth to
+//!    last-known-good + a retained audit tail.  See the
+//!    [`registry`] module docs for the on-disk layout.
 //!
 //! The loop itself is the [`Maintainer`] state machine (`Monitoring` →
 //! `Degraded` → `Retired`, see [`WrapperState`]).
@@ -115,7 +127,10 @@ use wi_dom::Document;
 // of the loop from one crate.
 pub use drift::{DriftClass, DriftClassifier, DriftConfig, DriftReport, FixKind, QueryFix};
 pub use lifecycle::{EpochOutcome, MaintainConfig, Maintainer, MaintenanceLog, WrapperState};
-pub use registry::{MaintenanceJob, Registry, VersionRecord};
+pub use registry::{
+    shard_of, CompactionPolicy, CompactionStats, LogRecord, MaintenanceJob, PersistentRegistry,
+    RecoveryReport, Registry, RegistryError, TornTail, VersionRecord,
+};
 pub use repair::{RepairAction, RepairConfig, Repairer};
 pub use verify::{HealthReport, HealthSignal, LastKnownGood, Verifier, VerifyConfig};
 pub use wi_induction::{WrapperBundle, WrapperInducer};

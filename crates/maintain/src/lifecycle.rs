@@ -94,6 +94,11 @@ pub struct MaintenanceLog {
     pub bundle: WrapperBundle,
     /// The last-known-good state after the last snapshot.
     pub lkg: Option<LastKnownGood>,
+    /// Consecutive failed `TargetRemoved` repairs at the end of the run (the
+    /// retirement countdown).  Feed this back into
+    /// [`Maintainer::run_resumed`] to continue the timeline later — e.g.
+    /// after a registry restart — exactly where it stopped.
+    pub target_gone_streak: u32,
 }
 
 impl MaintenanceLog {
@@ -190,14 +195,48 @@ impl Maintainer {
         seed_lkg: Option<LastKnownGood>,
         inducer: &WrapperInducer,
     ) -> MaintenanceLog {
+        self.run_resumed(
+            cx,
+            label,
+            bundle,
+            pages,
+            seed_lkg,
+            inducer,
+            WrapperState::Monitoring,
+            0,
+        )
+    }
+
+    /// Like [`run_with_inducer`](Maintainer::run_with_inducer), but resuming
+    /// from an explicit lifecycle position: the wrapper state and the
+    /// consecutive-`TargetRemoved` failure streak a previous run ended with
+    /// (see [`MaintenanceLog::target_gone_streak`]).  This is what makes a
+    /// timeline *splittable*: running the first half, persisting
+    /// `(bundle, lkg, state, streak)`, and resuming over the second half is
+    /// byte-identical to one uninterrupted run — the persistent registry's
+    /// restart guarantee is built on it.  A wrapper resumed as
+    /// [`WrapperState::Retired`] keeps being verified but not repaired,
+    /// exactly as if it had retired mid-run.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_resumed(
+        &self,
+        cx: &mut EvalContext,
+        label: &str,
+        bundle: WrapperBundle,
+        pages: &[PageVersion],
+        seed_lkg: Option<LastKnownGood>,
+        inducer: &WrapperInducer,
+        seed_state: WrapperState,
+        seed_target_gone_streak: u32,
+    ) -> MaintenanceLog {
         let verifier = Verifier::new(self.config.verify.clone());
         let classifier = DriftClassifier::new(self.config.drift.clone());
         let repairer = Repairer::new(self.config.repair.clone(), verifier.clone());
 
         let mut bundle = bundle;
         let mut lkg = seed_lkg;
-        let mut state = WrapperState::Monitoring;
-        let mut consecutive_target_gone = 0usize;
+        let mut state = seed_state;
+        let mut consecutive_target_gone = seed_target_gone_streak as usize;
         let mut outcomes: Vec<EpochOutcome> = Vec::with_capacity(pages.len());
         let mut revisions: Vec<RevisionEvent> = Vec::new();
 
@@ -321,6 +360,7 @@ impl Maintainer {
             revisions,
             bundle,
             lkg,
+            target_gone_streak: consecutive_target_gone as u32,
         }
     }
 }

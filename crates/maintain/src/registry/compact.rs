@@ -1,0 +1,159 @@
+//! Shard compaction: bounding log growth without losing what matters.
+//!
+//! An append-only log grows with every maintenance run — one lifecycle
+//! record per batch plus one record per installed revision.  Compaction
+//! rewrites a shard down to the state a service actually needs going
+//! forward:
+//!
+//! * per site, the **current revision** and the last
+//!   [`retain_revisions`](CompactionPolicy::retain_revisions) superseded
+//!   ones (the audit tail),
+//! * the **last-known-good** verification state,
+//! * the **lifecycle position** (state + retirement streak).
+//!
+//! Everything observable through the registry API is invariant under
+//! compaction: current bundles, revision counters, last-known-good states
+//! and retired flags are bit-identical before and after, and a recovery
+//! from the compacted log reproduces the same live map (minus the trimmed
+//! history).  The rewrite is atomic per shard (temp file + rename), and the
+//! shard manifest's compaction generation is bumped afterwards.
+
+use super::log::{encode_record_ref, RecordRef, RegistryError};
+use super::shard::{log_path, read_shard_manifest, shard_of, write_atomic, write_shard_manifest};
+use super::SiteEntry;
+use crate::lifecycle::WrapperState;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// How much history a compaction keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Superseded revisions kept per site *behind* the current one.  `0`
+    /// keeps only the revision in force.
+    pub retain_revisions: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            retain_revisions: 2,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// The hard per-site record ceiling a compacted shard obeys: the
+    /// retained revision tail plus the current revision, one last-known-good
+    /// record and one lifecycle record.
+    pub fn max_records_per_site(&self) -> usize {
+        self.retain_revisions + 3
+    }
+
+    /// The index of the first *retained* revision in a history of
+    /// `revisions` entries.  The single source of the retention rule: both
+    /// the shard-log rewrite and the live-map trim use this, so the two can
+    /// never silently disagree record-for-record.
+    pub fn keep_from(&self, revisions: usize) -> usize {
+        revisions.saturating_sub(self.retain_revisions + 1)
+    }
+}
+
+/// What a compaction did, per [`PersistentRegistry::compact`] call.
+///
+/// [`PersistentRegistry::compact`]: super::PersistentRegistry::compact
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionStats {
+    /// Shards rewritten.
+    pub shards: usize,
+    /// Log records across all shards before the rewrite.
+    pub records_before: usize,
+    /// Log records across all shards after the rewrite.
+    pub records_after: usize,
+    /// Log bytes across all shards before the rewrite.
+    pub bytes_before: u64,
+    /// Log bytes across all shards after the rewrite.
+    pub bytes_after: u64,
+}
+
+/// Rewrites every shard log from the live map under `policy`.
+pub(crate) fn compact_registry(
+    root: &Path,
+    shards: usize,
+    sites: &BTreeMap<String, SiteEntry>,
+    policy: &CompactionPolicy,
+) -> Result<CompactionStats, RegistryError> {
+    let mut stats = CompactionStats {
+        shards,
+        records_before: 0,
+        records_after: 0,
+        bytes_before: 0,
+        bytes_after: 0,
+    };
+    // One pass over the (sorted, so deterministically ordered) live map to
+    // group sites by shard — hashing every site once, not once per shard.
+    let mut shard_sites: Vec<Vec<(&String, &SiteEntry)>> = vec![Vec::new(); shards];
+    for (site, entry) in sites {
+        shard_sites[shard_of(site, shards)].push((site, entry));
+    }
+
+    for (shard, members) in shard_sites.iter().enumerate() {
+        let path = log_path(root, shard);
+        match std::fs::read(&path) {
+            Ok(old) => {
+                stats.bytes_before += old.len() as u64;
+                stats.records_before += old.iter().filter(|&&b| b == b'\n').count();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+            Err(e) => return Err(RegistryError::io(&path, e)),
+        }
+
+        let mut rewritten = String::new();
+        let mut records = 0usize;
+        for &(site, entry) in members {
+            let keep_from = policy.keep_from(entry.versions.len());
+            for version in &entry.versions[keep_from..] {
+                rewritten.push_str(&encode_record_ref(RecordRef::Revision {
+                    site,
+                    day: version.day,
+                    revision: version.revision,
+                    cause: &version.cause,
+                    bundle: &version.bundle,
+                }));
+                records += 1;
+            }
+            if let Some(lkg) = &entry.lkg {
+                rewritten.push_str(&encode_record_ref(RecordRef::Lkg { site, lkg }));
+                records += 1;
+            }
+            // The replay defaults are Monitoring, zero streak, no
+            // maintained day, so the lifecycle record is only needed when
+            // the site deviates from them — unconditional state records
+            // would make compaction *grow* an install-only registry.  The
+            // recorded day is the persisted last-maintained day, not some
+            // revision's: the audit trail must keep saying when maintenance
+            // last ran.
+            if entry.state != WrapperState::Monitoring
+                || entry.target_gone_streak > 0
+                || entry.last_day.is_some()
+            {
+                rewritten.push_str(&encode_record_ref(RecordRef::State {
+                    site,
+                    day: entry
+                        .last_day
+                        .or_else(|| entry.versions.last().map(|v| v.day))
+                        .unwrap_or(0),
+                    state: entry.state,
+                    target_gone_streak: entry.target_gone_streak,
+                }));
+                records += 1;
+            }
+        }
+
+        write_atomic(&path, &rewritten)?;
+        let generation = read_shard_manifest(root, shard)?;
+        write_shard_manifest(root, shard, generation.saturating_add(1))?;
+        stats.bytes_after += rewritten.len() as u64;
+        stats.records_after += records;
+    }
+    Ok(stats)
+}

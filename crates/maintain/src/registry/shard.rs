@@ -1,0 +1,356 @@
+//! Shard layout and recovery: the on-disk anatomy of a persistent registry.
+//!
+//! ```text
+//! <root>/
+//!   registry.json        root manifest: format marker + shard count
+//!   shard-000/
+//!     manifest.json      shard manifest: index + compaction generation
+//!     log.jsonl          append-only version log (see `registry::log`)
+//!   shard-001/ …
+//! ```
+//!
+//! Sites are partitioned by FxHash of the site key modulo the shard count
+//! ([`shard_of`]), so one site's whole history lives in exactly one log and
+//! shards can be recovered, compacted and audited independently.
+//!
+//! **Recovery** reads a shard log front to back and replays the longest
+//! prefix of valid records: each line must be `\n`-terminated (the commit
+//! marker), checksum-clean, schema-valid, and revision-monotonic per site.
+//! The first violation ends the prefix; the file is truncated back to it so
+//! the next append continues from known-good state, and the dropped tail is
+//! reported as a typed [`RegistryError`] — never a panic.
+
+use super::log::{decode_line, LogRecord, RegistryError};
+use std::collections::HashMap;
+use std::hash::Hasher as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use wi_induction::json::{parse_json, JsonValue};
+use wi_xpath::fx::FxHasher;
+
+/// The format marker of the root manifest.
+pub(crate) const REGISTRY_FORMAT: &str = "wrapper-induction/registry";
+/// The format marker of a shard manifest.
+pub(crate) const SHARD_FORMAT: &str = "wrapper-induction/registry-shard";
+/// The registry layout version this build reads and writes.
+pub(crate) const REGISTRY_FORMAT_VERSION: u32 = 1;
+
+/// The shard a site key lives in: FxHash64 of the key, finalized and taken
+/// modulo `shards`.
+///
+/// FxHash is a bare multiply-xor: for short keys that differ only in a few
+/// byte positions, the difference never reaches the low bits, so a naive
+/// `hash % shards` collapses whole key families onto one shard.  A full
+/// avalanche finalizer (murmur3's fmix64) spreads every input bit across
+/// the word first; the partition is part of the on-disk format, so this
+/// function must never change for version 1 registries.
+pub fn shard_of(site: &str, shards: usize) -> usize {
+    let mut hasher = FxHasher::default();
+    hasher.write(site.as_bytes());
+    let mut hash = hasher.finish();
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    hash ^= hash >> 33;
+    hash = hash.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    hash ^= hash >> 33;
+    (hash % shards.max(1) as u64) as usize
+}
+
+/// Directory of one shard under the registry root.
+pub(crate) fn shard_dir(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard:03}"))
+}
+
+/// Path of a shard's append-only version log.
+pub(crate) fn log_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("log.jsonl")
+}
+
+/// Path of a shard's manifest.
+pub(crate) fn shard_manifest_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("manifest.json")
+}
+
+/// Path of the root manifest.
+pub(crate) fn root_manifest_path(root: &Path) -> PathBuf {
+    root.join("registry.json")
+}
+
+/// Writes `text` to `path` atomically: a sibling temp file is written in
+/// full and fsynced, then renamed over the target, so a crash leaves either
+/// the old or the new content, never a torn mix.  (Directory entries are
+/// not fsynced; see the ROADMAP's durability follow-up.)
+pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), RegistryError> {
+    let tmp = path.with_extension("tmp");
+    let mut file = std::fs::File::create(&tmp).map_err(|e| RegistryError::io(&tmp, e))?;
+    file.write_all(text.as_bytes())
+        .map_err(|e| RegistryError::io(&tmp, e))?;
+    file.sync_all().map_err(|e| RegistryError::io(&tmp, e))?;
+    drop(file);
+    std::fs::rename(&tmp, path).map_err(|e| RegistryError::io(path, e))
+}
+
+pub(crate) fn write_root_manifest(root: &Path, shards: usize) -> Result<(), RegistryError> {
+    let manifest = JsonValue::Object(vec![
+        ("format".into(), JsonValue::String(REGISTRY_FORMAT.into())),
+        (
+            "version".into(),
+            JsonValue::Number(f64::from(REGISTRY_FORMAT_VERSION)),
+        ),
+        ("shards".into(), JsonValue::Number(shards as f64)),
+    ]);
+    let mut text = manifest.to_pretty();
+    text.push('\n');
+    write_atomic(&root_manifest_path(root), &text)
+}
+
+/// Reads and validates the root manifest; returns the shard count.
+pub(crate) fn read_root_manifest(root: &Path) -> Result<usize, RegistryError> {
+    let path = root_manifest_path(root);
+    let text = std::fs::read_to_string(&path).map_err(|e| RegistryError::io(&path, e))?;
+    let manifest = parse_json(&text).map_err(|e| RegistryError::Manifest {
+        path: path.clone(),
+        message: format!("malformed JSON: {e}"),
+    })?;
+    let bad = |message: String| RegistryError::Manifest {
+        path: path.clone(),
+        message,
+    };
+    match manifest.get("format").and_then(JsonValue::as_str) {
+        Some(REGISTRY_FORMAT) => {}
+        other => return Err(bad(format!("not a registry manifest (format {other:?})"))),
+    }
+    match manifest.get("version").and_then(JsonValue::as_u32) {
+        Some(REGISTRY_FORMAT_VERSION) => {}
+        other => return Err(bad(format!("unsupported version {other:?}"))),
+    }
+    let shards = manifest
+        .get("shards")
+        .and_then(JsonValue::as_u32)
+        .ok_or_else(|| bad("missing shard count".into()))?;
+    if shards == 0 {
+        return Err(bad("shard count must be positive".into()));
+    }
+    Ok(shards as usize)
+}
+
+pub(crate) fn write_shard_manifest(
+    root: &Path,
+    shard: usize,
+    compactions: u32,
+) -> Result<(), RegistryError> {
+    let manifest = JsonValue::Object(vec![
+        ("format".into(), JsonValue::String(SHARD_FORMAT.into())),
+        (
+            "version".into(),
+            JsonValue::Number(f64::from(REGISTRY_FORMAT_VERSION)),
+        ),
+        ("shard".into(), JsonValue::Number(shard as f64)),
+        (
+            "compactions".into(),
+            JsonValue::Number(f64::from(compactions)),
+        ),
+    ]);
+    let mut text = manifest.to_pretty();
+    text.push('\n');
+    write_atomic(&shard_manifest_path(root, shard), &text)
+}
+
+/// Reads and validates a shard manifest; returns its compaction generation.
+pub(crate) fn read_shard_manifest(root: &Path, shard: usize) -> Result<u32, RegistryError> {
+    let path = shard_manifest_path(root, shard);
+    let text = std::fs::read_to_string(&path).map_err(|e| RegistryError::io(&path, e))?;
+    let manifest = parse_json(&text).map_err(|e| RegistryError::Manifest {
+        path: path.clone(),
+        message: format!("malformed JSON: {e}"),
+    })?;
+    if manifest.get("format").and_then(JsonValue::as_str) != Some(SHARD_FORMAT) {
+        return Err(RegistryError::Manifest {
+            path,
+            message: "not a shard manifest".into(),
+        });
+    }
+    match manifest.get("version").and_then(JsonValue::as_u32) {
+        Some(REGISTRY_FORMAT_VERSION) => {}
+        other => {
+            return Err(RegistryError::Manifest {
+                path,
+                message: format!("unsupported version {other:?}"),
+            })
+        }
+    }
+    if manifest.get("shard").and_then(JsonValue::as_u32) != Some(shard as u32) {
+        return Err(RegistryError::Manifest {
+            path,
+            message: "shard index does not match its directory".into(),
+        });
+    }
+    Ok(manifest
+        .get("compactions")
+        .and_then(JsonValue::as_u32)
+        .unwrap_or(0))
+}
+
+/// Appends pre-encoded record lines to a shard log and fsyncs the file, so
+/// the records survive an OS crash or power loss once this returns (the
+/// torn-tail recovery covers a crash *during* the write).
+pub(crate) fn append_lines(root: &Path, shard: usize, lines: &str) -> Result<(), RegistryError> {
+    if lines.is_empty() {
+        return Ok(());
+    }
+    let path = log_path(root, shard);
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| RegistryError::io(&path, e))?;
+    file.write_all(lines.as_bytes())
+        .map_err(|e| RegistryError::io(&path, e))?;
+    file.sync_data().map_err(|e| RegistryError::io(&path, e))
+}
+
+/// What recovery found in one shard log.
+pub(crate) struct RecoveredShard {
+    /// The longest valid record prefix, in log order.
+    pub records: Vec<LogRecord>,
+    /// Byte length of that prefix (the log is truncated to this).
+    pub valid_bytes: u64,
+    /// Bytes dropped behind the prefix (0 for a clean log).
+    pub dropped_bytes: u64,
+    /// Why the prefix ended, when it ended before the end of the file.
+    pub error: Option<RegistryError>,
+}
+
+/// Replays a shard log: decodes the longest valid record prefix and reports
+/// a torn or corrupt tail as a typed error.  With `repair` set the file is
+/// additionally truncated back to the valid prefix so subsequent appends
+/// commit cleanly; without it the log is left byte-for-byte untouched (the
+/// strict `open` path inspects without destroying forensic evidence).
+/// Missing log files are an empty shard (a crash can land between
+/// `create_dir_all` and the first append).
+pub(crate) fn recover_shard(
+    root: &Path,
+    shard: usize,
+    repair: bool,
+) -> Result<RecoveredShard, RegistryError> {
+    let path = log_path(root, shard);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Ok(RecoveredShard {
+                records: Vec::new(),
+                valid_bytes: 0,
+                dropped_bytes: 0,
+                error: None,
+            })
+        }
+        Err(e) => return Err(RegistryError::io(&path, e)),
+    };
+
+    let mut records = Vec::new();
+    let mut last_revision: HashMap<String, u32> = HashMap::new();
+    let mut valid_bytes = 0usize;
+    let mut line_no = 0usize;
+    let mut error = None;
+
+    let mut rest: &[u8] = &bytes;
+    while !rest.is_empty() {
+        line_no += 1;
+        let Some(newline) = rest.iter().position(|&b| b == b'\n') else {
+            // No commit marker: the final record was torn mid-write.
+            error = Some(RegistryError::Record {
+                shard,
+                line: line_no,
+                message: format!("torn record ({} bytes without commit marker)", rest.len()),
+            });
+            break;
+        };
+        let line = &rest[..newline];
+        let decoded = std::str::from_utf8(line)
+            .map_err(|_| "invalid UTF-8".to_string())
+            .and_then(decode_line);
+        let record = match decoded {
+            Ok(record) => record,
+            Err(message) => {
+                error = Some(RegistryError::Record {
+                    shard,
+                    line: line_no,
+                    message,
+                });
+                break;
+            }
+        };
+        if let LogRecord::Revision { site, revision, .. } = &record {
+            if let Some(&last) = last_revision.get(site.as_str()) {
+                if *revision <= last {
+                    error = Some(RegistryError::Record {
+                        shard,
+                        line: line_no,
+                        message: format!(
+                            "revision {revision} for site {site:?} does not follow {last}"
+                        ),
+                    });
+                    break;
+                }
+            }
+            last_revision.insert(site.clone(), *revision);
+        }
+        records.push(record);
+        valid_bytes += newline + 1;
+        rest = &rest[newline + 1..];
+    }
+
+    let dropped_bytes = (bytes.len() - valid_bytes) as u64;
+    if dropped_bytes > 0 && repair {
+        // Truncate the torn tail so subsequent appends commit cleanly.
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| RegistryError::io(&path, e))?;
+        file.set_len(valid_bytes as u64)
+            .map_err(|e| RegistryError::io(&path, e))?;
+    }
+    Ok(RecoveredShard {
+        records,
+        valid_bytes: valid_bytes as u64,
+        dropped_bytes,
+        error,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharding_is_stable_and_in_range() {
+        for shards in [1usize, 4, 16] {
+            for site in ["", "a", "movies-0017", "hotels-0101"] {
+                let s = shard_of(site, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(site, shards), "stable");
+            }
+        }
+        // The partition actually spreads keys (not all in one shard).
+        let hits: std::collections::HashSet<usize> =
+            (0..64).map(|i| shard_of(&format!("site-{i}"), 8)).collect();
+        assert!(hits.len() > 4, "degenerate partition: {hits:?}");
+    }
+
+    #[test]
+    fn manifests_round_trip_and_reject_foreign_files() {
+        let root = std::env::temp_dir().join(format!("wi-shard-test-{}", std::process::id()));
+        std::fs::create_dir_all(shard_dir(&root, 0)).unwrap();
+        write_root_manifest(&root, 8).unwrap();
+        assert_eq!(read_root_manifest(&root).unwrap(), 8);
+        write_shard_manifest(&root, 0, 3).unwrap();
+        assert_eq!(read_shard_manifest(&root, 0).unwrap(), 3);
+
+        std::fs::write(root_manifest_path(&root), "{\"format\": \"other\"}").unwrap();
+        assert!(matches!(
+            read_root_manifest(&root),
+            Err(RegistryError::Manifest { .. })
+        ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,142 @@
+//! Regression harness for the known drift-classifier confusion (ROADMAP:
+//! "Drift-classifier coverage"): when a **positionally-masked anchor
+//! survives its block's removal**, the classifier reports
+//! [`DriftClass::Unknown`] where the generated truth is `target-removed`.
+//!
+//! The wrapper `descendant::div[@class="blk"][1]/child::span[1]` anchors on
+//! a class that *another* block also carries.  When the first block — the
+//! one holding the target — is removed, the anchor value still occurs on
+//! the page (`attr_anchor_gone` is false), so the "anchors themselves
+//! vanished" evidence the `TargetRemoved` verdict needs is missing, and no
+//! substitution validates either.  A neighborhood fingerprint captured at
+//! last-known-good time (which carrier of the anchor the expression
+//! actually went through) would disambiguate; until it exists, this test
+//! pins the wrong-but-current behaviour so the fix has a ready harness —
+//! the `KNOWN CONFUSION` assertions below are the ones a fingerprint fix
+//! must flip.
+//!
+//! No `#[ignore]`: the test *passes* today, documenting the confusion, and
+//! fails loudly the day the classifier starts answering `TargetRemoved`.
+
+use wi_dom::Document;
+use wi_induction::{WrapperBundle, WrapperInducer};
+use wi_maintain::{DriftClass, Maintainer, MaintenanceLog, PageVersion, WrapperState};
+use wi_scoring::ScoringParams;
+
+/// Two blocks share the anchor class; only the first holds the target.
+fn page_with_both_blocks() -> Document {
+    Document::parse(
+        r#"<body><div class="blk"><h4>Director:</h4><span class="v">Scorsese</span></div>
+           <div class="blk"><h4>Stars:</h4><span class="v">DeNiro</span></div>
+           <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+    )
+    .unwrap()
+}
+
+/// The target's block is gone; the anchor class survives on the other one.
+fn page_with_surviving_anchor() -> Document {
+    Document::parse(
+        r#"<body><div class="blk"><h4>Stars:</h4><span class="v">DeNiro</span></div>
+           <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+    )
+    .unwrap()
+}
+
+/// A positionally-masked wrapper over the first `blk` block.
+fn masked_bundle(doc: &Document) -> WrapperBundle {
+    let director = vec![doc.elements_by_class("v")[0]];
+    let wrapper = WrapperInducer::default()
+        .try_induce_best(doc, &director)
+        .unwrap();
+    let mut bundle =
+        WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults()).with_label("blk");
+    bundle.entries[0].expression = r#"descendant::div[@class="blk"][1]/child::span[1]"#.to_string();
+    bundle
+}
+
+/// Runs the loop over three healthy epochs (building anchor-census
+/// stability) followed by the block removal.
+fn run_timeline(broken_page: Document) -> MaintenanceLog {
+    let v1 = page_with_both_blocks();
+    let bundle = masked_bundle(&v1);
+    let pages: Vec<PageVersion> = (0..3)
+        .map(|i| PageVersion {
+            day: 20 * i,
+            doc: page_with_both_blocks(),
+        })
+        .chain([
+            PageVersion {
+                day: 60,
+                doc: broken_page.clone(),
+            },
+            PageVersion {
+                day: 80,
+                doc: broken_page,
+            },
+            PageVersion {
+                day: 100,
+                doc: page_with_surviving_anchor(),
+            },
+        ])
+        .collect();
+    Maintainer::default().run("blk", bundle, &pages, None)
+}
+
+#[test]
+fn surviving_positionally_masked_anchor_confuses_target_removed_with_unknown() {
+    let log = run_timeline(page_with_surviving_anchor());
+
+    // The verifier part works: the silently shifted extraction (the
+    // expression now lands on the Stars span) is caught by the anchor
+    // census, not missed as "healthy".
+    let flagged = &log.outcomes[3];
+    assert!(
+        flagged.flagged,
+        "the census drift must flag the masked shift: {:?}",
+        flagged.health.signals
+    );
+    assert!(!flagged.repaired, "nothing validates as a repair here");
+
+    // KNOWN CONFUSION — the classifier cannot tell this diminishing target
+    // from an unclassifiable break, because the anchor value survives on
+    // the sibling block.  A neighborhood fingerprint fix must flip this
+    // assertion to `DriftClass::TargetRemoved`.
+    assert_eq!(
+        flagged.drift,
+        Some(DriftClass::Unknown),
+        "the classifier no longer confuses target-removed with unknown: \
+         update this regression harness (and the ROADMAP) to pin the fix"
+    );
+
+    // KNOWN CONFUSION, consequence — because the break never classifies as
+    // TargetRemoved, the retirement countdown never starts and the wrapper
+    // thrashes in Degraded instead of retiring.  The fingerprint fix should
+    // end this timeline Retired.
+    assert_eq!(
+        log.outcomes.last().unwrap().state,
+        WrapperState::Degraded,
+        "the wrapper now retires: the classifier fix landed — update this \
+         harness to assert WrapperState::Retired"
+    );
+}
+
+#[test]
+fn removed_anchor_control_case_still_classifies_target_removed() {
+    // Control: identical timeline, but the block removal takes the anchor
+    // value with it (no sibling carrier) — classification works, proving
+    // the confusion above is specifically about the surviving anchor.
+    let control = Document::parse(
+        r#"<body><div class="other"><h4>Stars:</h4><span class="v">DeNiro</span></div>
+           <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+    )
+    .unwrap();
+    let log = run_timeline(control);
+    let flagged = &log.outcomes[3];
+    assert!(flagged.flagged);
+    assert_eq!(flagged.drift, Some(DriftClass::TargetRemoved));
+    assert_eq!(
+        log.outcomes.last().unwrap().state,
+        WrapperState::Retired,
+        "consecutive TargetRemoved failures must retire the wrapper"
+    );
+}

@@ -1,0 +1,876 @@
+//! The persistent-registry proof battery: crash/corruption recovery,
+//! persisted-vs-in-memory equivalence (including a simulated restart mid
+//! -timeline), compaction invariants and the ≥1k-site durability acceptance
+//! criterion.
+//!
+//! The crash tests follow the DBMS-fuzzing playbook: the log tail is
+//! truncated and bit-flipped at every byte offset, and recovery must never
+//! panic, must surface a typed `RegistryError`, and must restore exactly
+//! the longest valid record prefix.
+
+use wi_induction::{WrapperBundle, WrapperInducer};
+use wi_maintain::registry::log::decode_line;
+use wi_maintain::{
+    CompactionPolicy, LastKnownGood, LogRecord, Maintainer, MaintenanceJob, MaintenanceLog,
+    PageVersion, PersistentRegistry, Registry, RegistryError, WrapperState,
+};
+use wi_scoring::ScoringParams;
+use wi_webgen::archive::ArchiveSimulator;
+use wi_webgen::datasets::{multi_node_tasks, single_node_tasks};
+use wi_webgen::date::Day;
+use wi_webgen::tasks::WrapperTask;
+
+/// A unique temp directory per test invocation.
+fn temp_root(tag: &str) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "wi-registry-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn page(class: &str, values: &[&str]) -> wi_dom::Document {
+    let items: String = values
+        .iter()
+        .map(|v| format!(r#"<span class="{class}">{v}</span>"#))
+        .collect();
+    wi_dom::Document::parse(&format!(
+        r#"<html><body><div id="main"><h4>Prices:</h4>{items}</div>
+           <div id="side"><ul><li>a</li><li>b</li><li>c</li><li>d</li></ul></div>
+           </body></html>"#
+    ))
+    .unwrap()
+}
+
+/// A small induced bundle plus a rename-at-epoch timeline (one repair).
+fn rename_job(site: &str, rename_at: usize, epochs: usize) -> (MaintenanceJob, WrapperBundle) {
+    let v1 = page("p", &["1", "2", "3"]);
+    let targets = v1.elements_by_class("p");
+    let wrapper = WrapperInducer::default()
+        .try_induce_best(&v1, &targets)
+        .unwrap();
+    let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::default()).with_label(site);
+    let pages: Vec<PageVersion> = (0..epochs)
+        .map(|i| {
+            let class = if i >= rename_at { "price" } else { "p" };
+            let values = [format!("{i}0"), format!("{i}1"), format!("{i}2")];
+            let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+            PageVersion {
+                day: 20 * i as i64,
+                doc: page(class, &refs),
+            }
+        })
+        .collect();
+    (
+        MaintenanceJob {
+            site: site.to_string(),
+            pages,
+            seed_lkg: None,
+            inducer: None,
+        },
+        bundle,
+    )
+}
+
+/// Builds a single-shard registry with a few maintained histories and
+/// returns its root; used as the corpus for the crash tests.
+fn build_small_registry(tag: &str) -> std::path::PathBuf {
+    let root = temp_root(tag);
+    let mut registry = PersistentRegistry::create(&root, 1).unwrap();
+    let maintainer = Maintainer::default();
+    let mut jobs = Vec::new();
+    for i in 0..3 {
+        let site = format!("crash-site-{i}");
+        let (job, bundle) = rename_job(&site, 1 + i, 4);
+        registry.install(&site, bundle, 0).unwrap();
+        jobs.push(job);
+    }
+    registry
+        .maintain_batch_sequential(&jobs, &maintainer)
+        .unwrap();
+    root
+}
+
+/// The byte offsets at which each committed line of `bytes` ends
+/// (exclusive, i.e. one past its `\n`).
+fn line_ends(bytes: &[u8]) -> Vec<usize> {
+    bytes
+        .iter()
+        .enumerate()
+        .filter(|(_, &b)| b == b'\n')
+        .map(|(i, _)| i + 1)
+        .collect()
+}
+
+/// Decodes the committed lines of a pristine log.
+fn decode_log(bytes: &[u8]) -> Vec<LogRecord> {
+    let text = std::str::from_utf8(bytes).unwrap();
+    text.lines()
+        .map(|line| decode_line(line).expect("pristine log line decodes"))
+        .collect()
+}
+
+/// The (site, revision) pairs committed by the first `n` records.
+fn committed_revisions(records: &[LogRecord], n: usize) -> Vec<(String, u32)> {
+    records[..n]
+        .iter()
+        .filter_map(|r| match r {
+            LogRecord::Revision { site, revision, .. } => Some((site.clone(), *revision)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// All (site, revision) pairs a recovered registry holds.
+fn recovered_revisions(registry: &PersistentRegistry) -> Vec<(String, u32)> {
+    let mut out = Vec::new();
+    for site in registry.sites() {
+        for version in registry.history(site) {
+            out.push((site.to_string(), version.revision));
+        }
+    }
+    out.sort();
+    out
+}
+
+#[test]
+fn truncation_at_every_tail_offset_recovers_the_longest_valid_prefix() {
+    let root = build_small_registry("truncate");
+    let log_path = root.join("shard-000").join("log.jsonl");
+    let original = std::fs::read(&log_path).unwrap();
+    let ends = line_ends(&original);
+    let records = decode_log(&original);
+    assert!(records.len() >= 9, "corpus too small: {}", records.len());
+
+    // Every offset in the tail (the last three records) plus a sample of
+    // every 13th offset across the whole file.
+    let tail_start = ends[ends.len().saturating_sub(4)];
+    let offsets: Vec<usize> = (0..=original.len())
+        .filter(|&l| l >= tail_start || l % 13 == 0)
+        .collect();
+
+    for &cut in &offsets {
+        std::fs::write(&log_path, &original[..cut]).unwrap();
+        let registry = PersistentRegistry::recover(&root)
+            .unwrap_or_else(|e| panic!("recover failed at cut {cut}: {e}"));
+        // Exactly the records whose commit marker survived the cut.
+        let expected_lines = ends.iter().filter(|&&e| e <= cut).count();
+        assert_eq!(
+            registry.recovery_report().records_replayed,
+            expected_lines,
+            "cut at {cut}"
+        );
+        // Zero lost committed revisions, nothing invented.
+        let mut expected = committed_revisions(&records, expected_lines);
+        expected.sort();
+        assert_eq!(recovered_revisions(&registry), expected, "cut at {cut}");
+
+        let at_boundary = cut == 0 || ends.contains(&cut);
+        if at_boundary {
+            assert!(registry.recovery_report().clean(), "cut at {cut}");
+        } else {
+            // The torn tail is surfaced as a typed error …
+            let report = registry.recovery_report();
+            assert_eq!(report.torn_tails.len(), 1, "cut at {cut}");
+            let tail = &report.torn_tails[0];
+            assert!(matches!(tail.error, RegistryError::Record { .. }));
+            assert_eq!(tail.valid_bytes as usize + tail.dropped_bytes as usize, cut);
+            // … the file is truncated back to the valid prefix …
+            assert_eq!(
+                std::fs::metadata(&log_path).unwrap().len(),
+                tail.valid_bytes,
+                "cut at {cut}"
+            );
+            // … strict open succeeds now: the tolerant recover already
+            // truncated the tail away, leaving a clean log …
+            assert!(PersistentRegistry::open(&root).is_ok(), "cut at {cut}");
+            // … and a second recover of the truncated log is clean and
+            // byte-stable.
+            let again = PersistentRegistry::recover(&root).unwrap();
+            assert!(again.recovery_report().clean(), "cut at {cut}");
+            assert_eq!(recovered_revisions(&again), recovered_revisions(&registry));
+        }
+    }
+
+    // Strict open on a freshly torn log must refuse with the typed error —
+    // and, unlike the tolerant recover, leave the damaged log untouched so
+    // the evidence survives for inspection.
+    let mid_record = ends[ends.len() - 2] + 5;
+    std::fs::write(&log_path, &original[..mid_record]).unwrap();
+    assert!(matches!(
+        PersistentRegistry::open(&root),
+        Err(RegistryError::Record { .. })
+    ));
+    assert_eq!(
+        std::fs::metadata(&log_path).unwrap().len(),
+        mid_record as u64,
+        "strict open must not mutate the log"
+    );
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn bit_flips_in_the_log_tail_never_panic_and_keep_the_valid_prefix() {
+    let root = build_small_registry("bitflip");
+    let log_path = root.join("shard-000").join("log.jsonl");
+    let original = std::fs::read(&log_path).unwrap();
+    let ends = line_ends(&original);
+    let records = decode_log(&original);
+
+    // The line index each byte offset belongs to.
+    let line_of = |offset: usize| ends.iter().filter(|&&e| e <= offset).count();
+
+    let tail_start = ends[ends.len().saturating_sub(4)];
+    let offsets: Vec<usize> = (0..original.len())
+        .filter(|&i| i >= tail_start || i % 13 == 0)
+        .collect();
+
+    for &i in &offsets {
+        let mut corrupted = original.clone();
+        corrupted[i] ^= 1 << (i % 8);
+        std::fs::write(&log_path, &corrupted).unwrap();
+
+        let registry = PersistentRegistry::recover(&root)
+            .unwrap_or_else(|e| panic!("recover failed at flip {i}: {e}"));
+        let report = registry.recovery_report();
+        let k = line_of(i);
+        // The prefix before the flipped line is restored exactly; the
+        // flipped line (and, by prefix semantics, everything after it) is
+        // dropped and surfaced as a typed error.
+        assert_eq!(report.records_replayed, k, "flip at byte {i}");
+        let mut expected = committed_revisions(&records, k);
+        expected.sort();
+        assert_eq!(recovered_revisions(&registry), expected, "flip at byte {i}");
+        assert_eq!(report.torn_tails.len(), 1, "flip at byte {i}");
+        assert!(matches!(
+            report.torn_tails[0].error,
+            RegistryError::Record { .. }
+        ));
+    }
+
+    // After the last recovery the log is valid again: appends still commit.
+    let registry = PersistentRegistry::recover(&root).unwrap();
+    let survivor = registry.sites().next().map(str::to_string);
+    if let Some(site) = survivor {
+        let mut registry = registry;
+        let current = registry.current(&site).unwrap().clone();
+        let next = current.revised(current.entries.clone(), "post-crash repair");
+        registry.commit_revision(&site, next, 999).unwrap();
+        let reopened = PersistentRegistry::recover(&root).unwrap();
+        assert!(reopened.recovery_report().clean());
+        assert_eq!(
+            reopened.history(&site).last().unwrap().cause,
+            "post-crash repair"
+        );
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Field-by-field identity of two maintenance logs, bundles compared by
+/// their serialized bytes.
+fn assert_logs_identical(a: &MaintenanceLog, b: &MaintenanceLog, what: &str) {
+    assert_eq!(a.label, b.label, "{what}: label");
+    assert_eq!(a.outcomes.len(), b.outcomes.len(), "{what}: epochs");
+    for (i, (x, y)) in a.outcomes.iter().zip(&b.outcomes).enumerate() {
+        assert_eq!(x.day, y.day, "{what}: day @{i}");
+        assert_eq!(x.flagged, y.flagged, "{what}: flagged @{i}");
+        assert_eq!(x.page_broken, y.page_broken, "{what}: page_broken @{i}");
+        assert_eq!(
+            format!("{:?}", x.drift),
+            format!("{:?}", y.drift),
+            "{what}: drift @{i}"
+        );
+        assert_eq!(x.repaired, y.repaired, "{what}: repaired @{i}");
+        assert_eq!(x.revision, y.revision, "{what}: revision @{i}");
+        assert_eq!(x.state, y.state, "{what}: state @{i}");
+        assert_eq!(x.extracted, y.extracted, "{what}: extracted @{i}");
+    }
+    assert_eq!(a.revisions.len(), b.revisions.len(), "{what}: revisions");
+    for (x, y) in a.revisions.iter().zip(&b.revisions) {
+        assert_eq!(x.day, y.day, "{what}: revision day");
+        assert_eq!(x.revision, y.revision, "{what}: revision number");
+        assert_eq!(x.cause, y.cause, "{what}: revision cause");
+        assert_eq!(
+            x.bundle.to_json_string(),
+            y.bundle.to_json_string(),
+            "{what}: revision bundle bytes"
+        );
+    }
+    assert_eq!(
+        a.bundle.to_json_string(),
+        b.bundle.to_json_string(),
+        "{what}: final bundle bytes"
+    );
+    assert_eq!(a.lkg, b.lkg, "{what}: last-known-good");
+    assert_eq!(
+        a.target_gone_streak, b.target_gone_streak,
+        "{what}: retirement streak"
+    );
+}
+
+/// Webgen maintenance jobs: induced bundle + archive timeline per task.
+fn webgen_jobs(epochs: i64, interval: i64) -> Vec<(MaintenanceJob, WrapperBundle)> {
+    let mut tasks: Vec<WrapperTask> = single_node_tasks(2);
+    tasks.extend(multi_node_tasks(2));
+    let mut out = Vec::new();
+    for task in tasks {
+        let (doc0, targets0) = task.page_with_targets(Day(0));
+        if targets0.is_empty() {
+            continue;
+        }
+        let Ok(wrapper) = WrapperInducer::with_k(3).try_induce_best(&doc0, &targets0) else {
+            continue;
+        };
+        let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults())
+            .with_label(task.id());
+        let archive = ArchiveSimulator::new(task.site.clone(), task.page_index, task.kind);
+        let pages: Vec<PageVersion> = (0..epochs)
+            .map(|i| {
+                let day = Day(i * interval);
+                PageVersion {
+                    day: day.offset(),
+                    doc: archive.snapshot(day).doc,
+                }
+            })
+            .collect();
+        out.push((
+            MaintenanceJob {
+                site: task.id(),
+                pages,
+                seed_lkg: Some(LastKnownGood::capture_for(&bundle, &doc0, 0, &targets0)),
+                inducer: None,
+            },
+            bundle,
+        ));
+    }
+    assert!(out.len() >= 3, "webgen corpus degenerated: {}", out.len());
+    out
+}
+
+#[test]
+fn persisted_batch_is_byte_identical_to_the_in_memory_path_on_webgen() {
+    let root = temp_root("equiv");
+    let prepared = webgen_jobs(10, 120);
+    let maintainer = Maintainer::default();
+
+    let mut in_memory = Registry::new();
+    let mut persistent = PersistentRegistry::create(&root, 4).unwrap();
+    let mut jobs = Vec::new();
+    for (job, bundle) in &prepared {
+        in_memory.install(&job.site, bundle.clone(), 0);
+        persistent.install(&job.site, bundle.clone(), 0).unwrap();
+        jobs.push(job.clone());
+    }
+
+    let memory_logs = in_memory.maintain_batch_sequential(&jobs, &maintainer);
+    let persisted_logs = persistent
+        .maintain_batch_sequential(&jobs, &maintainer)
+        .unwrap();
+    for (a, b) in memory_logs.iter().zip(&persisted_logs) {
+        assert_logs_identical(a, b, &a.label);
+    }
+
+    // Histories agree revision for revision, byte for byte …
+    for (job, _) in &prepared {
+        let mem = in_memory.history(&job.site);
+        let per = persistent.history(&job.site);
+        assert_eq!(mem.len(), per.len(), "{}", job.site);
+        for (x, y) in mem.iter().zip(per) {
+            assert_eq!(x.revision, y.revision);
+            assert_eq!(x.day, y.day);
+            assert_eq!(x.cause, y.cause);
+            assert_eq!(x.bundle.to_json_string(), y.bundle.to_json_string());
+        }
+    }
+
+    // … and so does a recovery from disk.
+    drop(persistent);
+    let recovered = PersistentRegistry::recover(&root).unwrap();
+    assert!(recovered.recovery_report().clean());
+    for (job, _) in &prepared {
+        let mem = in_memory.history(&job.site);
+        let rec = recovered.history(&job.site);
+        assert_eq!(mem.len(), rec.len(), "{}", job.site);
+        for (x, y) in mem.iter().zip(rec) {
+            assert_eq!(x.bundle.to_json_string(), y.bundle.to_json_string());
+        }
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn restart_mid_timeline_is_byte_identical_to_an_uninterrupted_run() {
+    let root = temp_root("restart");
+    let prepared = webgen_jobs(10, 120);
+    let maintainer = Maintainer::default();
+    let split = 5usize;
+
+    // Reference: one uninterrupted in-memory run over the whole timeline.
+    let mut reference = Registry::new();
+    let mut jobs = Vec::new();
+    for (job, bundle) in &prepared {
+        reference.install(&job.site, bundle.clone(), 0);
+        jobs.push(job.clone());
+    }
+    let full_logs = reference.maintain_batch_sequential(&jobs, &maintainer);
+
+    // Persistent run: first half, process death, recovery, second half.
+    let mut persistent = PersistentRegistry::create(&root, 4).unwrap();
+    for (job, bundle) in &prepared {
+        persistent.install(&job.site, bundle.clone(), 0).unwrap();
+    }
+    let first_half: Vec<MaintenanceJob> = jobs
+        .iter()
+        .map(|job| MaintenanceJob {
+            site: job.site.clone(),
+            pages: job.pages[..split].to_vec(),
+            seed_lkg: job.seed_lkg.clone(),
+            inducer: None,
+        })
+        .collect();
+    persistent
+        .maintain_batch_sequential(&first_half, &maintainer)
+        .unwrap();
+    drop(persistent); // the simulated restart
+
+    let mut resumed = PersistentRegistry::recover(&root).unwrap();
+    assert!(resumed.recovery_report().clean());
+    // The second half resumes from persisted state.  The jobs still carry
+    // the *original* induction-day seed LKG — exactly what a replaying
+    // service would re-submit — and the persisted (advanced) LKG must take
+    // precedence over it, or rotation evidence and anchor censuses would
+    // silently reset across the restart.
+    let second_half: Vec<MaintenanceJob> = jobs
+        .iter()
+        .map(|job| MaintenanceJob {
+            site: job.site.clone(),
+            pages: job.pages[split..].to_vec(),
+            seed_lkg: job.seed_lkg.clone(),
+            inducer: None,
+        })
+        .collect();
+    let second_logs = resumed
+        .maintain_batch_sequential(&second_half, &maintainer)
+        .unwrap();
+
+    for (full, second) in full_logs.iter().zip(&second_logs) {
+        // The post-restart outcomes must replay the uninterrupted run's
+        // second half exactly.
+        assert_eq!(second.outcomes.len(), full.outcomes.len() - split);
+        for (i, (y, x)) in second
+            .outcomes
+            .iter()
+            .zip(&full.outcomes[split..])
+            .enumerate()
+        {
+            assert_eq!(y.day, x.day, "{}: day @{i}", full.label);
+            assert_eq!(y.flagged, x.flagged, "{}: flagged @{i}", full.label);
+            assert_eq!(
+                format!("{:?}", y.drift),
+                format!("{:?}", x.drift),
+                "{}: drift @{i}",
+                full.label
+            );
+            assert_eq!(y.repaired, x.repaired, "{}: repaired @{i}", full.label);
+            assert_eq!(y.revision, x.revision, "{}: revision @{i}", full.label);
+            assert_eq!(y.state, x.state, "{}: state @{i}", full.label);
+            assert_eq!(y.extracted, x.extracted, "{}: extracted @{i}", full.label);
+        }
+        assert_eq!(
+            second.bundle.to_json_string(),
+            full.bundle.to_json_string(),
+            "{}: final bundle bytes",
+            full.label
+        );
+        assert_eq!(second.lkg, full.lkg, "{}: final lkg", full.label);
+        assert_eq!(second.target_gone_streak, full.target_gone_streak);
+    }
+
+    // The concatenated registry history equals the uninterrupted one.
+    for (job, _) in &prepared {
+        let mem = reference.history(&job.site);
+        let per = resumed.history(&job.site);
+        assert_eq!(mem.len(), per.len(), "{}", job.site);
+        for (x, y) in mem.iter().zip(per) {
+            assert_eq!(x.revision, y.revision);
+            assert_eq!(x.bundle.to_json_string(), y.bundle.to_json_string());
+        }
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn resubmitting_a_maintained_batch_is_idempotent() {
+    // A service that crashes mid-batch replays the *whole* batch on
+    // restart.  Already-maintained days must be skipped, not double-applied:
+    // no duplicate revisions, no double-advanced LKG, byte-identical state.
+    let root = temp_root("idempotent");
+    let prepared = webgen_jobs(8, 120);
+    let maintainer = Maintainer::default();
+
+    let mut registry = PersistentRegistry::create(&root, 2).unwrap();
+    let mut jobs = Vec::new();
+    for (job, bundle) in &prepared {
+        registry.install(&job.site, bundle.clone(), 0).unwrap();
+        jobs.push(job.clone());
+    }
+    registry
+        .maintain_batch_sequential(&jobs, &maintainer)
+        .unwrap();
+
+    let snapshot: Vec<(String, usize, String, Option<LastKnownGood>)> = registry
+        .sites()
+        .map(|s| {
+            (
+                s.to_string(),
+                registry.history(s).len(),
+                registry.current(s).unwrap().to_json_string(),
+                registry.lkg(s).cloned(),
+            )
+        })
+        .collect();
+    let log_bytes: u64 = (0..registry.shard_count())
+        .filter_map(|s| {
+            std::fs::metadata(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
+        })
+        .map(|m| m.len())
+        .sum();
+
+    // Replay the identical batch — simulated crash-and-retry.  Every page
+    // is at or before each site's persisted last-maintained day, so every
+    // job fast-forwards to an empty log and nothing is appended.
+    let replayed = registry
+        .maintain_batch_sequential(&jobs, &maintainer)
+        .unwrap();
+    for log in &replayed {
+        assert!(
+            log.outcomes.is_empty(),
+            "{}: already-maintained days were re-run",
+            log.label
+        );
+    }
+    for (site, history_len, bundle_json, lkg) in &snapshot {
+        assert_eq!(registry.history(site).len(), *history_len, "{site}");
+        assert_eq!(
+            registry.current(site).unwrap().to_json_string(),
+            *bundle_json
+        );
+        assert_eq!(
+            registry.lkg(site),
+            lkg.as_ref(),
+            "{site}: LKG double-advanced"
+        );
+    }
+    let log_bytes_after: u64 = (0..registry.shard_count())
+        .filter_map(|s| {
+            std::fs::metadata(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
+        })
+        .map(|m| m.len())
+        .sum();
+    assert_eq!(log_bytes_after, log_bytes, "replay appended to the logs");
+
+    // A partially-new batch (old pages + genuinely new days) applies only
+    // the new tail.
+    let extended: Vec<MaintenanceJob> = prepared
+        .iter()
+        .map(|(job, _)| {
+            let mut pages = job.pages.clone();
+            let last = pages.last().unwrap();
+            pages.push(PageVersion {
+                day: last.day + 120,
+                doc: last.doc.clone(),
+            });
+            MaintenanceJob {
+                site: job.site.clone(),
+                pages,
+                seed_lkg: None,
+                inducer: None,
+            }
+        })
+        .collect();
+    let tail_logs = registry
+        .maintain_batch_sequential(&extended, &maintainer)
+        .unwrap();
+    for log in &tail_logs {
+        assert_eq!(
+            log.outcomes.len(),
+            1,
+            "{}: exactly the one new day runs",
+            log.label
+        );
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn compaction_preserves_live_state_and_bounds_shard_logs() {
+    let root = temp_root("compact");
+    let mut registry = PersistentRegistry::create(&root, 2).unwrap();
+    let maintainer = Maintainer::default();
+
+    // Six sites that break and get repaired on every batch (class renames
+    // back and forth), so revisions and lifecycle records accumulate.
+    let mut sites = Vec::new();
+    for i in 0..6 {
+        let site = format!("compact-site-{i}");
+        let (job, bundle) = rename_job(&site, 1, 2);
+        registry.install(&site, bundle, 0).unwrap();
+        sites.push((site, job));
+    }
+    // One retiring site: its target block disappears for good.
+    let gone_site = "compact-gone";
+    {
+        let v1 = wi_dom::Document::parse(
+            r#"<body><div class="blk"><h4>Director:</h4><span class="v">S</span></div>
+               <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+        )
+        .unwrap();
+        let targets = v1.elements_by_class("v");
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(&v1, &targets)
+            .unwrap();
+        let bundle =
+            WrapperBundle::from_wrapper(&wrapper, ScoringParams::default()).with_label(gone_site);
+        registry.install(gone_site, bundle, 0).unwrap();
+        let gone = wi_dom::Document::parse(
+            r#"<body><ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,
+        )
+        .unwrap();
+        let pages: Vec<PageVersion> = std::iter::once(v1)
+            .chain(std::iter::repeat_n(gone, 3))
+            .enumerate()
+            .map(|(i, doc)| PageVersion {
+                day: 20 * i as i64,
+                doc,
+            })
+            .collect();
+        let logs = registry
+            .maintain_batch_sequential(
+                &[MaintenanceJob {
+                    site: gone_site.to_string(),
+                    pages,
+                    seed_lkg: None,
+                    inducer: None,
+                }],
+                &maintainer,
+            )
+            .unwrap();
+        assert_eq!(
+            logs[0].outcomes.last().unwrap().state,
+            WrapperState::Retired
+        );
+    }
+
+    // Four maintenance rounds: each alternates the class name, breaking the
+    // previous round's repaired wrapper again.
+    for round in 0..4u32 {
+        let jobs: Vec<MaintenanceJob> = sites
+            .iter()
+            .map(|(site, job)| {
+                let mut pages = job.pages.clone();
+                if round % 2 == 1 {
+                    // Swap the rename direction so the repaired wrapper
+                    // breaks again: price → p instead of p → price.
+                    for (i, page_version) in pages.iter_mut().enumerate() {
+                        let class = if i >= 1 { "p" } else { "price" };
+                        let values = [format!("{i}0"), format!("{i}1"), format!("{i}2")];
+                        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                        *page_version = PageVersion {
+                            day: page_version.day + 100 * i64::from(round),
+                            doc: page(class, &refs),
+                        };
+                    }
+                } else if round > 0 {
+                    for (i, page_version) in pages.iter_mut().enumerate() {
+                        let class = if i >= 1 { "price" } else { "p" };
+                        let values = [format!("{i}0"), format!("{i}1"), format!("{i}2")];
+                        let refs: Vec<&str> = values.iter().map(String::as_str).collect();
+                        *page_version = PageVersion {
+                            day: page_version.day + 100 * i64::from(round),
+                            doc: page(class, &refs),
+                        };
+                    }
+                }
+                MaintenanceJob {
+                    site: site.clone(),
+                    pages,
+                    seed_lkg: None,
+                    inducer: None,
+                }
+            })
+            .collect();
+        registry
+            .maintain_batch_sequential(&jobs, &maintainer)
+            .unwrap();
+    }
+    assert!(
+        registry.history("compact-site-0").len() >= 3,
+        "the rounds produced only {} revisions",
+        registry.history("compact-site-0").len()
+    );
+
+    // Snapshot every observable before compacting.
+    let before: Vec<(String, String, u32, Option<LastKnownGood>, WrapperState)> = registry
+        .sites()
+        .map(|site| {
+            (
+                site.to_string(),
+                registry.current(site).unwrap().to_json_string(),
+                registry.current(site).unwrap().revision,
+                registry.lkg(site).cloned(),
+                registry.state(site).unwrap(),
+            )
+        })
+        .collect();
+    let max_line_before: usize = (0..registry.shard_count())
+        .filter_map(|s| {
+            std::fs::read_to_string(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
+        })
+        .flat_map(|text| text.lines().map(str::len).collect::<Vec<_>>())
+        .max()
+        .unwrap();
+
+    let policy = CompactionPolicy {
+        retain_revisions: 1,
+    };
+    let stats = registry.compact(&policy).unwrap();
+
+    // The log shrank, with explicit record and byte ceilings.
+    assert!(
+        stats.records_after < stats.records_before,
+        "compaction did not shrink records: {stats:?}"
+    );
+    assert!(
+        stats.bytes_after < stats.bytes_before,
+        "compaction did not shrink bytes: {stats:?}"
+    );
+    let record_ceiling = registry.site_count() * policy.max_records_per_site();
+    assert!(
+        stats.records_after <= record_ceiling,
+        "{} records exceed the ceiling {record_ceiling}",
+        stats.records_after
+    );
+    let byte_ceiling = (record_ceiling * (max_line_before + 1)) as u64;
+    assert!(
+        stats.bytes_after <= byte_ceiling,
+        "{} bytes exceed the ceiling {byte_ceiling}",
+        stats.bytes_after
+    );
+
+    // Every observable is unchanged — live and after a fresh recovery.
+    for reopened in [&registry, &PersistentRegistry::recover(&root).unwrap()] {
+        for (site, bundle_json, revision, lkg, state) in &before {
+            assert_eq!(
+                reopened.current(site).unwrap().to_json_string(),
+                *bundle_json,
+                "{site}: current bundle changed"
+            );
+            assert_eq!(reopened.current(site).unwrap().revision, *revision);
+            assert_eq!(reopened.lkg(site), lkg.as_ref(), "{site}: lkg changed");
+            assert_eq!(reopened.state(site), Some(*state), "{site}: state changed");
+            assert!(
+                reopened.history(site).len() <= policy.retain_revisions + 1,
+                "{site}: retained more history than the policy allows"
+            );
+        }
+    }
+    assert_eq!(registry.state(gone_site), Some(WrapperState::Retired));
+    assert_eq!(
+        PersistentRegistry::recover(&root).unwrap().state(gone_site),
+        Some(WrapperState::Retired),
+        "retired sites must stay retired through compaction"
+    );
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn a_thousand_site_histories_survive_drop_and_recover_with_zero_lost_revisions() {
+    let root = temp_root("thousand");
+    const SITES: usize = 1024;
+    let mut registry = PersistentRegistry::create(&root, 8).unwrap();
+
+    // One induced template bundle, cloned across synthetic site histories.
+    let v1 = page("p", &["1", "2", "3"]);
+    let targets = v1.elements_by_class("p");
+    let wrapper = WrapperInducer::default()
+        .try_induce_best(&v1, &targets)
+        .unwrap();
+    let template = WrapperBundle::from_wrapper(&wrapper, ScoringParams::default());
+
+    let mut committed = 0usize;
+    for i in 0..SITES {
+        let site = format!("fleet-{i:04}");
+        let bundle = template.clone().with_label(&site);
+        registry.install(&site, bundle.clone(), 0).unwrap();
+        committed += 1;
+        // Every third site accumulates repairs.
+        let revisions = match i % 3 {
+            0 => 2,
+            1 => 1,
+            _ => 0,
+        };
+        let mut current = bundle;
+        for r in 0..revisions {
+            current = current.revised(
+                current.entries.clone(),
+                format!("synthetic repair {r} for {site}"),
+            );
+            registry
+                .commit_revision(&site, current.clone(), 20 * (r as i64 + 1))
+                .unwrap();
+            committed += 1;
+        }
+    }
+    assert!(committed > 2000, "only {committed} revisions committed");
+    let live: Vec<(String, u32)> = recovered_revisions(&registry);
+
+    // Process death.
+    drop(registry);
+
+    let recovered = PersistentRegistry::recover(&root).unwrap();
+    assert!(recovered.recovery_report().clean());
+    assert_eq!(recovered.site_count(), SITES);
+    assert_eq!(
+        recovered_revisions(&recovered),
+        live,
+        "revisions lost or invented across drop + recover"
+    );
+    // Histories are spread across all shards.
+    let used: std::collections::HashSet<usize> =
+        recovered.sites().map(|s| recovered.shard_of(s)).collect();
+    assert_eq!(used.len(), 8, "sharding collapsed: {used:?}");
+
+    // Compaction still shrinks the fleet-scale registry without losing the
+    // current state.
+    let mut recovered = recovered;
+    let stats = recovered
+        .compact(&CompactionPolicy {
+            retain_revisions: 0,
+        })
+        .unwrap();
+    assert!(stats.bytes_after < stats.bytes_before);
+    let after = PersistentRegistry::recover(&root).unwrap();
+    assert_eq!(after.site_count(), SITES);
+    for i in (0..SITES).step_by(97) {
+        let site = format!("fleet-{i:04}");
+        let expected_revision = match i % 3 {
+            0 => 2,
+            1 => 1,
+            _ => 0,
+        };
+        assert_eq!(after.current(&site).unwrap().revision, expected_revision);
+        assert_eq!(after.history(&site).len(), 1);
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
