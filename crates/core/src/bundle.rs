@@ -295,6 +295,25 @@ impl WrapperBundle {
         })
     }
 
+    /// Extracts from `doc`'s root and returns the normalized text of each
+    /// selected node, reusing the caller's evaluation context.
+    ///
+    /// This is the serving hot path's bundle lookup plumbing (`wi-serve`
+    /// resolves a site key to its current bundle and answers with texts):
+    /// one call, one context, no intermediate `NodeId` surface for callers
+    /// that only want values.
+    pub fn extract_texts_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+    ) -> Result<Vec<String>, ExtractError> {
+        Ok(self
+            .extract_with(cx, doc, doc.root())?
+            .into_iter()
+            .map(|n| doc.normalized_text(n))
+            .collect())
+    }
+
     /// Writes the bundle to a JSON file.
     pub fn save_json(&self, path: impl AsRef<Path>) -> Result<(), BundleError> {
         let mut text = self.to_json_string();

@@ -8,11 +8,13 @@
 //! scale; `--quick` switches to the reduced scale used by the benches, and
 //! `--smoke` to the even smaller CI scale.  Individual experiments: `fig3
 //! fig4 fig5 fig6 fig7 table1 table2 sota-dalvi sota-weir noise-real
-//! change-rate timing params batch maintenance`.
+//! change-rate timing params batch maintenance serve`.
 //!
-//! The `maintenance` experiment is *gated*: the process exits non-zero when
-//! verifier recall, drift-classification accuracy or post-break repair F1
-//! fall below their fixed floors on the deterministic seed.
+//! The `maintenance` and `serve` experiments are *gated*: the process exits
+//! non-zero when verifier recall, drift-classification accuracy or
+//! post-break repair F1 fall below their fixed floors on the deterministic
+//! seed, or when the daemon serves a wrong extraction or loses a committed
+//! revision across a drain/recover cycle.
 
 use wi_eval::experiments;
 use wi_eval::Scale;
@@ -46,6 +48,7 @@ fn main() {
         "noise-real",
         "batch",
         "maintenance",
+        "serve",
     ];
     let to_run: Vec<&str> = if selected.is_empty() {
         all.to_vec()
@@ -82,6 +85,13 @@ fn main() {
             "noise-real" => experiments::noise_real::render(&scale),
             "batch" => experiments::batch::render(&scale),
             "maintenance" => match experiments::maintenance::render_checked(&scale) {
+                Ok(output) => output,
+                Err(report_with_violations) => {
+                    eprintln!("{report_with_violations}");
+                    std::process::exit(1);
+                }
+            },
+            "serve" => match experiments::serve::render_checked(&scale) {
                 Ok(output) => output,
                 Err(report_with_violations) => {
                     eprintln!("{report_with_violations}");

@@ -11,6 +11,7 @@ pub mod fig7;
 pub mod maintenance;
 pub mod noise_real;
 pub mod params_report;
+pub mod serve;
 pub mod sota_dalvi;
 pub mod sota_weir;
 pub mod table1;

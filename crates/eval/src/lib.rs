@@ -19,6 +19,7 @@
 //! | Figure 7 (synthetic noise) | [`experiments::fig7`] | `run_experiments fig7` |
 //! | real-life NER noise (§6.4) | [`experiments::noise_real`] | `run_experiments noise-real` |
 //! | wrapper lifecycle (verify/classify/repair) | [`experiments::maintenance`] | `run_experiments maintenance` |
+//! | extraction as a service (`wi-serve` smoke) | [`experiments::serve`] | `run_experiments serve` |
 //!
 //! All experiments take a [`Scale`] so the full paper-sized runs and quick
 //! smoke runs (used by the Criterion benches and integration tests) share the

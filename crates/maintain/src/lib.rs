@@ -128,8 +128,9 @@ use wi_dom::Document;
 pub use drift::{DriftClass, DriftClassifier, DriftConfig, DriftReport, FixKind, QueryFix};
 pub use lifecycle::{EpochOutcome, MaintainConfig, Maintainer, MaintenanceLog, WrapperState};
 pub use registry::{
-    shard_of, CompactionPolicy, CompactionStats, LogRecord, MaintenanceJob, PersistentRegistry,
-    RecoveryReport, Registry, RegistryError, TornTail, VersionRecord,
+    shard_of, CompactionPolicy, CompactionStats, Durability, LogRecord, MaintenanceJob,
+    PersistentRegistry, RecoveryReport, Registry, RegistryError, ShardStats, TornTail,
+    VersionRecord,
 };
 pub use repair::{RepairAction, RepairConfig, Repairer};
 pub use verify::{HealthReport, HealthSignal, LastKnownGood, Verifier, VerifyConfig};

@@ -84,6 +84,18 @@ pub enum RegistryError {
     ///
     /// [`PersistentRegistry::recover`]: super::PersistentRegistry::recover
     Poisoned,
+    /// A shard's advisory lock file is held by another live process: two
+    /// processes appending to one shard log would interleave records in a
+    /// way recovery must treat as corruption, so the open is refused (see
+    /// the `registry::lock` module docs; a lock whose holder is dead is
+    /// reclaimed silently instead).
+    Locked {
+        /// The lock file that is held.
+        path: PathBuf,
+        /// The pid recorded in it (0 when the holder could not be read
+        /// after repeated reclaim races).
+        pid: u32,
+    },
 }
 
 impl std::fmt::Display for RegistryError {
@@ -108,6 +120,11 @@ impl std::fmt::Display for RegistryError {
             RegistryError::Poisoned => write!(
                 f,
                 "registry poisoned by an earlier failed append; recover a fresh instance"
+            ),
+            RegistryError::Locked { path, pid } => write!(
+                f,
+                "shard lock {} held by live process {pid}",
+                path.display()
             ),
         }
     }

@@ -23,6 +23,7 @@
 //! stopped (`Maintainer::run_resumed` does the splicing).
 
 pub mod compact;
+mod lock;
 pub mod log;
 pub mod shard;
 
@@ -321,6 +322,44 @@ impl SiteEntry {
     }
 }
 
+/// When appended records are forced to stable storage.
+///
+/// The default, [`Always`](Durability::Always), fsyncs every append: once a
+/// write returns, the records survive an OS crash or power loss.  Bulk
+/// ingestion — installing thousands of bundles, or a service's batch
+/// endpoints — pays one `sync_data` round trip per append for durability it
+/// only needs at the end of the batch; [`Batch`](Durability::Batch) skips
+/// the per-append fsync and leaves flushing to an explicit
+/// [`PersistentRegistry::sync`] (or the OS writeback).  In `Batch` mode an
+/// *application* crash still loses nothing (the bytes reached the page
+/// cache), an OS crash loses at most the un-synced suffix, and recovery
+/// restores the longest valid record prefix either way — relaxing
+/// durability never relaxes consistency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// Fsync every append (the default).
+    #[default]
+    Always,
+    /// Skip per-append fsyncs; callers flush at batch boundaries via
+    /// [`PersistentRegistry::sync`].
+    Batch,
+}
+
+/// Per-shard registry statistics, as exposed by
+/// [`PersistentRegistry::shard_stats`] (the `/metrics` endpoint of
+/// `wi-serve` renders these).
+#[derive(Debug, Clone)]
+pub struct ShardStats {
+    /// The shard index.
+    pub shard: usize,
+    /// Sites living in this shard.
+    pub sites: usize,
+    /// Retained version records across those sites.
+    pub revisions: usize,
+    /// Current byte length of the shard's log file.
+    pub log_bytes: u64,
+}
+
 /// One dropped log tail, as found by [`PersistentRegistry::recover`].
 #[derive(Debug)]
 pub struct TornTail {
@@ -386,6 +425,13 @@ pub struct PersistentRegistry {
     /// duplicate revisions behind a torn line, which a later recovery would
     /// truncate away as corruption — silently discarding committed work.
     poisoned: bool,
+    /// When appends are forced to stable storage (see [`Durability`]).
+    durability: Durability,
+    /// The advisory per-shard locks held for the lifetime of this instance
+    /// (released on drop; see the `lock` module docs).  Pure RAII: the
+    /// field exists only for its `Drop`.
+    #[allow(dead_code)]
+    locks: Vec<lock::ShardLock>,
 }
 
 impl PersistentRegistry {
@@ -408,9 +454,11 @@ impl PersistentRegistry {
                 message: "a registry already exists here (use recover)".into(),
             });
         }
+        let mut locks = Vec::with_capacity(shards);
         for index in 0..shards {
             let dir = shard::shard_dir(&root, index);
             std::fs::create_dir_all(&dir).map_err(|e| RegistryError::io(&dir, e))?;
+            locks.push(lock::ShardLock::acquire(shard::lock_path(&root, index))?);
             shard::write_shard_manifest(&root, index, 0)?;
         }
         // The root manifest last: its presence marks a fully initialised
@@ -425,6 +473,8 @@ impl PersistentRegistry {
                 ..RecoveryReport::default()
             },
             poisoned: false,
+            durability: Durability::Always,
+            locks,
         })
     }
 
@@ -457,6 +507,13 @@ impl PersistentRegistry {
     /// [`open`](PersistentRegistry::open) (read-only).
     fn replay(root: PathBuf, repair: bool) -> Result<Self, RegistryError> {
         let shards = shard::read_root_manifest(&root)?;
+        // Take every shard lock before touching any log: replaying (and,
+        // for `recover`, truncating) a log another live process is
+        // appending to would read — or destroy — a moving tail.
+        let mut locks = Vec::with_capacity(shards);
+        for index in 0..shards {
+            locks.push(lock::ShardLock::acquire(shard::lock_path(&root, index))?);
+        }
         let mut sites: BTreeMap<String, SiteEntry> = BTreeMap::new();
         let mut report = RecoveryReport {
             shards,
@@ -485,6 +542,8 @@ impl PersistentRegistry {
             sites,
             report,
             poisoned: false,
+            durability: Durability::Always,
+            locks,
         })
     }
 
@@ -619,6 +678,60 @@ impl PersistentRegistry {
         self.poisoned
     }
 
+    /// The durability mode in force (see [`Durability`]).
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Switches the durability mode (see [`Durability`]).  Switching from
+    /// [`Batch`](Durability::Batch) back to [`Always`](Durability::Always)
+    /// does not retroactively flush earlier relaxed appends — call
+    /// [`sync`](PersistentRegistry::sync) for that.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
+    /// Builder form of [`set_durability`](PersistentRegistry::set_durability).
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Forces every shard log to stable storage: the flush point of
+    /// [`Durability::Batch`] (a no-op under `Always`, where each append
+    /// already synced).  Callers in `Batch` mode should sync at batch
+    /// boundaries and before a graceful shutdown.
+    pub fn sync(&mut self) -> Result<(), RegistryError> {
+        for index in 0..self.shards {
+            shard::sync_log(&self.root, index)?;
+        }
+        Ok(())
+    }
+
+    /// Per-shard statistics of the live registry: how the site partition
+    /// spreads sites, retained revisions and log bytes over the shards.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        let mut stats: Vec<ShardStats> = (0..self.shards)
+            .map(|shard| ShardStats {
+                shard,
+                sites: 0,
+                revisions: 0,
+                log_bytes: 0,
+            })
+            .collect();
+        for (site, entry) in &self.sites {
+            let stat = &mut stats[shard_of(site, self.shards)];
+            stat.sites += 1;
+            stat.revisions += entry.versions.len();
+        }
+        for stat in &mut stats {
+            stat.log_bytes = std::fs::metadata(shard::log_path(&self.root, stat.shard))
+                .map(|m| m.len())
+                .unwrap_or(0);
+        }
+        stats
+    }
+
     /// Appends lines to a shard, poisoning the registry on failure: a
     /// failed append may have left bytes of unknown extent on the log while
     /// the live map never advanced, so any further write from this instance
@@ -629,7 +742,8 @@ impl PersistentRegistry {
         if self.poisoned {
             return Err(RegistryError::Poisoned);
         }
-        shard::append_lines(&self.root, shard, lines).inspect_err(|_| self.poisoned = true)
+        let sync = self.durability == Durability::Always;
+        shard::append_lines(&self.root, shard, lines, sync).inspect_err(|_| self.poisoned = true)
     }
 
     /// [`Registry::maintain_batch`] over the persisted histories: identical

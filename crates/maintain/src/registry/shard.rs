@@ -71,6 +71,11 @@ pub(crate) fn shard_manifest_path(root: &Path, shard: usize) -> PathBuf {
     shard_dir(root, shard).join("manifest.json")
 }
 
+/// Path of a shard's advisory lock file (see the `lock` module).
+pub(crate) fn lock_path(root: &Path, shard: usize) -> PathBuf {
+    shard_dir(root, shard).join("lock")
+}
+
 /// Path of the root manifest.
 pub(crate) fn root_manifest_path(root: &Path) -> PathBuf {
     root.join("registry.json")
@@ -191,10 +196,22 @@ pub(crate) fn read_shard_manifest(root: &Path, shard: usize) -> Result<u32, Regi
         .unwrap_or(0))
 }
 
-/// Appends pre-encoded record lines to a shard log and fsyncs the file, so
-/// the records survive an OS crash or power loss once this returns (the
-/// torn-tail recovery covers a crash *during* the write).
-pub(crate) fn append_lines(root: &Path, shard: usize, lines: &str) -> Result<(), RegistryError> {
+/// Appends pre-encoded record lines to a shard log.  With `sync` set
+/// ([`Durability::Always`]) the file is fsynced, so the records survive an
+/// OS crash or power loss once this returns (the torn-tail recovery covers
+/// a crash *during* the write); without it ([`Durability::Batch`]) the
+/// bytes only reach the OS page cache — an application crash loses nothing,
+/// an OS crash loses at most the un-synced suffix, and recovery still
+/// restores the longest valid prefix.
+///
+/// [`Durability::Always`]: super::Durability::Always
+/// [`Durability::Batch`]: super::Durability::Batch
+pub(crate) fn append_lines(
+    root: &Path,
+    shard: usize,
+    lines: &str,
+    sync: bool,
+) -> Result<(), RegistryError> {
     if lines.is_empty() {
         return Ok(());
     }
@@ -206,6 +223,21 @@ pub(crate) fn append_lines(root: &Path, shard: usize, lines: &str) -> Result<(),
         .map_err(|e| RegistryError::io(&path, e))?;
     file.write_all(lines.as_bytes())
         .map_err(|e| RegistryError::io(&path, e))?;
+    if sync {
+        file.sync_data().map_err(|e| RegistryError::io(&path, e))?;
+    }
+    Ok(())
+}
+
+/// Fsyncs a shard log (no-op for a shard that never received an append):
+/// the batch-durability flush point.
+pub(crate) fn sync_log(root: &Path, shard: usize) -> Result<(), RegistryError> {
+    let path = log_path(root, shard);
+    let file = match std::fs::OpenOptions::new().write(true).open(&path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(RegistryError::io(&path, e)),
+    };
     file.sync_data().map_err(|e| RegistryError::io(&path, e))
 }
 

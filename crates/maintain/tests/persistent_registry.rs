@@ -11,8 +11,8 @@
 use wi_induction::{WrapperBundle, WrapperInducer};
 use wi_maintain::registry::log::decode_line;
 use wi_maintain::{
-    CompactionPolicy, LastKnownGood, LogRecord, Maintainer, MaintenanceJob, MaintenanceLog,
-    PageVersion, PersistentRegistry, Registry, RegistryError, WrapperState,
+    CompactionPolicy, Durability, LastKnownGood, LogRecord, Maintainer, MaintenanceJob,
+    MaintenanceLog, PageVersion, PersistentRegistry, Registry, RegistryError, WrapperState,
 };
 use wi_scoring::ScoringParams;
 use wi_webgen::archive::ArchiveSimulator;
@@ -872,5 +872,107 @@ fn a_thousand_site_histories_survive_drop_and_recover_with_zero_lost_revisions()
         assert_eq!(after.history(&site).len(), 1);
     }
 
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// `Durability::Batch` drops the per-append fsync but not the commit
+/// discipline: after an OS-crash-style tail truncation, recovery still
+/// restores exactly the longest valid record prefix.
+#[test]
+fn batch_durability_still_recovers_a_clean_prefix_after_truncation() {
+    let root = temp_root("batch-durability");
+    let mut registry = PersistentRegistry::create(&root, 1)
+        .unwrap()
+        .with_durability(Durability::Batch);
+    assert_eq!(registry.durability(), Durability::Batch);
+    for i in 0..4 {
+        let site = format!("bulk-{i}");
+        let (_, bundle) = rename_job(&site, 1, 1);
+        registry.install(&site, bundle, 0).unwrap();
+    }
+    // The batch boundary: force everything buffered so far to disk.
+    registry.sync().unwrap();
+    drop(registry);
+
+    let log_path = root.join("shard-000").join("log.jsonl");
+    let pristine = std::fs::read(&log_path).unwrap();
+    let ends = line_ends(&pristine);
+    assert_eq!(ends.len(), 4, "one committed line per install");
+
+    // Chop into the last record, as a power cut after un-synced relaxed
+    // appends would.
+    std::fs::write(&log_path, &pristine[..ends[3] - 7]).unwrap();
+    let recovered = PersistentRegistry::recover(&root).unwrap();
+    assert_eq!(
+        recovered.recovery_report().torn_tails.len(),
+        1,
+        "the torn tail is reported"
+    );
+    assert_eq!(recovered.site_count(), 3, "the clean prefix survives");
+    for i in 0..3 {
+        assert!(recovered.current(&format!("bulk-{i}")).is_some());
+    }
+    assert!(recovered.current("bulk-3").is_none());
+    drop(recovered);
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A shard lock held by a *live* foreign process refuses the open — two
+/// daemons must not append to the same shard — while a stale lock left by
+/// a dead process is reclaimed silently.
+#[test]
+fn shard_locks_refuse_live_holders_and_reclaim_dead_ones() {
+    let root = build_small_registry("locking");
+    let lock_path = root.join("shard-000").join("lock");
+
+    // Simulate a live foreign holder: pid 1 always exists.
+    if std::path::Path::new("/proc/1").exists() {
+        std::fs::write(&lock_path, "1\n").unwrap();
+        match PersistentRegistry::recover(&root) {
+            Err(RegistryError::Locked { pid, .. }) => assert_eq!(pid, 1),
+            other => panic!("expected Locked, got {other:?}"),
+        }
+    }
+
+    // A dead holder's lock is stale: reclaimed without ceremony.
+    std::fs::write(&lock_path, "4294000000\n").unwrap();
+    let registry = PersistentRegistry::recover(&root).unwrap();
+    assert_eq!(registry.site_count(), 3);
+    let holder: u32 = std::fs::read_to_string(&lock_path)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert_eq!(
+        holder,
+        std::process::id(),
+        "the lock now names this process"
+    );
+    drop(registry);
+    assert!(
+        !lock_path.exists(),
+        "dropping the owning registry releases the lock"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// Within one process, re-opening an already-open registry hands out a
+/// borrowed lock: the reference equivalence tests (and tooling that
+/// inspects a live registry) keep working, and only the owner's drop
+/// releases the file.
+#[test]
+fn same_process_reopen_borrows_the_lock() {
+    let root = build_small_registry("reentrant");
+    let lock_path = root.join("shard-000").join("lock");
+    let owner = PersistentRegistry::recover(&root).unwrap();
+    let borrower = PersistentRegistry::open(&root).unwrap();
+    assert_eq!(borrower.site_count(), owner.site_count());
+    drop(borrower);
+    assert!(
+        lock_path.exists(),
+        "the borrower's drop must not release the owner's lock"
+    );
+    drop(owner);
+    assert!(!lock_path.exists());
     std::fs::remove_dir_all(&root).unwrap();
 }

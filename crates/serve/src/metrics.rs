@@ -1,0 +1,252 @@
+//! Request and registry metrics with a text exposition endpoint.
+//!
+//! Everything is lock-free (`AtomicU64` with relaxed ordering — counters
+//! tolerate torn reads across series): per-endpoint request and error
+//! counts, fixed-bucket latency histograms, per-shard request counts (the
+//! `shard_of` partition made observable), and a snapshot of the registry's
+//! [`ShardStats`] rendered at scrape time.
+//!
+//! The `/metrics` output follows the Prometheus text exposition format:
+//! `wi_requests_total{endpoint="extract"} 12`, cumulative
+//! `_bucket{le="…"}` histogram series, and registry gauges.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use wi_maintain::PersistentRegistry;
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// `+Inf`.
+pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+
+/// The endpoint label attached to every recorded request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `POST /extract/{site}`.
+    Extract,
+    /// `POST /extract/batch`.
+    ExtractBatch,
+    /// `POST /induce/{site}`.
+    Induce,
+    /// `POST /maintain/{site}`.
+    Maintain,
+    /// `GET /healthz`.
+    Healthz,
+    /// `GET /sites/{site}`.
+    Site,
+    /// `GET /metrics`.
+    Metrics,
+    /// `POST /admin/shutdown`.
+    Shutdown,
+    /// Unrouted or malformed requests.
+    Other,
+}
+
+impl Endpoint {
+    /// Every endpoint, in exposition order.
+    pub const ALL: [Endpoint; 9] = [
+        Endpoint::Extract,
+        Endpoint::ExtractBatch,
+        Endpoint::Induce,
+        Endpoint::Maintain,
+        Endpoint::Healthz,
+        Endpoint::Site,
+        Endpoint::Metrics,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    /// The exposition label of this endpoint.
+    pub fn name(self) -> &'static str {
+        match self {
+            Endpoint::Extract => "extract",
+            Endpoint::ExtractBatch => "extract_batch",
+            Endpoint::Induce => "induce",
+            Endpoint::Maintain => "maintain",
+            Endpoint::Healthz => "healthz",
+            Endpoint::Site => "site",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Shutdown => "shutdown",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        Endpoint::ALL
+            .iter()
+            .position(|e| *e == self)
+            .expect("endpoint is in ALL")
+    }
+}
+
+#[derive(Debug, Default)]
+struct EndpointCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency_sum_us: AtomicU64,
+    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+}
+
+/// The daemon's metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    endpoints: [EndpointCounters; Endpoint::ALL.len()],
+    /// Requests per registry shard (indexed by `shard_of(site)`).
+    shard_requests: Vec<AtomicU64>,
+    started: Instant,
+}
+
+impl Metrics {
+    /// Creates a metrics registry for a daemon serving `shards` shards.
+    pub fn new(shards: usize) -> Metrics {
+        Metrics {
+            endpoints: Default::default(),
+            shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Records one finished request.
+    pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
+        let counters = &self.endpoints[endpoint.index()];
+        counters.requests.fetch_add(1, Ordering::Relaxed);
+        if status >= 400 {
+            counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        counters.latency_sum_us.fetch_add(us, Ordering::Relaxed);
+        let bucket = LATENCY_BUCKETS_US
+            .iter()
+            .position(|&limit| us <= limit)
+            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
+        counters.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records which shard a site-keyed request routed to.
+    pub fn record_shard(&self, shard: usize) {
+        if let Some(counter) = self.shard_requests.get(shard) {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total requests recorded across all endpoints.
+    pub fn requests_total(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|c| c.requests.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Renders the text exposition, joining the request counters with a
+    /// scrape-time snapshot of the registry's shard statistics.
+    pub fn render(&self, registry: &PersistentRegistry) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE wi_requests_total counter\n");
+        for endpoint in Endpoint::ALL {
+            let c = &self.endpoints[endpoint.index()];
+            out.push_str(&format!(
+                "wi_requests_total{{endpoint=\"{}\"}} {}\n",
+                endpoint.name(),
+                c.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE wi_request_errors_total counter\n");
+        for endpoint in Endpoint::ALL {
+            let c = &self.endpoints[endpoint.index()];
+            out.push_str(&format!(
+                "wi_request_errors_total{{endpoint=\"{}\"}} {}\n",
+                endpoint.name(),
+                c.errors.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE wi_request_latency_us histogram\n");
+        for endpoint in Endpoint::ALL {
+            let c = &self.endpoints[endpoint.index()];
+            let mut cumulative = 0u64;
+            for (i, &limit) in LATENCY_BUCKETS_US.iter().enumerate() {
+                cumulative += c.buckets[i].load(Ordering::Relaxed);
+                let le = if limit == u64::MAX {
+                    "+Inf".to_string()
+                } else {
+                    limit.to_string()
+                };
+                out.push_str(&format!(
+                    "wi_request_latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",
+                    endpoint.name(),
+                ));
+            }
+            out.push_str(&format!(
+                "wi_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
+                endpoint.name(),
+                c.latency_sum_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "wi_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
+                endpoint.name(),
+                c.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE wi_shard_requests_total counter\n");
+        for (shard, counter) in self.shard_requests.iter().enumerate() {
+            out.push_str(&format!(
+                "wi_shard_requests_total{{shard=\"{shard}\"}} {}\n",
+                counter.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE wi_registry_sites gauge\n");
+        out.push_str(&format!("wi_registry_sites {}\n", registry.site_count()));
+        out.push_str("# TYPE wi_registry_poisoned gauge\n");
+        out.push_str(&format!(
+            "wi_registry_poisoned {}\n",
+            u8::from(registry.is_poisoned())
+        ));
+        out.push_str("# TYPE wi_registry_shard_sites gauge\n");
+        out.push_str("# TYPE wi_registry_shard_revisions gauge\n");
+        out.push_str("# TYPE wi_registry_shard_log_bytes gauge\n");
+        for stat in registry.shard_stats() {
+            out.push_str(&format!(
+                "wi_registry_shard_sites{{shard=\"{}\"}} {}\n",
+                stat.shard, stat.sites
+            ));
+            out.push_str(&format!(
+                "wi_registry_shard_revisions{{shard=\"{}\"}} {}\n",
+                stat.shard, stat.revisions
+            ));
+            out.push_str(&format!(
+                "wi_registry_shard_log_bytes{{shard=\"{}\"}} {}\n",
+                stat.shard, stat.log_bytes
+            ));
+        }
+        out.push_str("# TYPE wi_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "wi_uptime_seconds {}\n",
+            self.started.elapsed().as_secs()
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_series() {
+        let metrics = Metrics::new(4);
+        metrics.record(Endpoint::Extract, 200, Duration::from_micros(50));
+        metrics.record(Endpoint::Extract, 404, Duration::from_micros(5_000));
+        metrics.record(Endpoint::Healthz, 200, Duration::from_micros(10));
+        metrics.record_shard(2);
+        assert_eq!(metrics.requests_total(), 3);
+
+        let c = &metrics.endpoints[Endpoint::Extract.index()];
+        assert_eq!(c.requests.load(Ordering::Relaxed), 2);
+        assert_eq!(c.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(c.buckets[0].load(Ordering::Relaxed), 1); // ≤100µs
+        assert_eq!(c.buckets[2].load(Ordering::Relaxed), 1); // ≤10ms
+        assert_eq!(
+            metrics.shard_requests[2].load(Ordering::Relaxed),
+            1,
+            "shard routing observable"
+        );
+    }
+}

@@ -1,0 +1,186 @@
+//! Route matching: request target → daemon endpoint.
+//!
+//! Paths are matched on their `/`-separated segments; `{site}` segments are
+//! percent-decoded so site keys may carry any byte (webgen task ids contain
+//! `/`, which a client encodes as `%2F`).  `batch` is a reserved word under
+//! `/extract/` — `POST /extract/batch` is the multi-document endpoint, so a
+//! site literally named `batch` must be addressed as `%62atch`.
+//!
+//! Matching is total: for **any** method and path — arbitrary bytes
+//! included — [`route`] returns a [`Route`] or a typed [`RouteError`],
+//! never panics (property-tested in `tests/http_parser.rs`).
+
+/// The daemon's endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `POST /extract/{site}` — HTML body in, extracted texts out.
+    Extract(String),
+    /// `POST /extract/batch` — JSON multi-document body in, one NDJSON
+    /// result line per document out (chunked).
+    ExtractBatch,
+    /// `POST /induce/{site}` — samples in, a new bundle revision installed.
+    Induce(String),
+    /// `POST /maintain/{site}` — snapshots in, verify/classify/repair run
+    /// and its state transitions persisted.
+    Maintain(String),
+    /// `GET /healthz` — liveness + registry poisoning state.
+    Healthz,
+    /// `GET /sites/{site}` — lifecycle state and revision history.
+    Site(String),
+    /// `GET /metrics` — text exposition of request and registry metrics.
+    Metrics,
+    /// `POST /admin/shutdown` — graceful drain and exit.
+    Shutdown,
+}
+
+/// Why no route matched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// No endpoint lives at this path.
+    NotFound,
+    /// The path exists but not under this method; the payload is the
+    /// allowed method for the `Allow` header.
+    MethodNotAllowed(&'static str),
+}
+
+/// Matches a method + path (query already stripped) to an endpoint.
+pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
+    let Some(rest) = path.strip_prefix('/') else {
+        return Err(RouteError::NotFound);
+    };
+    let segments: Vec<&str> = rest.split('/').collect();
+    let expect = |allowed: &'static str, matched: Route| {
+        if method == allowed {
+            Ok(matched)
+        } else {
+            Err(RouteError::MethodNotAllowed(allowed))
+        }
+    };
+    match segments.as_slice() {
+        ["healthz"] => expect("GET", Route::Healthz),
+        ["metrics"] => expect("GET", Route::Metrics),
+        ["admin", "shutdown"] => expect("POST", Route::Shutdown),
+        ["extract", "batch"] => expect("POST", Route::ExtractBatch),
+        ["extract", site @ ..] => site_route(method, "POST", site, Route::Extract),
+        ["induce", site @ ..] => site_route(method, "POST", site, Route::Induce),
+        ["maintain", site @ ..] => site_route(method, "POST", site, Route::Maintain),
+        ["sites", site @ ..] => site_route(method, "GET", site, Route::Site),
+        _ => Err(RouteError::NotFound),
+    }
+}
+
+/// Matches the `{site}` tail of a prefixed route: exactly one non-empty,
+/// percent-decodable segment.
+fn site_route(
+    method: &str,
+    allowed: &'static str,
+    segments: &[&str],
+    make: impl FnOnce(String) -> Route,
+) -> Result<Route, RouteError> {
+    let [segment] = segments else {
+        return Err(RouteError::NotFound);
+    };
+    let site = percent_decode(segment).ok_or(RouteError::NotFound)?;
+    if site.is_empty() {
+        return Err(RouteError::NotFound);
+    }
+    if method != allowed {
+        return Err(RouteError::MethodNotAllowed(allowed));
+    }
+    Ok(make(site))
+}
+
+/// Decodes `%XX` escapes; `None` for truncated or non-hex escapes and for
+/// decoded bytes that are not valid UTF-8.
+pub fn percent_decode(segment: &str) -> Option<String> {
+    let bytes = segment.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes.get(i + 1..i + 3)?;
+            let hex = std::str::from_utf8(hex).ok()?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+/// Encodes a site key for use as one path segment: everything outside
+/// `[A-Za-z0-9._~-]` becomes `%XX`.
+pub fn percent_encode(site: &str) -> String {
+    let mut out = String::with_capacity(site.len());
+    for byte in site.bytes() {
+        match byte {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'~' | b'-' => {
+                out.push(byte as char)
+            }
+            _ => out.push_str(&format!("%{byte:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_every_endpoint() {
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Healthz));
+        assert_eq!(route("GET", "/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("POST", "/admin/shutdown"), Ok(Route::Shutdown));
+        assert_eq!(route("POST", "/extract/batch"), Ok(Route::ExtractBatch));
+        assert_eq!(
+            route("POST", "/extract/movies-01"),
+            Ok(Route::Extract("movies-01".into()))
+        );
+        assert_eq!(
+            route("POST", "/induce/movies-01"),
+            Ok(Route::Induce("movies-01".into()))
+        );
+        assert_eq!(
+            route("POST", "/maintain/movies-01"),
+            Ok(Route::Maintain("movies-01".into()))
+        );
+        assert_eq!(
+            route("GET", "/sites/movies-01"),
+            Ok(Route::Site("movies-01".into()))
+        );
+    }
+
+    #[test]
+    fn site_keys_round_trip_percent_encoding() {
+        let site = "movies-0001/PrimaryValue";
+        let encoded = percent_encode(site);
+        assert_eq!(encoded, "movies-0001%2FPrimaryValue");
+        assert_eq!(
+            route("GET", &format!("/sites/{encoded}")),
+            Ok(Route::Site(site.into()))
+        );
+    }
+
+    #[test]
+    fn wrong_methods_name_the_allowed_one() {
+        assert_eq!(
+            route("POST", "/healthz"),
+            Err(RouteError::MethodNotAllowed("GET"))
+        );
+        assert_eq!(
+            route("GET", "/extract/x"),
+            Err(RouteError::MethodNotAllowed("POST"))
+        );
+    }
+
+    #[test]
+    fn junk_paths_are_not_found() {
+        for path in ["", "healthz", "/", "/extract", "/extract/", "/extract/a/b"] {
+            assert_eq!(route("GET", path), Err(RouteError::NotFound), "{path:?}");
+        }
+        assert_eq!(route("POST", "/sites/%zz"), Err(RouteError::NotFound));
+    }
+}

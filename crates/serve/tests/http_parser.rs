@@ -1,0 +1,153 @@
+//! Edge-case battery for the hand-rolled HTTP/1.1 parser and the router:
+//! torn request lines, oversized heads, missing/lying `Content-Length`,
+//! pipelining, and property tests that neither the parser nor route
+//! matching ever panics on arbitrary bytes.
+
+use proptest::prelude::*;
+use wi_serve::http::{parse_request, Limits};
+use wi_serve::route;
+use wi_serve::router::{percent_decode, percent_encode};
+
+fn parse(buf: &[u8]) -> Result<Option<(wi_serve::Request, usize)>, u16> {
+    parse_request(buf, &Limits::default()).map_err(|e| e.status)
+}
+
+/// A torn request line (any prefix of a valid request) is "incomplete",
+/// never an error and never a panic — the server keeps reading.
+#[test]
+fn torn_requests_are_incomplete_at_every_split_point() {
+    let full = b"POST /extract/movies-01 HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nhtml";
+    for cut in 0..full.len() {
+        let result = parse(&full[..cut]);
+        assert_eq!(result, Ok(None), "prefix of {cut} bytes must ask for more");
+    }
+    let (request, consumed) = parse(full).unwrap().expect("complete request parses");
+    assert_eq!(consumed, full.len());
+    assert_eq!(request.body, b"html");
+}
+
+/// A head that keeps growing without its `\r\n\r\n` terminator is cut off
+/// at the limit with 431, not buffered forever.
+#[test]
+fn oversized_heads_are_rejected_with_431() {
+    let limits = Limits::default();
+    let mut buf = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    while buf.len() <= limits.max_head_bytes {
+        buf.extend_from_slice(b"X-Padding: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa\r\n");
+    }
+    assert_eq!(
+        parse_request(&buf, &limits).map(|_| ()).unwrap_err().status,
+        431
+    );
+}
+
+/// Without a `Content-Length` the body is empty: bytes that follow the
+/// head are *not* silently attached — they parse as the next (here:
+/// garbage) pipelined request.
+#[test]
+fn missing_content_length_means_empty_body() {
+    let buf = b"POST /extract/s HTTP/1.1\r\nHost: x\r\n\r\n<html></html>";
+    let (request, consumed) = parse(buf).unwrap().expect("head is complete");
+    assert_eq!(request.body, b"");
+    let rest = &buf[consumed..];
+    assert_eq!(rest, b"<html></html>");
+    assert_eq!(
+        parse(rest),
+        Ok(None),
+        "stray bytes read as a torn next request"
+    );
+}
+
+/// A `Content-Length` bigger than the buffered bytes keeps the request
+/// incomplete; a non-numeric one is a 400; one beyond the limit is a 413
+/// before any body arrives.
+#[test]
+fn lying_content_lengths_are_handled() {
+    assert_eq!(
+        parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+        Ok(None),
+        "declared length exceeds buffered bytes"
+    );
+    assert_eq!(
+        parse(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n"),
+        Err(400)
+    );
+    assert_eq!(
+        parse(b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+        Err(400)
+    );
+    let huge = format!(
+        "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        Limits::default().max_body_bytes + 1
+    );
+    assert_eq!(parse(huge.as_bytes()), Err(413));
+}
+
+/// Chunked request bodies are declared unsupported, not misparsed.
+#[test]
+fn transfer_encoding_requests_get_501() {
+    assert_eq!(
+        parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n"),
+        Err(501)
+    );
+}
+
+/// Two requests in one buffer parse back-to-back: `consumed` points
+/// exactly at the second request, which parses from the leftover.
+#[test]
+fn pipelined_requests_consume_exactly_one_request_each() {
+    let first = b"POST /extract/a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabc".as_slice();
+    let second = b"GET /healthz HTTP/1.1\r\n\r\n".as_slice();
+    let buf = [first, second].concat();
+
+    let (request, consumed) = parse(&buf).unwrap().expect("first request");
+    assert_eq!(request.method, "POST");
+    assert_eq!(request.body, b"abc");
+    assert_eq!(consumed, first.len());
+
+    let (request, consumed) = parse(&buf[first.len()..]).unwrap().expect("second request");
+    assert_eq!(request.method, "GET");
+    assert_eq!(request.path(), "/healthz");
+    assert_eq!(consumed, second.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The parser is total: arbitrary bytes either parse, ask for more, or
+    /// fail with a typed status — never a panic, and `consumed` never
+    /// exceeds the buffer.
+    #[test]
+    fn parser_never_panics_on_arbitrary_bytes(bytes in prop::collection::vec(0u8..=255, 0..200)) {
+        if let Ok(Some((_, consumed))) = parse_request(&bytes, &Limits::default()) {
+            prop_assert!(consumed <= bytes.len());
+        }
+    }
+
+    /// Route matching is total over arbitrary method/path strings.
+    #[test]
+    fn router_never_panics_on_arbitrary_strings(
+        method_bytes in prop::collection::vec(0u8..=255, 0..12),
+        path_bytes in prop::collection::vec(0u8..=255, 0..40),
+    ) {
+        let method = String::from_utf8_lossy(&method_bytes);
+        let path = String::from_utf8_lossy(&path_bytes);
+        let _ = route(&method, &path);
+        let _ = percent_decode(&path);
+    }
+
+    /// Any UTF-8 site key survives the encode → route round trip.
+    #[test]
+    fn encoded_site_keys_round_trip_through_the_router(
+        bytes in prop::collection::vec(0u8..=255, 1..24),
+    ) {
+        let site = String::from_utf8_lossy(&bytes).into_owned();
+        // `/extract/batch` is a reserved segment, so a site literally
+        // named "batch" must be percent-escaped by the caller.
+        if site == "batch" {
+            return Ok(());
+        }
+        let path = format!("/extract/{}", percent_encode(&site));
+        prop_assert_eq!(route("POST", &path), Ok(wi_serve::Route::Extract(site)));
+    }
+}

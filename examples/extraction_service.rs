@@ -1,0 +1,167 @@
+//! Extraction as a service: run the `wi-serve` daemon in-process and drive
+//! the whole wrapper lifecycle over HTTP.
+//!
+//! The example creates a scratch persistent registry, starts the server on
+//! an OS-assigned loopback port, and then — exactly as a remote client
+//! would — induces a wrapper from labelled texts, extracts a page, streams
+//! a batch, runs maintenance over later snapshots, and reads the site
+//! history and Prometheus metrics back.  A graceful shutdown drains the
+//! workers and hands the registry back, fully synced to disk.
+//!
+//! The same endpoints are served by the standalone binary:
+//!
+//! ```text
+//! cargo run --bin wi-serve -- --registry /tmp/wi-registry --create 8
+//! ```
+//!
+//! ```text
+//! cargo run --example extraction_service
+//! ```
+
+use wrapper_induction::dom::to_html;
+use wrapper_induction::induction::harvest_targets_by_text;
+use wrapper_induction::induction::json::JsonValue;
+use wrapper_induction::maintain::{Maintainer, PersistentRegistry};
+use wrapper_induction::serve::{client, percent_encode, ServeConfig, Server};
+use wrapper_induction::webgen::datasets::single_node_tasks;
+use wrapper_induction::webgen::date::Day;
+
+fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn main() {
+    // A scratch registry; a real deployment would point `wi-serve
+    // --registry` at a durable directory instead.
+    let scratch = std::env::temp_dir().join(format!("wi-example-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    let registry = PersistentRegistry::create(&scratch, 4).expect("scratch registry is writable");
+    let handle = Server::start(registry, Maintainer::default(), ServeConfig::default())
+        .expect("bind a loopback port");
+    let addr = handle.addr();
+    println!("daemon listening on http://{addr}\n");
+
+    // A webgen task whose ground-truth nodes are addressable by their text
+    // — that is how `/induce` locates targets in the posted samples.
+    let (task, doc, targets) = single_node_tasks(12)
+        .into_iter()
+        .find_map(|task| {
+            let (doc, targets) = task.page_with_targets(Day(0));
+            let texts: Vec<String> = targets.iter().map(|&n| doc.normalized_text(n)).collect();
+            (harvest_targets_by_text(&doc, &texts) == targets).then_some((task, doc, targets))
+        })
+        .expect("a task with text-addressable targets");
+    let site = task.id();
+    let encoded = percent_encode(&site);
+    let truth: Vec<String> = targets.iter().map(|&n| doc.normalized_text(n)).collect();
+    let html = to_html(&doc);
+    println!("site {site}: labelling {:?}", truth);
+
+    // 1. POST /induce/{site} — labelled page in, installed wrapper out.
+    let induce_body = object(vec![
+        ("day", JsonValue::Number(0.0)),
+        (
+            "samples",
+            JsonValue::Array(vec![object(vec![
+                ("html", JsonValue::String(html.clone())),
+                (
+                    "target_texts",
+                    JsonValue::Array(truth.iter().cloned().map(JsonValue::String).collect()),
+                ),
+            ])]),
+        ),
+    ]);
+    let induced =
+        client::post_json(addr, &format!("/induce/{encoded}"), &induce_body).expect("induce");
+    println!(
+        "POST /induce/{encoded} → {} {}",
+        induced.status,
+        induced.text()
+    );
+
+    // 2. POST /extract/{site} — raw HTML in, extracted texts out.
+    let extracted = client::post(
+        addr,
+        &format!("/extract/{encoded}"),
+        "text/html",
+        html.as_bytes(),
+    )
+    .expect("extract");
+    println!(
+        "POST /extract/{encoded} → {} {}",
+        extracted.status,
+        extracted.text()
+    );
+
+    // 3. POST /extract/batch — many documents, streamed back as NDJSON.
+    let batch_body = object(vec![
+        ("site", JsonValue::String(site.clone())),
+        (
+            "docs",
+            JsonValue::Array(vec![JsonValue::String(html.clone()); 3]),
+        ),
+    ]);
+    let batch = client::post_json(addr, "/extract/batch", &batch_body).expect("batch");
+    println!(
+        "POST /extract/batch → {} ({} NDJSON lines)",
+        batch.status,
+        batch.text().lines().count()
+    );
+
+    // 4. POST /maintain/{site} — verify/repair over later archive
+    //    snapshots; revisions are committed to the shard log.
+    let snapshots: Vec<JsonValue> = (1i64..=3)
+        .map(|i| {
+            let day = i * 120;
+            object(vec![
+                ("day", JsonValue::Number(day as f64)),
+                (
+                    "html",
+                    JsonValue::String(to_html(&task.page_with_targets(Day(day)).0)),
+                ),
+            ])
+        })
+        .collect();
+    let maintained = client::post_json(
+        addr,
+        &format!("/maintain/{encoded}"),
+        &object(vec![("snapshots", JsonValue::Array(snapshots))]),
+    )
+    .expect("maintain");
+    println!(
+        "POST /maintain/{encoded} → {} {}",
+        maintained.status,
+        maintained.text()
+    );
+
+    // 5. GET /sites/{site} and /metrics — observability.
+    let info = client::get(addr, &format!("/sites/{encoded}")).expect("site info");
+    println!("GET /sites/{encoded} → {} {}", info.status, info.text());
+    let metrics = client::get(addr, "/metrics").expect("metrics").text();
+    println!("GET /metrics →");
+    for line in metrics
+        .lines()
+        .filter(|l| l.starts_with("wi_requests_total") || l.starts_with("wi_registry_sites"))
+    {
+        println!("  {line}");
+    }
+
+    // 6. Graceful shutdown: drain in-flight requests, sync the shard logs,
+    //    recover the registry in-process.
+    let drain = client::post_json(addr, "/admin/shutdown", &object(vec![])).expect("shutdown");
+    println!("\nPOST /admin/shutdown → {}", drain.status);
+    let registry = handle.wait();
+    println!(
+        "drained; {} site(s), {} committed revision(s) on disk at {}",
+        registry.site_count(),
+        registry.history(&site).len(),
+        registry.root().display()
+    );
+    drop(registry);
+    let _ = std::fs::remove_dir_all(&scratch);
+}

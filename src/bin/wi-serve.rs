@@ -1,0 +1,130 @@
+//! The wi-serve daemon binary: extraction as a service over a persistent
+//! wrapper registry.
+//!
+//! ```text
+//! wi-serve --registry DIR [--create SHARDS] [--addr HOST:PORT]
+//!          [--workers N] [--durability always|batch]
+//! ```
+//!
+//! Opens (crash-recovering) the registry at `DIR` — creating it with
+//! `SHARDS` shards first when `--create` is given and no registry exists
+//! — then serves until `POST /admin/shutdown` drains the workers.  Exits
+//! 0 on a graceful shutdown, 2 on startup errors (including a registry
+//! whose shard locks are held by another live daemon).
+
+use std::process::ExitCode;
+
+use wrapper_induction::maintain::{Durability, Maintainer, PersistentRegistry};
+use wrapper_induction::serve::{ServeConfig, Server};
+
+struct Args {
+    registry: String,
+    create_shards: Option<usize>,
+    addr: String,
+    workers: usize,
+    durability: Durability,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        registry: String::new(),
+        create_shards: None,
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        durability: Durability::Always,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--registry" => args.registry = value("--registry")?,
+            "--create" => {
+                args.create_shards = Some(
+                    value("--create")?
+                        .parse()
+                        .map_err(|_| "--create needs a shard count".to_string())?,
+                )
+            }
+            "--addr" => args.addr = value("--addr")?,
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers needs a number".to_string())?
+            }
+            "--durability" => {
+                args.durability = match value("--durability")?.as_str() {
+                    "always" => Durability::Always,
+                    "batch" => Durability::Batch,
+                    other => return Err(format!("unknown durability {other:?}")),
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.registry.is_empty() {
+        return Err("--registry DIR is required".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("wi-serve: {message}");
+            eprintln!(
+                "usage: wi-serve --registry DIR [--create SHARDS] [--addr HOST:PORT] \
+                 [--workers N] [--durability always|batch]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let exists = std::path::Path::new(&args.registry)
+        .join("registry.json")
+        .exists();
+    let opened = match args.create_shards {
+        Some(shards) if !exists => PersistentRegistry::create(&args.registry, shards),
+        _ => PersistentRegistry::recover(&args.registry),
+    };
+    let registry = match opened {
+        Ok(registry) => registry.with_durability(args.durability),
+        Err(e) => {
+            eprintln!("wi-serve: cannot open registry at {}: {e}", args.registry);
+            return ExitCode::from(2);
+        }
+    };
+    let report = registry.recovery_report();
+    if !report.clean() {
+        eprintln!(
+            "wi-serve: recovered registry with {} repaired shard log(s)",
+            report.torn_tails.len()
+        );
+    }
+    let config = ServeConfig {
+        addr: args.addr,
+        workers: args.workers,
+        ..ServeConfig::default()
+    };
+    let handle = match Server::start(registry, Maintainer::default(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("wi-serve: cannot bind: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    // The test harness scrapes the OS-assigned port from this line.  All
+    // stdout writes tolerate a closed pipe (a supervisor may stop reading
+    // after the address line) — a log line must never take the daemon down.
+    use std::io::Write;
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(stdout, "wi-serve listening on http://{}", handle.addr());
+    let _ = stdout.flush();
+    let registry = handle.wait();
+    let _ = writeln!(
+        stdout,
+        "wi-serve: drained; {} site(s) on disk at {}",
+        registry.site_count(),
+        registry.root().display()
+    );
+    ExitCode::SUCCESS
+}

@@ -19,6 +19,8 @@
 //! * [`maintain`] — the wrapper lifecycle subsystem: verification, drift
 //!   classification and automatic repair over archive timelines
 //!   (`wi-maintain`),
+//! * [`serve`] — the extraction-as-a-service daemon over the persistent
+//!   registry (`wi-serve`; see the `wi-serve` binary),
 //! * [`eval`] — the experiment harness reproducing the paper's tables and
 //!   figures (`wi-eval`).
 //!
@@ -79,6 +81,8 @@ pub use wi_induction as induction;
 pub use wi_maintain as maintain;
 /// Robustness scoring and ranking (`wi-scoring`).
 pub use wi_scoring as scoring;
+/// The extraction-as-a-service daemon (`wi-serve`).
+pub use wi_serve as serve;
 /// The synthetic web substrate (`wi-webgen`).
 pub use wi_webgen as webgen;
 /// The XPath engine (`wi-xpath`).

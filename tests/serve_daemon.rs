@@ -1,0 +1,222 @@
+//! Cross-process acceptance test of the `wi-serve` daemon binary: start
+//! against a scratch registry, install a bundle over HTTP, extract from a
+//! webgen page, SIGKILL the process mid-stream, restart, and verify the
+//! registry recovers with zero lost committed revisions — plus the
+//! per-shard advisory locks refusing a second daemon on the same registry.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use wrapper_induction::dom::to_html;
+use wrapper_induction::induction::harvest_targets_by_text;
+use wrapper_induction::induction::json::JsonValue;
+use wrapper_induction::serve::client;
+use wrapper_induction::serve::percent_encode;
+use wrapper_induction::webgen::datasets::single_node_tasks;
+use wrapper_induction::webgen::Day;
+
+const DAEMON: &str = env!("CARGO_BIN_EXE_wi-serve");
+
+fn scratch_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("wi-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Spawns the daemon and scrapes the bound address from its stdout.
+fn spawn_daemon(registry: &std::path::Path, create: Option<usize>) -> (Child, SocketAddr) {
+    let mut command = Command::new(DAEMON);
+    command
+        .arg("--registry")
+        .arg(registry)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    if let Some(shards) = create {
+        command.arg("--create").arg(shards.to_string());
+    }
+    let mut child = command.spawn().expect("spawn wi-serve");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut lines = BufReader::new(stdout).lines();
+    let line = lines
+        .next()
+        .expect("daemon prints its address")
+        .expect("readable stdout");
+    let addr = line
+        .rsplit_once("http://")
+        .map(|(_, addr)| addr.trim())
+        .expect("address on the listening line")
+        .parse()
+        .expect("parseable address");
+    (child, addr)
+}
+
+/// Waits for exit, panicking if the process outlives the timeout.
+fn wait_with_timeout(child: &mut Child, timeout: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("daemon did not exit within {timeout:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn object(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+#[test]
+fn daemon_survives_sigkill_with_zero_lost_revisions() {
+    let root = scratch_dir();
+
+    // --- Start against a fresh registry and install a wrapper over HTTP.
+    let (mut daemon, addr) = spawn_daemon(&root, Some(4));
+    let health = client::get(addr, "/healthz").expect("healthz");
+    assert_eq!(health.status, 200);
+
+    let (task, doc, targets) = single_node_tasks(12)
+        .into_iter()
+        .find_map(|task| {
+            let (doc, targets) = task.page_with_targets(Day(0));
+            let texts: Vec<String> = targets.iter().map(|&n| doc.normalized_text(n)).collect();
+            (harvest_targets_by_text(&doc, &texts) == targets).then_some((task, doc, targets))
+        })
+        .expect("a task with text-addressable targets");
+    let site = task.id();
+    let encoded = percent_encode(&site);
+    let truth: Vec<String> = targets.iter().map(|&n| doc.normalized_text(n)).collect();
+    let html = to_html(&doc);
+
+    let induce_body = object(vec![
+        ("day", JsonValue::Number(0.0)),
+        (
+            "samples",
+            JsonValue::Array(vec![object(vec![
+                ("html", JsonValue::String(html.clone())),
+                (
+                    "target_texts",
+                    JsonValue::Array(truth.iter().cloned().map(JsonValue::String).collect()),
+                ),
+            ])]),
+        ),
+    ]);
+    let induced = client::post_json(addr, &format!("/induce/{encoded}"), &induce_body)
+        .expect("induce over HTTP");
+    assert_eq!(induced.status, 200, "induce failed: {}", induced.text());
+
+    let extracted = client::post(
+        addr,
+        &format!("/extract/{encoded}"),
+        "text/html",
+        html.as_bytes(),
+    )
+    .expect("extract over HTTP");
+    assert_eq!(extracted.status, 200);
+    let texts: Vec<String> = extracted
+        .json()
+        .unwrap()
+        .get("texts")
+        .and_then(|t| t.as_array().map(|a| a.to_vec()))
+        .unwrap()
+        .iter()
+        .filter_map(|v| v.as_str().map(String::from))
+        .collect();
+    assert_eq!(texts, truth, "served texts match the webgen ground truth");
+
+    let history_before = client::get(addr, &format!("/sites/{encoded}"))
+        .expect("site info")
+        .json()
+        .unwrap()
+        .to_compact();
+
+    // --- A second daemon on the same registry is refused by the shard
+    // locks while this one is alive.
+    let mut second = Command::new(DAEMON)
+        .arg("--registry")
+        .arg(&root)
+        .arg("--addr")
+        .arg("127.0.0.1:0")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn second daemon");
+    let status = wait_with_timeout(&mut second, Duration::from_secs(20));
+    assert!(
+        !status.success(),
+        "second daemon must refuse a registry whose locks are held"
+    );
+
+    // --- SIGKILL the daemon mid-stream: open a batch extraction, read the
+    // first chunk of the response, then kill the process.
+    let batch_body = object(vec![
+        ("site", JsonValue::String(site.clone())),
+        (
+            "docs",
+            JsonValue::Array(vec![JsonValue::String(html.clone()); 8]),
+        ),
+    ])
+    .to_compact();
+    let mut stream = TcpStream::connect(addr).expect("connect for batch");
+    write!(
+        stream,
+        "POST /extract/batch HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{}",
+        batch_body.len(),
+        batch_body
+    )
+    .expect("send batch request");
+    stream.flush().expect("flush");
+    let mut first = [0u8; 64];
+    let n = stream.read(&mut first).expect("first response bytes");
+    assert!(n > 0, "the stream started before the kill");
+    daemon.kill().expect("SIGKILL the daemon");
+    let _ = daemon.wait();
+    drop(stream);
+
+    // --- Restart: the dead process's stale shard locks are reclaimed and
+    // the committed history is intact — same revisions, same site state.
+    let (mut daemon, addr) = spawn_daemon(&root, None);
+    let history_after = client::get(addr, &format!("/sites/{encoded}"))
+        .expect("site info after restart")
+        .json()
+        .unwrap()
+        .to_compact();
+    assert_eq!(
+        history_after, history_before,
+        "revision history survives a SIGKILL byte-for-byte"
+    );
+    let extracted = client::post(
+        addr,
+        &format!("/extract/{encoded}"),
+        "text/html",
+        html.as_bytes(),
+    )
+    .expect("extract after restart");
+    assert_eq!(extracted.status, 200);
+
+    // --- Metrics expose non-zero counters for what this incarnation served.
+    let exposition = client::get(addr, "/metrics").expect("metrics").text();
+    assert!(exposition.contains("wi_requests_total{endpoint=\"extract\"} 1"));
+    assert!(exposition.contains("wi_requests_total{endpoint=\"site\"} 1"));
+    assert!(exposition.contains("wi_registry_sites 1"));
+
+    // --- Graceful shutdown drains and exits 0.
+    let drain = client::post_json(addr, "/admin/shutdown", &object(vec![])).expect("shutdown");
+    assert_eq!(drain.status, 200);
+    let status = wait_with_timeout(&mut daemon, Duration::from_secs(20));
+    assert!(status.success(), "graceful shutdown exits 0");
+
+    let _ = std::fs::remove_dir_all(&root);
+}
