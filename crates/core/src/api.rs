@@ -42,6 +42,7 @@ impl Wrapper {
         since = "0.1.0",
         note = "use the `Extractor` trait: `wrapper.extract(&doc, context)`"
     )]
+    // lint:allow(R3, deprecated pre-Extractor shim kept for API compatibility; new callers go through the pooled extract paths)
     pub fn extract_from(&self, doc: &Document, context: NodeId) -> Vec<NodeId> {
         evaluate(&self.instance.query, doc, context)
     }

@@ -41,6 +41,7 @@ impl<'a> Sample<'a> {
 
     /// Evaluates a query on this sample and returns its accuracy counts.
     pub fn evaluate_counts(&self, query: &Query) -> Counts {
+        // lint:allow(R3, one-shot scoring helper used only by unit tests; induction's hot loop scores candidates through the shared-prefix evaluator)
         let result = evaluate(query, self.doc, self.context);
         counts_against(&result, self.targets)
     }

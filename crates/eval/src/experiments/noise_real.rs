@@ -12,7 +12,7 @@ use wi_webgen::datasets::ner_pages;
 use wi_webgen::date::Day;
 use wi_webgen::ner::{annotate_listing_page, EntityKind, NerConfig};
 use wi_webgen::site::PageKind;
-use wi_xpath::evaluate;
+use wi_xpath::{evaluate_with, EvalContext};
 
 /// Result of the NER-noise experiment on one page.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +50,7 @@ pub fn run(scale: &Scale) -> NerReport {
     let sites = ner_pages(scale.ner_pages);
     let ner_config = NerConfig::default();
     let mut pages = Vec::new();
+    let mut cx = EvalContext::new();
 
     for (i, site) in sites.iter().enumerate() {
         let kind = EntityKind::ALL[i % EntityKind::ALL.len()];
@@ -66,7 +67,7 @@ pub fn run(scale: &Scale) -> NerReport {
         let induced = induce(&[sample], &config);
         let (recovered, expression) = match induced.first() {
             Some(top) => {
-                let mut selected = evaluate(&top.query, &doc, doc.root());
+                let mut selected = evaluate_with(&mut cx, &top.query, &doc, doc.root());
                 doc.sort_document_order(&mut selected);
                 let mut truth = annotation.truth.clone();
                 doc.sort_document_order(&mut truth);

@@ -14,7 +14,7 @@ use wi_induction::{induce, Sample};
 use wi_webgen::archive::ArchiveSimulator;
 use wi_webgen::datasets::imdb_director_task;
 use wi_webgen::date::Day;
-use wi_xpath::evaluate;
+use wi_xpath::{evaluate_with, EvalContext};
 
 /// Success ratios for one observation period.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -57,6 +57,7 @@ pub fn run(scale: &Scale) -> Vec<PeriodResult> {
             // 15 snapshots at ~2-month intervals.
             let snapshots = archive.snapshots_every(*start, *end, 60);
             let snapshots: Vec<_> = snapshots.into_iter().take(15).collect();
+            let mut cx = EvalContext::new();
             let mut ours_ok = 0usize;
             let mut treeedit_ok = 0usize;
             let mut transitions = 0usize;
@@ -74,7 +75,8 @@ pub fn run(scale: &Scale) -> Vec<PeriodResult> {
                 let config = super::induction_config_for(&task, scale.k);
                 let sample = Sample::from_root(&current.doc, &truth_now);
                 if let Some(top) = induce(&[sample], &config).first() {
-                    if evaluate(&top.query, &next.doc, next.doc.root()) == truth_next {
+                    if evaluate_with(&mut cx, &top.query, &next.doc, next.doc.root()) == truth_next
+                    {
                         ours_ok += 1;
                     }
                 }
@@ -89,7 +91,7 @@ pub fn run(scale: &Scale) -> Vec<PeriodResult> {
                 let model = ChangeModel::learn(&history);
                 let inducer = TreeEditInducer::new(model, scale.k);
                 if let Some(top) = inducer.induce(&current.doc, truth_now[0]).first() {
-                    if evaluate(top, &next.doc, next.doc.root()) == truth_next {
+                    if evaluate_with(&mut cx, top, &next.doc, next.doc.root()) == truth_next {
                         treeedit_ok += 1;
                     }
                 }

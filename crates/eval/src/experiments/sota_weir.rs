@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 use wi_baselines::weir::{WeirInducer, WeirPage};
 use wi_webgen::datasets::hotel_corpus;
 use wi_webgen::date::Day;
-use wi_xpath::{evaluate, Query};
+use wi_xpath::{evaluate_with, EvalContext, Query};
 
 /// Aggregated comparison result.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -85,6 +85,7 @@ pub fn run(scale: &Scale) -> WeirComparison {
         // Survival of an expression: fraction of the period it keeps
         // selecting the intended (single) node on the first page of the set.
         let survival = |q: &Query| -> f64 {
+            let mut cx = EvalContext::new();
             let mut good = 0usize;
             let mut total = 0usize;
             let mut day = induction_day;
@@ -92,7 +93,7 @@ pub fn run(scale: &Scale) -> WeirComparison {
                 let (doc, truth) = task.page_with_targets(day);
                 if truth.len() == 1 {
                     total += 1;
-                    if evaluate(q, &doc, doc.root()) == truth {
+                    if evaluate_with(&mut cx, q, &doc, doc.root()) == truth {
                         good += 1;
                     }
                 }

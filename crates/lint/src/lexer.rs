@@ -1,0 +1,376 @@
+//! A hand-rolled, panic-free Rust token lexer.
+//!
+//! `wi-lint` runs in an offline build environment, so it cannot depend on
+//! `syn`/`proc-macro2`; this lexer implements exactly the token surface the
+//! analyzer needs: comments (line, nested block), string-ish literals
+//! (strings, raw strings, byte strings, chars, lifetimes), identifiers,
+//! numbers and single-character punctuation.
+//!
+//! Two properties are load-bearing and property-tested
+//! (`tests/lexer_props.rs`):
+//!
+//! 1. **Total**: `lex` never panics, on any input — including arbitrary
+//!    byte soup decoded lossily into a `String`.  Unterminated literals and
+//!    comments extend to end of input.
+//! 2. **Span round-trip**: the concatenation of every token's source slice
+//!    is byte-identical to the input, so diagnostics can always render the
+//!    exact source span they refer to.
+
+/// The classes of token the analyzer distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Whitespace run.
+    Ws,
+    /// `// …` (and `/// …`, `//! …`) to end of line.
+    LineComment,
+    /// `/* … */`, nested; unterminated runs to end of input.
+    BlockComment,
+    /// Identifier or keyword (including raw identifiers `r#type`).
+    Ident,
+    /// `'label` / `'a` (a quote not closed as a char literal).
+    Lifetime,
+    /// Numeric literal (integer or float, any base).
+    Num,
+    /// String-ish literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br"…"`, chars
+    /// `'x'`, byte chars `b'x'`.
+    Str,
+    /// A single punctuation character.
+    Punct,
+    /// Anything else (stray bytes); always a single char.
+    Unknown,
+}
+
+/// One lexed token: a kind plus its byte span in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's source slice.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Returns the char starting at byte `i`, if any.  `i` is always kept on a
+/// char boundary by the lexer loop.
+fn char_at(src: &str, i: usize) -> Option<char> {
+    src.get(i..).and_then(|s| s.chars().next())
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_' || !c.is_ascii()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || !c.is_ascii()
+}
+
+/// Lexes a whole source file.  Total: never panics, any input.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while let Some(c) = char_at(src, i) {
+        let start = i;
+        let kind = if c.is_whitespace() {
+            i = consume_while(src, i, char::is_whitespace);
+            TokenKind::Ws
+        } else if c == '/' && char_at(src, i + 1) == Some('/') {
+            i = consume_while(src, i, |c| c != '\n');
+            TokenKind::LineComment
+        } else if c == '/' && char_at(src, i + 1) == Some('*') {
+            i = consume_block_comment(src, i);
+            TokenKind::BlockComment
+        } else if c == '"' {
+            i = consume_string(src, i + 1);
+            TokenKind::Str
+        } else if c == '\'' {
+            let (next, kind) = consume_quote(src, i);
+            i = next;
+            kind
+        } else if (c == 'r' || c == 'b') && starts_string_like(src, i) {
+            i = consume_string_like(src, i);
+            TokenKind::Str
+        } else if c == 'r'
+            && char_at(src, i + 1) == Some('#')
+            && char_at(src, i + 2).is_some_and(is_ident_start)
+        {
+            // Raw identifier `r#type`.
+            i = consume_while(src, i + 2, is_ident_continue);
+            TokenKind::Ident
+        } else if is_ident_start(c) {
+            i = consume_while(src, i, is_ident_continue);
+            TokenKind::Ident
+        } else if c.is_ascii_digit() {
+            i = consume_number(src, i);
+            TokenKind::Num
+        } else if c.is_ascii_punctuation() {
+            i += c.len_utf8();
+            TokenKind::Punct
+        } else {
+            i += c.len_utf8();
+            TokenKind::Unknown
+        };
+        tokens.push(Token {
+            kind,
+            start,
+            end: i,
+        });
+    }
+    tokens
+}
+
+fn consume_while(src: &str, mut i: usize, pred: impl Fn(char) -> bool) -> usize {
+    while let Some(c) = char_at(src, i) {
+        if !pred(c) {
+            break;
+        }
+        i += c.len_utf8();
+    }
+    i
+}
+
+/// Consumes a nested block comment starting at `/*`; unterminated runs to
+/// end of input.
+fn consume_block_comment(src: &str, mut i: usize) -> usize {
+    let mut depth = 0usize;
+    while let Some(c) = char_at(src, i) {
+        if c == '/' && char_at(src, i + 1) == Some('*') {
+            depth += 1;
+            i += 2;
+        } else if c == '*' && char_at(src, i + 1) == Some('/') {
+            depth = depth.saturating_sub(1);
+            i += 2;
+            if depth == 0 {
+                return i;
+            }
+        } else {
+            i += c.len_utf8();
+        }
+    }
+    src.len()
+}
+
+/// Consumes a `"…"` body starting *after* the opening quote; handles `\`
+/// escapes; unterminated runs to end of input.
+fn consume_string(src: &str, mut i: usize) -> usize {
+    while let Some(c) = char_at(src, i) {
+        i += c.len_utf8();
+        if c == '\\' {
+            if let Some(esc) = char_at(src, i) {
+                i += esc.len_utf8();
+            }
+        } else if c == '"' {
+            return i;
+        }
+    }
+    src.len()
+}
+
+/// Does `r…`/`b…` at `i` start a string-like literal (`r"`, `r#"`, `b"`,
+/// `b'`, `br"`, `br#"`)?
+fn starts_string_like(src: &str, i: usize) -> bool {
+    let mut j = i;
+    if char_at(src, j) == Some('b') {
+        j += 1;
+        if char_at(src, j) == Some('\'') {
+            return true;
+        }
+    }
+    let raw = char_at(src, j) == Some('r');
+    if raw {
+        j += 1;
+        while char_at(src, j) == Some('#') {
+            j += 1;
+        }
+    }
+    char_at(src, j) == Some('"') && (raw || j == i + 1 || char_at(src, i) == Some('b'))
+}
+
+/// Consumes a raw/byte string (or byte char) literal starting at the `r`/`b`.
+fn consume_string_like(src: &str, mut i: usize) -> usize {
+    if char_at(src, i) == Some('b') {
+        i += 1;
+        if char_at(src, i) == Some('\'') {
+            // Byte char `b'x'` / `b'\n'`.
+            i += 1;
+            if char_at(src, i) == Some('\\') {
+                i += 1;
+                if let Some(c) = char_at(src, i) {
+                    i += c.len_utf8();
+                }
+            } else if let Some(c) = char_at(src, i) {
+                i += c.len_utf8();
+            }
+            if char_at(src, i) == Some('\'') {
+                i += 1;
+            }
+            return i;
+        }
+    }
+    let raw = char_at(src, i) == Some('r');
+    let mut hashes = 0usize;
+    if raw {
+        i += 1;
+        while char_at(src, i) == Some('#') {
+            hashes += 1;
+            i += 1;
+        }
+    }
+    if char_at(src, i) != Some('"') {
+        // Defensive: `starts_string_like` said yes, but re-check; treat as a
+        // single char to guarantee progress.
+        return i.max(src.len().min(i + 1));
+    }
+    i += 1;
+    if !raw {
+        return consume_string(src, i);
+    }
+    // Raw string: ends at `"` followed by `hashes` hash marks; no escapes.
+    while let Some(c) = char_at(src, i) {
+        i += c.len_utf8();
+        if c == '"' {
+            let tail = src.get(i..i + hashes).unwrap_or("");
+            if tail.len() == hashes && tail.bytes().all(|b| b == b'#') {
+                return i + hashes;
+            }
+        }
+    }
+    src.len()
+}
+
+/// Disambiguates `'x'` (char) from `'label` (lifetime) from a stray quote.
+fn consume_quote(src: &str, start: usize) -> (usize, TokenKind) {
+    let mut i = start + 1;
+    match char_at(src, i) {
+        Some('\\') => {
+            // Escaped char literal `'\n'`, `'\u{1F600}'`.
+            i += 1;
+            while let Some(c) = char_at(src, i) {
+                i += c.len_utf8();
+                if c == '\'' {
+                    return (i, TokenKind::Str);
+                }
+                if c == '\n' {
+                    return (i, TokenKind::Unknown);
+                }
+            }
+            (src.len(), TokenKind::Unknown)
+        }
+        Some(c) if is_ident_start(c) => {
+            // Either `'a'` (char) or `'a` / `'label` (lifetime).
+            let after = i + c.len_utf8();
+            if char_at(src, after) == Some('\'') {
+                (after + 1, TokenKind::Str)
+            } else {
+                (
+                    consume_while(src, i, is_ident_continue),
+                    TokenKind::Lifetime,
+                )
+            }
+        }
+        Some(c) => {
+            // `'('`-style char of punctuation, or a stray quote.
+            let after = i + c.len_utf8();
+            if char_at(src, after) == Some('\'') {
+                (after + 1, TokenKind::Str)
+            } else {
+                (start + 1, TokenKind::Unknown)
+            }
+        }
+        None => (start + 1, TokenKind::Unknown),
+    }
+}
+
+/// Consumes a numeric literal; `.` is only part of the number when followed
+/// by a digit (so `0..n` lexes as `0`, `.`, `.`, `n`).
+fn consume_number(src: &str, mut i: usize) -> usize {
+    while let Some(c) = char_at(src, i) {
+        let fraction_dot = c == '.' && char_at(src, i + 1).is_some_and(|n| n.is_ascii_digit());
+        if c.is_ascii_alphanumeric() || c == '_' || fraction_dot {
+            i += 1;
+        } else {
+            break;
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src))).collect()
+    }
+
+    #[test]
+    fn round_trips_simple_source() {
+        let src = "pub fn f(x: &str) -> u32 { x.len() as u32 } // tail";
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn strings_and_chars_and_lifetimes() {
+        let src = r##"let a = "s\"x"; let b = 'c'; fn f<'a>(x: &'a str) {} let r = r#"raw "# "##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("\"s")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && *t == "'c'"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && *t == "'a"));
+        let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+        assert_eq!(joined, src);
+    }
+
+    #[test]
+    fn nested_block_comments_and_unterminated() {
+        let src = "a /* x /* y */ z */ b";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::BlockComment && t.ends_with("z */")));
+        // Unterminated forms never panic and still round-trip.
+        for src in ["/* open", "\"open", "r#\"open", "b'", "'", "'\\", "r#"] {
+            let joined: String = lex(src).iter().map(|t| t.text(src)).collect();
+            assert_eq!(joined, src, "{src:?}");
+        }
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let src = "for i in 0..10 { a[i] = 1.5; }";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && *t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Num && *t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Num && *t == "1.5"));
+    }
+
+    #[test]
+    fn raw_idents_and_byte_strings() {
+        let src = "let r#type = b\"bytes\"; let x = br#\"raw\"#;";
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && *t == "r#type"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("b\"")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.starts_with("br#")));
+    }
+}

@@ -1,0 +1,46 @@
+//! R3 — pooled-context discipline (introduced by PR 2, hot path since PR 4).
+//!
+//! `wi_xpath::evaluate()` allocates a fresh `EvalContext` (four working
+//! vectors) per call; `evaluate_with(&mut cx, …)` reuses pooled buffers and
+//! is the only form allowed on paths that evaluate more than one query.
+//! Direct `evaluate(` calls are therefore forbidden outside the defining
+//! crate (`crates/xpath/src/`, which includes the reference evaluator and
+//! the canonicalizer) and explicitly allowlisted cold paths.  Test code is
+//! exempt: clarity beats buffer reuse in assertions.
+
+use super::{diag_at, matches_prefix, matches_suffix};
+use crate::diag::Diagnostic;
+use crate::syntax::SourceFile;
+use crate::LintConfig;
+
+pub fn check(files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if matches_prefix(&file.rel, &cfg.r3_allow_prefixes)
+            || matches_suffix(&file.rel, &cfg.r3_allow_files)
+        {
+            continue;
+        }
+        for f in &file.functions {
+            if f.is_test {
+                continue;
+            }
+            for call in file.calls_in(f) {
+                if call.is_method || call.is_macro {
+                    continue; // `prefix.evaluate(…)` is a different API
+                }
+                if cfg.r3_banned.iter().any(|b| b == &call.name) {
+                    out.push(diag_at(
+                        file,
+                        "R3",
+                        call.sig_index,
+                        format!(
+                            "bare `{}(` allocates a fresh EvalContext per call; use \
+                             `{}_with(&mut cx, …)` with a pooled context on this path",
+                            call.name, call.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

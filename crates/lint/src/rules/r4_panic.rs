@@ -1,0 +1,78 @@
+//! R4 — panic-freedom in serve request paths (introduced by PR 6).
+//!
+//! A panic inside a `wi-serve` worker thread kills the connection and, with
+//! a poisoned registry lock, can wedge the whole daemon.  Request handling
+//! must turn every malformed input into a typed 4xx/5xx response instead.
+//!
+//! The rule computes the forward closure of the serve crate's intra-crate
+//! call graph from the request-path roots (`handle`, `handle_connection`,
+//! `worker_loop`) and denies, in every reachable non-test function:
+//! `unwrap`/`expect` method calls, the panic macro family (`panic!`,
+//! `unreachable!`, `todo!`, `unimplemented!`), and slice-indexing
+//! expressions (`expr[i]` panics on out-of-bounds; use `.get(i)`).
+//!
+//! Cross-crate calls are trusted at the boundary: callees outside
+//! `crates/serve/src/` are covered by their own crates' contracts (the
+//! registry API returns `Result`s by PR 5's design).  Length-checked
+//! indexing that is locally provably safe is annotated with
+//! `lint:allow(R4, …)` at the site.
+
+use super::{diag_at, CallGraph};
+use crate::diag::Diagnostic;
+use crate::syntax::SourceFile;
+use crate::LintConfig;
+
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+pub fn check(files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let group: Vec<&SourceFile> = files
+        .iter()
+        .filter(|f| f.rel.starts_with(cfg.r4_crate_prefix.as_str()))
+        .collect();
+    if group.is_empty() {
+        return;
+    }
+    let graph = CallGraph::build(group);
+    let roots: Vec<&str> = cfg.r4_roots.iter().map(String::as_str).collect();
+    for i in graph.reachable_from(&roots) {
+        let ((fi, _), f) = graph.fns[i];
+        let file = graph.files[fi];
+        if f.is_test {
+            continue;
+        }
+        for call in file.calls_in(f) {
+            let banned = if call.is_macro {
+                PANIC_MACROS.contains(&call.name.as_str())
+            } else {
+                call.is_method && PANIC_METHODS.contains(&call.name.as_str())
+            };
+            if banned {
+                out.push(diag_at(
+                    file,
+                    "R4",
+                    call.sig_index,
+                    format!(
+                        "`{}{}` is reachable from a request handler (via `{}`); \
+                         convert the failure into a typed 4xx/5xx response",
+                        call.name,
+                        if call.is_macro { "!" } else { "" },
+                        f.name
+                    ),
+                ));
+            }
+        }
+        for site in file.index_sites_in(f) {
+            out.push(diag_at(
+                file,
+                "R4",
+                site.sig_index,
+                format!(
+                    "slice-indexing in request path `{}` panics on out-of-bounds; \
+                     use `.get(…)` or annotate the bounds proof with lint:allow",
+                    f.name
+                ),
+            ));
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! Pragma clean twin: a reasoned pragma that suppresses a real finding is
+//! not reported — neither as a violation nor as unused.
+
+pub fn score(queries: &[&str], doc: &str) -> usize {
+    let mut matched = 0;
+    for query in queries {
+        // lint:allow(R3, fixture cold path - one query per process lifetime)
+        matched += evaluate(query, doc, 0);
+    }
+    matched
+}
+
+fn evaluate(_query: &str, _doc: &str, _context: usize) -> usize {
+    1
+}

@@ -1,0 +1,13 @@
+//! Pragma fixture: a reason-less pragma and a pragma that suppresses
+//! nothing.  Linted as if it were `crates/core/src/pragmas.rs` with
+//! `check_unused_allows` on.
+
+// lint:allow(R3) //~ PRAGMA
+pub fn reasonless(queries: &[&str]) -> usize {
+    queries.len()
+}
+
+// lint:allow(R3, this fn calls nothing banned, so the pragma is stale) //~ PRAGMA
+pub fn stale(queries: &[&str]) -> usize {
+    queries.len()
+}

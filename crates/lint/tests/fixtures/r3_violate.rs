@@ -1,0 +1,14 @@
+//! R3 fixture: a bare `evaluate(` call outside the defining crate.
+//! Linted as if it were `crates/core/src/score.rs`.
+
+pub fn score_candidates(queries: &[&str], doc: &str) -> usize {
+    let mut matched = 0;
+    for query in queries {
+        matched += evaluate(query, doc, 0); //~ R3
+    }
+    matched
+}
+
+fn evaluate(_query: &str, _doc: &str, _context: usize) -> usize {
+    1
+}

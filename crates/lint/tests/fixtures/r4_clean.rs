@@ -1,0 +1,29 @@
+//! R4 clean twin: every failure on the request path becomes a typed
+//! error value; the one indexing site carries its bounds proof.
+
+pub fn handle(input: &[u8]) -> Result<u8, String> {
+    let first = match input.first() {
+        Some(&byte) => byte,
+        None => return Err("empty request".to_string()),
+    };
+    if input.len() > 2 {
+        // lint:allow(R4, the length check directly above proves index 2 is in bounds)
+        let _third = input[2];
+    }
+    helper(first)
+}
+
+fn helper(byte: u8) -> Result<u8, String> {
+    match decode(byte) {
+        Some(value) => Ok(value),
+        None => Err("undecodable byte".to_string()),
+    }
+}
+
+fn decode(byte: u8) -> Option<u8> {
+    if byte == 0 {
+        None
+    } else {
+        Some(byte)
+    }
+}

@@ -1,0 +1,26 @@
+//! R4 fixture: panics reachable from a request-path root.
+//! Linted as if it were `crates/serve/src/dispatch.rs`.
+
+pub fn handle(input: &[u8]) -> u8 {
+    let first = input[0]; //~ R4
+    helper(first)
+}
+
+fn helper(byte: u8) -> u8 {
+    if byte == 9 {
+        panic!("nine is forbidden"); //~ R4
+    }
+    decode(byte).unwrap() //~ R4
+}
+
+fn decode(byte: u8) -> Option<u8> {
+    if byte == 0 {
+        None
+    } else {
+        Some(byte)
+    }
+}
+
+fn not_reachable_from_a_root() -> u8 {
+    [1u8, 2, 3][9]
+}

@@ -1,0 +1,17 @@
+//! R5 clean twin: the response is computed under the guard, the guard is
+//! dropped, and only then does the socket get touched.
+
+use std::io::Write;
+use std::sync::RwLock;
+
+pub struct State {
+    pub registry: RwLock<Vec<u8>>,
+}
+
+pub fn respond(state: &State, stream: &mut impl Write) {
+    let guard = state.registry.read().unwrap_or_else(|e| e.into_inner());
+    let body = guard.clone();
+    drop(guard);
+    let _ = stream.write_all(&body);
+    let _ = stream.flush();
+}

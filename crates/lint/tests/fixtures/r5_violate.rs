@@ -1,0 +1,16 @@
+//! R5 fixture: a registry read guard held across a socket write.
+//! Linted as if it were `crates/serve/src/respond.rs`.
+
+use std::io::Write;
+use std::sync::RwLock;
+
+pub struct State {
+    pub registry: RwLock<Vec<u8>>,
+}
+
+pub fn respond(state: &State, stream: &mut impl Write) {
+    let guard = state.registry.read().unwrap_or_else(|e| e.into_inner());
+    let body = guard.clone();
+    let _ = stream.write_all(&body); //~ R5
+    let _ = stream.flush(); //~ R5
+}

@@ -1,0 +1,59 @@
+//! Property tests of the lint lexer: it is total (never panics, even on
+//! byte soup) and its spans partition the input exactly — the analyzer's
+//! diagnostics are only trustworthy if every byte of a source file is
+//! accounted for by exactly one token.
+
+use proptest::prelude::*;
+use wi_lint::lexer::lex;
+
+/// Strings biased toward lexer edge cases: comment openers, string quotes,
+/// escapes, raw-string guards and stray non-UTF8-ish punctuation.
+fn arb_source() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("/*".to_string()),
+        Just("*/".to_string()),
+        Just("//".to_string()),
+        Just("\"".to_string()),
+        Just("\\\"".to_string()),
+        Just("'".to_string()),
+        Just("'a".to_string()),
+        Just("r#\"".to_string()),
+        Just("\"#".to_string()),
+        Just("#".to_string()),
+        Just("\n".to_string()),
+        Just("é".to_string()),
+        Just("日".to_string()),
+        Just("[".to_string()),
+        Just("]".to_string()),
+        Just("-".to_string()),
+        "[a-zA-Z0-9_:;.(){}<>=!&|+*/%^~?@,$ ]{0,6}",
+    ];
+    prop::collection::vec(fragment, 0..40).prop_map(|v| v.concat())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The lexer is total: arbitrary input produces tokens, not a panic.
+    #[test]
+    fn lexing_never_panics(src in arb_source()) {
+        let _ = lex(&src);
+    }
+
+    /// Token spans tile the input: contiguous, in order, covering every
+    /// byte, so `text[t.start..t.end]` round-trips the whole source.
+    #[test]
+    fn spans_round_trip_the_source(src in arb_source()) {
+        let tokens = lex(&src);
+        let mut cursor = 0usize;
+        let mut rebuilt = String::with_capacity(src.len());
+        for t in &tokens {
+            prop_assert_eq!(t.start, cursor, "gap or overlap at byte {}", cursor);
+            prop_assert!(t.end >= t.start);
+            rebuilt.push_str(&src[t.start..t.end]);
+            cursor = t.end;
+        }
+        prop_assert_eq!(cursor, src.len(), "trailing bytes unlexed");
+        prop_assert_eq!(rebuilt, src);
+    }
+}

@@ -1,0 +1,32 @@
+//! Tier-1: the live workspace carries zero invariant violations and zero
+//! stale suppressions.  This is the test the CI `--deny-all` step mirrors;
+//! a PR that breaks a contract fails here with the exact file:line:rule.
+
+use std::path::Path;
+use wi_lint::{run_with_config, LintConfig};
+
+#[test]
+fn workspace_has_no_violations_and_no_stale_pragmas() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = LintConfig {
+        check_unused_allows: true,
+        ..LintConfig::default()
+    };
+    let report = run_with_config(&root, &cfg).expect("workspace readable");
+    assert!(
+        report.files_scanned > 50,
+        "scan looks truncated: only {} files",
+        report.files_scanned
+    );
+    let rendered: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}:{} {}", d.file, d.line, d.rule, d.message))
+        .collect();
+    assert!(
+        rendered.is_empty(),
+        "wi-lint found {} violation(s) in the live workspace:\n{}",
+        rendered.len(),
+        rendered.join("\n")
+    );
+}

@@ -26,6 +26,7 @@
 //! [`PersistentRegistry::open`]: super::PersistentRegistry::open
 //! [`PersistentRegistry::recover`]: super::PersistentRegistry::recover
 
+// lint:allow-file(R6, the pid-stamped advisory lock is this module's whole job — it reads and records std::process::id)
 use super::log::RegistryError;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};

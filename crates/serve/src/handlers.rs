@@ -201,7 +201,14 @@ fn extract_batch(state: &ServeState, request: &Request) -> Reply {
         .enumerate()
         .map(|(index, slot)| {
             let outcome = match slot {
-                Ok(doc_index) => results[*doc_index].take().expect("each doc used once"),
+                // Each parsed doc's slot index is used exactly once; a miss
+                // here is an internal invariant break, reported as a chunk
+                // error rather than a panic that would poison the registry
+                // lock.
+                Ok(doc_index) => results
+                    .get_mut(*doc_index)
+                    .and_then(Option::take)
+                    .unwrap_or_else(|| Err("internal: batch result slot reused".to_string())),
                 Err(message) => Err(message.clone()),
             };
             let line = match outcome {

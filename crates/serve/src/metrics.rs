@@ -70,11 +70,21 @@ impl Endpoint {
         }
     }
 
+    /// Dense index into per-endpoint counter arrays.  An exhaustive match
+    /// (not a `position().expect()`): adding a variant without extending
+    /// `ALL` is a compile error here, not a request-path panic.
     fn index(self) -> usize {
-        Endpoint::ALL
-            .iter()
-            .position(|e| *e == self)
-            .expect("endpoint is in ALL")
+        match self {
+            Endpoint::Extract => 0,
+            Endpoint::ExtractBatch => 1,
+            Endpoint::Induce => 2,
+            Endpoint::Maintain => 3,
+            Endpoint::Healthz => 4,
+            Endpoint::Site => 5,
+            Endpoint::Metrics => 6,
+            Endpoint::Shutdown => 7,
+            Endpoint::Other => 8,
+        }
     }
 }
 
@@ -105,9 +115,15 @@ impl Metrics {
         }
     }
 
+    /// The counter set of one endpoint.
+    fn counters(&self, endpoint: Endpoint) -> &EndpointCounters {
+        // lint:allow(R4, Endpoint::index is an exhaustive match onto 0..ALL.len(), the array's exact length)
+        &self.endpoints[endpoint.index()]
+    }
+
     /// Records one finished request.
     pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
-        let counters = &self.endpoints[endpoint.index()];
+        let counters = self.counters(endpoint);
         counters.requests.fetch_add(1, Ordering::Relaxed);
         if status >= 400 {
             counters.errors.fetch_add(1, Ordering::Relaxed);
@@ -118,7 +134,9 @@ impl Metrics {
             .iter()
             .position(|&limit| us <= limit)
             .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
-        counters.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if let Some(slot) = counters.buckets.get(bucket) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records which shard a site-keyed request routed to.
@@ -142,7 +160,7 @@ impl Metrics {
         let mut out = String::with_capacity(4096);
         out.push_str("# TYPE wi_requests_total counter\n");
         for endpoint in Endpoint::ALL {
-            let c = &self.endpoints[endpoint.index()];
+            let c = self.counters(endpoint);
             out.push_str(&format!(
                 "wi_requests_total{{endpoint=\"{}\"}} {}\n",
                 endpoint.name(),
@@ -151,7 +169,7 @@ impl Metrics {
         }
         out.push_str("# TYPE wi_request_errors_total counter\n");
         for endpoint in Endpoint::ALL {
-            let c = &self.endpoints[endpoint.index()];
+            let c = self.counters(endpoint);
             out.push_str(&format!(
                 "wi_request_errors_total{{endpoint=\"{}\"}} {}\n",
                 endpoint.name(),
@@ -160,10 +178,10 @@ impl Metrics {
         }
         out.push_str("# TYPE wi_request_latency_us histogram\n");
         for endpoint in Endpoint::ALL {
-            let c = &self.endpoints[endpoint.index()];
+            let c = self.counters(endpoint);
             let mut cumulative = 0u64;
-            for (i, &limit) in LATENCY_BUCKETS_US.iter().enumerate() {
-                cumulative += c.buckets[i].load(Ordering::Relaxed);
+            for (slot, &limit) in c.buckets.iter().zip(LATENCY_BUCKETS_US.iter()) {
+                cumulative += slot.load(Ordering::Relaxed);
                 let le = if limit == u64::MAX {
                     "+Inf".to_string()
                 } else {
@@ -248,5 +266,24 @@ mod tests {
             1,
             "shard routing observable"
         );
+    }
+
+    #[test]
+    fn out_of_range_shard_is_dropped_not_panicked() {
+        let metrics = Metrics::new(2);
+        metrics.record_shard(usize::MAX);
+        metrics.record_shard(2);
+        for counter in &metrics.shard_requests {
+            assert_eq!(counter.load(Ordering::Relaxed), 0);
+        }
+    }
+
+    #[test]
+    fn every_endpoint_indexes_into_the_counter_array() {
+        let metrics = Metrics::new(1);
+        for endpoint in Endpoint::ALL {
+            metrics.record(endpoint, 200, Duration::from_micros(1));
+        }
+        assert_eq!(metrics.requests_total(), Endpoint::ALL.len() as u64);
     }
 }

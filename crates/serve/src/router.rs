@@ -96,14 +96,14 @@ pub fn percent_decode(segment: &str) -> Option<String> {
     let bytes = segment.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' {
+    while let Some(&byte) = bytes.get(i) {
+        if byte == b'%' {
             let hex = bytes.get(i + 1..i + 3)?;
             let hex = std::str::from_utf8(hex).ok()?;
             out.push(u8::from_str_radix(hex, 16).ok()?);
             i += 3;
         } else {
-            out.push(bytes[i]);
+            out.push(byte);
             i += 1;
         }
     }
@@ -174,6 +174,31 @@ mod tests {
             route("GET", "/extract/x"),
             Err(RouteError::MethodNotAllowed("POST"))
         );
+    }
+
+    #[test]
+    fn percent_decode_handles_adversarial_escapes() {
+        // Escaped slash decodes into the site key instead of splitting it.
+        assert_eq!(percent_decode("a%2Fb"), Some("a/b".to_string()));
+        // Truncated escapes: "%" at end, and "%x" with one hex digit.
+        assert_eq!(percent_decode("abc%"), None);
+        assert_eq!(percent_decode("abc%2"), None);
+        // Non-hex escape bytes.
+        assert_eq!(percent_decode("%zz"), None);
+        // Decoded bytes that are not valid UTF-8.
+        assert_eq!(percent_decode("%FF%FE"), None);
+        // The empty segment decodes (routing rejects it separately).
+        assert_eq!(percent_decode(""), Some(String::new()));
+        assert_eq!(route("GET", "/sites/%2F"), Ok(Route::Site("/".into())));
+    }
+
+    #[test]
+    fn truncated_escape_and_empty_segment_are_not_found() {
+        assert_eq!(route("GET", "/sites/a%2"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/sites/a%"), Err(RouteError::NotFound));
+        assert_eq!(route("GET", "/sites/"), Err(RouteError::NotFound));
+        // A segment that decodes to the empty string is also rejected.
+        assert_eq!(route("GET", "/sites/%"), Err(RouteError::NotFound));
     }
 
     #[test]

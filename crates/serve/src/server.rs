@@ -257,6 +257,7 @@ fn handle_connection(state: &ServeState, cx: &mut EvalContext, mut stream: TcpSt
             Ok(0) => return,
             Ok(n) => {
                 idle_reads = 0;
+                // lint:allow(R4, Read::read returns n <= chunk.len() by contract)
                 buf.extend_from_slice(&chunk[..n]);
             }
             Err(e)
