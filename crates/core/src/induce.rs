@@ -91,7 +91,32 @@ pub fn induce_sample(sample: &Sample<'_>, config: &InductionConfig) -> Vec<Query
 }
 
 /// [`induce_sample`], evaluating candidates through the caller's engine.
+///
+/// Telemetry: each call counts into `wi_induce_samples_total`, its wall
+/// time lands in the `wi_induce_sample_latency_us` histogram, and — when
+/// tracing is on — an `induce.sample` span records the fan-out timing.
 pub fn induce_sample_with(
+    eval: &mut PrefixEvaluator<'_>,
+    sample: &Sample<'_>,
+    config: &InductionConfig,
+) -> Vec<QueryInstance> {
+    let started = std::time::Instant::now();
+    let result = induce_sample_inner(eval, sample, config);
+    let metrics = crate::telemetry::induce_metrics();
+    metrics.samples.inc();
+    metrics.sample_latency_us.observe_us(started.elapsed());
+    wi_obs::record_span(
+        "induce.sample",
+        started,
+        &[
+            ("targets", sample.targets.len() as u64),
+            ("instances", result.len() as u64),
+        ],
+    );
+    result
+}
+
+fn induce_sample_inner(
     eval: &mut PrefixEvaluator<'_>,
     sample: &Sample<'_>,
     config: &InductionConfig,
@@ -172,6 +197,7 @@ fn aggregate(
     candidates: Vec<QueryInstance>,
     config: &InductionConfig,
 ) -> Vec<QueryInstance> {
+    let started = std::time::Instant::now();
     let mut engines: Vec<PrefixEvaluator<'_>> = if samples.len() == 1 {
         Vec::new()
     } else {
@@ -200,6 +226,14 @@ fn aggregate(
     }
     rescored.sort_by(rank_order);
     rescored.truncate(config.k);
+    for engine in engines.iter_mut() {
+        crate::telemetry::flush_trie(engine.take_trie_stats());
+    }
+    wi_obs::record_span(
+        "induce.aggregate",
+        started,
+        &[("samples", samples.len() as u64)],
+    );
     rescored
 }
 

@@ -157,6 +157,10 @@ pub fn induce_path_with(
     // pre-check (computed once; exactly what `QueryInstance::new` with those
     // counts would report).
     let optimistic_f05 = wi_scoring::Counts::new(1, 0, 0).f_05();
+    // Telemetry accumulates in plain locals — the inner loop must not pay
+    // an atomic per combination — and flushes once on exit.
+    let mut generated_candidates = 0u64;
+    let mut lazy_rejects = 0u64;
 
     for &v in targets {
         if v == u {
@@ -211,6 +215,7 @@ pub fn induce_path_with(
                                     }
                                 };
                                 let g = Rc::new(assemble_candidates(&parts, axis, direct));
+                                generated_candidates += g.len() as u64;
                                 generation_cache.insert((t, direct), Rc::clone(&g));
                                 g
                             }
@@ -248,6 +253,7 @@ pub fn induce_path_with(
                         if !entry.would_accept_lazy(optimistic_f05, score, len, || {
                             p.concat(&inst.query).to_string()
                         }) {
+                            lazy_rejects += 1;
                             continue;
                         }
                         let selected = eval.evaluate_from(p_handle, &inst.query);
@@ -262,6 +268,15 @@ pub fn induce_path_with(
             }
         }
     }
+
+    let metrics = crate::telemetry::induce_metrics();
+    if generated_candidates > 0 {
+        metrics.candidates.add(generated_candidates);
+    }
+    if lazy_rejects > 0 {
+        metrics.lazy_rejects.add(lazy_rejects);
+    }
+    crate::telemetry::flush_trie(eval.take_trie_stats());
 
     tables.best_of(u)
 }

@@ -69,6 +69,7 @@ pub mod reference;
 pub mod sample;
 pub mod spine;
 pub mod step_pattern;
+pub(crate) mod telemetry;
 
 pub use api::{Wrapper, WrapperInducer};
 pub use best_k::BestK;

@@ -1,0 +1,63 @@
+//! Induction telemetry: pre-resolved handles into the process-wide
+//! [`wi_obs`] metric registry.
+//!
+//! The induction inner loops never touch an atomic per combination:
+//! [`induce_path_with`](crate::induce_path::induce_path_with) accumulates
+//! plain `u64` counters (candidates generated, lazy-admission rejects)
+//! and the trie engine keeps its own plain
+//! [`TrieStats`](wi_xpath::TrieStats) fields — everything is flushed here
+//! **once per call**, one relaxed `fetch_add` per family.  Handles resolve
+//! through a `OnceLock` so the registry mutex is taken exactly once per
+//! process.
+
+use std::sync::OnceLock;
+use wi_obs::{Counter, Histogram, Registry, LATENCY_BUCKETS_US};
+use wi_xpath::TrieStats;
+
+/// The induction metric families (`wi_induce_*`).
+pub(crate) struct InduceMetrics {
+    /// `wi_induce_samples_total` — per-sample inductions run.
+    pub samples: Counter,
+    /// `wi_induce_candidates_total` — candidate expressions generated.
+    pub candidates: Counter,
+    /// `wi_induce_lazy_rejects_total` — pattern×instance combinations
+    /// refused by the optimistic admission pre-check (never evaluated).
+    pub lazy_rejects: Counter,
+    /// `wi_induce_trie_walks_total` — candidate-trie step walks.
+    pub trie_walks: Counter,
+    /// `wi_induce_trie_hits_total` — walks served by a memoized edge.
+    pub trie_hits: Counter,
+    /// `wi_induce_sample_latency_us` — wall time of one sample induction.
+    pub sample_latency_us: Histogram,
+}
+
+/// The lazily-resolved handle set.
+pub(crate) fn induce_metrics() -> &'static InduceMetrics {
+    static METRICS: OnceLock<InduceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = Registry::global();
+        InduceMetrics {
+            samples: registry.counter("wi_induce_samples_total", &[]),
+            candidates: registry.counter("wi_induce_candidates_total", &[]),
+            lazy_rejects: registry.counter("wi_induce_lazy_rejects_total", &[]),
+            trie_walks: registry.counter("wi_induce_trie_walks_total", &[]),
+            trie_hits: registry.counter("wi_induce_trie_hits_total", &[]),
+            sample_latency_us: registry.histogram(
+                "wi_induce_sample_latency_us",
+                &LATENCY_BUCKETS_US,
+                &[],
+            ),
+        }
+    })
+}
+
+/// Flushes a trie-engine counter snapshot (a no-op for an untouched
+/// engine, so callers can flush unconditionally).
+pub(crate) fn flush_trie(stats: TrieStats) {
+    if stats.walks == 0 {
+        return;
+    }
+    let metrics = induce_metrics();
+    metrics.trie_walks.add(stats.walks);
+    metrics.trie_hits.add(stats.hits);
+}

@@ -20,6 +20,7 @@
 //! | R4 | **Panic-free serve paths**: `unwrap`/`expect`/`panic!`-family/slice-indexing are denied in the transitive call graph of the `wi-serve` request roots (`handle`, `handle_connection`, `worker_loop`), non-test code. | PR 6 |
 //! | R5 | **No lock across I/O**: a registry `RwLock` guard may not be live across a blocking socket call (`write_all`, `flush`, …) within a function body. | PR 6 |
 //! | R6 | **Forbidden drift**: lossy `as u32`-style casts in checksum/log code; `SystemTime::now()` outside designated modules; `std::process`/`std::net` outside the serve/eval layer. | PR 5/6 |
+//! | R7 | **Endpoint observability**: every `Endpoint` variant appears in `ALL` and `index()` (a variant missing from `ALL` silently drops out of `/metrics`), and no `span(…)` guard stays live across a registry lock acquisition in serve — handlers use the guard-free `record_span` form. | PR 8 |
 //!
 //! # Suppressing a finding
 //!
@@ -90,6 +91,16 @@ pub struct LintConfig {
     pub r6_time_allow: Vec<String>,
     /// R6: path prefixes where `std::process`/`std::net` are allowed.
     pub r6_os_allow: Vec<String>,
+    /// R7: path suffixes of the file(s) defining the endpoint enum.
+    pub r7_endpoint_files: Vec<String>,
+    /// R7: name of the endpoint enum whose variants must appear in `ALL`
+    /// and `index()`.
+    pub r7_endpoint_enum: String,
+    /// R7: path prefixes scanned for span guards held across registry
+    /// locks.
+    pub r7_prefixes: Vec<String>,
+    /// R7: call names whose `let` binding is an RAII span guard.
+    pub r7_span_calls: Vec<String>,
     /// Report `lint:allow` pragmas that suppress nothing (`--deny-all`).
     pub check_unused_allows: bool,
 }
@@ -127,6 +138,10 @@ impl Default for LintConfig {
             ]),
             r6_time_allow: s(&["crates/serve/src/"]),
             r6_os_allow: s(&["crates/serve/", "crates/eval/", "crates/lint/", "src/bin/"]),
+            r7_endpoint_files: s(&["crates/serve/src/metrics.rs"]),
+            r7_endpoint_enum: "Endpoint".into(),
+            r7_prefixes: s(&["crates/serve/src/"]),
+            r7_span_calls: s(&["span"]),
             check_unused_allows: false,
         }
     }
@@ -166,6 +181,7 @@ pub fn lint_files(files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
     rules::r4_panic::check(files, cfg, &mut raw);
     rules::r5_lock::check(files, cfg, &mut raw);
     rules::r6_drift::check(files, cfg, &mut raw);
+    rules::r7_obs::check(files, cfg, &mut raw);
 
     let mut out: Vec<Diagnostic> = Vec::new();
     for file in files {

@@ -1,4 +1,4 @@
-//! The six invariant rules and the call-graph machinery they share.
+//! The seven invariant rules and the call-graph machinery they share.
 //!
 //! Each rule is a pure function from loaded [`SourceFile`]s to
 //! diagnostics; pragma suppression happens centrally in
@@ -10,6 +10,7 @@ pub mod r3_context;
 pub mod r4_panic;
 pub mod r5_lock;
 pub mod r6_drift;
+pub mod r7_obs;
 
 use crate::diag::Diagnostic;
 use crate::syntax::{Function, SourceFile};

@@ -1,0 +1,302 @@
+//! R7 — endpoint observability discipline (introduced by PR 8).
+//!
+//! Two contracts from the `wi-obs` integration:
+//!
+//! 1. **Exhaustive endpoint recording**: the serve `Endpoint` enum drives
+//!    dense per-endpoint handle arrays in the metrics registry.  The
+//!    compiler checks the `index()` match is exhaustive, but nothing
+//!    checks `ALL` — a variant present in the enum and `index()` but
+//!    missing from `ALL` silently vanishes from `/metrics` registration
+//!    and exposition.  R7 requires every variant of the configured enum
+//!    to appear (as `Enum::Variant`) in both the `ALL` initializer and
+//!    the `index` function.
+//! 2. **No span guard across the registry lock**: an RAII
+//!    [`SpanGuard`](../../../obs/src/trace.rs) emits into the trace
+//!    journal when dropped.  Holding one across a registry lock
+//!    acquisition in a serve handler extends the measured span over lock
+//!    wait time (skewing the slow log) and, worse, orders the guard's
+//!    drop-time journal work inside the critical section.  Handlers use
+//!    the guard-free `record_span` form instead; R7 flags a registry
+//!    `.read()`/`.write()` while a `span(…)` guard binding is live.
+
+use super::{diag_at, matches_prefix, matches_suffix};
+use crate::diag::Diagnostic;
+use crate::syntax::{Function, SourceFile};
+use crate::LintConfig;
+
+pub fn check(files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if matches_suffix(&file.rel, &cfg.r7_endpoint_files) {
+            check_endpoint_enum(file, cfg, out);
+        }
+        if matches_prefix(&file.rel, &cfg.r7_prefixes) {
+            for f in &file.functions {
+                if f.is_test {
+                    continue;
+                }
+                check_span_guards(file, f, cfg, out);
+            }
+        }
+    }
+}
+
+/// One enum variant: name plus the significant-token index it anchors to.
+struct Variant {
+    name: String,
+    sig_index: usize,
+}
+
+fn check_endpoint_enum(file: &SourceFile, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let enum_name = cfg.r7_endpoint_enum.as_str();
+    let Some(variants) = enum_variants(file, enum_name) else {
+        return; // The file does not (yet) define the enum.
+    };
+    let all = idents_qualified_by(file, enum_name, all_array_span(file));
+    let index = idents_qualified_by(file, enum_name, index_fn_span(file, enum_name));
+    for v in &variants {
+        if !all.contains(&v.name) {
+            out.push(diag_at(
+                file,
+                "R7",
+                v.sig_index,
+                format!(
+                    "endpoint variant `{}` is missing from `ALL`; it would never \
+                     register its metric series",
+                    v.name
+                ),
+            ));
+        }
+        if !index.contains(&v.name) {
+            out.push(diag_at(
+                file,
+                "R7",
+                v.sig_index,
+                format!(
+                    "endpoint variant `{}` is missing from `index()`; per-endpoint \
+                     handles cannot be resolved for it",
+                    v.name
+                ),
+            ));
+        }
+    }
+}
+
+/// The variants of `enum <name> { … }`, or `None` when the file has no
+/// such enum.
+fn enum_variants(file: &SourceFile, enum_name: &str) -> Option<Vec<Variant>> {
+    let n = file.sig.len();
+    for k in 0..n {
+        if file.sig_text(k) != "enum" || file.sig_text(k + 1) != enum_name {
+            continue;
+        }
+        let open = k + 2;
+        if file.sig_text(open) != "{" {
+            continue;
+        }
+        let close = file.close_of(open)?;
+        let mut variants = Vec::new();
+        let mut i = open + 1;
+        while i < close {
+            let t = file.sig_text(i);
+            if t.starts_with(char::is_uppercase) {
+                variants.push(Variant {
+                    name: t.to_string(),
+                    sig_index: i,
+                });
+                // Skip any payload and the trailing comma.
+                i += 1;
+                while i < close && file.sig_text(i) != "," {
+                    if matches!(file.sig_text(i), "(" | "[" | "{") {
+                        i = file.close_of(i).map(|c| c + 1).unwrap_or(i + 1);
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            i += 1;
+        }
+        return Some(variants);
+    }
+    None
+}
+
+/// The significant-token span of the `ALL` array initializer.
+fn all_array_span(file: &SourceFile) -> Option<(usize, usize)> {
+    let n = file.sig.len();
+    for k in 0..n {
+        if file.sig_text(k) != "ALL" {
+            continue;
+        }
+        // `const ALL: [Enum; N] = [ … ];` — the initializer is the first
+        // `[` after the `=`.
+        let mut j = k + 1;
+        while j < n && j < k + 24 && file.sig_text(j) != "=" {
+            j += 1;
+        }
+        while j < n && j < k + 32 && file.sig_text(j) != "[" {
+            j += 1;
+        }
+        if file.sig_text(j) == "[" {
+            if let Some(close) = file.close_of(j) {
+                return Some((j, close));
+            }
+        }
+    }
+    None
+}
+
+/// The body span of `fn index` inside `impl <enum_name>` (falling back to
+/// any `fn index`).
+fn index_fn_span(file: &SourceFile, enum_name: &str) -> Option<(usize, usize)> {
+    file.functions
+        .iter()
+        .filter(|f| f.name == "index")
+        .max_by_key(|f| f.impl_type.as_deref() == Some(enum_name))
+        .and_then(|f| f.body)
+}
+
+/// Idents appearing as `<qualifier>::<ident>` within a token span.
+fn idents_qualified_by(
+    file: &SourceFile,
+    qualifier: &str,
+    span: Option<(usize, usize)>,
+) -> Vec<String> {
+    let Some((open, close)) = span else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        if file.sig_text(i) == qualifier
+            && file.sig_text(i + 1) == ":"
+            && file.sig_text(i + 2) == ":"
+        {
+            out.push(file.sig_text(i + 3).to_string());
+        }
+    }
+    out
+}
+
+/// Flags registry lock acquisitions made while a `span(…)` guard binding
+/// is live (same let-binding liveness over-approximation as R5).
+fn check_span_guards(file: &SourceFile, f: &Function, cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let Some((open, close)) = f.body else {
+        return;
+    };
+    let mut k = open + 1;
+    while k < close {
+        if file.sig_text(k) != "let" {
+            k += 1;
+            continue;
+        }
+        // Find the initializer `=` (not `==`).
+        let mut assign = None;
+        let mut j = k + 1;
+        while j < close && j < k + 32 {
+            let t = file.sig_text(j);
+            if t == "=" && file.sig_text(j + 1) != "=" && file.sig_text(j + 1) != ">" {
+                assign = Some(j);
+                break;
+            }
+            if t == ";" {
+                break;
+            }
+            j += 1;
+        }
+        let Some(assign) = assign else {
+            k += 1;
+            continue;
+        };
+        // Binding ident: last pattern ident that is not a wrapper.
+        let binding = (k + 1..assign)
+            .rev()
+            .map(|i| file.sig_text(i))
+            .find(|t| {
+                !matches!(*t, "Ok" | "Some" | "Err" | "mut" | "ref" | "_")
+                    && t.chars()
+                        .next()
+                        .is_some_and(|c| c.is_lowercase() || c == '_')
+            })
+            .map(|t| t.to_string());
+        // Initializer span: up to `;` or `else` at this level.
+        let mut init_end = assign + 1;
+        while init_end < close {
+            match file.sig_text(init_end) {
+                "(" | "[" | "{" => {
+                    init_end = file
+                        .close_of(init_end)
+                        .map(|c| c + 1)
+                        .unwrap_or(init_end + 1);
+                    continue;
+                }
+                ";" | "else" => break,
+                _ => {}
+            }
+            init_end += 1;
+        }
+        let opens_span = (assign + 1..init_end).any(|i| {
+            let t = file.sig_text(i);
+            cfg.r7_span_calls.iter().any(|c| c == t) && file.sig_text(i + 1) == "("
+        });
+        if !opens_span {
+            k = init_end;
+            continue;
+        }
+        let guard = binding.unwrap_or_else(|| "_guard".to_string());
+        // Liveness: from the initializer to `drop(guard)` or body end.
+        let mut live_end = close;
+        let mut i = init_end;
+        while i < close {
+            if file.sig_text(i) == "drop"
+                && file.sig_text(i + 1) == "("
+                && file.sig_text(i + 2) == guard
+            {
+                live_end = i;
+                break;
+            }
+            i += 1;
+        }
+        for i in init_end..live_end {
+            let t = file.sig_text(i);
+            if (t != "read" && t != "write")
+                || file.sig_text(i.wrapping_sub(1)) != "."
+                || file.sig_text(i + 1) != "("
+            {
+                continue;
+            }
+            // Only registry locks: a configured guard-source ident in the
+            // receiver chain (walk back over `a.b.c` segments).
+            let mut r = i - 1;
+            let mut is_registry = false;
+            while r > open {
+                let seg = file.sig_text(r.wrapping_sub(1));
+                if cfg.r5_guard_sources.iter().any(|g| g == seg) {
+                    is_registry = true;
+                }
+                if file.sig_text(r) != "."
+                    || !seg
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+                {
+                    break;
+                }
+                r = r.wrapping_sub(2);
+            }
+            if !is_registry {
+                continue;
+            }
+            out.push(diag_at(
+                file,
+                "R7",
+                i,
+                format!(
+                    "registry lock acquired while span guard `{}` (opened line {}) \
+                     is live; end the span or use the guard-free `record_span` form",
+                    guard,
+                    file.sig_line(k)
+                ),
+            ));
+        }
+        k = init_end;
+    }
+}

@@ -1,0 +1,57 @@
+//! R7 clean twin: every variant appears in `ALL` and `index()`, and the
+//! handlers either end the span before taking the registry lock or use
+//! the guard-free `record_span` form.
+
+use std::sync::RwLock;
+
+pub enum Endpoint {
+    Extract,
+    Healthz,
+    Shutdown,
+    Other,
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 4] = [
+        Endpoint::Extract,
+        Endpoint::Healthz,
+        Endpoint::Shutdown,
+        Endpoint::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Extract => 0,
+            Endpoint::Healthz => 1,
+            Endpoint::Shutdown => 2,
+            Endpoint::Other => 3,
+        }
+    }
+}
+
+pub struct State {
+    pub registry: RwLock<Vec<u8>>,
+}
+
+pub fn respond(state: &State) -> usize {
+    let started = 7u32;
+    let guard = state.registry.read().unwrap_or_else(|e| e.into_inner());
+    let n = guard.len() + Endpoint::Other.index();
+    drop(guard);
+    record_span("serve.request", started);
+    n
+}
+
+pub fn classify(state: &State) -> usize {
+    let _span = span("serve.classify");
+    let shape = 3;
+    drop(_span);
+    let guard = state.registry.read().unwrap_or_else(|e| e.into_inner());
+    guard.len() + shape
+}
+
+fn span(_name: &str) -> u32 {
+    0
+}
+
+fn record_span(_name: &str, _started: u32) {}

@@ -1,0 +1,41 @@
+//! R7 fixture: an endpoint enum whose `ALL`/`index()` lag behind the
+//! variants, and a handler holding a span guard across the registry lock.
+//! Linted as if it were `crates/serve/src/metrics.rs`.
+
+use std::sync::RwLock;
+
+pub enum Endpoint {
+    Extract,
+    Healthz,
+    Shutdown, //~ R7
+    Other, //~ R7 //~ R7
+}
+
+impl Endpoint {
+    pub const ALL: [Endpoint; 3] = [Endpoint::Extract, Endpoint::Healthz, Endpoint::Shutdown];
+
+    fn index(self) -> usize {
+        // The wildcard arm is exactly what R7 exists to catch: the match
+        // stays exhaustive for the compiler while `Shutdown` and `Other`
+        // silently share a slot.
+        match self {
+            Endpoint::Extract => 0,
+            Endpoint::Healthz => 1,
+            _ => 2,
+        }
+    }
+}
+
+pub struct State {
+    pub registry: RwLock<Vec<u8>>,
+}
+
+pub fn respond(state: &State) -> usize {
+    let _span = span("serve.request");
+    let guard = state.registry.read().unwrap_or_else(|e| e.into_inner()); //~ R7
+    guard.len() + Endpoint::Other.index()
+}
+
+fn span(_name: &str) -> u32 {
+    0
+}

@@ -133,6 +133,30 @@ fn r6_drift_fires_and_clean_twin_passes() {
 }
 
 #[test]
+fn r7_obs_discipline_fires_and_clean_twin_passes() {
+    let rel = "crates/serve/src/metrics.rs";
+    assert_eq!(
+        lint("r7_violate.rs", rel, &LintConfig::default()),
+        markers("r7_violate.rs")
+    );
+    assert_eq!(lint("r7_clean.rs", rel, &strict()), vec![]);
+}
+
+#[test]
+fn r7_is_scoped_to_the_endpoint_file_and_serve_prefix() {
+    // Outside both the endpoint file and the serve prefix the same source
+    // produces nothing.
+    assert_eq!(
+        lint(
+            "r7_violate.rs",
+            "crates/maintain/src/telemetry.rs",
+            &LintConfig::default()
+        ),
+        vec![]
+    );
+}
+
+#[test]
 fn pragmas_without_reasons_and_stale_pragmas_are_diagnostics() {
     let rel = "crates/core/src/pragmas.rs";
     assert_eq!(

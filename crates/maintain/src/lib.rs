@@ -120,6 +120,7 @@ pub mod drift;
 pub mod lifecycle;
 pub mod registry;
 pub mod repair;
+pub(crate) mod telemetry;
 pub mod verify;
 
 use wi_dom::Document;

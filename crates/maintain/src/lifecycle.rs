@@ -24,6 +24,7 @@ use crate::repair::{RepairAction, RepairConfig, Repairer};
 use crate::verify::{HealthReport, LastKnownGood, Verifier, VerifyConfig};
 use crate::PageVersion;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 use wi_induction::{WrapperBundle, WrapperInducer};
 use wi_xpath::EvalContext;
 
@@ -239,11 +240,20 @@ impl Maintainer {
         let mut consecutive_target_gone = seed_target_gone_streak as usize;
         let mut outcomes: Vec<EpochOutcome> = Vec::with_capacity(pages.len());
         let mut revisions: Vec<RevisionEvent> = Vec::new();
+        let obs = crate::telemetry::maintain_metrics();
 
         for page in pages {
+            let epoch_started = Instant::now();
+            obs.epochs.inc();
+            let prev_state = state;
+
+            let verify_started = Instant::now();
             let health = verifier.check_with(cx, &bundle, &page.doc, page.day, lkg.as_ref());
+            obs.verify_latency_us.observe_us(verify_started.elapsed());
 
             if health.page_broken() {
+                obs.drift_counter(DriftClass::PageBroken).inc();
+                wi_obs::record_span("maintain.epoch", epoch_started, &[("flagged", 1)]);
                 // Archive artifact: pass through untouched.
                 outcomes.push(EpochOutcome {
                     day: page.day,
@@ -269,6 +279,11 @@ impl Maintainer {
                 });
                 state = WrapperState::Monitoring;
                 consecutive_target_gone = 0;
+                if state != prev_state {
+                    obs.transition_counter(state).inc();
+                }
+                obs.target_gone_streak.set(0);
+                wi_obs::record_span("maintain.epoch", epoch_started, &[("flagged", 0)]);
                 outcomes.push(EpochOutcome {
                     day: page.day,
                     flagged: false,
@@ -285,14 +300,19 @@ impl Maintainer {
             }
 
             // Flagged: classify, then (unless retired) try to repair.
+            let classify_started = Instant::now();
             let drift: DriftReport =
                 classifier.classify_with(cx, &bundle, &page.doc, page.day, lkg.as_ref(), &health);
+            obs.classify_latency_us
+                .observe_us(classify_started.elapsed());
+            obs.drift_counter(drift.class).inc();
             let mut repair_action = None;
             let mut repaired = false;
             let mut extracted = health.extracted.clone();
 
             if state != WrapperState::Retired {
-                match repairer.repair_with(
+                let repair_started = Instant::now();
+                let repair_outcome = repairer.repair_with(
                     cx,
                     &bundle,
                     &page.doc,
@@ -300,7 +320,9 @@ impl Maintainer {
                     lkg.as_ref(),
                     &drift,
                     inducer,
-                ) {
+                );
+                obs.repair_latency_us.observe_us(repair_started.elapsed());
+                match repair_outcome {
                     Some(outcome) => {
                         bundle = outcome.bundle;
                         revisions.push(RevisionEvent {
@@ -339,6 +361,12 @@ impl Maintainer {
                     }
                 }
             }
+
+            if state != prev_state {
+                obs.transition_counter(state).inc();
+            }
+            obs.target_gone_streak.set(consecutive_target_gone as u64);
+            wi_obs::record_span("maintain.epoch", epoch_started, &[("flagged", 1)]);
 
             outcomes.push(EpochOutcome {
                 day: page.day,

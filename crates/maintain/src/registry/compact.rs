@@ -82,6 +82,7 @@ pub(crate) fn compact_registry(
     sites: &BTreeMap<String, SiteEntry>,
     policy: &CompactionPolicy,
 ) -> Result<CompactionStats, RegistryError> {
+    let compact_started = std::time::Instant::now();
     let mut stats = CompactionStats {
         shards,
         records_before: 0,
@@ -155,5 +156,16 @@ pub(crate) fn compact_registry(
         stats.bytes_after += rewritten.len() as u64;
         stats.records_after += records;
     }
+    let obs = crate::telemetry::registry_metrics();
+    obs.compaction_bytes_in.add(stats.bytes_before);
+    obs.compaction_bytes_out.add(stats.bytes_after);
+    wi_obs::record_span(
+        "registry.compact",
+        compact_started,
+        &[
+            ("bytes_in", stats.bytes_before),
+            ("bytes_out", stats.bytes_after),
+        ],
+    );
     Ok(stats)
 }

@@ -215,6 +215,8 @@ pub(crate) fn append_lines(
     if lines.is_empty() {
         return Ok(());
     }
+    let obs = crate::telemetry::registry_metrics();
+    let append_started = std::time::Instant::now();
     let path = log_path(root, shard);
     let mut file = std::fs::OpenOptions::new()
         .create(true)
@@ -224,8 +226,11 @@ pub(crate) fn append_lines(
     file.write_all(lines.as_bytes())
         .map_err(|e| RegistryError::io(&path, e))?;
     if sync {
+        let sync_started = std::time::Instant::now();
         file.sync_data().map_err(|e| RegistryError::io(&path, e))?;
+        obs.fsync_latency_us.observe_us(sync_started.elapsed());
     }
+    obs.append_latency_us.observe_us(append_started.elapsed());
     Ok(())
 }
 
@@ -238,7 +243,12 @@ pub(crate) fn sync_log(root: &Path, shard: usize) -> Result<(), RegistryError> {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
         Err(e) => return Err(RegistryError::io(&path, e)),
     };
-    file.sync_data().map_err(|e| RegistryError::io(&path, e))
+    let sync_started = std::time::Instant::now();
+    file.sync_data().map_err(|e| RegistryError::io(&path, e))?;
+    crate::telemetry::registry_metrics()
+        .fsync_latency_us
+        .observe_us(sync_started.elapsed());
+    Ok(())
 }
 
 /// What recovery found in one shard log.
@@ -333,6 +343,11 @@ pub(crate) fn recover_shard(
     }
 
     let dropped_bytes = (bytes.len() - valid_bytes) as u64;
+    if dropped_bytes > 0 {
+        crate::telemetry::registry_metrics()
+            .recovery_dropped_bytes
+            .add(dropped_bytes);
+    }
     if dropped_bytes > 0 && repair {
         // Truncate the torn tail so subsequent appends commit cleanly.
         let file = std::fs::OpenOptions::new()

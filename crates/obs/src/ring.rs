@@ -1,0 +1,192 @@
+//! A single-producer / single-consumer lock-free ring buffer of trace
+//! records.
+//!
+//! Each emitting thread owns exactly one ring (it is the only *producer*);
+//! the global journal drains every registered ring under its own mutex,
+//! making the journal the only *consumer*.  Under that discipline the ring
+//! needs no locks: the producer publishes a slot with a release store of
+//! `head`, the consumer acknowledges with a release store of `tail`, and
+//! each side reads the other's index with an acquire load.
+//!
+//! **Overflow drops the newest record** (the push is refused and counted in
+//! [`Ring::dropped`]) rather than overwriting history — a full ring means
+//! the drainer is behind, and silently overwriting would reorder the
+//! journal.  Capacity is fixed at construction.
+
+use crate::trace::Record;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// The SPSC ring.  See the module docs for the producer/consumer contract.
+#[derive(Debug)]
+pub struct Ring {
+    slots: Box<[UnsafeCell<Option<Record>>]>,
+    /// Next write position (monotonically increasing; producer-owned).
+    head: AtomicUsize,
+    /// Next read position (monotonically increasing; consumer-owned).
+    tail: AtomicUsize,
+    dropped: AtomicU64,
+}
+
+// SAFETY: slot `i % len` is written only by the single producer before the
+// release store of `head` that publishes it, and taken only by the single
+// consumer after an acquire load of `head` observes that store; the
+// matching release/acquire pair on `tail` keeps the producer from reusing
+// a slot before the consumer has emptied it.
+unsafe impl Sync for Ring {}
+unsafe impl Send for Ring {}
+
+impl Ring {
+    /// A ring holding at most `capacity` undrained records.
+    pub fn new(capacity: usize) -> Ring {
+        let capacity = capacity.max(1);
+        Ring {
+            slots: (0..capacity).map(|_| UnsafeCell::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records refused because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Undrained record count (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let head = self.head.load(Ordering::Acquire);
+        let tail = self.tail.load(Ordering::Acquire);
+        head.wrapping_sub(tail)
+    }
+
+    /// True when no records await draining.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Producer side: appends one record, or counts it dropped when the
+    /// ring is full.  Must only be called from the owning thread.
+    pub fn push(&self, record: Record) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.slots.len() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let idx = head % self.slots.len();
+        // SAFETY: this slot is outside the published [tail, head) window,
+        // so the consumer does not touch it; we are the only producer.
+        unsafe { *self.slots[idx].get() = Some(record) };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side: removes the oldest record, if any.  Must only be
+    /// called from the single consumer (the journal, under its mutex).
+    pub fn pop(&self) -> Option<Record> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail == head {
+            return None;
+        }
+        let idx = tail % self.slots.len();
+        // SAFETY: the acquire load of `head` above proves the producer's
+        // write to this slot happened-before; the slot is inside the
+        // published window and we are the only consumer.
+        let record = unsafe { (*self.slots[idx].get()).take() };
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Record, RecordKind};
+
+    fn rec(seq: u64) -> Record {
+        Record {
+            seq,
+            kind: RecordKind::Event,
+            name: "t",
+            thread: 0,
+            start_us: 0,
+            dur_us: 0,
+            fields: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let ring = Ring::new(8);
+        for i in 0..5 {
+            assert!(ring.push(rec(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop().map(|r| r.seq), Some(i));
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn overflow_drops_newest_and_counts() {
+        let ring = Ring::new(4);
+        for i in 0..4 {
+            assert!(ring.push(rec(i)));
+        }
+        assert!(!ring.push(rec(99)), "full ring refuses the push");
+        assert_eq!(ring.dropped(), 1);
+        // The four oldest records survive untouched.
+        let drained: Vec<u64> = std::iter::from_fn(|| ring.pop()).map(|r| r.seq).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn drained_slots_become_reusable() {
+        let ring = Ring::new(2);
+        for round in 0..10u64 {
+            assert!(ring.push(rec(round * 2)));
+            assert!(ring.push(rec(round * 2 + 1)));
+            assert!(!ring.push(rec(1_000)), "capacity 2 is a hard limit");
+            assert_eq!(ring.pop().map(|r| r.seq), Some(round * 2));
+            assert_eq!(ring.pop().map(|r| r.seq), Some(round * 2 + 1));
+        }
+        assert_eq!(ring.dropped(), 10);
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn concurrent_producer_and_consumer_lose_nothing() {
+        use std::sync::Arc;
+        let ring = Arc::new(Ring::new(64));
+        let total = 10_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..total {
+                    if ring.push(rec(i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            })
+        };
+        let mut seen: Vec<u64> = Vec::new();
+        while !producer.is_finished() || !ring.is_empty() {
+            while let Some(r) = ring.pop() {
+                seen.push(r.seq);
+            }
+        }
+        let pushed = producer.join().unwrap();
+        assert_eq!(seen.len() as u64, pushed);
+        assert_eq!(pushed + ring.dropped(), total);
+        assert!(seen.windows(2).all(|w| w[0] < w[1]), "drained in order");
+    }
+}

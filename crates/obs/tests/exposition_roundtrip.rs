@@ -1,0 +1,106 @@
+//! Property test: the Prometheus text exposition emitted by
+//! [`wi_obs::Registry::render`] parses back (via the minimal
+//! [`wi_obs::parse_exposition`]) into the same families, kinds, series
+//! and values.  Families, label sets and recorded values are generated;
+//! the invariant is exact structural equality plus histogram
+//! bucket-arithmetic consistency.
+
+use proptest::prelude::*;
+use wi_obs::{parse_exposition, Registry};
+
+/// A safe metric-name / label alphabet (the renderer does not escape).
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::sample::select(vec![
+        "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+    ])
+    .prop_map(|s: &str| s.to_string())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn render_then_parse_is_lossless(
+        names in prop::collection::vec(name_strategy(), 1..5),
+        label_values in prop::collection::vec(name_strategy(), 1..4),
+        counts in prop::collection::vec(0u64..10_000, 1..8),
+        histogram_values in prop::collection::vec(0u64..5_000_000, 0..12),
+    ) {
+        let reg = Registry::new();
+
+        // Duplicate label values would collapse into one series (same
+        // cells), so expectations are phrased over the unique list.
+        let mut lv_seen = std::collections::HashSet::new();
+        let label_values: Vec<String> = label_values
+            .into_iter()
+            .filter(|v| lv_seen.insert(v.clone()))
+            .collect();
+
+        // Duplicate family names would likewise re-bump existing series,
+        // so registration also runs over the unique name list.
+        let mut seen = std::collections::HashSet::new();
+        let unique: Vec<String> = names.into_iter().filter(|n| seen.insert(n.clone())).collect();
+
+        // One counter family per unique name, one series per label value,
+        // each bumped by the matching count.
+        for name in &unique {
+            let family = format!("p_{name}_total");
+            for (i, lv) in label_values.iter().enumerate() {
+                let c = reg.counter(&family, &[("case", lv)]);
+                c.add(counts[i % counts.len()]);
+            }
+        }
+        // A labelled gauge and a histogram exercising all three kinds.
+        reg.gauge("p_depth", &[("site", &label_values[0])]).set(counts[0]);
+        let h = reg.histogram("p_lat_us", &[100, 10_000, 1_000_000, u64::MAX], &[]);
+        for &v in &histogram_values {
+            h.observe(v);
+        }
+
+        let text = reg.render();
+        let parsed = parse_exposition(&text);
+        prop_assert!(parsed.is_some(), "render must be parseable:\n{text}");
+        let parsed = parsed.unwrap();
+
+        // Family count and order: unique names + gauge + histogram.
+        prop_assert_eq!(parsed.len(), unique.len() + 2);
+
+        // Counter families: same series labels and values.
+        for (fi, name) in unique.iter().enumerate() {
+            let family = &parsed[fi];
+            prop_assert_eq!(family.name.clone(), format!("p_{name}_total"));
+            prop_assert_eq!(family.kind.as_str(), "counter");
+            prop_assert_eq!(family.samples.len(), label_values.len());
+            for (i, lv) in label_values.iter().enumerate() {
+                let sample = &family.samples[i];
+                prop_assert_eq!(
+                    sample.labels.clone(),
+                    vec![("case".to_string(), lv.clone())]
+                );
+                prop_assert_eq!(sample.value, counts[i % counts.len()]);
+            }
+        }
+
+        // Gauge: value survives.
+        let gauge = &parsed[unique.len()];
+        prop_assert_eq!(gauge.kind.as_str(), "gauge");
+        prop_assert_eq!(gauge.samples[0].value, counts[0]);
+
+        // Histogram: _count equals observations, _sum equals their sum,
+        // the +Inf bucket is cumulative-total, and buckets are monotone.
+        let hist = &parsed[unique.len() + 1];
+        prop_assert_eq!(hist.kind.as_str(), "histogram");
+        let count = hist.samples.iter().find(|s| s.name == "p_lat_us_count");
+        prop_assert_eq!(count.map(|s| s.value), Some(histogram_values.len() as u64));
+        let sum = hist.samples.iter().find(|s| s.name == "p_lat_us_sum");
+        prop_assert_eq!(sum.map(|s| s.value), Some(histogram_values.iter().sum::<u64>()));
+        let buckets: Vec<u64> = hist
+            .samples
+            .iter()
+            .filter(|s| s.name == "p_lat_us_bucket")
+            .map(|s| s.value)
+            .collect();
+        prop_assert_eq!(buckets.len(), 4);
+        prop_assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "cumulative");
+        prop_assert_eq!(buckets[3], histogram_values.len() as u64);
+    }
+}

@@ -55,6 +55,8 @@ pub fn handle(state: &ServeState, cx: &mut EvalContext, request: &Request) -> (E
     let (endpoint, reply) = match route(&request.method, request.path()) {
         Ok(Route::Healthz) => (Endpoint::Healthz, healthz(state)),
         Ok(Route::Metrics) => (Endpoint::Metrics, metrics(state)),
+        Ok(Route::DebugTrace) => (Endpoint::DebugTrace, debug_trace()),
+        Ok(Route::DebugSlow) => (Endpoint::DebugSlow, debug_slow()),
         Ok(Route::Shutdown) => (Endpoint::Shutdown, shutdown(state)),
         Ok(Route::Extract(site)) => (Endpoint::Extract, extract(state, cx, &site, request)),
         Ok(Route::ExtractBatch) => (Endpoint::ExtractBatch, extract_batch(state, request)),
@@ -76,6 +78,13 @@ pub fn handle(state: &ServeState, cx: &mut EvalContext, request: &Request) -> (E
     state
         .metrics
         .record(endpoint, reply.status(), started.elapsed());
+    // Guard-free span form: nothing stays live across a handler's
+    // registry-lock acquisition (the R7 discipline).
+    wi_obs::record_span(
+        "serve.request",
+        started,
+        &[("status", u64::from(reply.status()))],
+    );
     (endpoint, reply)
 }
 
@@ -100,6 +109,23 @@ fn metrics(state: &ServeState) -> Reply {
         return error_reply(500, "registry lock poisoned");
     };
     Reply::Full(Response::text(200, state.metrics.render(&registry)))
+}
+
+/// `GET /debug/trace`: the recent trace journal, one NDJSON record per
+/// line (empty body while tracing is off — the journal only fills when
+/// `--trace` enabled it).
+fn debug_trace() -> Reply {
+    let mut response = Response::text(200, wi_obs::trace_ndjson(256));
+    response.content_type = "application/x-ndjson";
+    Reply::Full(response)
+}
+
+/// `GET /debug/slow`: the top-K slowest spans at or over the slow-log
+/// threshold, slowest first, one NDJSON record per line.
+fn debug_slow() -> Reply {
+    let mut response = Response::text(200, wi_obs::slow_ndjson());
+    response.content_type = "application/x-ndjson";
+    Reply::Full(response)
 }
 
 fn shutdown(state: &ServeState) -> Reply {

@@ -15,12 +15,15 @@
 //! | `GET /sites/{site}` | lifecycle state + revision history |
 //! | `GET /healthz` | liveness + poisoning state |
 //! | `GET /metrics` | request + registry metrics (text exposition) |
+//! | `GET /debug/trace` | recent trace journal (NDJSON) |
+//! | `GET /debug/slow` | top-K slowest spans over the threshold (NDJSON) |
 //! | `POST /admin/shutdown` | graceful drain and exit |
 //!
 //! Everything is hand-rolled on `std`: a pull parser for HTTP/1.1 over
 //! [`std::net::TcpListener`] ([`http`]), segment routing with
-//! percent-decoded site keys ([`router`]), lock-free atomic metrics
-//! ([`metrics`]) and a fixed thread pool where each worker owns a
+//! percent-decoded site keys ([`router`]), a per-daemon
+//! [`wi_obs::Registry`] behind pre-resolved handles ([`metrics`]) and a
+//! fixed thread pool where each worker owns a
 //! resident [`EvalContext`](wi_xpath::EvalContext) ([`server`] — the
 //! threading and shutdown contract lives on that module).
 //!

@@ -1,22 +1,27 @@
 //! Request and registry metrics with a text exposition endpoint.
 //!
-//! Everything is lock-free (`AtomicU64` with relaxed ordering — counters
-//! tolerate torn reads across series): per-endpoint request and error
-//! counts, fixed-bucket latency histograms, per-shard request counts (the
-//! `shard_of` partition made observable), and a snapshot of the registry's
-//! [`ShardStats`] rendered at scrape time.
+//! The daemon's counters live in a per-daemon [`wi_obs::Registry`] (its
+//! own instance, not [`wi_obs::Registry::global`], so parallel daemons in
+//! one test process never cross-count).  Handles are resolved once at
+//! construction — one per endpoint via the exhaustive [`Endpoint::index`]
+//! — and every record afterwards is a relaxed `fetch_add`: per-endpoint
+//! request and error counts, fixed-bucket latency histograms, per-shard
+//! request counts (the `shard_of` partition made observable), and gauges
+//! refreshed at scrape time from the registry's
+//! [`ShardStats`](wi_maintain::ShardStats).
 //!
 //! The `/metrics` output follows the Prometheus text exposition format:
 //! `wi_requests_total{endpoint="extract"} 12`, cumulative
-//! `_bucket{le="…"}` histogram series, and registry gauges.
+//! `_bucket{le="…"}` histogram series, and registry gauges — followed by
+//! the process-wide [`wi_obs::Registry::global`] families (induction,
+//! maintenance lifecycle, storage engine), so one scrape sees the whole
+//! stack.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 use wi_maintain::PersistentRegistry;
+use wi_obs::{Counter, Gauge, Histogram, Registry};
 
-/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
-/// `+Inf`.
-pub const LATENCY_BUCKETS_US: [u64; 6] = [100, 1_000, 10_000, 100_000, 1_000_000, u64::MAX];
+pub use wi_obs::LATENCY_BUCKETS_US;
 
 /// The endpoint label attached to every recorded request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +40,10 @@ pub enum Endpoint {
     Site,
     /// `GET /metrics`.
     Metrics,
+    /// `GET /debug/trace`.
+    DebugTrace,
+    /// `GET /debug/slow`.
+    DebugSlow,
     /// `POST /admin/shutdown`.
     Shutdown,
     /// Unrouted or malformed requests.
@@ -43,7 +52,7 @@ pub enum Endpoint {
 
 impl Endpoint {
     /// Every endpoint, in exposition order.
-    pub const ALL: [Endpoint; 9] = [
+    pub const ALL: [Endpoint; 11] = [
         Endpoint::Extract,
         Endpoint::ExtractBatch,
         Endpoint::Induce,
@@ -51,6 +60,8 @@ impl Endpoint {
         Endpoint::Healthz,
         Endpoint::Site,
         Endpoint::Metrics,
+        Endpoint::DebugTrace,
+        Endpoint::DebugSlow,
         Endpoint::Shutdown,
         Endpoint::Other,
     ];
@@ -65,12 +76,14 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Site => "site",
             Endpoint::Metrics => "metrics",
+            Endpoint::DebugTrace => "debug_trace",
+            Endpoint::DebugSlow => "debug_slow",
             Endpoint::Shutdown => "shutdown",
             Endpoint::Other => "other",
         }
     }
 
-    /// Dense index into per-endpoint counter arrays.  An exhaustive match
+    /// Dense index into per-endpoint handle arrays.  An exhaustive match
     /// (not a `position().expect()`): adding a variant without extending
     /// `ALL` is a compile error here, not a request-path panic.
     fn index(self) -> usize {
@@ -82,41 +95,113 @@ impl Endpoint {
             Endpoint::Healthz => 4,
             Endpoint::Site => 5,
             Endpoint::Metrics => 6,
-            Endpoint::Shutdown => 7,
-            Endpoint::Other => 8,
+            Endpoint::DebugTrace => 7,
+            Endpoint::DebugSlow => 8,
+            Endpoint::Shutdown => 9,
+            Endpoint::Other => 10,
         }
     }
 }
 
-#[derive(Debug, Default)]
-struct EndpointCounters {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    latency_sum_us: AtomicU64,
-    buckets: [AtomicU64; LATENCY_BUCKETS_US.len()],
+/// The pre-resolved handle set of one endpoint.
+#[derive(Debug)]
+pub struct EndpointCounters {
+    requests: Counter,
+    errors: Counter,
+    latency_us: Histogram,
+}
+
+impl EndpointCounters {
+    /// Requests recorded on this endpoint.
+    pub fn requests(&self) -> u64 {
+        self.requests.get()
+    }
+
+    /// Error (status ≥ 400) responses recorded on this endpoint.
+    pub fn errors(&self) -> u64 {
+        self.errors.get()
+    }
+
+    /// Total recorded latency in µs.
+    pub fn latency_sum_us(&self) -> u64 {
+        self.latency_us.sum()
+    }
 }
 
 /// The daemon's metrics registry.
 #[derive(Debug)]
 pub struct Metrics {
+    obs: Registry,
     endpoints: [EndpointCounters; Endpoint::ALL.len()],
     /// Requests per registry shard (indexed by `shard_of(site)`).
-    shard_requests: Vec<AtomicU64>,
+    shard_requests: Vec<Counter>,
+    registry_sites: Gauge,
+    registry_poisoned: Gauge,
+    shard_sites: Vec<Gauge>,
+    shard_revisions: Vec<Gauge>,
+    shard_log_bytes: Vec<Gauge>,
+    uptime_seconds: Gauge,
     started: Instant,
 }
 
 impl Metrics {
     /// Creates a metrics registry for a daemon serving `shards` shards.
+    /// Families register in exposition order — [`wi_obs::Registry`]
+    /// renders registration order, so the scrape layout is fixed here.
     pub fn new(shards: usize) -> Metrics {
+        let obs = Registry::new();
+        // The first endpoint fixes the family order (requests, errors,
+        // latency); later endpoints only append series to those families.
+        let endpoints = Endpoint::ALL.map(|endpoint| EndpointCounters {
+            requests: obs.counter("wi_requests_total", &[("endpoint", endpoint.name())]),
+            errors: obs.counter("wi_request_errors_total", &[("endpoint", endpoint.name())]),
+            latency_us: obs.histogram(
+                "wi_request_latency_us",
+                &LATENCY_BUCKETS_US,
+                &[("endpoint", endpoint.name())],
+            ),
+        });
+        let shard_requests = (0..shards)
+            .map(|shard| obs.counter("wi_shard_requests_total", &[("shard", &shard.to_string())]))
+            .collect();
+        let registry_sites = obs.gauge("wi_registry_sites", &[]);
+        let registry_poisoned = obs.gauge("wi_registry_poisoned", &[]);
+        let shard_sites = (0..shards)
+            .map(|shard| obs.gauge("wi_registry_shard_sites", &[("shard", &shard.to_string())]))
+            .collect();
+        let shard_revisions = (0..shards)
+            .map(|shard| {
+                obs.gauge(
+                    "wi_registry_shard_revisions",
+                    &[("shard", &shard.to_string())],
+                )
+            })
+            .collect();
+        let shard_log_bytes = (0..shards)
+            .map(|shard| {
+                obs.gauge(
+                    "wi_registry_shard_log_bytes",
+                    &[("shard", &shard.to_string())],
+                )
+            })
+            .collect();
+        let uptime_seconds = obs.gauge("wi_uptime_seconds", &[]);
         Metrics {
-            endpoints: Default::default(),
-            shard_requests: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            obs,
+            endpoints,
+            shard_requests,
+            registry_sites,
+            registry_poisoned,
+            shard_sites,
+            shard_revisions,
+            shard_log_bytes,
+            uptime_seconds,
             started: Instant::now(),
         }
     }
 
-    /// The counter set of one endpoint.
-    fn counters(&self, endpoint: Endpoint) -> &EndpointCounters {
+    /// The handle set of one endpoint.
+    pub fn counters(&self, endpoint: Endpoint) -> &EndpointCounters {
         // lint:allow(R4, Endpoint::index is an exhaustive match onto 0..ALL.len(), the array's exact length)
         &self.endpoints[endpoint.index()]
     }
@@ -124,121 +209,51 @@ impl Metrics {
     /// Records one finished request.
     pub fn record(&self, endpoint: Endpoint, status: u16, elapsed: Duration) {
         let counters = self.counters(endpoint);
-        counters.requests.fetch_add(1, Ordering::Relaxed);
+        counters.requests.inc();
         if status >= 400 {
-            counters.errors.fetch_add(1, Ordering::Relaxed);
+            counters.errors.inc();
         }
-        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
-        counters.latency_sum_us.fetch_add(us, Ordering::Relaxed);
-        let bucket = LATENCY_BUCKETS_US
-            .iter()
-            .position(|&limit| us <= limit)
-            .unwrap_or(LATENCY_BUCKETS_US.len() - 1);
-        if let Some(slot) = counters.buckets.get(bucket) {
-            slot.fetch_add(1, Ordering::Relaxed);
-        }
+        counters.latency_us.observe_us(elapsed);
     }
 
     /// Records which shard a site-keyed request routed to.
     pub fn record_shard(&self, shard: usize) {
         if let Some(counter) = self.shard_requests.get(shard) {
-            counter.fetch_add(1, Ordering::Relaxed);
+            counter.inc();
         }
     }
 
     /// Total requests recorded across all endpoints.
     pub fn requests_total(&self) -> u64 {
-        self.endpoints
-            .iter()
-            .map(|c| c.requests.load(Ordering::Relaxed))
-            .sum()
+        self.endpoints.iter().map(|c| c.requests.get()).sum()
     }
 
-    /// Renders the text exposition, joining the request counters with a
-    /// scrape-time snapshot of the registry's shard statistics.
+    /// Requests recorded against one shard (`None` out of range).
+    pub fn shard_requests(&self, shard: usize) -> Option<u64> {
+        self.shard_requests.get(shard).map(Counter::get)
+    }
+
+    /// Renders the text exposition: the daemon's own families (refreshed
+    /// with a scrape-time snapshot of the registry's shard statistics),
+    /// then the process-wide families from [`Registry::global`].
     pub fn render(&self, registry: &PersistentRegistry) -> String {
-        let mut out = String::with_capacity(4096);
-        out.push_str("# TYPE wi_requests_total counter\n");
-        for endpoint in Endpoint::ALL {
-            let c = self.counters(endpoint);
-            out.push_str(&format!(
-                "wi_requests_total{{endpoint=\"{}\"}} {}\n",
-                endpoint.name(),
-                c.requests.load(Ordering::Relaxed)
-            ));
-        }
-        out.push_str("# TYPE wi_request_errors_total counter\n");
-        for endpoint in Endpoint::ALL {
-            let c = self.counters(endpoint);
-            out.push_str(&format!(
-                "wi_request_errors_total{{endpoint=\"{}\"}} {}\n",
-                endpoint.name(),
-                c.errors.load(Ordering::Relaxed)
-            ));
-        }
-        out.push_str("# TYPE wi_request_latency_us histogram\n");
-        for endpoint in Endpoint::ALL {
-            let c = self.counters(endpoint);
-            let mut cumulative = 0u64;
-            for (slot, &limit) in c.buckets.iter().zip(LATENCY_BUCKETS_US.iter()) {
-                cumulative += slot.load(Ordering::Relaxed);
-                let le = if limit == u64::MAX {
-                    "+Inf".to_string()
-                } else {
-                    limit.to_string()
-                };
-                out.push_str(&format!(
-                    "wi_request_latency_us_bucket{{endpoint=\"{}\",le=\"{le}\"}} {cumulative}\n",
-                    endpoint.name(),
-                ));
-            }
-            out.push_str(&format!(
-                "wi_request_latency_us_sum{{endpoint=\"{}\"}} {}\n",
-                endpoint.name(),
-                c.latency_sum_us.load(Ordering::Relaxed)
-            ));
-            out.push_str(&format!(
-                "wi_request_latency_us_count{{endpoint=\"{}\"}} {}\n",
-                endpoint.name(),
-                c.requests.load(Ordering::Relaxed)
-            ));
-        }
-        out.push_str("# TYPE wi_shard_requests_total counter\n");
-        for (shard, counter) in self.shard_requests.iter().enumerate() {
-            out.push_str(&format!(
-                "wi_shard_requests_total{{shard=\"{shard}\"}} {}\n",
-                counter.load(Ordering::Relaxed)
-            ));
-        }
-        out.push_str("# TYPE wi_registry_sites gauge\n");
-        out.push_str(&format!("wi_registry_sites {}\n", registry.site_count()));
-        out.push_str("# TYPE wi_registry_poisoned gauge\n");
-        out.push_str(&format!(
-            "wi_registry_poisoned {}\n",
-            u8::from(registry.is_poisoned())
-        ));
-        out.push_str("# TYPE wi_registry_shard_sites gauge\n");
-        out.push_str("# TYPE wi_registry_shard_revisions gauge\n");
-        out.push_str("# TYPE wi_registry_shard_log_bytes gauge\n");
+        self.registry_sites.set(registry.site_count() as u64);
+        self.registry_poisoned
+            .set(u64::from(registry.is_poisoned()));
         for stat in registry.shard_stats() {
-            out.push_str(&format!(
-                "wi_registry_shard_sites{{shard=\"{}\"}} {}\n",
-                stat.shard, stat.sites
-            ));
-            out.push_str(&format!(
-                "wi_registry_shard_revisions{{shard=\"{}\"}} {}\n",
-                stat.shard, stat.revisions
-            ));
-            out.push_str(&format!(
-                "wi_registry_shard_log_bytes{{shard=\"{}\"}} {}\n",
-                stat.shard, stat.log_bytes
-            ));
+            if let Some(gauge) = self.shard_sites.get(stat.shard) {
+                gauge.set(stat.sites as u64);
+            }
+            if let Some(gauge) = self.shard_revisions.get(stat.shard) {
+                gauge.set(stat.revisions as u64);
+            }
+            if let Some(gauge) = self.shard_log_bytes.get(stat.shard) {
+                gauge.set(stat.log_bytes);
+            }
         }
-        out.push_str("# TYPE wi_uptime_seconds gauge\n");
-        out.push_str(&format!(
-            "wi_uptime_seconds {}\n",
-            self.started.elapsed().as_secs()
-        ));
+        self.uptime_seconds.set(self.started.elapsed().as_secs());
+        let mut out = self.obs.render();
+        out.push_str(&Registry::global().render());
         out
     }
 }
@@ -256,16 +271,22 @@ mod tests {
         metrics.record_shard(2);
         assert_eq!(metrics.requests_total(), 3);
 
-        let c = &metrics.endpoints[Endpoint::Extract.index()];
-        assert_eq!(c.requests.load(Ordering::Relaxed), 2);
-        assert_eq!(c.errors.load(Ordering::Relaxed), 1);
-        assert_eq!(c.buckets[0].load(Ordering::Relaxed), 1); // ≤100µs
-        assert_eq!(c.buckets[2].load(Ordering::Relaxed), 1); // ≤10ms
+        let c = metrics.counters(Endpoint::Extract);
+        assert_eq!(c.requests(), 2);
+        assert_eq!(c.errors(), 1);
+        assert_eq!(c.latency_sum_us(), 5_050);
         assert_eq!(
-            metrics.shard_requests[2].load(Ordering::Relaxed),
-            1,
+            metrics.shard_requests(2),
+            Some(1),
             "shard routing observable"
         );
+
+        let text = metrics.obs.render();
+        assert!(text.contains("wi_requests_total{endpoint=\"extract\"} 2"));
+        assert!(text.contains("wi_request_errors_total{endpoint=\"extract\"} 1"));
+        assert!(text.contains("wi_request_latency_us_bucket{endpoint=\"extract\",le=\"100\"} 1"));
+        assert!(text.contains("wi_request_latency_us_bucket{endpoint=\"extract\",le=\"10000\"} 2"));
+        assert!(text.contains("wi_shard_requests_total{shard=\"2\"} 1"));
     }
 
     #[test]
@@ -273,9 +294,10 @@ mod tests {
         let metrics = Metrics::new(2);
         metrics.record_shard(usize::MAX);
         metrics.record_shard(2);
-        for counter in &metrics.shard_requests {
-            assert_eq!(counter.load(Ordering::Relaxed), 0);
+        for shard in 0..2 {
+            assert_eq!(metrics.shard_requests(shard), Some(0));
         }
+        assert_eq!(metrics.shard_requests(2), None);
     }
 
     #[test]
@@ -285,5 +307,8 @@ mod tests {
             metrics.record(endpoint, 200, Duration::from_micros(1));
         }
         assert_eq!(metrics.requests_total(), Endpoint::ALL.len() as u64);
+        for endpoint in Endpoint::ALL {
+            assert_eq!(metrics.counters(endpoint).requests(), 1, "{endpoint:?}");
+        }
     }
 }

@@ -29,6 +29,11 @@ pub enum Route {
     Site(String),
     /// `GET /metrics` — text exposition of request and registry metrics.
     Metrics,
+    /// `GET /debug/trace` — the recent trace journal as NDJSON.
+    DebugTrace,
+    /// `GET /debug/slow` — the top-K slowest spans over the threshold as
+    /// NDJSON.
+    DebugSlow,
     /// `POST /admin/shutdown` — graceful drain and exit.
     Shutdown,
 }
@@ -59,6 +64,8 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
     match segments.as_slice() {
         ["healthz"] => expect("GET", Route::Healthz),
         ["metrics"] => expect("GET", Route::Metrics),
+        ["debug", "trace"] => expect("GET", Route::DebugTrace),
+        ["debug", "slow"] => expect("GET", Route::DebugSlow),
         ["admin", "shutdown"] => expect("POST", Route::Shutdown),
         ["extract", "batch"] => expect("POST", Route::ExtractBatch),
         ["extract", site @ ..] => site_route(method, "POST", site, Route::Extract),
@@ -133,6 +140,8 @@ mod tests {
     fn routes_every_endpoint() {
         assert_eq!(route("GET", "/healthz"), Ok(Route::Healthz));
         assert_eq!(route("GET", "/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/debug/trace"), Ok(Route::DebugTrace));
+        assert_eq!(route("GET", "/debug/slow"), Ok(Route::DebugSlow));
         assert_eq!(route("POST", "/admin/shutdown"), Ok(Route::Shutdown));
         assert_eq!(route("POST", "/extract/batch"), Ok(Route::ExtractBatch));
         assert_eq!(

@@ -57,4 +57,4 @@ pub use eval::{evaluate, evaluate_with, evaluate_with_anchors, EvalContext, Eval
 pub use eval_reference::evaluate_reference;
 pub use fragment::{is_ds_xpath, is_one_directional, is_plausible, Direction};
 pub use parser::{parse_query, ParseError};
-pub use prefix::{PrefixEvaluator, PrefixHandle};
+pub use prefix::{PrefixEvaluator, PrefixHandle, TrieStats};

@@ -64,6 +64,19 @@ impl TrieNode {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PrefixHandle(usize);
 
+/// Trie traversal counters, kept as plain fields (no atomics — this sits
+/// in the induction inner loop) and flushed by callers into their own
+/// telemetry; see [`PrefixEvaluator::trie_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrieStats {
+    /// Steps walked through the trie (memoized-edge traversals plus fresh
+    /// step applications).
+    pub walks: u64,
+    /// Walks satisfied by an existing trie edge — the evaluations the
+    /// memoization saved.
+    pub hits: u64,
+}
+
 /// Trie-memoized evaluator for batches of queries over one document.
 ///
 /// See the [module documentation](self) for semantics and the ownership
@@ -80,6 +93,8 @@ pub struct PrefixEvaluator<'d> {
     candidates: Vec<NodeId>,
     /// Pooled context for nested path predicates.
     nested: Option<Box<EvalContext>>,
+    /// Cumulative walk/hit counters (plain `u64`s; see [`TrieStats`]).
+    stats: TrieStats,
 }
 
 impl<'d> PrefixEvaluator<'d> {
@@ -91,6 +106,7 @@ impl<'d> PrefixEvaluator<'d> {
             roots: FxMap::default(),
             candidates: Vec::new(),
             nested: None,
+            stats: TrieStats::default(),
         }
     }
 
@@ -105,10 +121,23 @@ impl<'d> PrefixEvaluator<'d> {
         self.nodes.len()
     }
 
-    /// Drops all memoized prefixes but keeps the allocations' capacity.
+    /// Drops all memoized prefixes but keeps the allocations' capacity
+    /// (and the cumulative [`TrieStats`]).
     pub fn clear(&mut self) {
         self.nodes.clear();
         self.roots.clear();
+    }
+
+    /// Cumulative trie walk/hit counters since construction (or the last
+    /// [`take_trie_stats`](Self::take_trie_stats)).
+    pub fn trie_stats(&self) -> TrieStats {
+        self.stats
+    }
+
+    /// Returns the counters and resets them — the flush-once-per-batch
+    /// form induction uses to feed its telemetry registry.
+    pub fn take_trie_stats(&mut self) -> TrieStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Evaluates `query` from `context`, returning the selected nodes in
@@ -183,8 +212,12 @@ impl<'d> PrefixEvaluator<'d> {
             if self.nodes[cur].set.is_empty() {
                 return PrefixHandle(cur);
             }
+            self.stats.walks += 1;
             cur = match self.nodes[cur].children.get(step) {
-                Some(&child) => child,
+                Some(&child) => {
+                    self.stats.hits += 1;
+                    child
+                }
                 None => {
                     let set = self.apply_step(cur, step);
                     let idx = self.nodes.len();
@@ -318,6 +351,25 @@ mod tests {
         // Re-evaluating adds no trie nodes (and no work past the empty set).
         assert!(shared.evaluate(doc.root(), &q).is_empty());
         assert_eq!(shared.memoized_prefixes(), before);
+    }
+
+    #[test]
+    fn trie_stats_count_walks_and_hits() {
+        let doc = page();
+        let q = parse_query("descendant::ul/child::li").unwrap();
+        let mut shared = PrefixEvaluator::new(&doc);
+        shared.evaluate(doc.root(), &q);
+        let first = shared.trie_stats();
+        assert_eq!(first.walks, 2, "two steps walked");
+        assert_eq!(first.hits, 0, "cold trie");
+        // The same query again is pure hits.
+        shared.evaluate(doc.root(), &q);
+        let second = shared.trie_stats();
+        assert_eq!(second.walks, 4);
+        assert_eq!(second.hits, 2);
+        // Taking the stats resets them.
+        assert_eq!(shared.take_trie_stats(), second);
+        assert_eq!(shared.trie_stats(), TrieStats::default());
     }
 
     #[test]

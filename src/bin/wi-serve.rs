@@ -4,6 +4,7 @@
 //! ```text
 //! wi-serve --registry DIR [--create SHARDS] [--addr HOST:PORT]
 //!          [--workers N] [--durability always|batch]
+//!          [--trace on|off|sample:N] [--slow-us N]
 //! ```
 //!
 //! Opens (crash-recovering) the registry at `DIR` — creating it with
@@ -11,10 +12,22 @@
 //! — then serves until `POST /admin/shutdown` drains the workers.  Exits
 //! 0 on a graceful shutdown, 2 on startup errors (including a registry
 //! whose shard locks are held by another live daemon).
+//!
+//! `--trace` sets the process trace mode (default `off`): `on` records
+//! every span/event into the journal behind `GET /debug/trace` and
+//! `GET /debug/slow`, `sample:N` records one span in N.  `--slow-us`
+//! overrides the slow-log threshold (default 1000µs; `0` captures every
+//! span, which is what the acceptance battery uses).
+//!
+//! Lifecycle events are structured single-line records
+//! (`level=… off_us=… event=… key=value`) through the `wi-obs` logger;
+//! every stdout/stderr write tolerates a closed pipe — a log line must
+//! never take the daemon down.
 
 use std::process::ExitCode;
 
 use wrapper_induction::maintain::{Durability, Maintainer, PersistentRegistry};
+use wrapper_induction::obs::{self, Level};
 use wrapper_induction::serve::{ServeConfig, Server};
 
 struct Args {
@@ -23,6 +36,8 @@ struct Args {
     addr: String,
     workers: usize,
     durability: Durability,
+    trace: obs::Mode,
+    slow_us: Option<u64>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         addr: "127.0.0.1:0".to_string(),
         workers: 0,
         durability: Durability::Always,
+        trace: obs::Mode::Off,
+        slow_us: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -58,6 +75,18 @@ fn parse_args() -> Result<Args, String> {
                     other => return Err(format!("unknown durability {other:?}")),
                 }
             }
+            "--trace" => {
+                let value = value("--trace")?;
+                args.trace = obs::parse_mode(&value)
+                    .ok_or(format!("unknown trace mode {value:?} (on|off|sample:N)"))?
+            }
+            "--slow-us" => {
+                args.slow_us = Some(
+                    value("--slow-us")?
+                        .parse()
+                        .map_err(|_| "--slow-us needs a microsecond count".to_string())?,
+                )
+            }
             other => return Err(format!("unknown flag {other:?}")),
         }
     }
@@ -67,18 +96,32 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// Emits one structured record to stderr (startup errors and recovery
+/// warnings stay off stdout: the test harness scrapes the daemon address
+/// from the *first* stdout line).
+fn log_err(level: Level, event: &str, fields: &[(&str, String)]) {
+    use std::io::Write;
+    let line = obs::format_record(level, obs::clock::offset_us(), event, fields);
+    let _ = writeln!(std::io::stderr(), "{line}");
+}
+
 fn main() -> ExitCode {
     let args = match parse_args() {
         Ok(args) => args,
         Err(message) => {
-            eprintln!("wi-serve: {message}");
+            log_err(Level::Error, "serve.usage", &[("error", message)]);
             eprintln!(
                 "usage: wi-serve --registry DIR [--create SHARDS] [--addr HOST:PORT] \
-                 [--workers N] [--durability always|batch]"
+                 [--workers N] [--durability always|batch] [--trace on|off|sample:N] \
+                 [--slow-us N]"
             );
             return ExitCode::from(2);
         }
     };
+    obs::set_mode(args.trace);
+    if let Some(us) = args.slow_us {
+        obs::set_slow_threshold_us(us);
+    }
     let exists = std::path::Path::new(&args.registry)
         .join("registry.json")
         .exists();
@@ -89,15 +132,23 @@ fn main() -> ExitCode {
     let registry = match opened {
         Ok(registry) => registry.with_durability(args.durability),
         Err(e) => {
-            eprintln!("wi-serve: cannot open registry at {}: {e}", args.registry);
+            log_err(
+                Level::Error,
+                "serve.open_failed",
+                &[
+                    ("registry", args.registry.clone()),
+                    ("error", e.to_string()),
+                ],
+            );
             return ExitCode::from(2);
         }
     };
     let report = registry.recovery_report();
     if !report.clean() {
-        eprintln!(
-            "wi-serve: recovered registry with {} repaired shard log(s)",
-            report.torn_tails.len()
+        log_err(
+            Level::Warn,
+            "serve.recovered",
+            &[("repaired_shards", report.torn_tails.len().to_string())],
         );
     }
     let config = ServeConfig {
@@ -108,23 +159,30 @@ fn main() -> ExitCode {
     let handle = match Server::start(registry, Maintainer::default(), config) {
         Ok(handle) => handle,
         Err(e) => {
-            eprintln!("wi-serve: cannot bind: {e}");
+            log_err(
+                Level::Error,
+                "serve.bind_failed",
+                &[("error", e.to_string())],
+            );
             return ExitCode::from(2);
         }
     };
-    // The test harness scrapes the OS-assigned port from this line.  All
-    // stdout writes tolerate a closed pipe (a supervisor may stop reading
-    // after the address line) — a log line must never take the daemon down.
-    use std::io::Write;
-    let mut stdout = std::io::stdout();
-    let _ = writeln!(stdout, "wi-serve listening on http://{}", handle.addr());
-    let _ = stdout.flush();
+    // The test harness scrapes the OS-assigned port from the first stdout
+    // line, taking everything after the last "http://" — so the address
+    // must stay the final field.
+    obs::log(
+        Level::Info,
+        "serve.listening",
+        &[("addr", format!("http://{}", handle.addr()))],
+    );
     let registry = handle.wait();
-    let _ = writeln!(
-        stdout,
-        "wi-serve: drained; {} site(s) on disk at {}",
-        registry.site_count(),
-        registry.root().display()
+    obs::log(
+        Level::Info,
+        "serve.drained",
+        &[
+            ("sites", registry.site_count().to_string()),
+            ("registry", registry.root().display().to_string()),
+        ],
     );
     ExitCode::SUCCESS
 }

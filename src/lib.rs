@@ -79,6 +79,8 @@ pub use wi_induction as induction;
 /// The wrapper lifecycle subsystem: verification, drift classification and
 /// repair over archive timelines (`wi-maintain`).
 pub use wi_maintain as maintain;
+/// The observability layer: tracing, metrics and the slow log (`wi-obs`).
+pub use wi_obs as obs;
 /// Robustness scoring and ranking (`wi-scoring`).
 pub use wi_scoring as scoring;
 /// The extraction-as-a-service daemon (`wi-serve`).

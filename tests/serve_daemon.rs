@@ -26,6 +26,8 @@ fn scratch_dir() -> std::path::PathBuf {
 }
 
 /// Spawns the daemon and scrapes the bound address from its stdout.
+/// Tracing is on with a zero slow-log threshold so the `/debug`
+/// introspection endpoints can be asserted against live data.
 fn spawn_daemon(registry: &std::path::Path, create: Option<usize>) -> (Child, SocketAddr) {
     let mut command = Command::new(DAEMON);
     command
@@ -33,6 +35,10 @@ fn spawn_daemon(registry: &std::path::Path, create: Option<usize>) -> (Child, So
         .arg(registry)
         .arg("--addr")
         .arg("127.0.0.1:0")
+        .arg("--trace")
+        .arg("on")
+        .arg("--slow-us")
+        .arg("0")
         .stdout(Stdio::piped())
         .stderr(Stdio::null());
     if let Some(shards) = create {
@@ -211,6 +217,28 @@ fn daemon_survives_sigkill_with_zero_lost_revisions() {
     assert!(exposition.contains("wi_requests_total{endpoint=\"extract\"} 1"));
     assert!(exposition.contains("wi_requests_total{endpoint=\"site\"} 1"));
     assert!(exposition.contains("wi_registry_sites 1"));
+
+    // --- The /debug introspection endpoints return live trace data: the
+    // daemon runs with --trace on and a zero slow-log threshold, so the
+    // extract above must appear both in the journal and the slow log.
+    let trace = client::get(addr, "/debug/trace").expect("debug trace");
+    assert_eq!(trace.status, 200);
+    let trace = trace.text();
+    assert!(
+        trace.contains("\"name\":\"serve.request\""),
+        "journal has the request span: {trace:?}"
+    );
+    assert!(
+        trace
+            .lines()
+            .all(|l| l.starts_with('{') && l.ends_with('}')),
+        "trace is NDJSON, one object per line"
+    );
+    let slow = client::get(addr, "/debug/slow").expect("debug slow").text();
+    assert!(
+        slow.contains("\"name\":\"serve.request\""),
+        "a zero threshold puts every request span in the slow log: {slow:?}"
+    );
 
     // --- Graceful shutdown drains and exits 0.
     let drain = client::post_json(addr, "/admin/shutdown", &object(vec![])).expect("shutdown");
