@@ -9,7 +9,9 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Instant;
 use wi_induction::{WrapperBundle, WrapperInducer};
-use wi_maintain::{LastKnownGood, Maintainer, MaintenanceJob, PageVersion, Registry};
+use wi_maintain::{
+    LastKnownGood, MaintainConfig, Maintainer, MaintenanceJob, PageVersion, Registry,
+};
 use wi_scoring::ScoringParams;
 use wi_webgen::archive::ArchiveSimulator;
 use wi_webgen::date::Day;
@@ -59,14 +61,33 @@ fn build_workload(sites: u64, epochs: i64) -> (Registry, Vec<MaintenanceJob>, us
     (registry, jobs, pages_total)
 }
 
+/// A maintainer with the incremental-replay caches disabled (the
+/// from-scratch baseline the equivalence battery compares against).
+fn full_maintainer() -> Maintainer {
+    Maintainer::new(
+        MaintainConfig {
+            incremental: false,
+            ..MaintainConfig::default()
+        },
+        WrapperInducer::default(),
+    )
+}
+
 fn bench_maintain_batch(c: &mut Criterion) {
     let (registry, jobs, _) = build_workload(12, 24);
     let maintainer = Maintainer::default();
+    let full = full_maintainer();
 
     c.bench_function("maintain_batch_sequential_12x24", |b| {
         b.iter(|| {
             let mut r = registry.clone();
             black_box(r.maintain_batch_sequential(black_box(&jobs), &maintainer))
+        })
+    });
+    c.bench_function("maintain_batch_full_12x24", |b| {
+        b.iter(|| {
+            let mut r = registry.clone();
+            black_box(r.maintain_batch_sequential(black_box(&jobs), &full))
         })
     });
     c.bench_function("maintain_batch_parallel_12x24", |b| {
@@ -81,12 +102,14 @@ fn bench_maintain_batch(c: &mut Criterion) {
 fn record_throughput() {
     let (registry, jobs, pages) = build_workload(12, 24);
     let maintainer = Maintainer::default();
+    let full = full_maintainer();
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
 
     let runs = 5;
     let mut sequential_s = f64::MAX;
+    let mut full_s = f64::MAX;
     let mut parallel_s = f64::MAX;
     for _ in 0..runs {
         let mut r = registry.clone();
@@ -96,14 +119,22 @@ fn record_throughput() {
 
         let mut r = registry.clone();
         let t = Instant::now();
+        black_box(r.maintain_batch_with_workers(&jobs, &full, 1));
+        full_s = full_s.min(t.elapsed().as_secs_f64());
+
+        let mut r = registry.clone();
+        let t = Instant::now();
         black_box(r.maintain_batch_with_workers(&jobs, &maintainer, workers));
         parallel_s = parallel_s.min(t.elapsed().as_secs_f64());
     }
     println!(
-        "maintain_batch throughput: {} jobs, {} pages; 1 worker {:.0} pages/s, {} workers {:.0} pages/s ({:.1}x)",
+        "maintain_batch throughput: {} jobs, {} pages; incremental 1 worker {:.0} pages/s, \
+         from-scratch 1 worker {:.0} pages/s ({:.2}x), {} workers {:.0} pages/s ({:.1}x)",
         jobs.len(),
         pages,
         pages as f64 / sequential_s,
+        pages as f64 / full_s,
+        full_s / sequential_s,
         workers,
         pages as f64 / parallel_s,
         sequential_s / parallel_s

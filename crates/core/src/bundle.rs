@@ -356,7 +356,36 @@ impl Extractor for CompiledBundle {
     }
 }
 
+/// A bundle's expressions parsed once, for repeated replay of the same
+/// revision over many documents (the maintenance loop verifies every
+/// snapshot against the same bundle — re-parsing per snapshot was pure
+/// overhead).  Extracts exactly like the [`WrapperBundle`] it was compiled
+/// from.
+pub struct CompiledExtractor(CompiledBundle);
+
+impl Extractor for CompiledExtractor {
+    fn extract_with(
+        &self,
+        cx: &mut wi_xpath::EvalContext,
+        doc: &Document,
+        context: NodeId,
+    ) -> Result<Vec<NodeId>, ExtractError> {
+        self.0.extract_with(cx, doc, context)
+    }
+
+    fn describe(&self) -> String {
+        self.0.describe()
+    }
+}
+
 impl WrapperBundle {
+    /// Parses the stored expressions once into a reusable extractor.  The
+    /// result is tied to this revision's entries; recompile after
+    /// [`revised`](WrapperBundle::revised).
+    pub fn compile_extractor(&self) -> Result<CompiledExtractor, ExtractError> {
+        self.compile().map(CompiledExtractor)
+    }
+
     /// Parses the stored expressions into a runnable extractor (a single
     /// query, or an ensemble voting by majority).
     fn compile(&self) -> Result<CompiledBundle, ExtractError> {

@@ -73,7 +73,7 @@ pub(crate) mod telemetry;
 
 pub use api::{Wrapper, WrapperInducer};
 pub use best_k::BestK;
-pub use bundle::{BundleEntry, WrapperBundle, BUNDLE_FORMAT_VERSION};
+pub use bundle::{BundleEntry, CompiledExtractor, WrapperBundle, BUNDLE_FORMAT_VERSION};
 pub use config::InductionConfig;
 pub use ensemble::{EnsembleConfig, QueryFeatures, WrapperEnsemble};
 pub use error::{BundleError, ExtractError, InduceError};

@@ -1,0 +1,200 @@
+//! Lazily built attribute census index.
+//!
+//! # Why
+//!
+//! The maintenance layer interrogates a snapshot's attributes in two ways,
+//! both O(document) as naive walks:
+//!
+//! * the *carrier census* — how many elements carry `name="value"` — is
+//!   probed per anchor on every verification and every last-known-good
+//!   capture, and
+//! * the *value census* — the set of every attribute value on the page — is
+//!   materialised (with one `String` allocation per distinct value) on every
+//!   healthy capture, i.e. once per healthy epoch.
+//!
+//! A 300-node snapshot carries ~150 attributes with ~100 distinct values;
+//! rebuilding the `BTreeSet<String>` census dominates the capture cost and
+//! dwarfs the actual verification work.  The [`AttrIndex`] folds both
+//! censuses into one symbol-driven pass per document: carrier counts become
+//! one integer-keyed hash probe, and the value census is built once and
+//! shared behind an [`Arc`], so every capture of the same document clones a
+//! refcount instead of re-walking the tree.
+//!
+//! # Invalidation contract
+//!
+//! Identical to the order/tag indexes (see [`crate::order`]): built on first
+//! use, cached behind a `OnceLock`, dropped by `Document::invalidate_indexes`
+//! on every mutation.  The recorded [`epoch`](AttrIndex::epoch) proves
+//! freshness.  Symbols come from the document's own interner and never
+//! outlive it (see [`crate::intern`]).
+
+use crate::document::Document;
+use crate::intern::Sym;
+use crate::order::OrderIndex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// Attribute censuses of a [`Document`], keyed by interned symbols.
+///
+/// Built lazily by [`Document::attr_index`]; see the
+/// [module documentation](self) for the invalidation contract.
+#[derive(Debug, Clone)]
+pub struct AttrIndex {
+    epoch: u64,
+    /// `(name, value) → carriers`: the number of in-tree nodes (including
+    /// the synthetic root) whose *first* attribute named `name` — mirroring
+    /// [`Document::attribute`] shadowing — has value `value`.
+    carriers: HashMap<(Sym, Sym), u32>,
+    /// Every distinct attribute value in the document, sorted.  Shared so
+    /// that captures are refcount bumps, not set rebuilds.
+    values: Arc<BTreeSet<String>>,
+}
+
+impl AttrIndex {
+    pub(crate) fn build(doc: &Document, order: &OrderIndex) -> AttrIndex {
+        let mut carriers: HashMap<(Sym, Sym), u32> = HashMap::new();
+        let mut values = BTreeSet::new();
+        // Interning dedupes, so tracking seen value *symbols* dodges both the
+        // set probe and the `String` allocation for every repeated value
+        // (class names and shared hrefs repeat heavily).
+        let mut seen = vec![false; doc.interner().len()];
+        for &id in order.nodes_in_order() {
+            let attrs = doc.attr_syms(id);
+            for (i, &(name, value)) in attrs.iter().enumerate() {
+                if !seen[value.index()] {
+                    seen[value.index()] = true;
+                    values.insert(doc.resolve_sym(value).to_string());
+                }
+                // Only the first attribute of a given name is visible through
+                // `Document::attribute`; shadowed duplicates carry nothing.
+                if attrs[..i].iter().all(|&(n, _)| n != name) {
+                    *carriers.entry((name, value)).or_insert(0) += 1;
+                }
+            }
+        }
+        AttrIndex {
+            epoch: order.epoch(),
+            carriers,
+            values: Arc::new(values),
+        }
+    }
+
+    /// The document epoch this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of in-tree nodes whose visible attribute `name` equals
+    /// `value`, root included.  Symbols must come from this document's
+    /// interner (string entry points live on [`Document`]).
+    pub fn carrier_count_syms(&self, name: Sym, value: Sym) -> usize {
+        self.carriers
+            .get(&(name, value))
+            .map(|&c| c as usize)
+            .unwrap_or(0)
+    }
+
+    /// The shared value census: every distinct attribute value, sorted.
+    pub fn values(&self) -> &Arc<BTreeSet<String>> {
+        &self.values
+    }
+
+    /// Number of distinct `(name, value)` carrier keys in the document.
+    pub fn carrier_key_count(&self) -> usize {
+        self.carriers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::el;
+    use crate::node::Attribute;
+    use crate::Document;
+
+    fn attr(name: &str, value: &str) -> Attribute {
+        Attribute {
+            name: name.to_string(),
+            value: value.to_string(),
+        }
+    }
+
+    fn sample() -> Document {
+        el("html")
+            .child(
+                el("body")
+                    .child(
+                        el("div")
+                            .attr("class", "row")
+                            .child(el("span").attr("class", "cell").text_child("a")),
+                    )
+                    .child(el("div").attr("class", "row").attr("id", "x")),
+            )
+            .into_document()
+    }
+
+    #[test]
+    fn carrier_counts_match_linear_scan() {
+        let doc = sample();
+        let scan = |name: &str, value: &str| {
+            doc.descendants_or_self(doc.root())
+                .filter(|&n| doc.attribute(n, name) == Some(value))
+                .count()
+        };
+        for (name, value) in [
+            ("class", "row"),
+            ("class", "cell"),
+            ("id", "x"),
+            ("class", "absent"),
+            ("absent", "row"),
+        ] {
+            assert_eq!(
+                doc.carrier_count(name, value),
+                scan(name, value),
+                "{name}={value}"
+            );
+        }
+    }
+
+    #[test]
+    fn value_census_matches_walked_set() {
+        let doc = sample();
+        let mut expected = std::collections::BTreeSet::new();
+        for n in doc.descendants_or_self(doc.root()) {
+            for a in doc.attributes(n) {
+                expected.insert(a.value.clone());
+            }
+        }
+        assert_eq!(**doc.attribute_value_census(), expected);
+        // Repeated calls share the same allocation.
+        assert!(std::sync::Arc::ptr_eq(
+            doc.attribute_value_census(),
+            doc.attribute_value_census()
+        ));
+    }
+
+    #[test]
+    fn shadowed_duplicate_names_follow_first_wins() {
+        let mut doc = Document::new();
+        let e = doc.create_element("div", vec![attr("class", "first"), attr("class", "second")]);
+        doc.append_child(doc.root(), e).unwrap();
+        // `Document::attribute` sees only the first value …
+        assert_eq!(doc.carrier_count("class", "first"), 1);
+        assert_eq!(doc.carrier_count("class", "second"), 0);
+        // … but the value census records every value present in the markup.
+        assert!(doc.attribute_value_census().contains("first"));
+        assert!(doc.attribute_value_census().contains("second"));
+    }
+
+    #[test]
+    fn index_invalidates_on_mutation() {
+        let mut doc = sample();
+        let before = doc.attr_index().epoch();
+        assert_eq!(doc.carrier_count("id", "x"), 1);
+        let div = doc.elements_by_tag("div")[1];
+        doc.set_attribute(div, "id", "y").unwrap();
+        assert!(doc.attr_index().epoch() > before);
+        assert_eq!(doc.carrier_count("id", "x"), 0);
+        assert_eq!(doc.carrier_count("id", "y"), 1);
+        assert!(doc.attribute_value_census().contains("y"));
+    }
+}

@@ -1,6 +1,8 @@
 //! The arena-based [`Document`] type and its navigation API.
 
+use crate::attrs::AttrIndex;
 use crate::error::{DomError, Result};
+use crate::hash::HashIndex;
 use crate::intern::{Interner, Sym};
 use crate::iter::{
     Ancestors, Children, Descendants, DescendantsOrSelf, FollowingSiblings, PrecedingSiblings,
@@ -38,6 +40,10 @@ pub struct Document {
     order: OnceLock<OrderIndex>,
     /// Lazily built tag-name → elements lookup (see [`crate::order`]).
     tags: OnceLock<TagIndex>,
+    /// Lazily built per-subtree structural hashes (see [`crate::hash`]).
+    hashes: OnceLock<HashIndex>,
+    /// Lazily built attribute censuses (see [`crate::attrs`]).
+    attrs: OnceLock<AttrIndex>,
 }
 
 /// Reserved tag name of the synthetic document root.
@@ -65,6 +71,8 @@ impl Document {
             interner,
             order: OnceLock::new(),
             tags: OnceLock::new(),
+            hashes: OnceLock::new(),
+            attrs: OnceLock::new(),
         }
     }
 
@@ -91,6 +99,53 @@ impl Document {
             .get_or_init(|| TagIndex::build(self, self.order_index()))
     }
 
+    /// The structural-hash index, built on first use after a mutation.
+    pub fn hash_index(&self) -> &HashIndex {
+        self.hashes
+            .get_or_init(|| HashIndex::build(self, self.order_index(), self.epoch))
+    }
+
+    /// The structural hash of the subtree rooted at `id` — O(1) via the hash
+    /// index for nodes in the tree; detached nodes hash recursively.  Same
+    /// value as [`crate::structural_hash`].
+    pub fn subtree_hash(&self, id: NodeId) -> u64 {
+        match self.order_index().position(id) {
+            Some(pos) => self.hash_index().hash_at(pos as usize),
+            None => crate::hash::hash_detached(self, id),
+        }
+    }
+
+    /// The structural hash of the whole document (the root's subtree hash).
+    /// This is the content identity the maintenance layer's cross-version
+    /// caches key on.
+    pub fn content_hash(&self) -> u64 {
+        self.subtree_hash(self.root)
+    }
+
+    /// The attribute-census index, built on first use after a mutation.
+    pub fn attr_index(&self) -> &AttrIndex {
+        self.attrs
+            .get_or_init(|| AttrIndex::build(self, self.order_index()))
+    }
+
+    /// Number of in-tree nodes whose visible attribute `name` equals
+    /// `value` (the synthetic root included, should it ever carry
+    /// attributes).  O(1) via the attribute index after its one-time build;
+    /// needles absent from the interner can match nothing and return 0
+    /// without touching the index.
+    pub fn carrier_count(&self, name: &str, value: &str) -> usize {
+        match (self.sym(name), self.sym(value)) {
+            (Some(n), Some(v)) => self.attr_index().carrier_count_syms(n, v),
+            _ => 0,
+        }
+    }
+
+    /// The shared census of every distinct attribute value in the document,
+    /// sorted.  Callers clone the `Arc`, not the set.
+    pub fn attribute_value_census(&self) -> &std::sync::Arc<std::collections::BTreeSet<String>> {
+        self.attr_index().values()
+    }
+
     /// Drops the cached indexes and bumps the epoch.  Called by every
     /// mutation primitive; call it from any new mutation operation that does
     /// not go through the existing ones.
@@ -98,6 +153,8 @@ impl Document {
         self.epoch += 1;
         self.order.take();
         self.tags.take();
+        self.hashes.take();
+        self.attrs.take();
     }
 
     /// Parses HTML text into a document with default [`crate::ParseOptions`].
@@ -786,11 +843,10 @@ impl Document {
             .collect()
     }
 
-    /// Total number of element nodes in the document.
+    /// Total number of element nodes in the document.  O(1) via the hash
+    /// index (which counts elements during its bottom-up build).
     pub fn element_count(&self) -> usize {
-        self.descendants_or_self(self.root)
-            .filter(|&n| self.is_element(n))
-            .count()
+        self.hash_index().element_count()
     }
 }
 

@@ -6,44 +6,182 @@
 //! at `v`.  This module provides exactly that notion of equality, plus a
 //! structural hash so sets of result subtrees can be compared as multisets in
 //! `O(n log n)`.
+//!
+//! # The hash index
+//!
+//! Subtree hashes are served by a lazily built per-document [`HashIndex`]:
+//! one bottom-up pass computes the hash of **every** subtree (each node's
+//! hash recombines its children's already-computed hashes), so after the
+//! first build a [`structural_hash`] call is a single array lookup.  The
+//! index participates in the same epoch contract as the order/tag indexes
+//! (see [`crate::order`]): any mutation drops it, and the next hash query
+//! rebuilds it.
+//!
+//! Hashing goes through [`crate::fx`] (FxHash) and the interner: every
+//! interned string is hashed once per index build, and per-node hashing
+//! recombines those 64-bit words instead of re-hashing strings.  Symbols
+//! are document-local, so the per-symbol table hashes the *string
+//! contents* — equal subtrees of different documents (different interner
+//! numberings) still hash equal, which the robustness check relies on.
+//! Detached nodes (no pre-order position) fall back to a recursive walk
+//! built from the same combine functions, so attached and detached copies
+//! of one structure hash identically.
 
 use crate::document::Document;
+use crate::fx::FxHasher;
 use crate::node::{NodeData, NodeId};
-use std::collections::hash_map::DefaultHasher;
-use std::hash::{Hash, Hasher};
+use crate::order::OrderIndex;
+use std::hash::Hasher;
+
+/// Hash of one string's contents (length-prefixed: `FxHasher::write`
+/// zero-pads its trailing chunk, so without the prefix `"a"` and `"a\0"`
+/// would collide structurally).
+#[inline]
+fn str_hash(s: &str) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_usize(s.len());
+    h.write(s.as_bytes());
+    h.finish()
+}
+
+/// Combine function for a text node.
+#[inline]
+fn text_hash(content: u64) -> u64 {
+    let mut h = FxHasher::default();
+    h.write_u8(1);
+    h.write_u64(content);
+    h.finish()
+}
+
+/// Combine function for an element node: tag, attribute pairs (order
+/// matters), then child subtree hashes (order matters).  Both the indexed
+/// build and the detached-node fallback must go through this function so
+/// the two paths agree bit-for-bit.
+fn element_hash<A, C>(tag: u64, attrs: A, children: C) -> u64
+where
+    A: Iterator<Item = (u64, u64)>,
+    C: Iterator<Item = u64>,
+{
+    let mut h = FxHasher::default();
+    h.write_u8(2);
+    h.write_u64(tag);
+    let mut attr_count = 0usize;
+    for (name, value) in attrs {
+        h.write_u64(name);
+        h.write_u64(value);
+        attr_count += 1;
+    }
+    h.write_usize(attr_count);
+    let mut child_count = 0usize;
+    for child in children {
+        h.write_u64(child);
+        child_count += 1;
+    }
+    h.write_usize(child_count);
+    h.finish()
+}
+
+/// Per-document structural-hash index: the hash of every subtree, by
+/// pre-order position.
+///
+/// Built bottom-up in one pass over the reverse pre-order (children are
+/// numbered after their parent, so iterating positions high-to-low visits
+/// every child before the element that recombines it).  See the
+/// [module docs](self) for the cross-document and epoch contracts.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    /// The document epoch this index was built at.
+    epoch: u64,
+    /// Subtree hash by pre-order position.
+    hashes: Vec<u64>,
+    /// Number of element nodes in the tree (including the synthetic root).
+    elements: usize,
+}
+
+impl HashIndex {
+    /// Builds the index for `doc` over its (already built) order index.
+    pub fn build(doc: &Document, order: &OrderIndex, epoch: u64) -> HashIndex {
+        // One content hash per interned string; symbols index this table.
+        let sym_hashes: Vec<u64> = doc
+            .interner()
+            .strings()
+            .iter()
+            .map(|s| str_hash(s))
+            .collect();
+        let nodes = order.nodes_in_order();
+        let mut hashes = vec![0u64; nodes.len()];
+        let mut elements = 0usize;
+        for (pos, &id) in nodes.iter().enumerate().rev() {
+            hashes[pos] = match doc.data(id) {
+                NodeData::Text(t) => text_hash(str_hash(t)),
+                NodeData::Element { .. } => {
+                    elements += 1;
+                    let tag = doc
+                        .tag_sym(id)
+                        .map(|s| sym_hashes[s.index()])
+                        .unwrap_or_default();
+                    element_hash(
+                        tag,
+                        doc.attr_syms(id)
+                            .iter()
+                            .map(|&(n, v)| (sym_hashes[n.index()], sym_hashes[v.index()])),
+                        // Children are numbered after `pos` — already done.
+                        doc.children(id)
+                            .filter_map(|c| order.position(c).map(|p| hashes[p as usize])),
+                    )
+                }
+            };
+        }
+        HashIndex {
+            epoch,
+            hashes,
+            elements,
+        }
+    }
+
+    /// The document epoch this index was built at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The subtree hash of the node at pre-order position `pos`.
+    pub fn hash_at(&self, pos: usize) -> u64 {
+        self.hashes[pos]
+    }
+
+    /// Number of element nodes in the tree, including the synthetic root.
+    pub fn element_count(&self) -> usize {
+        self.elements
+    }
+}
+
+/// The recursive fallback for nodes outside the tree (detached subtrees
+/// have no pre-order position).  Hashes string payloads directly — by
+/// construction `str_hash(interner.resolve(sym))` equals the per-symbol
+/// table entry, so this agrees with the indexed build.
+pub(crate) fn hash_detached(doc: &Document, id: NodeId) -> u64 {
+    match doc.data(id) {
+        NodeData::Text(t) => text_hash(str_hash(t)),
+        NodeData::Element { tag, attributes } => element_hash(
+            str_hash(tag),
+            attributes
+                .iter()
+                .map(|a| (str_hash(&a.name), str_hash(&a.value))),
+            doc.children(id).map(|c| hash_detached(doc, c)),
+        ),
+    }
+}
 
 /// Computes a structural hash of the subtree rooted at `id`.
 ///
 /// Two subtrees that are structurally equal (same tags, attributes with the
 /// same names/values in the same order, same text, same child order) hash to
 /// the same value regardless of which document or arena slot they live in.
+///
+/// Served by the per-document [`HashIndex`]: O(1) per call for nodes in the
+/// tree once the index is built (detached nodes hash recursively).
 pub fn structural_hash(doc: &Document, id: NodeId) -> u64 {
-    let mut hasher = DefaultHasher::new();
-    hash_node(doc, id, &mut hasher);
-    hasher.finish()
-}
-
-fn hash_node(doc: &Document, id: NodeId, hasher: &mut DefaultHasher) {
-    match doc.data(id) {
-        NodeData::Text(t) => {
-            1u8.hash(hasher);
-            t.hash(hasher);
-        }
-        NodeData::Element { tag, attributes } => {
-            2u8.hash(hasher);
-            tag.hash(hasher);
-            attributes.len().hash(hasher);
-            for a in attributes {
-                a.name.hash(hasher);
-                a.value.hash(hasher);
-            }
-            let children: Vec<NodeId> = doc.children(id).collect();
-            children.len().hash(hasher);
-            for c in children {
-                hash_node(doc, c, hasher);
-            }
-        }
-    }
+    doc.subtree_hash(id)
 }
 
 /// Structural (node-id free) equality of two subtrees, possibly from
@@ -64,14 +202,19 @@ pub fn subtree_equal(doc_a: &Document, a: NodeId, doc_b: &Document, b: NodeId) -
             if tag_a != tag_b || attrs_a != attrs_b {
                 return false;
             }
-            let ca: Vec<NodeId> = doc_a.children(a).collect();
-            let cb: Vec<NodeId> = doc_b.children(b).collect();
-            if ca.len() != cb.len() {
-                return false;
+            let mut ca = doc_a.children(a);
+            let mut cb = doc_b.children(b);
+            loop {
+                match (ca.next(), cb.next()) {
+                    (Some(x), Some(y)) => {
+                        if !subtree_equal(doc_a, x, doc_b, y) {
+                            return false;
+                        }
+                    }
+                    (None, None) => return true,
+                    _ => return false,
+                }
             }
-            ca.iter()
-                .zip(cb.iter())
-                .all(|(&x, &y)| subtree_equal(doc_a, x, doc_b, y))
         }
         _ => false,
     }
@@ -119,7 +262,8 @@ pub fn result_sets_equivalent(
 
 /// A compact structural fingerprint of an entire document: its root hash plus
 /// element count.  Used by the archive simulator to detect "no change"
-/// snapshots cheaply.
+/// snapshots cheaply and by the maintenance layer's cross-version caches as
+/// the content identity of a snapshot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DocumentFingerprint {
     /// Structural hash of the document root.
@@ -128,7 +272,8 @@ pub struct DocumentFingerprint {
     pub elements: usize,
 }
 
-/// Computes the [`DocumentFingerprint`] of a document.
+/// Computes the [`DocumentFingerprint`] of a document.  O(1) once the hash
+/// index is built.
 pub fn fingerprint(doc: &Document) -> DocumentFingerprint {
     DocumentFingerprint {
         hash: structural_hash(doc, doc.root()),
@@ -185,6 +330,8 @@ mod tests {
         );
         assert!(!subtree_equal(&a, ra, &b, rb));
         assert!(!subtree_equal(&a, ra, &c, rc));
+        assert_ne!(structural_hash(&a, ra), structural_hash(&b, rb));
+        assert_ne!(structural_hash(&a, ra), structural_hash(&c, rc));
     }
 
     #[test]
@@ -200,6 +347,7 @@ mod tests {
         let ra = a.elements_by_tag("ul")[0];
         let rb = b.elements_by_tag("ul")[0];
         assert!(!subtree_equal(&a, ra, &b, rb));
+        assert_ne!(structural_hash(&a, ra), structural_hash(&b, rb));
     }
 
     #[test]
@@ -208,6 +356,7 @@ mod tests {
         let div = a.elements_by_tag("div")[0];
         let t = a.children(div).next().unwrap();
         assert!(!subtree_equal(&a, div, &a, t));
+        assert_ne!(structural_hash(&a, div), structural_hash(&a, t));
     }
 
     #[test]
@@ -258,5 +407,81 @@ mod tests {
         let span = b.elements_by_tag("span")[0];
         b.set_attribute(span, "class", "new").unwrap();
         assert_ne!(f1, fingerprint(&b));
+    }
+
+    #[test]
+    fn detached_subtree_hashes_like_attached_copy() {
+        // The recursive fallback and the indexed bottom-up build must agree
+        // bit-for-bit: build the same structure attached in one document and
+        // detached in another.
+        let attached = el("div")
+            .attr("class", "x")
+            .child(el("span").text_child("hello"))
+            .into_document();
+        let ra = attached.elements_by_tag("div")[0];
+
+        let mut other = Document::new();
+        let d = other.create_element(
+            "div",
+            vec![crate::node::Attribute {
+                name: "class".into(),
+                value: "x".into(),
+            }],
+        );
+        let s = other.create_element("span", vec![]);
+        let t = other.create_text("hello");
+        other.append_child(s, t).unwrap();
+        other.append_child(d, s).unwrap();
+        // `d` stays detached (never appended to the root).
+        assert_eq!(
+            other.order_index().position(d),
+            None,
+            "the copy is detached"
+        );
+        assert_eq!(structural_hash(&attached, ra), structural_hash(&other, d));
+    }
+
+    #[test]
+    fn equal_subtrees_hash_equal_across_interner_numberings() {
+        // Property behind the cross-version caches: equal subtrees of
+        // documents with *different* interner numberings hash equal, because
+        // the per-symbol table hashes string contents.  Skew document B's
+        // interner by interning unrelated strings first.
+        let a = Document::parse(r#"<div class="x"><span id="s">hello</span><b>world</b></div>"#)
+            .unwrap();
+        let b = Document::parse(
+            r#"<p data-k="v">skew the symbol table</p>
+               <div class="x"><span id="s">hello</span><b>world</b></div>"#,
+        )
+        .unwrap();
+        let da = a.elements_by_tag("div")[0];
+        let db = b.elements_by_tag("div")[0];
+        assert_ne!(
+            a.tag_sym(da),
+            b.tag_sym(db),
+            "interner numberings actually differ"
+        );
+        assert!(subtree_equal(&a, da, &b, db));
+        assert_eq!(structural_hash(&a, da), structural_hash(&b, db));
+        // And sibling-level: the span subtrees agree too.
+        let sa = a.elements_by_tag("span")[0];
+        let sb = b.elements_by_tag("span")[0];
+        assert_eq!(structural_hash(&a, sa), structural_hash(&b, sb));
+    }
+
+    #[test]
+    fn hash_index_rebuilds_after_mutation() {
+        let mut doc = tree_a();
+        let div = doc.elements_by_tag("div")[0];
+        let before = doc.subtree_hash(div);
+        let epoch_before = doc.hash_index().epoch();
+        doc.set_attribute(div, "class", "y").unwrap();
+        let after = doc.subtree_hash(div);
+        assert_ne!(before, after, "mutation changes the subtree hash");
+        assert!(doc.hash_index().epoch() > epoch_before);
+        // Reverting the edit restores the original hash (pure function of
+        // structure, not of epochs).
+        doc.set_attribute(div, "class", "x").unwrap();
+        assert_eq!(doc.subtree_hash(div), before);
     }
 }

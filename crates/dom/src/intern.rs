@@ -112,6 +112,12 @@ impl Interner {
         self.strings.len()
     }
 
+    /// All interned strings, indexed by [`Sym::index`].  Lets the hash
+    /// index precompute one content hash per symbol in a single pass.
+    pub(crate) fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
     /// `true` when nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()

@@ -52,9 +52,11 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attrs;
 pub mod builder;
 pub mod document;
 pub mod error;
+pub mod fx;
 pub mod hash;
 pub mod intern;
 pub mod iter;
@@ -64,10 +66,12 @@ pub mod order;
 pub mod parser;
 pub mod serializer;
 
+pub use attrs::AttrIndex;
 pub use builder::{el, text, DocumentBuilder, TreeSpec};
 pub use document::Document;
 pub use error::DomError;
-pub use hash::{structural_hash, subtree_equal};
+pub use fx::{FxHasher, FxMap, FxSet};
+pub use hash::{structural_hash, subtree_equal, HashIndex};
 pub use intern::{Interner, Sym};
 pub use node::{Attribute, NodeData, NodeId, NodeKind};
 pub use order::{OrderIndex, TagIndex};

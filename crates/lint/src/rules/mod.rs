@@ -1,4 +1,4 @@
-//! The seven invariant rules and the call-graph machinery they share.
+//! The eight invariant rules and the call-graph machinery they share.
 //!
 //! Each rule is a pure function from loaded [`SourceFile`]s to
 //! diagnostics; pragma suppression happens centrally in
@@ -11,6 +11,7 @@ pub mod r4_panic;
 pub mod r5_lock;
 pub mod r6_drift;
 pub mod r7_obs;
+pub mod r8_xversion;
 
 use crate::diag::Diagnostic;
 use crate::syntax::{Function, SourceFile};

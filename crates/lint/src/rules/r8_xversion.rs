@@ -1,0 +1,106 @@
+//! R8 — cross-version cache write discipline (introduced by PR 9).
+//!
+//! The cross-version evaluation cache (`crates/xpath/src/xversion.rs`)
+//! survives from one snapshot to the next on a correctness argument with
+//! exactly two moving parts: entries are only ever *admitted* under the
+//! capacity bound (`admit`, which falls back to a wholesale `invalidate`
+//! on overflow) and only ever *dropped* wholesale (`invalidate`).  Every
+//! replay-equals-rebuild property the maintenance layer relies on — and
+//! the equivalence battery pins — follows from those two entry points
+//! owning all writes.  A helper that slips an `insert`, `retain` or
+//! `get_mut` past them (or hands out `&mut` access to the map) silently
+//! re-opens the stale-hit hole the fingerprint keys were built to close.
+//!
+//! R8 therefore flags, in the configured file(s) and outside the
+//! designated entry-point functions: mutating method calls on the entry
+//! map, whole-map reassignment, and mutable borrows of the map.
+
+use super::{diag_at, matches_suffix};
+use crate::diag::Diagnostic;
+use crate::syntax::SourceFile;
+use crate::LintConfig;
+
+/// Map methods that mutate (or can mutate through) the receiver.
+const MUTATING: &[&str] = &[
+    "insert",
+    "remove",
+    "clear",
+    "retain",
+    "entry",
+    "drain",
+    "get_mut",
+    "extend",
+    "append",
+    "values_mut",
+    "iter_mut",
+];
+
+pub fn check(files: &[SourceFile], cfg: &LintConfig, out: &mut Vec<Diagnostic>) {
+    for file in files {
+        if !matches_suffix(&file.rel, &cfg.r8_files) {
+            continue;
+        }
+        for f in &file.functions {
+            if f.is_test || cfg.r8_entry_points.iter().any(|e| e == &f.name) {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            for k in open + 1..close {
+                if file.sig_text(k) != cfg.r8_entry_map || file.in_test_region(file.sig_start(k)) {
+                    continue;
+                }
+                if file.sig_text(k + 1) == "."
+                    && MUTATING.contains(&file.sig_text(k + 2))
+                    && file.sig_text(k + 3) == "("
+                {
+                    out.push(diag_at(
+                        file,
+                        "R8",
+                        k,
+                        format!(
+                            "`{}.{}(…)` in `{}` mutates the cross-version entry map outside \
+                             the designated entry points ({}); route the write through them \
+                             so admission stays bounded and invalidation stays wholesale",
+                            cfg.r8_entry_map,
+                            file.sig_text(k + 2),
+                            f.name,
+                            cfg.r8_entry_points.join("/"),
+                        ),
+                    ));
+                } else if file.sig_text(k + 1) == "=" && file.sig_text(k + 2) != "=" {
+                    out.push(diag_at(
+                        file,
+                        "R8",
+                        k,
+                        format!(
+                            "reassigning `{}` in `{}` replaces the cross-version entry map \
+                             outside the designated entry points ({})",
+                            cfg.r8_entry_map,
+                            f.name,
+                            cfg.r8_entry_points.join("/"),
+                        ),
+                    ));
+                } else if k >= 4
+                    && file.sig_text(k - 1) == "."
+                    && file.sig_text(k - 3) == "mut"
+                    && file.sig_text(k - 4) == "&"
+                {
+                    out.push(diag_at(
+                        file,
+                        "R8",
+                        k,
+                        format!(
+                            "`&mut …{}` in `{}` leaks mutable access to the cross-version \
+                             entry map past the designated entry points ({})",
+                            cfg.r8_entry_map,
+                            f.name,
+                            cfg.r8_entry_points.join("/"),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! R8 clean twin: all entry-map writes flow through `admit`/`invalidate`;
+//! every other function only reads.
+
+use std::collections::HashMap;
+
+pub struct CrossVersionCache {
+    entries: HashMap<(u64, u64), u32>,
+    capacity: usize,
+}
+
+impl CrossVersionCache {
+    pub fn new(capacity: usize) -> CrossVersionCache {
+        CrossVersionCache {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    pub fn admit(&mut self, key: (u64, u64), value: u32) {
+        if self.entries.len() >= self.capacity {
+            self.invalidate();
+        }
+        self.entries.insert(key, value);
+    }
+
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn lookup(&self, key: (u64, u64)) -> Option<u32> {
+        self.entries.get(&key).copied()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn refresh(&mut self, key: (u64, u64), value: u32) {
+        self.admit(key, value);
+    }
+
+    pub fn snapshot(&self) -> Vec<((u64, u64), u32)> {
+        let view = &self.entries;
+        view.iter().map(|(&k, &v)| (k, v)).collect()
+    }
+}

@@ -1,0 +1,55 @@
+//! R8 violating fixture: a cross-version cache whose helpers write the
+//! entry map without going through `admit`/`invalidate`.
+
+use std::collections::HashMap;
+
+pub struct CrossVersionCache {
+    entries: HashMap<(u64, u64), u32>,
+    capacity: usize,
+}
+
+impl CrossVersionCache {
+    pub fn new(capacity: usize) -> CrossVersionCache {
+        CrossVersionCache {
+            entries: HashMap::new(),
+            capacity,
+        }
+    }
+
+    pub fn admit(&mut self, key: (u64, u64), value: u32) {
+        if self.entries.len() >= self.capacity {
+            self.invalidate();
+        }
+        self.entries.insert(key, value);
+    }
+
+    pub fn invalidate(&mut self) {
+        self.entries.clear();
+    }
+
+    pub fn lookup(&self, key: (u64, u64)) -> Option<u32> {
+        self.entries.get(&key).copied()
+    }
+
+    pub fn refresh(&mut self, key: (u64, u64), value: u32) {
+        self.entries.insert(key, value); //~ R8
+    }
+
+    pub fn evict_even(&mut self) {
+        self.entries.retain(|&(fp, _), _| fp % 2 != 0); //~ R8
+    }
+
+    pub fn reset_in_place(&mut self) {
+        self.entries = HashMap::new(); //~ R8
+    }
+
+    pub fn leak_map(&mut self) -> &mut HashMap<(u64, u64), u32> {
+        &mut self.entries //~ R8
+    }
+
+    pub fn bump(&mut self, key: (u64, u64)) {
+        if let Some(slot) = self.entries.get_mut(&key) { //~ R8
+            *slot += 1;
+        }
+    }
+}

@@ -157,6 +157,29 @@ fn r7_is_scoped_to_the_endpoint_file_and_serve_prefix() {
 }
 
 #[test]
+fn r8_xversion_write_discipline_fires_and_clean_twin_passes() {
+    let rel = "crates/xpath/src/xversion.rs";
+    assert_eq!(
+        lint("r8_violate.rs", rel, &LintConfig::default()),
+        markers("r8_violate.rs")
+    );
+    assert_eq!(lint("r8_clean.rs", rel, &strict()), vec![]);
+}
+
+#[test]
+fn r8_is_scoped_to_the_xversion_file() {
+    // The same violating source produces nothing outside the cache file.
+    assert_eq!(
+        lint(
+            "r8_violate.rs",
+            "crates/xpath/src/eval.rs",
+            &LintConfig::default()
+        ),
+        vec![]
+    );
+}
+
+#[test]
 fn pragmas_without_reasons_and_stale_pragmas_are_diagnostics() {
     let rel = "crates/core/src/pragmas.rs";
     assert_eq!(

@@ -228,7 +228,6 @@ impl DriftClassifier {
         lkg: Option<&LastKnownGood>,
         health: &HealthReport,
     ) -> DriftReport {
-        let _ = cx;
         if health.page_broken() {
             return DriftReport {
                 day,
@@ -237,7 +236,13 @@ impl DriftClassifier {
             };
         }
 
-        let mut prefix = PrefixEvaluator::new(doc);
+        // When the pooled context carries a cross-version cache (the
+        // incremental maintenance loop enables one), prefix walks reuse
+        // step results cached on earlier snapshots of the same site.
+        let mut prefix = match cx.cross_version_mut() {
+            Some(cache) => PrefixEvaluator::with_cache(doc, cache),
+            None => PrefixEvaluator::new(doc),
+        };
         let mut entries = Vec::new();
         for (entry_idx, entry) in bundle.entries.iter().enumerate() {
             let Ok(query) = parse_query(&entry.expression) else {

@@ -117,6 +117,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod drift;
+pub(crate) mod incremental;
 pub mod lifecycle;
 pub mod registry;
 pub mod repair;

@@ -20,6 +20,7 @@
 //! contract in the crate docs).
 
 use crate::drift::{DriftClass, DriftClassifier, DriftConfig, DriftReport};
+use crate::incremental::IncrementalState;
 use crate::repair::{RepairAction, RepairConfig, Repairer};
 use crate::verify::{HealthReport, LastKnownGood, Verifier, VerifyConfig};
 use crate::PageVersion;
@@ -129,6 +130,12 @@ pub struct MaintainConfig {
     /// Consecutive failed repairs with drift class
     /// [`DriftClass::TargetRemoved`] before the wrapper retires.
     pub retire_after: usize,
+    /// Enables the incremental-replay caches: cross-version step caching in
+    /// the evaluator, verify memoization and re-induction memoization keyed
+    /// by content fingerprints (the `incremental` module).  Outcomes are
+    /// byte-identical with the caches on or off; this switch exists for the
+    /// equivalence battery and for bisecting.  Defaults to `true`.
+    pub incremental: bool,
 }
 
 impl Default for MaintainConfig {
@@ -138,6 +145,7 @@ impl Default for MaintainConfig {
             drift: DriftConfig::default(),
             repair: RepairConfig::default(),
             retire_after: 2,
+            incremental: true,
         }
     }
 }
@@ -234,6 +242,14 @@ impl Maintainer {
         let classifier = DriftClassifier::new(self.config.drift.clone());
         let repairer = Repairer::new(self.config.repair.clone(), verifier.clone());
 
+        let run_started = Instant::now();
+        let mut inc = self.config.incremental.then(IncrementalState::new);
+        if inc.is_some() {
+            // Step results cached across snapshots survive in the context,
+            // keyed by subtree fingerprints (sound across documents).
+            cx.enable_cross_version();
+        }
+
         let mut bundle = bundle;
         let mut lkg = seed_lkg;
         let mut state = seed_state;
@@ -248,7 +264,19 @@ impl Maintainer {
             let prev_state = state;
 
             let verify_started = Instant::now();
-            let health = verifier.check_with(cx, &bundle, &page.doc, page.day, lkg.as_ref());
+            let doc_fp = inc.as_ref().map(|_| page.doc.content_hash());
+            let health = match (inc.as_mut(), doc_fp) {
+                (Some(state), Some(fp)) => state.verify(
+                    cx,
+                    &verifier,
+                    &bundle,
+                    &page.doc,
+                    fp,
+                    page.day,
+                    lkg.as_ref(),
+                ),
+                _ => verifier.check_with(cx, &bundle, &page.doc, page.day, lkg.as_ref()),
+            };
             obs.verify_latency_us.observe_us(verify_started.elapsed());
 
             if health.page_broken() {
@@ -271,12 +299,35 @@ impl Maintainer {
             }
 
             if health.healthy() {
-                let fresh =
-                    LastKnownGood::capture_for(&bundle, &page.doc, page.day, &health.extracted);
-                lkg = Some(match lkg.as_ref() {
-                    Some(previous) => LastKnownGood::advance(previous, fresh),
-                    None => fresh,
-                });
+                let identical = match (inc.as_ref(), doc_fp, lkg.as_ref()) {
+                    (Some(state), Some(fp), Some(_)) => state.lkg_unchanged(fp, bundle.revision),
+                    _ => false,
+                };
+                lkg = if identical {
+                    // Same document, same bundle: a fresh capture would
+                    // reproduce the live state field for field.
+                    Some(lkg.as_ref().unwrap().advance_identical(page.day))
+                } else {
+                    let fresh = match (inc.as_mut(), doc_fp) {
+                        (Some(state), Some(fp)) => {
+                            state.record_lkg_origin(fp, bundle.revision);
+                            state.capture_for(&bundle, &page.doc, fp, page.day, &health.extracted)
+                        }
+                        _ => LastKnownGood::capture_for(
+                            &bundle,
+                            &page.doc,
+                            page.day,
+                            &health.extracted,
+                        ),
+                    };
+                    Some(match lkg.as_ref() {
+                        Some(previous) => LastKnownGood::advance(previous, fresh),
+                        None => fresh,
+                    })
+                };
+                if let (Some(state), Some(fp)) = (inc.as_mut(), doc_fp) {
+                    state.record_echo(fp, bundle.revision, &health, &page.doc);
+                }
                 state = WrapperState::Monitoring;
                 consecutive_target_gone = 0;
                 if state != prev_state {
@@ -306,13 +357,23 @@ impl Maintainer {
             obs.classify_latency_us
                 .observe_us(classify_started.elapsed());
             obs.drift_counter(drift.class).inc();
+            if drift.class == DriftClass::Redesign {
+                // A redesign breaks the recurring-page-shape assumption;
+                // drop the memos rather than let them grow cold.
+                if let Some(state) = inc.as_mut() {
+                    state.invalidate();
+                }
+                if let Some(cache) = cx.cross_version_mut() {
+                    cache.invalidate();
+                }
+            }
             let mut repair_action = None;
             let mut repaired = false;
             let mut extracted = health.extracted.clone();
 
             if state != WrapperState::Retired {
                 let repair_started = Instant::now();
-                let repair_outcome = repairer.repair_with(
+                let repair_outcome = repairer.repair_with_cached(
                     cx,
                     &bundle,
                     &page.doc,
@@ -320,6 +381,7 @@ impl Maintainer {
                     lkg.as_ref(),
                     &drift,
                     inducer,
+                    inc.as_mut(),
                 );
                 obs.repair_latency_us.observe_us(repair_started.elapsed());
                 match repair_outcome {
@@ -331,12 +393,24 @@ impl Maintainer {
                             cause: outcome.action.provenance(page.day),
                             bundle: bundle.clone(),
                         });
-                        let fresh = LastKnownGood::capture_for(
-                            &bundle,
-                            &page.doc,
-                            page.day,
-                            &outcome.extracted,
-                        );
+                        let fresh = match (inc.as_mut(), doc_fp) {
+                            (Some(state), Some(fp)) => {
+                                state.record_lkg_origin(fp, bundle.revision);
+                                state.capture_for(
+                                    &bundle,
+                                    &page.doc,
+                                    fp,
+                                    page.day,
+                                    &outcome.extracted,
+                                )
+                            }
+                            _ => LastKnownGood::capture_for(
+                                &bundle,
+                                &page.doc,
+                                page.day,
+                                &outcome.extracted,
+                            ),
+                        };
                         lkg = Some(match lkg.as_ref() {
                             Some(previous) => LastKnownGood::advance(previous, fresh),
                             None => fresh,
@@ -380,6 +454,30 @@ impl Maintainer {
                 extracted,
                 health,
             });
+        }
+
+        if let Some(mut state) = inc {
+            let memo = state.take_stats();
+            let xv = cx
+                .cross_version_mut()
+                .map(|cache| cache.take_stats())
+                .unwrap_or_default();
+            let hits = memo.hits + xv.hits;
+            let misses = memo.misses + xv.misses;
+            let invalidations = memo.invalidations + xv.invalidations;
+            obs.cache_hits.add(hits);
+            obs.cache_misses.add(misses);
+            obs.cache_invalidations.add(invalidations);
+            wi_obs::record_span(
+                "maintain.incremental",
+                run_started,
+                &[
+                    ("epochs", pages.len() as u64),
+                    ("hits", hits),
+                    ("misses", misses),
+                    ("invalidations", invalidations),
+                ],
+            );
         }
 
         MaintenanceLog {

@@ -150,6 +150,11 @@ impl RegistryError {
 }
 
 /// One committed line of a shard's version log.
+///
+/// Records are serialized to JSON lines immediately; the in-memory size
+/// skew between `Revision` (full bundle) and the slimmer variants is
+/// irrelevant to the log's access pattern.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum LogRecord {
     /// A bundle revision entered service for a site (install or repair).
@@ -305,7 +310,7 @@ fn lkg_to_json(lkg: &LastKnownGood) -> JsonValue {
         ),
         (
             "attribute_values".into(),
-            strings_to_json(&lkg.attribute_values),
+            strings_to_json(lkg.attribute_values.iter()),
         ),
         (
             "anchor_carriers".into(),
@@ -398,9 +403,11 @@ fn lkg_from_json(value: &JsonValue) -> Result<LastKnownGood, String> {
             .get("stable_observations")
             .and_then(JsonValue::as_u32)
             .ok_or("missing lkg stable_observations")?,
-        attribute_values: json_strings(value.get("attribute_values"), "lkg attribute_values")?
-            .into_iter()
-            .collect(),
+        attribute_values: std::sync::Arc::new(
+            json_strings(value.get("attribute_values"), "lkg attribute_values")?
+                .into_iter()
+                .collect(),
+        ),
         anchor_carriers: carriers,
     })
 }

@@ -35,6 +35,15 @@ pub(crate) struct MaintainMetrics {
     /// `wi_maintain_target_gone_streak` — the retirement countdown after
     /// the most recent epoch (last writer wins across parallel runs).
     pub target_gone_streak: Gauge,
+    /// `wi_maintain_cache_hits_total` — incremental-replay cache hits,
+    /// aggregated across the verify memo, the re-induction memo and the
+    /// evaluator's cross-version step cache.
+    pub cache_hits: Counter,
+    /// `wi_maintain_cache_misses_total` — same layers, misses.
+    pub cache_misses: Counter,
+    /// `wi_maintain_cache_invalidations_total` — wholesale evictions
+    /// (redesign-class drift, capacity overflow).
+    pub cache_invalidations: Counter,
 }
 
 impl MaintainMetrics {
@@ -98,6 +107,9 @@ pub(crate) fn maintain_metrics() -> &'static MaintainMetrics {
                 .map(|c| r.counter("wi_maintain_drift_total", &[("class", c.label())])),
             transitions: states.map(|s| r.counter("wi_maintain_transitions_total", &[("to", s)])),
             target_gone_streak: r.gauge("wi_maintain_target_gone_streak", &[]),
+            cache_hits: r.counter("wi_maintain_cache_hits_total", &[]),
+            cache_misses: r.counter("wi_maintain_cache_misses_total", &[]),
+            cache_invalidations: r.counter("wi_maintain_cache_invalidations_total", &[]),
         }
     })
 }

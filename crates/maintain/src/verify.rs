@@ -17,7 +17,7 @@
 
 use serde::{Deserialize, Serialize};
 use wi_dom::{Document, NodeId};
-use wi_induction::{Extractor, WrapperBundle};
+use wi_induction::{CompiledExtractor, Extractor, WrapperBundle};
 use wi_xpath::{parse_query, EvalContext, NodeTest, Predicate, StringFunction, TextSource};
 
 /// What the wrapper extracted the last time it was healthy — the reference
@@ -47,7 +47,10 @@ pub struct LastKnownGood {
     /// Every attribute value present on the healthy document.  A renamed or
     /// redesigned anchor value is by definition *not* in here; candidate
     /// re-anchors that were already present are old neighbors, not renames.
-    pub attribute_values: std::collections::BTreeSet<String>,
+    /// Shared behind an [`Arc`](std::sync::Arc): the set is captured once per
+    /// healthy document and never mutated afterwards, so advancing the state
+    /// every epoch bumps a refcount instead of cloning the whole census.
+    pub attribute_values: std::sync::Arc<std::collections::BTreeSet<String>>,
     /// Carrier census of the bundle's attribute anchors: how many elements
     /// of the healthy document carried each anchored `(attribute, value)`.
     /// A rename moves the census to the new value; a wrong unique match
@@ -78,12 +81,6 @@ impl LastKnownGood {
             .collect();
         tags.sort();
         tags.dedup();
-        let mut attribute_values = std::collections::BTreeSet::new();
-        for n in doc.descendants_or_self(doc.root()) {
-            for attribute in doc.attributes(n) {
-                attribute_values.insert(attribute.value.clone());
-            }
-        }
         LastKnownGood {
             day,
             count: nodes.len(),
@@ -92,7 +89,9 @@ impl LastKnownGood {
             doc_elements: doc.element_count(),
             rotates: false,
             stable_observations: 0,
-            attribute_values,
+            // The document's shared census (see `wi_dom::attrs`): a refcount
+            // bump here instead of a per-capture set rebuild.
+            attribute_values: doc.attribute_value_census().clone(),
             anchor_carriers: Vec::new(),
         }
     }
@@ -105,7 +104,6 @@ impl LastKnownGood {
         day: i64,
         nodes: &[NodeId],
     ) -> LastKnownGood {
-        let mut lkg = Self::capture(doc, day, nodes);
         let mut anchors: Vec<(String, String)> = Vec::new();
         for entry in &bundle.entries {
             let Ok(query) = parse_query(&entry.expression) else {
@@ -127,19 +125,50 @@ impl LastKnownGood {
                 }
             }
         }
-        lkg.anchor_carriers = anchors
-            .into_iter()
-            .map(|(attribute, value)| {
-                let count = count_carriers(doc, &attribute, &value);
-                AnchorCarrier {
-                    attribute,
-                    value,
-                    count,
-                    stable_observations: 0,
-                }
-            })
+        Self::capture_with_anchors(doc, day, nodes, anchors)
+    }
+
+    /// The body of [`capture_for`](LastKnownGood::capture_for) with the
+    /// anchor pairs already extracted (the incremental loop keeps them
+    /// parsed once per revision in its [`CompiledVerify`]).  Both censuses
+    /// come from the document's attribute index (see `wi_dom::attrs`): the
+    /// value census is a shared `Arc` clone and each carrier count one
+    /// integer-keyed probe, where the naive composition walked the document
+    /// once for the census and once per anchor.
+    pub(crate) fn capture_with_anchors(
+        doc: &Document,
+        day: i64,
+        nodes: &[NodeId],
+        anchors: Vec<(String, String)>,
+    ) -> LastKnownGood {
+        let mut tags: Vec<String> = nodes
+            .iter()
+            .filter_map(|&n| doc.tag_name(n).map(str::to_string))
             .collect();
-        lkg
+        tags.sort();
+        tags.dedup();
+        LastKnownGood {
+            day,
+            count: nodes.len(),
+            texts: nodes.iter().map(|&n| doc.normalized_text(n)).collect(),
+            tags,
+            doc_elements: doc.element_count(),
+            rotates: false,
+            stable_observations: 0,
+            attribute_values: doc.attribute_value_census().clone(),
+            anchor_carriers: anchors
+                .into_iter()
+                .map(|(attribute, value)| {
+                    let count = doc.carrier_count(&attribute, &value);
+                    AnchorCarrier {
+                        attribute,
+                        value,
+                        count,
+                        stable_observations: 0,
+                    }
+                })
+                .collect(),
+        }
     }
 
     /// Rolls the state forward to a newer healthy capture, preserving what
@@ -167,6 +196,33 @@ impl LastKnownGood {
         next
     }
 
+    /// Rolls the state forward across a snapshot whose document is
+    /// content-identical to the one this state was captured from, under the
+    /// same bundle revision.  In that situation a fresh
+    /// [`capture_for`](LastKnownGood::capture_for) reproduces every field of
+    /// `self` (texts, tags, counts, censuses — all pure functions of the
+    /// document and the bundle), so
+    /// `advance(self, capture_for(bundle, doc, day, nodes))` reduces to:
+    /// the day moves, the stability counters tick, nothing else changes.
+    /// This method computes that result without re-walking the document;
+    /// callers must guard on the fingerprint precondition (see
+    /// `IncrementalState::lkg_unchanged`).
+    pub fn advance_identical(&self, day: i64) -> LastKnownGood {
+        let mut next = self.clone();
+        next.day = day;
+        if self.rotates {
+            next.stable_observations = 0;
+        } else {
+            next.stable_observations = self.stable_observations + 1;
+        }
+        for carrier in &mut next.anchor_carriers {
+            // Identical document ⇒ identical carrier census ⇒ every carrier
+            // confirms once, exactly as `advance` would decide.
+            carrier.stable_observations += 1;
+        }
+        next
+    }
+
     /// Whether the target's texts are *evidenced* to be template-stable:
     /// never seen rotating, and reproduced across at least two healthy
     /// captures.
@@ -183,10 +239,11 @@ impl LastKnownGood {
 }
 
 /// How many elements of `doc` carry `value` under attribute `attribute`.
+/// One attribute-index probe (see `wi_dom::attrs`) minus the synthetic root,
+/// which this census has never included.
 pub(crate) fn count_carriers(doc: &Document, attribute: &str, value: &str) -> usize {
-    doc.descendants(doc.root())
-        .filter(|&n| doc.attribute(n, attribute) == Some(value))
-        .count()
+    let total = doc.carrier_count(attribute, value);
+    total - usize::from(doc.attribute(doc.root(), attribute) == Some(value))
 }
 
 /// One observation about a replayed extraction.  Severe signals make the
@@ -356,6 +413,39 @@ impl Verifier {
         day: i64,
         lkg: Option<&LastKnownGood>,
     ) -> HealthReport {
+        self.check_with_compiled(cx, &CompiledVerify::new(bundle), doc, day, lkg)
+    }
+
+    /// Checks one snapshot against a bundle compiled once with
+    /// [`CompiledVerify::new`] — the incremental loop replays the same
+    /// revision over every snapshot of a timeline, so the expressions parse
+    /// once per revision instead of twice per epoch.
+    pub(crate) fn check_with_compiled(
+        &self,
+        cx: &mut EvalContext,
+        compiled: &CompiledVerify,
+        doc: &Document,
+        day: i64,
+        lkg: Option<&LastKnownGood>,
+    ) -> HealthReport {
+        self.check_with_lazy(cx, compiled, doc, day, lkg, |cx| compiled.extract(cx, doc))
+    }
+
+    /// The body of [`check_with_compiled`](Verifier::check_with_compiled)
+    /// with the extraction step abstracted out: `extract` runs only when the
+    /// page passes the broken-capture gate, and the incremental loop
+    /// substitutes a closure that replays a memoized extraction (a pure
+    /// function of document content and bundle revision) instead of
+    /// re-evaluating the expressions.
+    pub(crate) fn check_with_lazy(
+        &self,
+        cx: &mut EvalContext,
+        compiled: &CompiledVerify,
+        doc: &Document,
+        day: i64,
+        lkg: Option<&LastKnownGood>,
+        extract: impl FnOnce(&mut EvalContext) -> Result<Vec<NodeId>, String>,
+    ) -> HealthReport {
         let mut signals = Vec::new();
 
         // Broken capture first: nothing below is meaningful on one.
@@ -371,10 +461,10 @@ impl Verifier {
             };
         }
 
-        let extracted = match bundle.extract_with(cx, doc, doc.root()) {
+        let extracted = match extract(cx) {
             Ok(nodes) => nodes,
-            Err(e) => {
-                signals.push(HealthSignal::ExtractionFailed(e.to_string()));
+            Err(message) => {
+                signals.push(HealthSignal::ExtractionFailed(message));
                 return HealthReport {
                     day,
                     extracted: Vec::new(),
@@ -429,7 +519,7 @@ impl Verifier {
 
         if self.config.check_anchors {
             let already_unhealthy = signals.iter().any(HealthSignal::is_severe);
-            probe_anchors(bundle, doc, lkg, already_unhealthy, &mut signals);
+            probe_anchors(&compiled.probes, doc, lkg, already_unhealthy, &mut signals);
         }
 
         signals.sort_by_key(|s| !s.is_severe());
@@ -469,63 +559,114 @@ struct AnchorProbe {
     positional: bool,
 }
 
+/// A bundle revision's verification plan, parsed once: the compiled
+/// extractor (or the compile error it will keep reporting) and the
+/// deduplicated anchor probes.  Build one per revision and replay it over
+/// every snapshot; `check_with` builds a throwaway one per call for API
+/// compatibility.
+pub(crate) struct CompiledVerify {
+    /// The parsed extractor; `Err` carries the message `check_with` has
+    /// always reported for an uncompilable bundle.
+    extractor: Result<CompiledExtractor, String>,
+    /// Deduplicated equality/prefix anchors of all entries.
+    probes: Vec<AnchorProbe>,
+    /// Deduplicated `(attribute, value)` equality-anchor pairs, in first-
+    /// occurrence order — exactly the census list
+    /// [`LastKnownGood::capture_for`] re-parses the entries for on every
+    /// capture.
+    pub(crate) anchor_pairs: Vec<(String, String)>,
+}
+
+impl CompiledVerify {
+    /// Parses `bundle`'s expressions into the reusable verification plan.
+    pub(crate) fn new(bundle: &WrapperBundle) -> CompiledVerify {
+        let mut probes: Vec<AnchorProbe> = Vec::new();
+        let mut anchor_pairs: Vec<(String, String)> = Vec::new();
+        for (entry_idx, entry) in bundle.entries.iter().enumerate() {
+            let Ok(query) = parse_query(&entry.expression) else {
+                continue; // an unparsable entry surfaces as ExtractionFailed
+            };
+            for (step_idx, step) in query.steps.iter().enumerate() {
+                let positional = step.predicates.iter().any(Predicate::is_positional);
+                for predicate in &step.predicates {
+                    let Predicate::StringCompare {
+                        func,
+                        source,
+                        value,
+                    } = predicate
+                    else {
+                        continue;
+                    };
+                    if let (StringFunction::Equals, TextSource::Attribute(name)) = (func, source) {
+                        let pair = (name.clone(), value.clone());
+                        if !anchor_pairs.contains(&pair) {
+                            anchor_pairs.push(pair);
+                        }
+                    }
+                    if let Some(existing) = probes.iter_mut().find(|p| {
+                        p.func == *func
+                            && p.source == *source
+                            && p.value == *value
+                            && p.test == step.test
+                    }) {
+                        existing.positional |= positional;
+                    } else {
+                        probes.push(AnchorProbe {
+                            entry: entry_idx,
+                            step: step_idx,
+                            test: step.test.clone(),
+                            func: *func,
+                            source: source.clone(),
+                            value: value.clone(),
+                            positional,
+                        });
+                    }
+                }
+            }
+        }
+        CompiledVerify {
+            extractor: bundle.compile_extractor().map_err(|e| e.to_string()),
+            probes,
+            anchor_pairs,
+        }
+    }
+
+    /// Runs the compiled extractor, reporting either error the uncompiled
+    /// path has always reported (compile failure or evaluation failure) as
+    /// the `ExtractionFailed` message.
+    pub(crate) fn extract(
+        &self,
+        cx: &mut EvalContext,
+        doc: &Document,
+    ) -> Result<Vec<NodeId>, String> {
+        match &self.extractor {
+            Ok(extractor) => extractor
+                .extract_with(cx, doc, doc.root())
+                .map_err(|e| e.to_string()),
+            Err(message) => Err(message.clone()),
+        }
+    }
+}
+
 /// Emits an [`HealthSignal::AnchorMissing`] for every equality/prefix anchor
 /// of every stored expression whose value no longer occurs on the page, and
 /// an [`HealthSignal::AnchorCensusDrift`] for every positionally-masked
 /// anchor whose carrier count left its historically stable census.
 ///
-/// Anchors are deduplicated across entries and steps first (ensemble members
-/// typically share anchors), so each distinct anchor is scanned — and
-/// signalled — at most once.  Attribute anchors are probed through the tag
-/// index (`div[@class="x"]` only scans `div` elements); text anchors need a
-/// per-element normalized-text scan, which is the one expensive probe, so it
-/// only runs on snapshots some other signal already marked unhealthy (it is
-/// diagnostic, never the deciding signal).
+/// Anchors were deduplicated across entries and steps when the probe list
+/// was built (ensemble members typically share anchors), so each distinct
+/// anchor is scanned — and signalled — at most once.  Attribute anchors are
+/// probed through the tag index (`div[@class="x"]` only scans `div`
+/// elements); text anchors need a per-element normalized-text scan, which is
+/// the one expensive probe, so it only runs on snapshots some other signal
+/// already marked unhealthy (it is diagnostic, never the deciding signal).
 fn probe_anchors(
-    bundle: &WrapperBundle,
+    probes: &[AnchorProbe],
     doc: &Document,
     lkg: Option<&LastKnownGood>,
     already_unhealthy: bool,
     signals: &mut Vec<HealthSignal>,
 ) {
-    let mut probes: Vec<AnchorProbe> = Vec::new();
-    for (entry_idx, entry) in bundle.entries.iter().enumerate() {
-        let Ok(query) = parse_query(&entry.expression) else {
-            continue; // an unparsable entry surfaces as ExtractionFailed
-        };
-        for (step_idx, step) in query.steps.iter().enumerate() {
-            let positional = step.predicates.iter().any(Predicate::is_positional);
-            for predicate in &step.predicates {
-                let Predicate::StringCompare {
-                    func,
-                    source,
-                    value,
-                } = predicate
-                else {
-                    continue;
-                };
-                if let Some(existing) = probes.iter_mut().find(|p| {
-                    p.func == *func
-                        && p.source == *source
-                        && p.value == *value
-                        && p.test == step.test
-                }) {
-                    existing.positional |= positional;
-                } else {
-                    probes.push(AnchorProbe {
-                        entry: entry_idx,
-                        step: step_idx,
-                        test: step.test.clone(),
-                        func: *func,
-                        source: source.clone(),
-                        value: value.clone(),
-                        positional,
-                    });
-                }
-            }
-        }
-    }
-
     for probe in probes {
         // Census drift: only meaningful for attribute anchors inside
         // positionally-filtered steps, where the extraction count cannot
@@ -568,7 +709,7 @@ fn probe_anchors(
                     TextSource::Attribute(name) => name.clone(),
                     TextSource::NormalizedText => ".".to_string(),
                 },
-                value: probe.value,
+                value: probe.value.clone(),
             });
         }
     }

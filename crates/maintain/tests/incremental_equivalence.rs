@@ -1,0 +1,218 @@
+//! The incremental-maintenance equivalence battery: with
+//! `MaintainConfig::incremental` on, every observable outcome of the loop —
+//! verdicts, drift classes, repairs, revisions, last-known-good states,
+//! registry histories — must be **byte-identical** to the from-scratch run.
+//! The caches are a pure evaluation shortcut; if they ever change a
+//! decision, that is a soundness bug, not a tuning issue.
+
+use proptest::prelude::*;
+use wi_dom::Document;
+use wi_induction::{WrapperBundle, WrapperInducer};
+use wi_maintain::{
+    LastKnownGood, MaintainConfig, Maintainer, MaintenanceJob, PageVersion, Registry,
+};
+use wi_scoring::ScoringParams;
+use wi_webgen::archive::ArchiveSimulator;
+use wi_webgen::date::Day;
+use wi_webgen::site::{PageKind, Site};
+use wi_webgen::style::Vertical;
+use wi_webgen::tasks::{TargetRole, WrapperTask};
+
+fn maintainer(incremental: bool) -> Maintainer {
+    let config = MaintainConfig {
+        incremental,
+        ..MaintainConfig::default()
+    };
+    Maintainer::new(config, WrapperInducer::default())
+}
+
+fn cache_hits_total() -> u64 {
+    wi_obs::Registry::global()
+        .counter("wi_maintain_cache_hits_total", &[])
+        .get()
+}
+
+/// Full webgen maintenance dataset (the bench workload shape: 12 sites,
+/// 24 epochs): the incremental run and the from-scratch run must produce
+/// `Debug`-identical logs and registry histories, and the incremental run
+/// must actually exercise the caches.
+#[test]
+fn webgen_dataset_incremental_equals_from_scratch() {
+    let mut registry_inc = Registry::new();
+    let mut jobs = Vec::new();
+    for index in 0..12u64 {
+        let vertical = Vertical::ALL[index as usize % Vertical::ALL.len()];
+        let task = WrapperTask::new(
+            Site::new(vertical, index),
+            0,
+            PageKind::Detail,
+            TargetRole::ListTitles,
+        );
+        let (doc, targets) = task.page_with_targets(Day(0));
+        let Ok(wrapper) = WrapperInducer::with_k(3).try_induce_best(&doc, &targets) else {
+            continue;
+        };
+        let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults())
+            .with_label(task.id());
+        registry_inc.install(task.id(), bundle.clone(), 0);
+        let archive = ArchiveSimulator::new(task.site.clone(), task.page_index, task.kind);
+        let pages: Vec<PageVersion> = (0..24)
+            .map(|i| {
+                let day = Day(i * 20);
+                PageVersion {
+                    day: day.offset(),
+                    doc: archive.snapshot(day).doc,
+                }
+            })
+            .collect();
+        jobs.push(MaintenanceJob {
+            site: task.id(),
+            pages,
+            seed_lkg: Some(LastKnownGood::capture_for(&bundle, &doc, 0, &targets)),
+            inducer: None,
+        });
+    }
+    assert!(jobs.len() >= 10, "workload collapsed: {} jobs", jobs.len());
+    let mut registry_full = registry_inc.clone();
+
+    let hits_before = cache_hits_total();
+    let incremental = registry_inc.maintain_batch_sequential(&jobs, &maintainer(true));
+    assert!(
+        cache_hits_total() > hits_before,
+        "the incremental run never hit a cache — nothing was tested"
+    );
+    let from_scratch = registry_full.maintain_batch_sequential(&jobs, &maintainer(false));
+
+    assert_eq!(incremental.len(), from_scratch.len());
+    for (inc, full) in incremental.iter().zip(&from_scratch) {
+        // Same `pages` vec on both sides ⇒ same arenas ⇒ even the NodeIds
+        // in the extractions must line up, so Debug equality is exact.
+        assert_eq!(
+            format!("{inc:#?}"),
+            format!("{full:#?}"),
+            "maintenance log diverged for {}",
+            inc.label
+        );
+    }
+    for job in &jobs {
+        assert_eq!(
+            format!("{:#?}", registry_inc.history(&job.site)),
+            format!("{:#?}", registry_full.history(&job.site)),
+            "registry history diverged for {}",
+            job.site
+        );
+    }
+}
+
+/// One mutation step of the synthetic timeline used by the property test.
+#[derive(Debug, Clone, Copy)]
+enum Mutation {
+    /// Re-serve the previous snapshot unchanged (the common case on the
+    /// live web, and the case the identical-fingerprint fast path serves).
+    Identical,
+    /// Same template, new values (content churn).
+    Rotate,
+    /// Rename the anchor class (attribute drift → re-anchor repair).
+    Rename,
+    /// Drop the target block (target removed → degradation/retirement).
+    RemoveBlock,
+    /// A broken capture (error page).
+    Broken,
+}
+
+fn arb_mutations() -> impl Strategy<Value = Vec<Mutation>> {
+    // Weighted by index range: identical snapshots dominate, as on the
+    // live web (and that is the case the fingerprint fast path serves).
+    prop::collection::vec(
+        (0usize..8).prop_map(|choice| match choice {
+            0..=2 => Mutation::Identical,
+            3..=4 => Mutation::Rotate,
+            5 => Mutation::Rename,
+            6 => Mutation::RemoveBlock,
+            _ => Mutation::Broken,
+        }),
+        1..12,
+    )
+}
+
+fn render(class: &str, generation: usize, with_block: bool) -> Document {
+    let block = if with_block {
+        (0..3)
+            .map(|i| format!(r#"<span class="{class}">value {generation}-{i}</span>"#))
+            .collect::<String>()
+    } else {
+        String::new()
+    };
+    Document::parse(&format!(
+        r#"<html><body><div id="main"><h4>Prices:</h4>{block}</div>
+           <div id="side"><ul><li>a</li><li>b</li><li>c</li><li>d</li></ul></div>
+           </body></html>"#
+    ))
+    .unwrap()
+}
+
+fn timeline(mutations: &[Mutation]) -> Vec<PageVersion> {
+    let mut class = "p".to_string();
+    let mut generation = 0usize;
+    let mut with_block = true;
+    let mut pages = vec![PageVersion {
+        day: 0,
+        doc: render(&class, generation, with_block),
+    }];
+    for (epoch, mutation) in mutations.iter().enumerate() {
+        let day = 20 * (epoch as i64 + 1);
+        let doc = match mutation {
+            Mutation::Identical => render(&class, generation, with_block),
+            Mutation::Rotate => {
+                generation += 1;
+                render(&class, generation, with_block)
+            }
+            Mutation::Rename => {
+                class.push('x');
+                render(&class, generation, with_block)
+            }
+            Mutation::RemoveBlock => {
+                with_block = false;
+                render(&class, generation, with_block)
+            }
+            Mutation::Broken => Document::parse(
+                "<html><body><p>Page cannot be crawled or displayed</p></body></html>",
+            )
+            .unwrap(),
+        };
+        pages.push(PageVersion { day, doc });
+    }
+    pages
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any mutation sequence — identical snapshots, value churn, renames,
+    /// removals, broken captures, in any order — produces the same
+    /// maintenance log with the caches on and off.
+    #[test]
+    fn random_mutation_sequences_are_cache_invariant(mutations in arb_mutations()) {
+        let pages = timeline(&mutations);
+        let doc = &pages[0].doc;
+        let targets: Vec<_> = doc
+            .descendants(doc.root())
+            .filter(|&n| doc.tag_name(n) == Some("span"))
+            .collect();
+        let wrapper = WrapperInducer::default()
+            .try_induce_best(doc, &targets)
+            .expect("induction succeeds on the seed snapshot");
+        let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults())
+            .with_label("prop");
+        let lkg = LastKnownGood::capture_for(&bundle, doc, 0, &targets);
+
+        let inc = maintainer(true).run("prop", bundle.clone(), &pages, Some(lkg.clone()));
+        let full = maintainer(false).run("prop", bundle, &pages, Some(lkg));
+        prop_assert_eq!(
+            format!("{inc:#?}"),
+            format!("{full:#?}"),
+            "diverged on {:?}",
+            mutations
+        );
+    }
+}

@@ -183,6 +183,28 @@ fn daemon_serves_the_full_wrapper_lifecycle() {
         Some(1.0)
     );
 
+    // Maintain again over two content-identical snapshots: the first epoch
+    // primes the incremental caches (a recorded miss), the second replays
+    // from them (a recorded hit) — both must surface through /metrics.
+    let identical_html = to_html(&later_doc);
+    let replay_body = object(vec![(
+        "snapshots",
+        JsonValue::Array(
+            [40.0, 60.0]
+                .iter()
+                .map(|&day| {
+                    object(vec![
+                        ("day", JsonValue::Number(day)),
+                        ("html", JsonValue::String(identical_html.clone())),
+                    ])
+                })
+                .collect(),
+        ),
+    )]);
+    let replayed =
+        client::post_json(addr, &format!("/maintain/{encoded}"), &replay_body).expect("replay");
+    assert_eq!(replayed.status, 200, "replay failed: {}", replayed.text());
+
     // Site info: revision history and lifecycle state.
     let info = client::get(addr, &format!("/sites/{encoded}")).expect("site info");
     assert_eq!(info.status, 200);
@@ -206,6 +228,21 @@ fn daemon_serves_the_full_wrapper_lifecycle() {
     assert!(exposition.contains("wi_requests_total{endpoint=\"induce\"} 1"));
     assert!(exposition.contains("wi_registry_sites 1"));
     assert!(!exposition.contains("wi_registry_poisoned 1"));
+
+    // The incremental-maintenance cache counters (global families appended
+    // after the per-daemon ones) recorded the replay above: at least one
+    // miss priming the caches and one hit replaying from them.
+    let metric_value = |name: &str| -> u64 {
+        exposition
+            .lines()
+            .find_map(|line| line.strip_prefix(name).map(str::trim))
+            .unwrap_or_else(|| panic!("{name} missing from exposition"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{name} has a non-numeric value"))
+    };
+    assert!(metric_value("wi_maintain_cache_hits_total ") > 0);
+    assert!(metric_value("wi_maintain_cache_misses_total ") > 0);
+    assert!(exposition.contains("wi_maintain_cache_invalidations_total "));
 
     // Unknown routes and wrong methods are typed errors, not closures.
     assert_eq!(client::get(addr, "/nope").unwrap().status, 404);

@@ -1,0 +1,452 @@
+//! Cross-version evaluation cache: step results memoized on **structural
+//! identity**, surviving from one document snapshot to the next.
+//!
+//! Consecutive snapshots of one site share almost all of their template, so
+//! the maintenance loop keeps re-walking subtrees that have not changed
+//! since the previous epoch.  A [`CrossVersionCache`] memoizes one step
+//! application per `(context-subtree fingerprint, step)` pair: the result is
+//! stored as **pre-order offsets relative to the context**, so when a later
+//! snapshot contains a structurally identical subtree — same fingerprint,
+//! *any* document, *any* arena numbering — the cached node set is
+//! rematerialized by offset arithmetic instead of re-walked.
+//!
+//! # Soundness
+//!
+//! A step may be cached iff it is **downward closed**: its selection from a
+//! context node is a pure function of the context's subtree content.
+//!
+//! * Axes: `child`, `descendant`, `descendant-or-self`, `self` and
+//!   `attribute` (which in this engine selects the owning element itself,
+//!   see [`crate::eval`]) never leave the subtree.  Upward, sideways and
+//!   `following`/`preceding` axes read the rest of the document and are
+//!   never cached.
+//! * Predicates: positional (`[n]`, `[last()-n]`), attribute
+//!   (`[@a]`, `[@a="v"]`, substring functions) and text comparisons
+//!   (`normalize-space(.)` reads descendant text only) are subtree-local.
+//!   A nested path predicate is subtree-local iff it is relative and all of
+//!   its steps are themselves downward closed.
+//!
+//! For such a step, equal subtree fingerprints imply equal subtree shape and
+//! content (see `wi_dom::hash` — the fingerprint hashes string contents, not
+//! interner numbering), hence identical pre-order layout and identical
+//! relative result offsets.  Fingerprints are 64-bit, and equality of
+//! fingerprints is accepted as identity of subtrees — the same engineering
+//! judgement the structural multiset comparison starts from, backed by the
+//! maintenance equivalence battery.  The stored [`Step`] is compared on
+//! every hit, so key collisions between *steps* cannot corrupt a result,
+//! and rematerialized offsets are bounds-checked against the live subtree.
+//!
+//! # Invalidation contract (lint rule R8)
+//!
+//! Staleness is impossible by construction: the key *is* the content
+//! fingerprint, and `wi-dom` recomputes fingerprints under the PR-2 epoch
+//! contract (any mutation drops the hash index).  The cache therefore never
+//! needs per-document invalidation — but its map still has exactly **two
+//! write entry points**, [`admit`](CrossVersionCache::admit) (bounded by
+//! capacity) and [`invalidate`](CrossVersionCache::invalidate) (wholesale
+//! drop, counted in [`CacheStats::invalidations`]).  Lint rule R8 pins this:
+//! any new function in this file that mutates the entry map is flagged
+//! unless it is one of the designated entry points.
+
+use crate::ast::{Axis, Predicate, Query, Step};
+use crate::fx::{FxHasher, FxMap};
+use std::hash::{Hash, Hasher};
+use wi_dom::{Document, NodeId};
+
+/// Default bound on memoized entries; reaching it drops the cache wholesale
+/// (cheap, and a full cache means the workload's working set outgrew it
+/// anyway).
+const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Hit/miss/invalidation counters of a [`CrossVersionCache`], flushed by the
+/// maintenance loop into the `wi-obs` registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups answered from a structurally identical prior subtree.
+    pub hits: u64,
+    /// Cacheable lookups that had to evaluate (and then admitted a result).
+    pub misses: u64,
+    /// Wholesale drops of the entry map (capacity overflow or an explicit
+    /// [`invalidate`](CrossVersionCache::invalidate) on redesign-class
+    /// drift).
+    pub invalidations: u64,
+}
+
+/// One memoized step application: the step (checked on every hit) and its
+/// result as pre-order offsets relative to the context node.
+#[derive(Debug)]
+struct Entry {
+    step: Step,
+    offsets: Vec<u32>,
+}
+
+/// The resolved key of a cacheable `(context, step)` pair, produced by
+/// [`CrossVersionCache::lookup_into`] on a miss and passed back to
+/// [`CrossVersionCache::admit`] so the fingerprints are computed once.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheKey {
+    ctx: NodeId,
+    ctx_pos: u32,
+    ctx_fp: u64,
+    step_fp: u64,
+}
+
+/// Outcome of a cache probe.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The result was rematerialized into the output buffer.
+    Hit,
+    /// Cacheable but unknown: evaluate, then [`admit`](CrossVersionCache::admit)
+    /// with this key.
+    Miss(CacheKey),
+    /// The step is not downward closed (or the context is detached); the
+    /// cache stays out of the way.
+    Uncacheable,
+}
+
+/// A persistent companion to the evaluators: memoizes downward-closed step
+/// results across documents.  See the [module docs](self) for the soundness
+/// argument and the invalidation contract.
+#[derive(Debug)]
+pub struct CrossVersionCache {
+    entries: FxMap<(u64, u64), Entry>,
+    capacity: usize,
+    stats: CacheStats,
+}
+
+impl Default for CrossVersionCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrossVersionCache {
+    /// Creates an empty cache with the default capacity bound.
+    pub fn new() -> CrossVersionCache {
+        CrossVersionCache::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates an empty cache bounded to `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> CrossVersionCache {
+        CrossVersionCache {
+            entries: FxMap::default(),
+            capacity: capacity.max(1),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of memoized step applications.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cumulative hit/miss/invalidation counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the counters and resets them (the flush-once-per-epoch form
+    /// the maintenance telemetry uses).
+    pub fn take_stats(&mut self) -> CacheStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Probes the cache for `step` applied to `ctx`.  On a hit the memoized
+    /// result is rematerialized into `out` (cleared first) against the
+    /// *current* document's pre-order; on a miss the caller evaluates and
+    /// passes the returned key to [`admit`](Self::admit).
+    pub fn lookup_into(
+        &mut self,
+        doc: &Document,
+        ctx: NodeId,
+        step: &Step,
+        out: &mut Vec<NodeId>,
+    ) -> Lookup {
+        if !step_cacheable(step) {
+            return Lookup::Uncacheable;
+        }
+        let order = doc.order_index();
+        let Some(range) = order.subtree_range(ctx) else {
+            // Detached context: no pre-order position to anchor offsets to.
+            return Lookup::Uncacheable;
+        };
+        let ctx_fp = doc.hash_index().hash_at(range.start);
+        let key = CacheKey {
+            ctx,
+            ctx_pos: range.start as u32,
+            ctx_fp,
+            step_fp: step_fp(step),
+        };
+        if let Some(entry) = self.entries.get(&(key.ctx_fp, key.step_fp)) {
+            let size = range.len() as u32;
+            // The stored step must match exactly (64-bit step keys can
+            // collide); offsets must land inside the live subtree (they
+            // always do unless the context fingerprint itself collided).
+            if entry.step == *step && entry.offsets.iter().all(|&o| o < size) {
+                let nodes = order.nodes_in_order();
+                out.clear();
+                out.extend(
+                    entry
+                        .offsets
+                        .iter()
+                        .map(|&o| nodes[(key.ctx_pos + o) as usize]),
+                );
+                self.stats.hits += 1;
+                return Lookup::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        Lookup::Miss(key)
+    }
+
+    /// Memoizes `result` (as produced by evaluating `step` from the context
+    /// behind `key`) for reuse on structurally identical subtrees.  This and
+    /// [`invalidate`](Self::invalidate) are the only entry map writers (see
+    /// the module docs / lint rule R8).
+    pub fn admit(&mut self, doc: &Document, key: CacheKey, step: &Step, result: &[NodeId]) {
+        let order = doc.order_index();
+        let Some(range) = order.subtree_range(key.ctx) else {
+            return;
+        };
+        let mut offsets = Vec::with_capacity(result.len());
+        for &n in result {
+            let Some(p) = order.position(n) else { return };
+            let p = p as usize;
+            if p < range.start || p >= range.end {
+                // A result outside the context subtree would mean the
+                // downward-closure gate is wrong; refuse to poison the cache.
+                debug_assert!(false, "cacheable step escaped its subtree");
+                return;
+            }
+            offsets.push((p - range.start) as u32);
+        }
+        if self.entries.len() >= self.capacity {
+            self.invalidate();
+        }
+        self.entries.insert(
+            (key.ctx_fp, key.step_fp),
+            Entry {
+                step: step.clone(),
+                offsets,
+            },
+        );
+    }
+
+    /// Drops every memoized entry (keeping allocation capacity) and counts
+    /// the invalidation.  The maintenance loop calls this on redesign-class
+    /// drift — fingerprint keying keeps entries *sound* regardless, but a
+    /// redesigned template makes the old working set dead weight.
+    pub fn invalidate(&mut self) {
+        if !self.entries.is_empty() {
+            self.stats.invalidations += 1;
+        }
+        self.entries.clear();
+    }
+}
+
+/// FxHash of a step (the key half that identifies *what* is applied; the
+/// stored step is still compared on every hit).
+fn step_fp(step: &Step) -> u64 {
+    let mut h = FxHasher::default();
+    step.hash(&mut h);
+    h.finish()
+}
+
+/// Whether a step is downward closed — its selection from a context depends
+/// only on the context's subtree.  See the [module docs](self).
+pub fn step_cacheable(step: &Step) -> bool {
+    axis_cacheable(step.axis) && step.predicates.iter().all(predicate_cacheable)
+}
+
+fn axis_cacheable(axis: Axis) -> bool {
+    matches!(
+        axis,
+        Axis::Child | Axis::Descendant | Axis::DescendantOrSelf | Axis::SelfAxis | Axis::Attribute
+    )
+}
+
+fn predicate_cacheable(pred: &Predicate) -> bool {
+    match pred {
+        Predicate::Position(_)
+        | Predicate::LastOffset(_)
+        | Predicate::HasAttribute(_)
+        | Predicate::StringCompare { .. } => true,
+        Predicate::Path(q) => query_cacheable(q),
+    }
+}
+
+/// A nested path predicate stays subtree-local iff it is relative and every
+/// step is downward closed.
+fn query_cacheable(q: &Query) -> bool {
+    !q.absolute && q.steps.iter().all(step_cacheable)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate_step;
+    use crate::parser::parse_query;
+    use wi_dom::parse_html;
+
+    fn steps_of(expr: &str) -> Vec<Step> {
+        parse_query(expr).unwrap().steps
+    }
+
+    #[test]
+    fn downward_closure_gate() {
+        for (expr, want) in [
+            ("child::li", true),
+            ("descendant::span[@class=\"x\"]", true),
+            ("descendant-or-self::div[2]", true),
+            ("self::div[last()]", true),
+            ("descendant::a/@href", true),
+            ("child::li[contains(.,\"x\")]", true),
+            ("parent::div", false),
+            ("ancestor::body", false),
+            ("following-sibling::tr", false),
+            ("preceding-sibling::tr", false),
+            ("following::ul", false),
+            ("preceding::ul", false),
+            ("descendant::img[ancestor::div[1]]", false),
+            ("descendant::li[child::b]", true),
+        ] {
+            let steps = steps_of(expr);
+            assert_eq!(step_cacheable(steps.last().unwrap()), want, "{expr}");
+        }
+        // An absolute nested path reads outside the subtree (the textual
+        // syntax has no absolute predicate form, so flip the flag by hand).
+        let mut steps = steps_of("descendant::li[child::b]");
+        match &mut steps[0].predicates[0] {
+            Predicate::Path(q) => q.absolute = true,
+            other => panic!("expected path predicate, got {other:?}"),
+        }
+        assert!(!step_cacheable(&steps[0]));
+    }
+
+    #[test]
+    fn hit_rematerializes_identically_on_the_same_document() {
+        let doc = parse_html(r#"<body><ul class="c"><li>a</li><li>b</li><li>c</li></ul></body>"#)
+            .unwrap();
+        let ul = doc.elements_by_tag("ul")[0];
+        let step = &steps_of("child::li")[0];
+        let mut cache = CrossVersionCache::new();
+        let mut out = Vec::new();
+        let Lookup::Miss(key) = cache.lookup_into(&doc, ul, step, &mut out) else {
+            panic!("cold cache must miss");
+        };
+        let fresh = evaluate_step(step, &doc, ul);
+        cache.admit(&doc, key, step, &fresh);
+        match cache.lookup_into(&doc, ul, step, &mut out) {
+            Lookup::Hit => assert_eq!(out, fresh),
+            other => panic!("expected hit, got {other:?}"),
+        }
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn hit_transfers_across_documents_with_different_arenas() {
+        // The same subtree, but document B allocates extra nodes first so
+        // every NodeId and every interner symbol differs.
+        let a =
+            parse_html(r#"<body><div id="k"><span>x</span><span>y</span></div></body>"#).unwrap();
+        let b = parse_html(
+            r#"<body><p>unrelated prefix material</p>
+               <div id="k"><span>x</span><span>y</span></div></body>"#,
+        )
+        .unwrap();
+        let da = a.element_by_id("k").unwrap();
+        let db = b.element_by_id("k").unwrap();
+        let step = &steps_of("child::span")[0];
+        let mut cache = CrossVersionCache::new();
+        let mut out = Vec::new();
+        let Lookup::Miss(key) = cache.lookup_into(&a, da, step, &mut out) else {
+            panic!("cold cache must miss");
+        };
+        cache.admit(&a, key, step, &evaluate_step(step, &a, da));
+        // Probing the *other* document hits and yields B's own node ids.
+        match cache.lookup_into(&b, db, step, &mut out) {
+            Lookup::Hit => assert_eq!(out, evaluate_step(step, &b, db)),
+            other => panic!("expected cross-document hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn changed_subtree_misses() {
+        let a = parse_html(r#"<body><div id="k"><span>x</span></div></body>"#).unwrap();
+        let b = parse_html(r#"<body><div id="k"><span>CHANGED</span></div></body>"#).unwrap();
+        let step = &steps_of("child::span")[0];
+        let mut cache = CrossVersionCache::new();
+        let mut out = Vec::new();
+        let da = a.element_by_id("k").unwrap();
+        let Lookup::Miss(key) = cache.lookup_into(&a, da, step, &mut out) else {
+            panic!();
+        };
+        cache.admit(&a, key, step, &evaluate_step(step, &a, da));
+        let db = b.element_by_id("k").unwrap();
+        assert!(matches!(
+            cache.lookup_into(&b, db, step, &mut out),
+            Lookup::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn mutation_on_the_same_document_misses_via_fresh_fingerprint() {
+        let mut doc = parse_html(r#"<body><div id="k"><span>x</span></div></body>"#).unwrap();
+        let d = doc.element_by_id("k").unwrap();
+        let step = &steps_of("child::span")[0];
+        let mut cache = CrossVersionCache::new();
+        let mut out = Vec::new();
+        let Lookup::Miss(key) = cache.lookup_into(&doc, d, step, &mut out) else {
+            panic!();
+        };
+        cache.admit(&doc, key, step, &evaluate_step(step, &doc, d));
+        // Mutate under the div: the epoch contract rebuilds the hash index,
+        // so the next probe sees a different fingerprint and misses.
+        let span = doc.elements_by_tag("span")[0];
+        doc.set_attribute(span, "class", "new").unwrap();
+        let d = doc.element_by_id("k").unwrap();
+        assert!(matches!(
+            cache.lookup_into(&doc, d, step, &mut out),
+            Lookup::Miss(_)
+        ));
+    }
+
+    #[test]
+    fn non_downward_steps_bypass_the_cache() {
+        let doc = parse_html("<body><div><p>x</p></div></body>").unwrap();
+        let p = doc.elements_by_tag("p")[0];
+        let step = &steps_of("ancestor::div")[0];
+        let mut cache = CrossVersionCache::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            cache.lookup_into(&doc, p, step, &mut out),
+            Lookup::Uncacheable
+        ));
+        assert_eq!(cache.stats(), CacheStats::default());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn capacity_overflow_invalidates_wholesale() {
+        let doc =
+            parse_html("<body><ul><li>a</li><li>b</li><li>c</li><li>d</li></ul></body>").unwrap();
+        let lis = doc.elements_by_tag("li");
+        let step = &steps_of("child::text()")[0];
+        let mut cache = CrossVersionCache::with_capacity(2);
+        let mut out = Vec::new();
+        for &li in &lis {
+            if let Lookup::Miss(key) = cache.lookup_into(&doc, li, step, &mut out) {
+                cache.admit(&doc, key, step, &evaluate_step(step, &doc, li));
+            }
+        }
+        // Four distinct texts through a 2-entry cache: at least one drop.
+        assert!(cache.stats().invalidations >= 1);
+        assert!(cache.len() <= 2);
+    }
+}
