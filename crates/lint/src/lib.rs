@@ -22,6 +22,7 @@
 //! | R6 | **Forbidden drift**: lossy `as u32`-style casts in checksum/log code; `SystemTime::now()` outside designated modules; `std::process`/`std::net` outside the serve/eval layer. | PR 5/6 |
 //! | R7 | **Endpoint observability**: every `Endpoint` variant appears in `ALL` and `index()` (a variant missing from `ALL` silently drops out of `/metrics`), and no `span(…)` guard stays live across a registry lock acquisition in serve — handlers use the guard-free `record_span` form. | PR 8 |
 //! | R8 | **Cross-version cache write discipline**: in `crates/xpath/src/xversion.rs`, the cache's entry map is written only through the designated entry points (`admit`, `invalidate`); mutating method calls, whole-map reassignment and `&mut` borrows of the map anywhere else are denied. | PR 9 |
+//! | R9 | **Registry durability pairing**: in `crates/maintain/src/registry/`, every `fs::rename` / `File::create` / `create_new` call commits a directory entry and must share its function body with a `sync_dir` of the parent directory. See the durability note in `crates/maintain/src/registry/shard.rs`. | PR 10 |
 //!
 //! # Suppressing a finding
 //!
@@ -108,6 +109,10 @@ pub struct LintConfig {
     pub r8_entry_map: String,
     /// R8: functions allowed to write the entry map.
     pub r8_entry_points: Vec<String>,
+    /// R9: path prefixes of the registry's durable-layout tree.
+    pub r9_prefixes: Vec<String>,
+    /// R9: call names that commit a directory entry.
+    pub r9_calls: Vec<String>,
     /// Report `lint:allow` pragmas that suppress nothing (`--deny-all`).
     pub check_unused_allows: bool,
 }
@@ -152,6 +157,8 @@ impl Default for LintConfig {
             r8_files: s(&["crates/xpath/src/xversion.rs"]),
             r8_entry_map: "entries".into(),
             r8_entry_points: s(&["admit", "invalidate"]),
+            r9_prefixes: s(&["crates/maintain/src/registry/"]),
+            r9_calls: s(&["rename", "create", "create_new"]),
             check_unused_allows: false,
         }
     }
@@ -193,6 +200,7 @@ pub fn lint_files(files: &[SourceFile], cfg: &LintConfig) -> Vec<Diagnostic> {
     rules::r6_drift::check(files, cfg, &mut raw);
     rules::r7_obs::check(files, cfg, &mut raw);
     rules::r8_xversion::check(files, cfg, &mut raw);
+    rules::r9_durability::check(files, cfg, &mut raw);
 
     let mut out: Vec<Diagnostic> = Vec::new();
     for file in files {

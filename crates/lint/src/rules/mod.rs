@@ -1,4 +1,4 @@
-//! The eight invariant rules and the call-graph machinery they share.
+//! The nine invariant rules and the call-graph machinery they share.
 //!
 //! Each rule is a pure function from loaded [`SourceFile`]s to
 //! diagnostics; pragma suppression happens centrally in
@@ -12,6 +12,7 @@ pub mod r5_lock;
 pub mod r6_drift;
 pub mod r7_obs;
 pub mod r8_xversion;
+pub mod r9_durability;
 
 use crate::diag::Diagnostic;
 use crate::syntax::{Function, SourceFile};

@@ -1,0 +1,30 @@
+//! R9 clean twin: the same directory-entry commits, each paired with a
+//! `sync_dir` of the parent in the same function body.
+
+use std::path::Path;
+
+fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    std::fs::File::open(dir)?.sync_all()
+}
+
+pub fn swap_manifest(dir: &Path) -> std::io::Result<()> {
+    let tmp = dir.join("manifest.tmp");
+    std::fs::write(&tmp, b"{}")?;
+    std::fs::rename(&tmp, dir.join("manifest.json"))?;
+    sync_dir(dir)
+}
+
+pub fn new_segment(dir: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(dir.join("seg-000000.log"))?;
+    file.sync_all()?;
+    sync_dir(dir)
+}
+
+pub fn take_lock(dir: &Path) -> std::io::Result<std::fs::File> {
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(dir.join("lock"))?;
+    sync_dir(dir)?;
+    Ok(file)
+}

@@ -1,0 +1,25 @@
+//! R9 fixture: renames and file creations in the registry tree whose
+//! functions never fsync a parent directory.  Linted as if it were
+//! `crates/maintain/src/registry/shard.rs`.
+
+use std::path::Path;
+
+pub fn swap_manifest(dir: &Path) -> std::io::Result<()> {
+    let tmp = dir.join("manifest.tmp");
+    std::fs::write(&tmp, b"{}")?;
+    std::fs::rename(&tmp, dir.join("manifest.json"))?; //~ R9
+    Ok(())
+}
+
+pub fn new_segment(dir: &Path) -> std::io::Result<()> {
+    let file = std::fs::File::create(dir.join("seg-000000.log"))?; //~ R9
+    file.sync_all()?;
+    Ok(())
+}
+
+pub fn take_lock(dir: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new()
+        .write(true)
+        .create_new(true) //~ R9
+        .open(dir.join("lock"))
+}

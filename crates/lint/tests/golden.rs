@@ -180,6 +180,30 @@ fn r8_is_scoped_to_the_xversion_file() {
 }
 
 #[test]
+fn r9_durability_pairing_fires_and_clean_twin_passes() {
+    let rel = "crates/maintain/src/registry/shard.rs";
+    assert_eq!(
+        lint("r9_violate.rs", rel, &LintConfig::default()),
+        markers("r9_violate.rs")
+    );
+    assert_eq!(lint("r9_clean.rs", rel, &strict()), vec![]);
+}
+
+#[test]
+fn r9_is_scoped_to_the_registry_tree() {
+    // The same directory-entry commits are fine outside the registry's
+    // durable-layout tree.
+    assert_eq!(
+        lint(
+            "r9_violate.rs",
+            "crates/maintain/src/verify.rs",
+            &LintConfig::default()
+        ),
+        vec![]
+    );
+}
+
+#[test]
 fn pragmas_without_reasons_and_stale_pragmas_are_diagnostics() {
     let rel = "crates/core/src/pragmas.rs";
     assert_eq!(

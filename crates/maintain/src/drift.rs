@@ -136,6 +136,14 @@ pub struct EntryDiagnosis {
     pub text_anchor_gone: bool,
     /// An attribute anchor value of this entry no longer occurs on the page.
     pub attr_anchor_gone: bool,
+    /// An attribute anchor still occurs, but the last-known-good
+    /// **neighborhood fingerprint** recorded for it (see
+    /// [`AnchorCarrier::neighborhood`](crate::verify::AnchorCarrier)) is
+    /// gone from every surviving carrier — the sibling context the
+    /// expression used to descend through was removed with its block, and
+    /// only an unrelated carrier of the same value survives.
+    #[serde(default)]
+    pub neighborhood_gone: bool,
 }
 
 /// The classifier's verdict for one flagged snapshot.
@@ -274,6 +282,7 @@ impl DriftClassifier {
                 fixed,
                 text_anchor_gone: text_anchor_gone(&query, doc),
                 attr_anchor_gone: attr_anchor_gone(&query, doc),
+                neighborhood_gone: neighborhood_gone(&query, doc, lkg),
                 fixes,
             });
         }
@@ -310,7 +319,7 @@ fn derive_class(entries: &[EntryDiagnosis]) -> DriftClass {
     if !broken.is_empty()
         && broken
             .iter()
-            .all(|e| e.text_anchor_gone || e.attr_anchor_gone)
+            .all(|e| e.text_anchor_gone || e.attr_anchor_gone || e.neighborhood_gone)
     {
         return DriftClass::TargetRemoved;
     }
@@ -342,6 +351,41 @@ fn attr_anchor_gone(query: &Query, doc: &Document) -> bool {
                 func: func @ StringFunction::Equals,
                 value,
             } => !crate::verify::attribute_value_occurs(doc, &s.test, name, value, *func),
+            _ => false,
+        })
+    })
+}
+
+/// Whether an attribute anchor of the query *survives positionally masked*:
+/// its value still occurs on the page, but the evidenced neighborhood
+/// fingerprint the last-known-good state recorded for that anchor appears
+/// in no surviving carrier.
+///
+/// This is the `target-removed → unknown` confusion fix: when a repeated
+/// anchor value (`div[@class="blk"]` × N) loses the block the expression
+/// descended through, a positional predicate silently re-binds to a
+/// surviving sibling carrier.  `attr_anchor_gone` stays false — the value
+/// is still on the page — and the break used to land in
+/// [`DriftClass::Unknown`].  The fingerprint (the removed block's stable
+/// labels, e.g. `"Director:"`) distinguishes the two: present ⇒ genuinely
+/// ambiguous, gone ⇒ the target's block was removed.  The fingerprint only
+/// counts once evidenced (`neighborhood_stable >= 2`), so list churn
+/// inside a carrier never triggers a removal verdict.
+fn neighborhood_gone(query: &Query, doc: &Document, lkg: Option<&LastKnownGood>) -> bool {
+    let Some(lkg) = lkg else {
+        return false;
+    };
+    query.steps.iter().any(|s| {
+        s.predicates.iter().any(|p| match p {
+            Predicate::StringCompare {
+                source: TextSource::Attribute(name),
+                func: StringFunction::Equals,
+                value,
+            } => lkg.anchor_census(name, value).is_some_and(|carrier| {
+                !carrier.neighborhood.is_empty()
+                    && carrier.neighborhood_stable >= 2
+                    && !crate::verify::neighborhood_present(doc, name, value, &carrier.neighborhood)
+            }),
             _ => false,
         })
     })

@@ -446,9 +446,12 @@ fn write_str(h: &mut FxHasher, s: &str) {
 /// predicate `probe_anchors` ever applies to it — hashing the raw counter
 /// would fingerprint every warmup tick apart and forfeit the hits on the
 /// second identical snapshot.  Deliberately **not** hashed: `day`,
-/// `rotates`, top-level `stable_observations` and `attribute_values` —
-/// `check_with` never reads them, so distinguishing on them would only
-/// shrink the hit rate.
+/// `rotates`, top-level `stable_observations`, `attribute_values` and the
+/// carriers' neighborhood fingerprint (`neighborhood` /
+/// `neighborhood_stable`) — `check_with` never reads them (the
+/// neighborhood is a *classifier* input, consulted only on the unhealthy
+/// path that this cache never serves), so distinguishing on them would
+/// only shrink the hit rate.
 fn lkg_fingerprint(lkg: Option<&LastKnownGood>) -> u64 {
     let mut h = FxHasher::default();
     match lkg {
@@ -497,6 +500,8 @@ mod tests {
                 value: "title".into(),
                 count: 2,
                 stable_observations: 1,
+                neighborhood: vec!["Label:".into()],
+                neighborhood_stable: 1,
             }],
         }
     }
@@ -508,6 +513,8 @@ mod tests {
         same.day = 99;
         same.rotates = true;
         same.stable_observations = 7;
+        same.anchor_carriers[0].neighborhood = vec!["Other:".into()];
+        same.anchor_carriers[0].neighborhood_stable = 9;
         std::sync::Arc::make_mut(&mut same.attribute_values).insert("x".into());
         assert_eq!(
             lkg_fingerprint(Some(&base)),

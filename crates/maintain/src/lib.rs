@@ -131,8 +131,8 @@ pub use drift::{DriftClass, DriftClassifier, DriftConfig, DriftReport, FixKind, 
 pub use lifecycle::{EpochOutcome, MaintainConfig, Maintainer, MaintenanceLog, WrapperState};
 pub use registry::{
     shard_of, CompactionPolicy, CompactionStats, Durability, LogRecord, MaintenanceJob,
-    PersistentRegistry, RecoveryReport, Registry, RegistryError, ShardStats, TornTail,
-    VersionRecord,
+    ObjectStore, PersistentRegistry, RecoveryReport, Registry, RegistryError, ReplicationStats,
+    ShardStats, SnapshotStats, TornTail, VersionRecord,
 };
 pub use repair::{RepairAction, RepairConfig, Repairer};
 pub use verify::{HealthReport, HealthSignal, LastKnownGood, Verifier, VerifyConfig};

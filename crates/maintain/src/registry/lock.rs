@@ -28,6 +28,7 @@
 
 // lint:allow-file(R6, the pid-stamped advisory lock is this module's whole job — it reads and records std::process::id)
 use super::log::RegistryError;
+use super::shard::sync_dir;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -58,6 +59,13 @@ impl ShardLock {
                     // between create and write) reads as stale below.
                     let _ = writeln!(file, "{}", std::process::id());
                     let _ = file.sync_all();
+                    // The created directory entry must survive a crash too:
+                    // a lock that silently vanishes on power loss would let
+                    // a second process in (best-effort, like the stamp —
+                    // the lock stays advisory either way).
+                    if let Some(parent) = path.parent() {
+                        let _ = sync_dir(parent);
+                    }
                     return Ok(ShardLock { path, owned: true });
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {

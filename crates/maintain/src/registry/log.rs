@@ -18,9 +18,12 @@
 //!
 //! * `revision` — a bundle revision entered service for a site: the initial
 //!   install (cause `"installed"`) or a validated maintenance repair.  The
-//!   full [`WrapperBundle`] is embedded via its canonical JSON shape
-//!   ([`WrapperBundle::to_json_value`]), so a log replay needs no other
-//!   files and a human can audit every wrapper that ever served a site.
+//!   bundle itself lives in the content-addressed object store (see
+//!   `registry::objects`); the record carries its 16-hex FxHash64 content
+//!   digest, so identical bundles across sites and compaction generations
+//!   are stored once.  Decoding resolves the digest back to the full
+//!   [`WrapperBundle`]; a missing or corrupt object invalidates the record
+//!   exactly like a checksum mismatch would.
 //! * `lkg` — the [`LastKnownGood`] verification state after a maintenance
 //!   run, so a restarted service verifies the next snapshot against exactly
 //!   the evidence the previous process had accumulated.
@@ -32,12 +35,13 @@
 //! record that violates this is treated as corruption (the valid prefix
 //! ends before it).
 
+use super::objects::ObjectStore;
 use crate::lifecycle::WrapperState;
 use crate::verify::{AnchorCarrier, LastKnownGood};
 use std::hash::Hasher as _;
 use std::path::PathBuf;
 use wi_induction::json::{parse_json, JsonValue};
-use wi_induction::{BundleError, WrapperBundle};
+use wi_induction::WrapperBundle;
 use wi_xpath::fx::FxHasher;
 
 /// A typed failure of the persistent registry.
@@ -200,42 +204,15 @@ impl LogRecord {
             | LogRecord::State { site, .. } => site,
         }
     }
-
-    /// The borrowed view of this record (see [`RecordRef`]).
-    pub(crate) fn as_record_ref(&self) -> RecordRef<'_> {
-        match self {
-            LogRecord::Revision {
-                site,
-                day,
-                revision,
-                cause,
-                bundle,
-            } => RecordRef::Revision {
-                site,
-                day: *day,
-                revision: *revision,
-                cause,
-                bundle,
-            },
-            LogRecord::Lkg { site, lkg } => RecordRef::Lkg { site, lkg },
-            LogRecord::State {
-                site,
-                day,
-                state,
-                target_gone_streak,
-            } => RecordRef::State {
-                site,
-                day: *day,
-                state: *state,
-                target_gone_streak: *target_gone_streak,
-            },
-        }
-    }
 }
 
 /// A borrowed [`LogRecord`]: the encoding paths (batch commit, compaction)
 /// serialize records straight out of live registry state, and an owned
-/// record would deep-clone every bundle just to render and drop it.
+/// record would deep-clone every last-known-good state just to render and
+/// drop it.  A revision carries the **already-stored** content digest of
+/// its bundle — callers store the bundle first ([`ObjectStore::store`]),
+/// then encode — so encoding a record can never reference an object that
+/// is not yet durable.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum RecordRef<'a> {
     /// See [`LogRecord::Revision`].
@@ -244,7 +221,7 @@ pub(crate) enum RecordRef<'a> {
         day: i64,
         revision: u32,
         cause: &'a str,
-        bundle: &'a WrapperBundle,
+        bundle_digest: u64,
     },
     /// See [`LogRecord::Lkg`].
     Lkg {
@@ -260,11 +237,26 @@ pub(crate) enum RecordRef<'a> {
     },
 }
 
-/// FxHash64 of a rendered record body — the per-line checksum.
-fn checksum(body: &str) -> u64 {
+/// FxHash64 of a rendered record body — the per-line checksum, and the
+/// content digest of the object store and the snapshot manifest.
+pub(crate) fn checksum(body: &str) -> u64 {
+    checksum_bytes(body.as_bytes())
+}
+
+/// [`checksum`] over raw bytes (snapshot manifests hash whole files).
+pub(crate) fn checksum_bytes(bytes: &[u8]) -> u64 {
     let mut hasher = FxHasher::default();
-    hasher.write(body.as_bytes());
+    hasher.write(bytes);
     hasher.finish()
+}
+
+/// Parses a 16-hex-digit content digest (the serialized form: u64 digests
+/// do not survive the JSON number path's f64 precision).
+fn digest_from_hex(text: &str) -> Option<u64> {
+    if text.len() != 16 || !text.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return None;
+    }
+    u64::from_str_radix(text, 16).ok()
 }
 
 fn state_name(state: WrapperState) -> &'static str {
@@ -326,6 +318,11 @@ fn lkg_to_json(lkg: &LastKnownGood) -> JsonValue {
                                 "stable_observations".into(),
                                 JsonValue::Number(f64::from(c.stable_observations)),
                             ),
+                            ("neighborhood".into(), strings_to_json(&c.neighborhood)),
+                            (
+                                "neighborhood_stable".into(),
+                                JsonValue::Number(f64::from(c.neighborhood_stable)),
+                            ),
                         ])
                     })
                     .collect(),
@@ -386,6 +383,11 @@ fn lkg_from_json(value: &JsonValue) -> Result<LastKnownGood, String> {
                     .get("stable_observations")
                     .and_then(JsonValue::as_u32)
                     .ok_or("carrier without stable_observations")?,
+                neighborhood: json_strings(c.get("neighborhood"), "carrier neighborhood")?,
+                neighborhood_stable: c
+                    .get("neighborhood_stable")
+                    .and_then(JsonValue::as_u32)
+                    .ok_or("carrier without neighborhood_stable")?,
             })
         })
         .collect::<Result<Vec<_>, String>>()?;
@@ -419,14 +421,17 @@ fn record_to_json(record: RecordRef<'_>) -> JsonValue {
             day,
             revision,
             cause,
-            bundle,
+            bundle_digest,
         } => JsonValue::Object(vec![
             ("type".into(), JsonValue::String("revision".into())),
             ("site".into(), JsonValue::String(site.to_string())),
             ("day".into(), JsonValue::Number(day as f64)),
             ("revision".into(), JsonValue::Number(f64::from(revision))),
             ("cause".into(), JsonValue::String(cause.to_string())),
-            ("bundle".into(), bundle.to_json_value()),
+            (
+                "bundle_digest".into(),
+                JsonValue::String(format!("{bundle_digest:016x}")),
+            ),
         ]),
         RecordRef::Lkg { site, lkg } => JsonValue::Object(vec![
             ("type".into(), JsonValue::String("lkg".into())),
@@ -451,7 +456,7 @@ fn record_to_json(record: RecordRef<'_>) -> JsonValue {
     }
 }
 
-fn record_from_json(value: &JsonValue) -> Result<LogRecord, String> {
+fn record_from_json(value: &JsonValue, objects: &ObjectStore) -> Result<LogRecord, String> {
     let kind = value
         .get("type")
         .and_then(JsonValue::as_str)
@@ -474,12 +479,13 @@ fn record_from_json(value: &JsonValue) -> Result<LogRecord, String> {
                 .and_then(JsonValue::as_str)
                 .ok_or("revision record without cause")?
                 .to_string(),
-            bundle: WrapperBundle::from_json_value(
+            bundle: objects.load(
                 value
-                    .get("bundle")
-                    .ok_or("revision record without bundle")?,
-            )
-            .map_err(|e: BundleError| format!("embedded bundle: {e}"))?,
+                    .get("bundle_digest")
+                    .and_then(JsonValue::as_str)
+                    .and_then(digest_from_hex)
+                    .ok_or("revision record without bundle_digest")?,
+            )?,
         }),
         "lkg" => Ok(LogRecord::Lkg {
             site,
@@ -502,9 +508,37 @@ fn record_from_json(value: &JsonValue) -> Result<LogRecord, String> {
     }
 }
 
-/// Renders a record as one committed log line, trailing `\n` included.
-pub fn encode_record(record: &LogRecord) -> String {
-    encode_record_ref(record.as_record_ref())
+/// Renders a record as one committed log line, trailing `\n` included.  A
+/// revision's bundle is stored into `objects` first (idempotent), so the
+/// returned line only ever references a durable object.
+pub fn encode_record(record: &LogRecord, objects: &ObjectStore) -> Result<String, RegistryError> {
+    Ok(match record {
+        LogRecord::Revision {
+            site,
+            day,
+            revision,
+            cause,
+            bundle,
+        } => encode_record_ref(RecordRef::Revision {
+            site,
+            day: *day,
+            revision: *revision,
+            cause,
+            bundle_digest: objects.store(bundle)?,
+        }),
+        LogRecord::Lkg { site, lkg } => encode_record_ref(RecordRef::Lkg { site, lkg }),
+        LogRecord::State {
+            site,
+            day,
+            state,
+            target_gone_streak,
+        } => encode_record_ref(RecordRef::State {
+            site,
+            day: *day,
+            state: *state,
+            target_gone_streak: *target_gone_streak,
+        }),
+    })
 }
 
 /// [`encode_record`] over a borrowed record: the commit and compaction
@@ -518,15 +552,10 @@ pub(crate) fn encode_record_ref(record: RecordRef<'_>) -> String {
     )
 }
 
-/// Decodes one log line (without its trailing `\n`): splits the canonical
-/// envelope, verifies the checksum over the *raw* record bytes, and only
-/// then pays for parsing the record (including the embedded bundle, which
-/// must load).  Checksumming before parsing both rejects corrupt lines
-/// cheaply and avoids re-serializing every bundle during recovery; lines
-/// are only ever produced by [`encode_record`], so the envelope shape is
-/// exact, not merely JSON-equivalent.  The error is a bare message; the
-/// caller adds shard/line coordinates.
-pub fn decode_line(line: &str) -> Result<LogRecord, String> {
+/// Splits and checksums the canonical line envelope, returning the record
+/// body.  Lines are only ever produced by [`encode_record`], so the
+/// envelope shape is exact, not merely JSON-equivalent.
+fn checked_body(line: &str) -> Result<&str, String> {
     let rest = line
         .strip_prefix("{\"sum\":\"")
         .ok_or("line does not start with the checksum envelope")?;
@@ -543,14 +572,98 @@ pub fn decode_line(line: &str) -> Result<LogRecord, String> {
             "checksum mismatch (stored {sum}, computed {expected})"
         ));
     }
+    Ok(body)
+}
+
+/// Decodes one log line (without its trailing `\n`): verifies the envelope
+/// checksum over the *raw* record bytes, and only then pays for parsing
+/// the record — including resolving a revision's bundle digest through the
+/// object store, which must load and verify.  The error is a bare message;
+/// the caller adds shard/line coordinates.
+pub fn decode_line(line: &str, objects: &ObjectStore) -> Result<LogRecord, String> {
+    let body = checked_body(line)?;
     let record = parse_json(body).map_err(|e| format!("malformed JSON: {e}"))?;
-    record_from_json(&record)
+    record_from_json(&record, objects)
+}
+
+/// The cheap metadata of one log line: what compaction's liveness scan
+/// needs, without resolving (or even touching) the object store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct RecordMeta {
+    /// The site the record belongs to.
+    pub site: String,
+    /// Which record type the line holds.
+    pub kind: RecordKind,
+    /// The revision number (revision records only).
+    pub revision: Option<u32>,
+    /// The bundle content digest (revision records only).
+    pub bundle_digest: Option<u64>,
+}
+
+/// The record type tag of a [`RecordMeta`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RecordKind {
+    Revision,
+    Lkg,
+    State,
+}
+
+/// Decodes one line down to its [`RecordMeta`]: envelope checksum + JSON
+/// parse, but no object-store resolution — compaction scans whole shards
+/// with this, then copies live lines byte-identically.
+pub(crate) fn decode_line_meta(line: &str) -> Result<RecordMeta, String> {
+    let body = checked_body(line)?;
+    let value = parse_json(body).map_err(|e| format!("malformed JSON: {e}"))?;
+    let site = value
+        .get("site")
+        .and_then(JsonValue::as_str)
+        .ok_or("record without site")?
+        .to_string();
+    match value.get("type").and_then(JsonValue::as_str) {
+        Some("revision") => Ok(RecordMeta {
+            site,
+            kind: RecordKind::Revision,
+            revision: Some(
+                value
+                    .get("revision")
+                    .and_then(JsonValue::as_u32)
+                    .ok_or("revision record without revision number")?,
+            ),
+            bundle_digest: Some(
+                value
+                    .get("bundle_digest")
+                    .and_then(JsonValue::as_str)
+                    .and_then(digest_from_hex)
+                    .ok_or("revision record without bundle_digest")?,
+            ),
+        }),
+        Some("lkg") => Ok(RecordMeta {
+            site,
+            kind: RecordKind::Lkg,
+            revision: None,
+            bundle_digest: None,
+        }),
+        Some("state") => Ok(RecordMeta {
+            site,
+            kind: RecordKind::State,
+            revision: None,
+            bundle_digest: None,
+        }),
+        other => Err(format!("unknown record type {other:?}")),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use wi_scoring::ScoringParams;
+
+    fn temp_store(tag: &str) -> (std::path::PathBuf, ObjectStore) {
+        let root = std::env::temp_dir().join(format!("wi-log-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ObjectStore::open(&root);
+        (root, store)
+    }
 
     fn bundle() -> WrapperBundle {
         let doc = wi_dom::Document::parse(
@@ -592,25 +705,46 @@ mod tests {
                 target_gone_streak: 1,
             },
         ];
+        let (root, store) = temp_store("roundtrip");
         for record in &records {
-            let line = encode_record(record);
+            let line = encode_record(record, &store).unwrap();
             assert!(line.ends_with('\n'));
-            let decoded = decode_line(line.trim_end_matches('\n')).unwrap();
+            let trimmed = line.trim_end_matches('\n');
+            let decoded = decode_line(trimmed, &store).unwrap();
             // Round trip is byte-identical (the equality proxy for every
-            // field, including the embedded bundle and f64 scores).
-            assert_eq!(encode_record(&decoded), line);
+            // field, including the bundle resolved back through the object
+            // store and the f64 scores).
+            assert_eq!(encode_record(&decoded, &store).unwrap(), line);
             assert_eq!(decoded.site(), "site-a");
+            // The cheap meta decode agrees on identity fields.
+            let meta = decode_line_meta(trimmed).unwrap();
+            assert_eq!(meta.site, "site-a");
+            match record {
+                LogRecord::Revision { revision, .. } => {
+                    assert_eq!(meta.kind, RecordKind::Revision);
+                    assert_eq!(meta.revision, Some(*revision));
+                    assert!(store.contains(meta.bundle_digest.unwrap()));
+                }
+                LogRecord::Lkg { .. } => assert_eq!(meta.kind, RecordKind::Lkg),
+                LogRecord::State { .. } => assert_eq!(meta.kind, RecordKind::State),
+            }
         }
+        std::fs::remove_dir_all(&root).unwrap();
     }
 
     #[test]
     fn every_single_byte_corruption_is_detected_or_harmless() {
-        let line = encode_record(&LogRecord::State {
-            site: "s".into(),
-            day: 7,
-            state: WrapperState::Monitoring,
-            target_gone_streak: 0,
-        });
+        let (root, store) = temp_store("corrupt");
+        let line = encode_record(
+            &LogRecord::State {
+                site: "s".into(),
+                day: 7,
+                state: WrapperState::Monitoring,
+                target_gone_streak: 0,
+            },
+            &store,
+        )
+        .unwrap();
         let trimmed = line.trim_end_matches('\n');
         for i in 0..trimmed.len() {
             let mut bytes = trimmed.as_bytes().to_vec();
@@ -618,20 +752,21 @@ mod tests {
             let Ok(corrupted) = String::from_utf8(bytes) else {
                 continue; // invalid UTF-8 is rejected before decode_line
             };
-            match decode_line(&corrupted) {
+            match decode_line(&corrupted, &store) {
                 Err(_) => {}
                 Ok(decoded) => {
                     // A flip may survive only by rendering an equivalent
                     // record (e.g. flipping a byte back is impossible, but a
                     // semantically identical number form could slip through).
                     assert_eq!(
-                        encode_record(&decoded),
+                        encode_record(&decoded, &store).unwrap(),
                         line,
                         "byte {i} corrupted the record silently"
                     );
                 }
             }
         }
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]
@@ -645,13 +780,20 @@ mod tests {
         let first = LastKnownGood::capture_for(&b, &doc, 0, &targets);
         let advanced =
             LastKnownGood::advance(&first, LastKnownGood::capture_for(&b, &doc, 20, &targets));
-        let line = encode_record(&LogRecord::Lkg {
-            site: "s".into(),
-            lkg: advanced.clone(),
-        });
-        let LogRecord::Lkg { lkg, .. } = decode_line(line.trim_end_matches('\n')).unwrap() else {
+        let (root, store) = temp_store("lkg");
+        let line = encode_record(
+            &LogRecord::Lkg {
+                site: "s".into(),
+                lkg: advanced.clone(),
+            },
+            &store,
+        )
+        .unwrap();
+        let LogRecord::Lkg { lkg, .. } = decode_line(line.trim_end_matches('\n'), &store).unwrap()
+        else {
             panic!("wrong record type");
         };
         assert_eq!(lkg, advanced);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

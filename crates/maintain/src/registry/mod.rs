@@ -9,12 +9,18 @@
 //!   semantic baseline the persistent path is tested against.
 //! * [`PersistentRegistry`] — the production shape: site histories
 //!   partitioned into N shards by FxHash of the site key, each shard backed
-//!   by an append-only, checksummed JSON-lines version log plus a manifest
-//!   (see [`log`](self::log) for the record schema and [`shard`] for the
-//!   on-disk layout).  [`recover`](PersistentRegistry::recover) replays the
-//!   logs back into the live map, tolerating a torn final record, and
-//!   [`compact`](PersistentRegistry::compact) bounds log growth (see
-//!   [`compact`](self::compact) module docs).
+//!   by numbered, size-bounded, checksummed JSON-lines **segments** plus a
+//!   manifest, with wrapper bundles deduplicated into a content-addressed
+//!   object store (see [`log`](self::log) for the record schema, [`shard`]
+//!   for the on-disk layout and [`objects`](self::objects) for the bundle
+//!   store).  [`recover`](PersistentRegistry::recover) replays the segments
+//!   back into the live map, tolerating a torn final record;
+//!   [`compact`](PersistentRegistry::compact) rewrites only segments below
+//!   a live-record ratio floor (see [`compact`](self::compact) module
+//!   docs); and [`snapshot`](PersistentRegistry::snapshot) /
+//!   [`replicate_to`](PersistentRegistry::replicate_to) /
+//!   [`restore`](PersistentRegistry::restore) move whole registries between
+//!   directories and machines.
 //!
 //! The persistent [`maintain_batch`](PersistentRegistry::maintain_batch)
 //! additionally persists each site's *maintenance position* — last-known
@@ -25,11 +31,15 @@
 pub mod compact;
 mod lock;
 pub mod log;
+pub mod objects;
 pub mod shard;
+mod snapshot;
 
 pub use compact::{CompactionPolicy, CompactionStats};
 pub use log::{LogRecord, RegistryError};
+pub use objects::ObjectStore;
 pub use shard::shard_of;
+pub use snapshot::{ReplicationStats, SnapshotStats};
 
 use crate::lifecycle::{Maintainer, MaintenanceLog, WrapperState};
 use crate::verify::LastKnownGood;
@@ -356,8 +366,10 @@ pub struct ShardStats {
     pub sites: usize,
     /// Retained version records across those sites.
     pub revisions: usize,
-    /// Current byte length of the shard's log file.
+    /// Summed byte length of the shard's log segments.
     pub log_bytes: u64,
+    /// Number of log segments in the shard.
+    pub segments: usize,
 }
 
 /// One dropped log tail, as found by [`PersistentRegistry::recover`].
@@ -432,7 +444,28 @@ pub struct PersistentRegistry {
     /// field exists only for its `Drop`.
     #[allow(dead_code)]
     locks: Vec<lock::ShardLock>,
+    /// The content-addressed bundle store under `<root>/objects/`.
+    objects: ObjectStore,
+    /// Per shard: the segment appends currently go to, and its byte length
+    /// (the rotation threshold accumulates here).
+    active: Vec<ActiveSegment>,
+    /// The rotation threshold: an append that would push the active segment
+    /// *past* this many bytes rolls to a fresh segment first.  One append
+    /// batch is never split, so segments can exceed the threshold by up to
+    /// one batch.
+    segment_bytes: u64,
 }
+
+/// A shard's append cursor: which segment is active and how full it is.
+#[derive(Debug, Clone, Copy)]
+struct ActiveSegment {
+    id: u64,
+    bytes: u64,
+}
+
+/// The default rotation threshold (see
+/// [`PersistentRegistry::set_segment_bytes`]).
+const DEFAULT_SEGMENT_BYTES: u64 = 64 * 1024;
 
 impl PersistentRegistry {
     /// Initialises an empty registry at `root` with `shards` shards.
@@ -460,10 +493,12 @@ impl PersistentRegistry {
             std::fs::create_dir_all(&dir).map_err(|e| RegistryError::io(&dir, e))?;
             locks.push(lock::ShardLock::acquire(shard::lock_path(&root, index))?);
             shard::write_shard_manifest(&root, index, 0)?;
+            shard::create_segment(&root, index, 0)?;
         }
         // The root manifest last: its presence marks a fully initialised
         // layout.
         shard::write_root_manifest(&root, shards)?;
+        let objects = ObjectStore::open(&root);
         Ok(PersistentRegistry {
             root,
             shards,
@@ -475,6 +510,9 @@ impl PersistentRegistry {
             poisoned: false,
             durability: Durability::Always,
             locks,
+            objects,
+            active: vec![ActiveSegment { id: 0, bytes: 0 }; shards],
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         })
     }
 
@@ -519,10 +557,16 @@ impl PersistentRegistry {
             shards,
             ..RecoveryReport::default()
         };
+        let objects = ObjectStore::open(&root);
+        let mut active = Vec::with_capacity(shards);
         for index in 0..shards {
             shard::read_shard_manifest(&root, index)?;
-            let recovered = shard::recover_shard(&root, index, repair)?;
+            let recovered = shard::recover_shard(&root, index, repair, &objects)?;
             report.records_replayed += recovered.records.len();
+            active.push(ActiveSegment {
+                id: recovered.active_segment,
+                bytes: recovered.active_bytes,
+            });
             if let Some(error) = recovered.error {
                 report.torn_tails.push(TornTail {
                     shard: index,
@@ -544,6 +588,9 @@ impl PersistentRegistry {
             poisoned: false,
             durability: Durability::Always,
             locks,
+            objects,
+            active,
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
         })
     }
 
@@ -565,6 +612,32 @@ impl PersistentRegistry {
     /// What the last [`recover`](PersistentRegistry::recover) found.
     pub fn recovery_report(&self) -> &RecoveryReport {
         &self.report
+    }
+
+    /// The content-addressed bundle store backing revision records.
+    pub fn objects(&self) -> &ObjectStore {
+        &self.objects
+    }
+
+    /// The segment rotation threshold in bytes (see
+    /// [`set_segment_bytes`](PersistentRegistry::set_segment_bytes)).
+    pub fn segment_bytes(&self) -> u64 {
+        self.segment_bytes
+    }
+
+    /// Sets the rotation threshold: an append that would push a shard's
+    /// active segment past `bytes` rolls to a fresh segment first.  One
+    /// append batch is never split across segments, so a segment can exceed
+    /// the threshold by up to one batch.  Affects future appends only.
+    pub fn set_segment_bytes(&mut self, bytes: u64) {
+        self.segment_bytes = bytes.max(1);
+    }
+
+    /// Builder form of
+    /// [`set_segment_bytes`](PersistentRegistry::set_segment_bytes).
+    pub fn with_segment_bytes(mut self, bytes: u64) -> Self {
+        self.set_segment_bytes(bytes);
+        self
     }
 
     /// Installs a (freshly induced) bundle for a new site.  Re-installing an
@@ -590,7 +663,8 @@ impl PersistentRegistry {
             cause: "installed".to_string(),
             bundle,
         };
-        self.append_guarded(shard_of(&site, self.shards), &encode_record(&record))?;
+        let line = encode_record(&record, &self.objects)?;
+        self.append_guarded(shard_of(&site, self.shards), &line)?;
         apply_record(&mut self.sites, record);
         Ok(())
     }
@@ -631,7 +705,8 @@ impl PersistentRegistry {
                 .unwrap_or_else(|| "committed".to_string()),
             bundle,
         };
-        self.append_guarded(shard_of(site, self.shards), &encode_record(&record))?;
+        let line = encode_record(&record, &self.objects)?;
+        self.append_guarded(shard_of(site, self.shards), &line)?;
         apply_record(&mut self.sites, record);
         Ok(())
     }
@@ -703,7 +778,7 @@ impl PersistentRegistry {
     /// boundaries and before a graceful shutdown.
     pub fn sync(&mut self) -> Result<(), RegistryError> {
         for index in 0..self.shards {
-            shard::sync_log(&self.root, index)?;
+            shard::sync_segments(&self.root, index)?;
         }
         Ok(())
     }
@@ -717,6 +792,7 @@ impl PersistentRegistry {
                 sites: 0,
                 revisions: 0,
                 log_bytes: 0,
+                segments: 0,
             })
             .collect();
         for (site, entry) in &self.sites {
@@ -725,9 +801,16 @@ impl PersistentRegistry {
             stat.revisions += entry.versions.len();
         }
         for stat in &mut stats {
-            stat.log_bytes = std::fs::metadata(shard::log_path(&self.root, stat.shard))
-                .map(|m| m.len())
-                .unwrap_or(0);
+            let ids = shard::list_segments(&self.root, stat.shard).unwrap_or_default();
+            stat.segments = ids.len();
+            stat.log_bytes = ids
+                .iter()
+                .map(|&id| {
+                    std::fs::metadata(shard::segment_path(&self.root, stat.shard, id))
+                        .map(|m| m.len())
+                        .unwrap_or(0)
+                })
+                .sum();
         }
         stats
     }
@@ -742,8 +825,51 @@ impl PersistentRegistry {
         if self.poisoned {
             return Err(RegistryError::Poisoned);
         }
+        if lines.is_empty() {
+            return Ok(());
+        }
+        // Roll to a fresh segment *before* the append when this batch would
+        // push the active segment past the threshold — a batch is never
+        // split, so the records of one commit always share a segment.  A
+        // failed rotation does not poison: nothing has been appended yet,
+        // so the live map and the logs still agree.
+        let active = self.active[shard];
+        if active.bytes > 0 && active.bytes + lines.len() as u64 > self.segment_bytes {
+            self.seal_active(shard)?;
+        }
         let sync = self.durability == Durability::Always;
-        shard::append_lines(&self.root, shard, lines, sync).inspect_err(|_| self.poisoned = true)
+        let segment = self.active[shard].id;
+        shard::append_lines(&self.root, shard, segment, lines, sync)
+            .inspect_err(|_| self.poisoned = true)?;
+        self.active[shard].bytes += lines.len() as u64;
+        Ok(())
+    }
+
+    /// Rotates a shard's appends to a fresh, durable segment (no-op when
+    /// the active segment is still empty).  Used by the threshold roll in
+    /// [`append_guarded`](Self::append_guarded) and by `snapshot`, which
+    /// must never hard-link a file that could still receive appends.
+    pub(crate) fn seal_active(&mut self, shard: usize) -> Result<(), RegistryError> {
+        if self.active[shard].bytes == 0 {
+            return Ok(());
+        }
+        let next = self.active[shard].id + 1;
+        shard::create_segment(&self.root, shard, next)?;
+        self.active[shard] = ActiveSegment { id: next, bytes: 0 };
+        crate::telemetry::registry_metrics()
+            .segment_rotations
+            .add(1);
+        Ok(())
+    }
+
+    /// [`RegistryError::Poisoned`] when a failed append has poisoned this
+    /// instance, `Ok` otherwise.
+    pub(crate) fn check_poisoned(&self) -> Result<(), RegistryError> {
+        if self.poisoned {
+            Err(RegistryError::Poisoned)
+        } else {
+            Ok(())
+        }
     }
 
     /// [`Registry::maintain_batch`] over the persisted histories: identical
@@ -866,16 +992,22 @@ impl PersistentRegistry {
             if seed.is_none() || log.outcomes.is_empty() {
                 continue;
             }
-            let lines = appends.entry(shard_of(&job.site, self.shards)).or_default();
+            let mut encoded = String::new();
             for revision in &log.revisions {
-                lines.push_str(&log::encode_record_ref(log::RecordRef::Revision {
+                // Store the bundle body first: objects are idempotent, so a
+                // crash between here and the append leaves at worst an
+                // unreferenced object for the next compaction to collect.
+                let bundle_digest = self.objects.store(&revision.bundle)?;
+                encoded.push_str(&log::encode_record_ref(log::RecordRef::Revision {
                     site: &job.site,
                     day: revision.day,
                     revision: revision.revision,
                     cause: &revision.cause,
-                    bundle: &revision.bundle,
+                    bundle_digest,
                 }));
             }
+            let lines = appends.entry(shard_of(&job.site, self.shards)).or_default();
+            lines.push_str(&encoded);
             if let Some(lkg) = &log.lkg {
                 lines.push_str(&log::encode_record_ref(log::RecordRef::Lkg {
                     site: &job.site,
@@ -918,7 +1050,8 @@ impl PersistentRegistry {
         Ok(logs)
     }
 
-    /// Rewrites every shard log down to the retained history (see the
+    /// Rewrites the dirty segments of every shard down to the retained
+    /// history and garbage-collects unreferenced bundle objects (see the
     /// [`compact`](self::compact) module docs for the exact policy and the
     /// invariants).
     pub fn compact(&mut self, policy: &CompactionPolicy) -> Result<CompactionStats, RegistryError> {
@@ -927,7 +1060,8 @@ impl PersistentRegistry {
             // would discard the records the failed append already landed.
             return Err(RegistryError::Poisoned);
         }
-        let stats = compact::compact_registry(&self.root, self.shards, &self.sites, policy)?;
+        let stats =
+            compact::compact_registry(&self.root, self.shards, &self.sites, policy, &self.objects)?;
         // Only once every shard rewrite has landed: trim the live histories
         // to what the rewrite kept, so the live map and a post-compaction
         // recovery agree record for record.  (Trimming first would leave
@@ -936,6 +1070,13 @@ impl PersistentRegistry {
             entry
                 .versions
                 .drain(..policy.keep_from(entry.versions.len()));
+        }
+        // The rewrite may have shrunk (or emptied) the active segment:
+        // refresh the append cursor from disk so the rotation threshold
+        // keeps measuring real bytes.
+        for shard in 0..self.shards {
+            let path = shard::segment_path(&self.root, shard, self.active[shard].id);
+            self.active[shard].bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
         }
         Ok(stats)
     }

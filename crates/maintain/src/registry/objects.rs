@@ -1,0 +1,188 @@
+//! The content-addressed bundle store: one file per unique wrapper body.
+//!
+//! Revision records used to embed their full [`WrapperBundle`] JSON inline,
+//! so a site whose wrapper never changed still re-serialized the whole
+//! bundle into every compacted log generation, and N sites sharing one
+//! induced template stored N copies.  The object store deduplicates by
+//! content: a bundle is rendered to its canonical compact JSON, hashed
+//! (FxHash64 over the raw bytes), and written to
+//! `<root>/objects/<16 hex>.json` **once** — revision records then carry
+//! only the 16-hex digest (see `registry::log`).
+//!
+//! Objects are immutable: a digest's file is never rewritten (a store of an
+//! already-present digest is a no-op), so snapshots can hard-link the files
+//! and replication can skip any digest the destination already has.
+//! Unreferenced objects are garbage-collected by compaction, which knows
+//! the set of digests still reachable from the segment files.
+//!
+//! Loads verify the digest over the raw bytes before parsing, so a
+//! corrupted object is detected exactly like a corrupted log line — the
+//! affected revision record fails validation and recovery stops its replay
+//! prefix there.
+
+use super::log::{checksum, RegistryError};
+use super::shard::{sync_dir, write_atomic};
+use std::path::{Path, PathBuf};
+use wi_induction::json::parse_json;
+use wi_induction::WrapperBundle;
+
+/// Handle on a registry's `objects/` directory.
+#[derive(Debug)]
+pub struct ObjectStore {
+    dir: PathBuf,
+}
+
+impl ObjectStore {
+    /// The store under a registry root (no I/O; the directory is created on
+    /// first write).
+    pub fn open(root: &Path) -> ObjectStore {
+        ObjectStore {
+            dir: root.join("objects"),
+        }
+    }
+
+    /// The directory holding the object files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Path of one object file.
+    pub fn object_path(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("{digest:016x}.json"))
+    }
+
+    /// Stores a bundle, returning its content digest.  Idempotent: a digest
+    /// already on disk is returned without touching the file (objects are
+    /// immutable, so equality of digest implies equality of content).
+    pub fn store(&self, bundle: &WrapperBundle) -> Result<u64, RegistryError> {
+        let body = bundle.to_json_value().to_compact();
+        let digest = checksum(&body);
+        let path = self.object_path(digest);
+        if path.exists() {
+            return Ok(digest);
+        }
+        if !self.dir.exists() {
+            std::fs::create_dir_all(&self.dir).map_err(|e| RegistryError::io(&self.dir, e))?;
+            if let Some(parent) = self.dir.parent() {
+                sync_dir(parent)?;
+            }
+        }
+        write_atomic(&path, &body)?;
+        Ok(digest)
+    }
+
+    /// Loads a bundle by digest, verifying the digest over the raw bytes
+    /// before parsing.  The error is a bare message (like `decode_line`'s):
+    /// the caller adds shard/line coordinates, because a missing or corrupt
+    /// object invalidates the revision record that references it.
+    pub fn load(&self, digest: u64) -> Result<WrapperBundle, String> {
+        let path = self.object_path(digest);
+        let body = std::fs::read_to_string(&path)
+            .map_err(|e| format!("object {digest:016x} unreadable: {e}"))?;
+        let computed = checksum(&body);
+        if computed != digest {
+            return Err(format!(
+                "object {digest:016x} fails its content digest (computed {computed:016x})"
+            ));
+        }
+        let value = parse_json(&body).map_err(|e| format!("object {digest:016x}: {e}"))?;
+        WrapperBundle::from_json_value(&value).map_err(|e| format!("object {digest:016x}: {e}"))
+    }
+
+    /// Whether a digest is present.
+    pub fn contains(&self, digest: u64) -> bool {
+        self.object_path(digest).exists()
+    }
+
+    /// Every digest on disk, ascending.  Foreign files in the directory are
+    /// ignored (same discipline as segment listing).
+    pub fn list(&self) -> Result<Vec<u64>, RegistryError> {
+        let entries = match std::fs::read_dir(&self.dir) {
+            Ok(entries) => entries,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(RegistryError::io(&self.dir, e)),
+        };
+        let mut digests = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| RegistryError::io(&self.dir, e))?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(hex) = name.strip_suffix(".json") {
+                if hex.len() == 16 && hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+                    if let Ok(digest) = u64::from_str_radix(hex, 16) {
+                        digests.push(digest);
+                    }
+                }
+            }
+        }
+        digests.sort_unstable();
+        Ok(digests)
+    }
+
+    /// Removes one object (compaction's garbage collection; the caller has
+    /// proven the digest unreachable from every surviving segment line).
+    pub fn remove(&self, digest: u64) -> Result<(), RegistryError> {
+        let path = self.object_path(digest);
+        std::fs::remove_file(&path).map_err(|e| RegistryError::io(&path, e))?;
+        sync_dir(&self.dir)
+    }
+
+    /// `(object count, summed byte length)` — the `/metrics` gauges.
+    pub fn stats(&self) -> (usize, u64) {
+        let Ok(digests) = self.list() else {
+            return (0, 0);
+        };
+        let mut bytes = 0u64;
+        for digest in &digests {
+            bytes += std::fs::metadata(self.object_path(*digest))
+                .map(|m| m.len())
+                .unwrap_or(0);
+        }
+        (digests.len(), bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wi_scoring::ScoringParams;
+
+    fn bundle(label: &str) -> WrapperBundle {
+        let doc = wi_dom::Document::parse(
+            r#"<body><p class="x">a</p><p class="x">b</p><div>c</div></body>"#,
+        )
+        .unwrap();
+        let targets = doc.elements_by_class("x");
+        let wrapper = wi_induction::WrapperInducer::default()
+            .try_induce_best(&doc, &targets)
+            .unwrap();
+        WrapperBundle::from_wrapper(&wrapper, ScoringParams::paper_defaults()).with_label(label)
+    }
+
+    #[test]
+    fn store_is_idempotent_and_load_verifies_content() {
+        let root = std::env::temp_dir().join(format!("wi-objects-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let store = ObjectStore::open(&root);
+        let b = bundle("site-a");
+        let digest = store.store(&b).unwrap();
+        assert_eq!(store.store(&b).unwrap(), digest, "idempotent");
+        assert_eq!(store.list().unwrap(), vec![digest]);
+        let loaded = store.load(digest).unwrap();
+        assert_eq!(
+            loaded.to_json_value().to_compact(),
+            b.to_json_value().to_compact()
+        );
+        // Distinct content gets a distinct object.
+        let other = store.store(&bundle("site-b")).unwrap();
+        assert_ne!(other, digest);
+        assert_eq!(store.list().unwrap().len(), 2);
+        // A flipped byte is detected at load time.
+        let path = store.object_path(digest);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0x04;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load(digest).unwrap_err().contains("digest"));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -3,24 +3,40 @@
 //! ```text
 //! <root>/
 //!   registry.json        root manifest: format marker + shard count
+//!   objects/
+//!     <16 hex>.json      content-addressed bundle bodies (see `objects`)
 //!   shard-000/
 //!     manifest.json      shard manifest: index + compaction generation
-//!     log.jsonl          append-only version log (see `registry::log`)
+//!     seg-000000.log     numbered, size-bounded record segments
+//!     seg-000001.log     … (see `registry::log` for the record schema)
 //!   shard-001/ …
+//!   snapshots/
+//!     <name>/            hard-linked snapshots (see `registry::snapshot`)
 //! ```
 //!
 //! Sites are partitioned by FxHash of the site key modulo the shard count
-//! ([`shard_of`]), so one site's whole history lives in exactly one log and
-//! shards can be recovered, compacted and audited independently.
+//! ([`shard_of`]), so one site's whole history lives in exactly one shard and
+//! shards can be recovered, compacted and audited independently.  Within a
+//! shard the log is a sequence of **segments**: appends go to the
+//! highest-numbered segment and roll to a fresh one at a byte threshold, so
+//! compaction can rewrite cold segments without touching the hot tail.
 //!
-//! **Recovery** reads a shard log front to back and replays the longest
-//! prefix of valid records: each line must be `\n`-terminated (the commit
-//! marker), checksum-clean, schema-valid, and revision-monotonic per site.
-//! The first violation ends the prefix; the file is truncated back to it so
-//! the next append continues from known-good state, and the dropped tail is
-//! reported as a typed [`RegistryError`] — never a panic.
+//! **Recovery** reads a shard's segments in numeric order and replays the
+//! longest prefix of valid records: each line must be `\n`-terminated (the
+//! commit marker), checksum-clean, schema-valid, resolvable against the
+//! object store, and revision-monotonic per site.  The first violation ends
+//! the prefix; the offending segment is truncated back to it and every later
+//! segment is dropped, so the next append continues from known-good state,
+//! and the dropped tail is reported as a typed [`RegistryError`] — never a
+//! panic.
+//!
+//! **Durability**: every rename and file creation in this directory tree is
+//! followed by an fsync of the parent directory ([`sync_dir`]), so a crash
+//! after a committed rename cannot resurrect the old directory entry (the
+//! rule is machine-checked as wi-lint R9).
 
 use super::log::{decode_line, LogRecord, RegistryError};
+use super::objects::ObjectStore;
 use std::collections::HashMap;
 use std::hash::Hasher as _;
 use std::io::Write as _;
@@ -32,8 +48,11 @@ use wi_xpath::fx::FxHasher;
 pub(crate) const REGISTRY_FORMAT: &str = "wrapper-induction/registry";
 /// The format marker of a shard manifest.
 pub(crate) const SHARD_FORMAT: &str = "wrapper-induction/registry-shard";
-/// The registry layout version this build reads and writes.
-pub(crate) const REGISTRY_FORMAT_VERSION: u32 = 1;
+/// The registry layout version this build reads and writes.  Version 1 was
+/// the single `log.jsonl`-per-shard layout with bundles embedded in revision
+/// records; version 2 introduced segments and the content-addressed object
+/// store.
+pub(crate) const REGISTRY_FORMAT_VERSION: u32 = 2;
 
 /// The shard a site key lives in: FxHash64 of the key, finalized and taken
 /// modulo `shards`.
@@ -43,7 +62,7 @@ pub(crate) const REGISTRY_FORMAT_VERSION: u32 = 1;
 /// `hash % shards` collapses whole key families onto one shard.  A full
 /// avalanche finalizer (murmur3's fmix64) spreads every input bit across
 /// the word first; the partition is part of the on-disk format, so this
-/// function must never change for version 1 registries.
+/// function must never change.
 pub fn shard_of(site: &str, shards: usize) -> usize {
     let mut hasher = FxHasher::default();
     hasher.write(site.as_bytes());
@@ -61,9 +80,38 @@ pub(crate) fn shard_dir(root: &Path, shard: usize) -> PathBuf {
     root.join(format!("shard-{shard:03}"))
 }
 
-/// Path of a shard's append-only version log.
-pub(crate) fn log_path(root: &Path, shard: usize) -> PathBuf {
-    shard_dir(root, shard).join("log.jsonl")
+/// Path of one numbered segment of a shard's version log.
+pub(crate) fn segment_path(root: &Path, shard: usize, id: u64) -> PathBuf {
+    shard_dir(root, shard).join(format!("seg-{id:06}.log"))
+}
+
+/// Parses a segment file name back to its id (`None` for foreign files).
+pub(crate) fn segment_id(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("seg-")?.strip_suffix(".log")?;
+    if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// The segment ids present in a shard directory, ascending.  A missing
+/// shard directory is an empty shard.
+pub(crate) fn list_segments(root: &Path, shard: usize) -> Result<Vec<u64>, RegistryError> {
+    let dir = shard_dir(root, shard);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(RegistryError::io(&dir, e)),
+    };
+    let mut ids = Vec::new();
+    for entry in entries {
+        let entry = entry.map_err(|e| RegistryError::io(&dir, e))?;
+        if let Some(id) = segment_id(&entry.file_name().to_string_lossy()) {
+            ids.push(id);
+        }
+    }
+    ids.sort_unstable();
+    Ok(ids)
 }
 
 /// Path of a shard's manifest.
@@ -81,10 +129,20 @@ pub(crate) fn root_manifest_path(root: &Path) -> PathBuf {
     root.join("registry.json")
 }
 
+/// Fsyncs a directory, making its entries (renames, creations, removals)
+/// durable.  A rename that is fsynced only at the file level can still be
+/// lost when the crash takes the directory block with it; every
+/// rename/create site in `registry/` therefore pairs with a `sync_dir` of
+/// the parent (wi-lint R9 enforces the pairing).
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), RegistryError> {
+    let handle = std::fs::File::open(dir).map_err(|e| RegistryError::io(dir, e))?;
+    handle.sync_all().map_err(|e| RegistryError::io(dir, e))
+}
+
 /// Writes `text` to `path` atomically: a sibling temp file is written in
-/// full and fsynced, then renamed over the target, so a crash leaves either
-/// the old or the new content, never a torn mix.  (Directory entries are
-/// not fsynced; see the ROADMAP's durability follow-up.)
+/// full and fsynced, then renamed over the target, then the parent
+/// directory entry is fsynced — so a crash leaves either the old or the new
+/// content, never a torn mix, and the committed rename survives power loss.
 pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), RegistryError> {
     let tmp = path.with_extension("tmp");
     let mut file = std::fs::File::create(&tmp).map_err(|e| RegistryError::io(&tmp, e))?;
@@ -92,7 +150,22 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> Result<(), RegistryError>
         .map_err(|e| RegistryError::io(&tmp, e))?;
     file.sync_all().map_err(|e| RegistryError::io(&tmp, e))?;
     drop(file);
-    std::fs::rename(&tmp, path).map_err(|e| RegistryError::io(path, e))
+    std::fs::rename(&tmp, path).map_err(|e| RegistryError::io(path, e))?;
+    match path.parent() {
+        Some(parent) => sync_dir(parent),
+        None => Ok(()),
+    }
+}
+
+/// Creates a fresh, empty segment and makes its directory entry durable.
+/// Rotation calls this *before* switching appends over, so a crash between
+/// the two leaves only a harmless empty segment behind.
+pub(crate) fn create_segment(root: &Path, shard: usize, id: u64) -> Result<(), RegistryError> {
+    let path = segment_path(root, shard, id);
+    let file = std::fs::File::create(&path).map_err(|e| RegistryError::io(&path, e))?;
+    file.sync_all().map_err(|e| RegistryError::io(&path, e))?;
+    drop(file);
+    sync_dir(&shard_dir(root, shard))
 }
 
 pub(crate) fn write_root_manifest(root: &Path, shards: usize) -> Result<(), RegistryError> {
@@ -196,19 +269,24 @@ pub(crate) fn read_shard_manifest(root: &Path, shard: usize) -> Result<u32, Regi
         .unwrap_or(0))
 }
 
-/// Appends pre-encoded record lines to a shard log.  With `sync` set
-/// ([`Durability::Always`]) the file is fsynced, so the records survive an
-/// OS crash or power loss once this returns (the torn-tail recovery covers
-/// a crash *during* the write); without it ([`Durability::Batch`]) the
-/// bytes only reach the OS page cache — an application crash loses nothing,
-/// an OS crash loses at most the un-synced suffix, and recovery still
-/// restores the longest valid prefix.
+/// Appends pre-encoded record lines to a shard's **active segment**.  With
+/// `sync` set ([`Durability::Always`]) the file is fsynced, so the records
+/// survive an OS crash or power loss once this returns (the torn-tail
+/// recovery covers a crash *during* the write); without it
+/// ([`Durability::Batch`]) the bytes only reach the OS page cache — an
+/// application crash loses nothing, an OS crash loses at most the un-synced
+/// suffix, and recovery still restores the longest valid prefix.
+///
+/// The segment must already exist ([`create_segment`] made its directory
+/// entry durable); appends never create files, so a missing segment is an
+/// invariant break, not a lazy-initialisation case.
 ///
 /// [`Durability::Always`]: super::Durability::Always
 /// [`Durability::Batch`]: super::Durability::Batch
 pub(crate) fn append_lines(
     root: &Path,
     shard: usize,
+    segment: u64,
     lines: &str,
     sync: bool,
 ) -> Result<(), RegistryError> {
@@ -217,9 +295,8 @@ pub(crate) fn append_lines(
     }
     let obs = crate::telemetry::registry_metrics();
     let append_started = std::time::Instant::now();
-    let path = log_path(root, shard);
+    let path = segment_path(root, shard, segment);
     let mut file = std::fs::OpenOptions::new()
-        .create(true)
         .append(true)
         .open(&path)
         .map_err(|e| RegistryError::io(&path, e))?;
@@ -234,134 +311,191 @@ pub(crate) fn append_lines(
     Ok(())
 }
 
-/// Fsyncs a shard log (no-op for a shard that never received an append):
-/// the batch-durability flush point.
-pub(crate) fn sync_log(root: &Path, shard: usize) -> Result<(), RegistryError> {
-    let path = log_path(root, shard);
-    let file = match std::fs::OpenOptions::new().write(true).open(&path) {
-        Ok(file) => file,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
-        Err(e) => return Err(RegistryError::io(&path, e)),
-    };
-    let sync_started = std::time::Instant::now();
-    file.sync_data().map_err(|e| RegistryError::io(&path, e))?;
-    crate::telemetry::registry_metrics()
-        .fsync_latency_us
-        .observe_us(sync_started.elapsed());
+/// Fsyncs every segment of a shard (no-op for an empty shard): the
+/// batch-durability flush point.
+pub(crate) fn sync_segments(root: &Path, shard: usize) -> Result<(), RegistryError> {
+    for id in list_segments(root, shard)? {
+        let path = segment_path(root, shard, id);
+        let file = match std::fs::OpenOptions::new().write(true).open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(RegistryError::io(&path, e)),
+        };
+        let sync_started = std::time::Instant::now();
+        file.sync_data().map_err(|e| RegistryError::io(&path, e))?;
+        crate::telemetry::registry_metrics()
+            .fsync_latency_us
+            .observe_us(sync_started.elapsed());
+    }
     Ok(())
 }
 
-/// What recovery found in one shard log.
+/// What recovery found in one shard's segments.
 pub(crate) struct RecoveredShard {
-    /// The longest valid record prefix, in log order.
+    /// The longest valid record prefix, in log order across segments.
     pub records: Vec<LogRecord>,
-    /// Byte length of that prefix (the log is truncated to this).
+    /// Byte length of that prefix (summed over segments).
     pub valid_bytes: u64,
-    /// Bytes dropped behind the prefix (0 for a clean log).
+    /// Bytes dropped behind the prefix (0 for a clean shard), including
+    /// every byte of segments behind the first invalid record.
     pub dropped_bytes: u64,
-    /// Why the prefix ended, when it ended before the end of the file.
+    /// Why the prefix ended, when it ended before the end of the shard.
     pub error: Option<RegistryError>,
+    /// The highest surviving segment id — where the next append goes.
+    pub active_segment: u64,
+    /// Byte length of that segment (the rotation threshold accumulates
+    /// from here).
+    pub active_bytes: u64,
 }
 
-/// Replays a shard log: decodes the longest valid record prefix and reports
-/// a torn or corrupt tail as a typed error.  With `repair` set the file is
-/// additionally truncated back to the valid prefix so subsequent appends
-/// commit cleanly; without it the log is left byte-for-byte untouched (the
-/// strict `open` path inspects without destroying forensic evidence).
-/// Missing log files are an empty shard (a crash can land between
-/// `create_dir_all` and the first append).
+/// Replays a shard's segments in numeric order: decodes the longest valid
+/// record prefix and reports a torn or corrupt tail as a typed error.  With
+/// `repair` set the offending segment is truncated back to its valid prefix
+/// and every later segment is deleted, so subsequent appends commit
+/// cleanly; without it the segments are left byte-for-byte untouched (the
+/// strict `open` path inspects without destroying forensic evidence).  A
+/// shard with no segments at all is empty (a crash can land between
+/// `create_dir_all` and the first segment creation); under `repair` its
+/// initial segment is re-created so appends have somewhere to land.
 pub(crate) fn recover_shard(
     root: &Path,
     shard: usize,
     repair: bool,
+    objects: &ObjectStore,
 ) -> Result<RecoveredShard, RegistryError> {
-    let path = log_path(root, shard);
-    let bytes = match std::fs::read(&path) {
-        Ok(bytes) => bytes,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            return Ok(RecoveredShard {
-                records: Vec::new(),
-                valid_bytes: 0,
-                dropped_bytes: 0,
-                error: None,
-            })
+    let mut ids = list_segments(root, shard)?;
+    if ids.is_empty() {
+        if repair {
+            create_segment(root, shard, 0)?;
         }
-        Err(e) => return Err(RegistryError::io(&path, e)),
-    };
+        return Ok(RecoveredShard {
+            records: Vec::new(),
+            valid_bytes: 0,
+            dropped_bytes: 0,
+            error: None,
+            active_segment: 0,
+            active_bytes: 0,
+        });
+    }
 
     let mut records = Vec::new();
     let mut last_revision: HashMap<String, u32> = HashMap::new();
-    let mut valid_bytes = 0usize;
+    let mut valid_total = 0u64;
+    let mut dropped_total = 0u64;
     let mut line_no = 0usize;
     let mut error = None;
+    // Set when a segment's prefix ends early: (index into `ids`, valid
+    // bytes inside that segment).
+    let mut broken: Option<(usize, u64)> = None;
 
-    let mut rest: &[u8] = &bytes;
-    while !rest.is_empty() {
-        line_no += 1;
-        let Some(newline) = rest.iter().position(|&b| b == b'\n') else {
-            // No commit marker: the final record was torn mid-write.
-            error = Some(RegistryError::Record {
-                shard,
-                line: line_no,
-                message: format!("torn record ({} bytes without commit marker)", rest.len()),
-            });
-            break;
-        };
-        let line = &rest[..newline];
-        let decoded = std::str::from_utf8(line)
-            .map_err(|_| "invalid UTF-8".to_string())
-            .and_then(decode_line);
-        let record = match decoded {
-            Ok(record) => record,
-            Err(message) => {
+    'segments: for (k, &id) in ids.iter().enumerate() {
+        let path = segment_path(root, shard, id);
+        let bytes = std::fs::read(&path).map_err(|e| RegistryError::io(&path, e))?;
+        let mut seg_valid = 0usize;
+        let mut rest: &[u8] = &bytes;
+        while !rest.is_empty() {
+            line_no += 1;
+            let Some(newline) = rest.iter().position(|&b| b == b'\n') else {
+                // No commit marker: the final record was torn mid-write.
                 error = Some(RegistryError::Record {
                     shard,
                     line: line_no,
-                    message,
+                    message: format!("torn record ({} bytes without commit marker)", rest.len()),
                 });
-                break;
-            }
-        };
-        if let LogRecord::Revision { site, revision, .. } = &record {
-            if let Some(&last) = last_revision.get(site.as_str()) {
-                if *revision <= last {
+                broken = Some((k, seg_valid as u64));
+                dropped_total += (bytes.len() - seg_valid) as u64;
+                break 'segments;
+            };
+            let line = &rest[..newline];
+            let decoded = std::str::from_utf8(line)
+                .map_err(|_| "invalid UTF-8".to_string())
+                .and_then(|text| decode_line(text, objects));
+            let record = match decoded {
+                Ok(record) => record,
+                Err(message) => {
                     error = Some(RegistryError::Record {
                         shard,
                         line: line_no,
-                        message: format!(
-                            "revision {revision} for site {site:?} does not follow {last}"
-                        ),
+                        message,
                     });
-                    break;
+                    broken = Some((k, seg_valid as u64));
+                    dropped_total += (bytes.len() - seg_valid) as u64;
+                    break 'segments;
                 }
+            };
+            if let LogRecord::Revision { site, revision, .. } = &record {
+                if let Some(&last) = last_revision.get(site.as_str()) {
+                    if *revision <= last {
+                        error = Some(RegistryError::Record {
+                            shard,
+                            line: line_no,
+                            message: format!(
+                                "revision {revision} for site {site:?} does not follow {last}"
+                            ),
+                        });
+                        broken = Some((k, seg_valid as u64));
+                        dropped_total += (bytes.len() - seg_valid) as u64;
+                        break 'segments;
+                    }
+                }
+                last_revision.insert(site.clone(), *revision);
             }
-            last_revision.insert(site.clone(), *revision);
+            records.push(record);
+            seg_valid += newline + 1;
+            rest = &rest[newline + 1..];
         }
-        records.push(record);
-        valid_bytes += newline + 1;
-        rest = &rest[newline + 1..];
+        valid_total += seg_valid as u64;
     }
 
-    let dropped_bytes = (bytes.len() - valid_bytes) as u64;
-    if dropped_bytes > 0 {
+    let mut active_index = ids.len() - 1;
+    let active_bytes;
+    if let Some((k, seg_valid)) = broken {
+        valid_total += seg_valid;
+        // Everything behind the first invalid record is unreachable by
+        // replay: count the later segments into the dropped tail.
+        for &id in &ids[k + 1..] {
+            let path = segment_path(root, shard, id);
+            dropped_total += std::fs::metadata(&path)
+                .map(|m| m.len())
+                .map_err(|e| RegistryError::io(&path, e))?;
+        }
+        active_index = k;
+        active_bytes = seg_valid;
+        if repair {
+            let path = segment_path(root, shard, ids[k]);
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&path)
+                .map_err(|e| RegistryError::io(&path, e))?;
+            file.set_len(seg_valid)
+                .map_err(|e| RegistryError::io(&path, e))?;
+            file.sync_all().map_err(|e| RegistryError::io(&path, e))?;
+            for &id in &ids[k + 1..] {
+                let path = segment_path(root, shard, id);
+                std::fs::remove_file(&path).map_err(|e| RegistryError::io(&path, e))?;
+            }
+            sync_dir(&shard_dir(root, shard))?;
+            ids.truncate(k + 1);
+        }
+    } else {
+        let path = segment_path(root, shard, ids[active_index]);
+        active_bytes = std::fs::metadata(&path)
+            .map(|m| m.len())
+            .map_err(|e| RegistryError::io(&path, e))?;
+    }
+
+    if dropped_total > 0 {
         crate::telemetry::registry_metrics()
             .recovery_dropped_bytes
-            .add(dropped_bytes);
-    }
-    if dropped_bytes > 0 && repair {
-        // Truncate the torn tail so subsequent appends commit cleanly.
-        let file = std::fs::OpenOptions::new()
-            .write(true)
-            .open(&path)
-            .map_err(|e| RegistryError::io(&path, e))?;
-        file.set_len(valid_bytes as u64)
-            .map_err(|e| RegistryError::io(&path, e))?;
+            .add(dropped_total);
     }
     Ok(RecoveredShard {
         records,
-        valid_bytes: valid_bytes as u64,
-        dropped_bytes,
+        valid_bytes: valid_total,
+        dropped_bytes: dropped_total,
         error,
+        active_segment: ids[active_index.min(ids.len() - 1)],
+        active_bytes,
     })
 }
 
@@ -398,6 +532,32 @@ mod tests {
             read_root_manifest(&root),
             Err(RegistryError::Manifest { .. })
         ));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn segment_names_parse_and_list_in_order() {
+        assert_eq!(segment_id("seg-000000.log"), Some(0));
+        assert_eq!(segment_id("seg-000142.log"), Some(142));
+        assert_eq!(segment_id("seg-9999999.log"), Some(9_999_999));
+        for foreign in [
+            "seg-.log",
+            "seg-12a.log",
+            "manifest.json",
+            "lock",
+            "seg-000001.tmp",
+            "log.jsonl",
+        ] {
+            assert_eq!(segment_id(foreign), None, "{foreign}");
+        }
+
+        let root = std::env::temp_dir().join(format!("wi-seglist-test-{}", std::process::id()));
+        std::fs::create_dir_all(shard_dir(&root, 0)).unwrap();
+        for id in [3u64, 0, 11] {
+            create_segment(&root, 0, id).unwrap();
+        }
+        std::fs::write(shard_dir(&root, 0).join("manifest.json"), "{}").unwrap();
+        assert_eq!(list_segments(&root, 0).unwrap(), vec![0, 3, 11]);
         std::fs::remove_dir_all(&root).unwrap();
     }
 }

@@ -1,0 +1,399 @@
+//! Snapshots and replication: moving a registry between machines.
+//!
+//! A **snapshot** is a named, self-describing copy of a registry's durable
+//! state under `<root>/snapshots/<name>/`: the root manifest, every shard
+//! manifest and segment, and every referenced object, plus a
+//! `snapshot.json` checksum manifest written last (its presence is the
+//! commit marker — a crash mid-snapshot leaves a directory without one,
+//! which `restore` refuses).  Segments and objects are immutable once
+//! sealed — appends only ever touch the *active* segment, and rewrites go
+//! through rename — so the copies are hard links where the filesystem
+//! allows, making a snapshot O(metadata), not O(data).  The active segment
+//! of every shard is sealed (rotated away) first so no linked file can
+//! receive post-snapshot appends through the shared inode; the fresh,
+//! empty active segment the seal leaves behind is the one file still
+//! append-mutable, so it alone is copied rather than linked.
+//!
+//! **Replication** ships a registry to another directory incrementally:
+//! objects are content-addressed, so any digest already present at the
+//! destination is skipped outright; segments are copied only when their
+//! length or checksum differs; stale destination segments and objects
+//! (removed at the source by compaction or rotation repair) are deleted.
+//! Manifests are always rewritten, the root manifest last, so an
+//! interrupted replication leaves the destination recoverable.
+//!
+//! **Restore** validates every file of a snapshot against its checksum
+//! manifest, materializes them into a fresh root, and opens the result
+//! through the normal recovery path — so a restored registry is, by
+//! construction, byte-identical to the snapshot and semantically identical
+//! to the source at seal time.
+
+use super::log::{checksum, RegistryError};
+use super::shard::{
+    list_segments, root_manifest_path, segment_path, shard_dir, shard_manifest_path, sync_dir,
+    write_atomic,
+};
+use super::PersistentRegistry;
+use std::path::{Path, PathBuf};
+use wi_induction::json::{parse_json, JsonValue};
+
+/// The format marker of a snapshot manifest.
+pub(crate) const SNAPSHOT_FORMAT: &str = "wrapper-induction/registry-snapshot";
+
+/// What a [`PersistentRegistry::snapshot`] call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// The snapshot directory.
+    pub path: PathBuf,
+    /// Files captured (manifests + segments + objects).
+    pub files: usize,
+    /// Their summed byte length.
+    pub bytes: u64,
+}
+
+/// What a [`PersistentRegistry::replicate_to`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicationStats {
+    /// Files written at the destination (differing or absent).
+    pub files_copied: usize,
+    /// Files already identical at the destination.
+    pub files_skipped: usize,
+    /// Bytes written at the destination.
+    pub bytes_copied: u64,
+    /// Stale destination files deleted (absent at the source).
+    pub files_deleted: usize,
+}
+
+/// A snapshot name: one path component, no hidden files, no separators.
+fn validate_name(name: &str) -> Result<(), RegistryError> {
+    let ok = !name.is_empty()
+        && name.len() <= 64
+        && !name.starts_with('.')
+        && name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.');
+    if ok {
+        Ok(())
+    } else {
+        Err(RegistryError::Manifest {
+            path: PathBuf::from(name),
+            message: "snapshot names are one path component of [A-Za-z0-9._-], \
+                      not starting with a dot, at most 64 bytes"
+                .into(),
+        })
+    }
+}
+
+/// Links `src` to `dst` (when `link` is set and the filesystem supports
+/// it), falling back to a synced copy.  Linking is only sound for files
+/// that will never be written again, so callers pass `link: false` for the
+/// one mutable file a registry has — the active segment.  Returns the
+/// file's byte length.
+fn link_or_copy(src: &Path, dst: &Path, link: bool) -> Result<u64, RegistryError> {
+    match if link {
+        std::fs::hard_link(src, dst)
+    } else {
+        Err(std::io::Error::other("copy requested"))
+    } {
+        Ok(()) => {}
+        Err(_) => {
+            std::fs::copy(src, dst).map_err(|e| RegistryError::io(dst, e))?;
+            let file = std::fs::File::open(dst).map_err(|e| RegistryError::io(dst, e))?;
+            file.sync_all().map_err(|e| RegistryError::io(dst, e))?;
+        }
+    }
+    std::fs::metadata(dst)
+        .map(|m| m.len())
+        .map_err(|e| RegistryError::io(dst, e))
+}
+
+/// The relative paths of every durable registry file: root manifest, shard
+/// manifests, segments, objects.  Lock files, temp files and the snapshots
+/// directory itself are never part of a snapshot or replication.
+fn durable_files(registry: &PersistentRegistry) -> Result<Vec<PathBuf>, RegistryError> {
+    let mut files = Vec::new();
+    for shard in 0..registry.shard_count() {
+        let dir = PathBuf::from(format!("shard-{shard:03}"));
+        files.push(dir.join("manifest.json"));
+        for id in list_segments(registry.root(), shard)? {
+            files.push(dir.join(format!("seg-{id:06}.log")));
+        }
+    }
+    for digest in registry.objects().list()? {
+        files.push(PathBuf::from("objects").join(format!("{digest:016x}.json")));
+    }
+    // The root manifest goes last: both snapshot verification and
+    // replication want it written/checked after everything it governs.
+    files.push(PathBuf::from("registry.json"));
+    Ok(files)
+}
+
+impl PersistentRegistry {
+    /// Captures the registry's durable state into
+    /// `<root>/snapshots/<name>/`: seals every shard's active segment,
+    /// hard-links segments + objects + manifests, and commits the snapshot
+    /// by writing its checksum manifest (`snapshot.json`) last.
+    pub fn snapshot(&mut self, name: &str) -> Result<SnapshotStats, RegistryError> {
+        let started = std::time::Instant::now();
+        self.check_poisoned()?;
+        validate_name(name)?;
+        let snap_root = self.root().join("snapshots").join(name);
+        if snap_root.exists() {
+            return Err(RegistryError::Manifest {
+                path: snap_root,
+                message: "snapshot already exists".into(),
+            });
+        }
+
+        // Flush and seal: linked files must never see another append.  The
+        // seal leaves each shard with a fresh *empty* active segment; that
+        // one file stays append-mutable, so it is copied below instead of
+        // hard-linked.
+        self.sync()?;
+        for shard in 0..self.shard_count() {
+            self.seal_active(shard)?;
+        }
+        let active_rel: std::collections::BTreeSet<PathBuf> = (0..self.shard_count())
+            .map(|shard| {
+                PathBuf::from(format!("shard-{shard:03}"))
+                    .join(format!("seg-{:06}.log", self.active[shard].id))
+            })
+            .collect();
+
+        let files = durable_files(self)?;
+        std::fs::create_dir_all(&snap_root).map_err(|e| RegistryError::io(&snap_root, e))?;
+        sync_dir(&snap_root)?;
+        let mut entries = Vec::new();
+        let mut total_bytes = 0u64;
+        for rel in &files {
+            let src = self.root().join(rel);
+            let dst = snap_root.join(rel);
+            if let Some(parent) = dst.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| RegistryError::io(parent, e))?;
+            }
+            let bytes = link_or_copy(&src, &dst, !active_rel.contains(rel))?;
+            let text = std::fs::read_to_string(&dst).map_err(|e| RegistryError::io(&dst, e))?;
+            entries.push(JsonValue::Object(vec![
+                (
+                    "path".into(),
+                    JsonValue::String(rel.to_string_lossy().into_owned()),
+                ),
+                ("bytes".into(), JsonValue::Number(bytes as f64)),
+                (
+                    "sum".into(),
+                    JsonValue::String(format!("{:016x}", checksum(&text))),
+                ),
+            ]));
+            total_bytes += bytes;
+        }
+        // Make every directory entry durable before the commit marker.
+        for shard in 0..self.shard_count() {
+            sync_dir(&snap_root.join(format!("shard-{shard:03}")))?;
+        }
+        let objects_dir = snap_root.join("objects");
+        if objects_dir.exists() {
+            sync_dir(&objects_dir)?;
+        }
+
+        let manifest = JsonValue::Object(vec![
+            ("format".into(), JsonValue::String(SNAPSHOT_FORMAT.into())),
+            (
+                "version".into(),
+                JsonValue::Number(f64::from(super::shard::REGISTRY_FORMAT_VERSION)),
+            ),
+            ("name".into(), JsonValue::String(name.into())),
+            ("files".into(), JsonValue::Array(entries)),
+        ]);
+        let mut text = manifest.to_pretty();
+        text.push('\n');
+        write_atomic(&snap_root.join("snapshot.json"), &text)?;
+
+        let stats = SnapshotStats {
+            path: snap_root,
+            files: files.len(),
+            bytes: total_bytes,
+        };
+        wi_obs::record_span(
+            "registry.snapshot",
+            started,
+            &[("files", stats.files as u64), ("bytes", stats.bytes)],
+        );
+        Ok(stats)
+    }
+
+    /// Ships the registry's durable state to another directory,
+    /// incrementally: content-addressed objects already present are
+    /// skipped, segments are copied only when they differ, and stale
+    /// destination segments/objects are deleted.  The destination ends up
+    /// openable by [`PersistentRegistry::recover`].
+    pub fn replicate_to(&self, dest: &Path) -> Result<ReplicationStats, RegistryError> {
+        self.check_poisoned()?;
+        let mut stats = ReplicationStats {
+            files_copied: 0,
+            files_skipped: 0,
+            bytes_copied: 0,
+            files_deleted: 0,
+        };
+        std::fs::create_dir_all(dest).map_err(|e| RegistryError::io(dest, e))?;
+
+        // Objects: absence is the only question — digests are content.
+        let src_objects = self.objects().list()?;
+        let dst_store = super::objects::ObjectStore::open(dest);
+        let dst_objects = dst_store.list()?;
+        if !src_objects.is_empty() {
+            std::fs::create_dir_all(dst_store.dir())
+                .map_err(|e| RegistryError::io(dst_store.dir(), e))?;
+        }
+        for &digest in &src_objects {
+            let dst = dst_store.object_path(digest);
+            if dst.exists() {
+                stats.files_skipped += 1;
+                continue;
+            }
+            let text = std::fs::read_to_string(self.objects().object_path(digest))
+                .map_err(|e| RegistryError::io(self.objects().object_path(digest), e))?;
+            write_atomic(&dst, &text)?;
+            stats.files_copied += 1;
+            stats.bytes_copied += text.len() as u64;
+        }
+        for &digest in &dst_objects {
+            if src_objects.binary_search(&digest).is_err() {
+                dst_store.remove(digest)?;
+                stats.files_deleted += 1;
+            }
+        }
+
+        // Segments: copy on length/checksum mismatch, delete stale ids.
+        for shard in 0..self.shard_count() {
+            let dst_dir = shard_dir(dest, shard);
+            std::fs::create_dir_all(&dst_dir).map_err(|e| RegistryError::io(&dst_dir, e))?;
+            let src_ids = list_segments(self.root(), shard)?;
+            let dst_ids = list_segments(dest, shard)?;
+            for &id in &src_ids {
+                let src = segment_path(self.root(), shard, id);
+                let dst = segment_path(dest, shard, id);
+                let text = std::fs::read_to_string(&src).map_err(|e| RegistryError::io(&src, e))?;
+                let identical = match std::fs::read_to_string(&dst) {
+                    Ok(existing) => existing == text,
+                    Err(_) => false,
+                };
+                if identical {
+                    stats.files_skipped += 1;
+                } else {
+                    write_atomic(&dst, &text)?;
+                    stats.files_copied += 1;
+                    stats.bytes_copied += text.len() as u64;
+                }
+            }
+            for &id in &dst_ids {
+                if src_ids.binary_search(&id).is_err() {
+                    let stale = segment_path(dest, shard, id);
+                    std::fs::remove_file(&stale).map_err(|e| RegistryError::io(&stale, e))?;
+                    sync_dir(&dst_dir)?;
+                    stats.files_deleted += 1;
+                }
+            }
+            let text = std::fs::read_to_string(shard_manifest_path(self.root(), shard))
+                .map_err(|e| RegistryError::io(shard_manifest_path(self.root(), shard), e))?;
+            write_atomic(&shard_manifest_path(dest, shard), &text)?;
+            stats.files_copied += 1;
+            stats.bytes_copied += text.len() as u64;
+        }
+
+        // Root manifest last: its presence marks the destination complete.
+        let text = std::fs::read_to_string(root_manifest_path(self.root()))
+            .map_err(|e| RegistryError::io(root_manifest_path(self.root()), e))?;
+        write_atomic(&root_manifest_path(dest), &text)?;
+        stats.files_copied += 1;
+        stats.bytes_copied += text.len() as u64;
+        Ok(stats)
+    }
+
+    /// Materializes a snapshot directory into a fresh registry root —
+    /// verifying every file against the snapshot's checksum manifest —
+    /// and opens the result through normal recovery.  Refuses a
+    /// destination that already holds a registry.
+    pub fn restore(snapshot: &Path, dest: &Path) -> Result<PersistentRegistry, RegistryError> {
+        let manifest_path = snapshot.join("snapshot.json");
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| RegistryError::io(&manifest_path, e))?;
+        let manifest = parse_json(&text).map_err(|e| RegistryError::Manifest {
+            path: manifest_path.clone(),
+            message: format!("malformed JSON: {e}"),
+        })?;
+        let bad = |message: String| RegistryError::Manifest {
+            path: manifest_path.clone(),
+            message,
+        };
+        if manifest.get("format").and_then(JsonValue::as_str) != Some(SNAPSHOT_FORMAT) {
+            return Err(bad("not a snapshot manifest".into()));
+        }
+        match manifest.get("version").and_then(JsonValue::as_u32) {
+            Some(super::shard::REGISTRY_FORMAT_VERSION) => {}
+            other => return Err(bad(format!("unsupported version {other:?}"))),
+        }
+        let files = manifest
+            .get("files")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| bad("missing file list".into()))?;
+        if root_manifest_path(dest).exists() {
+            return Err(RegistryError::Manifest {
+                path: root_manifest_path(dest),
+                message: "restore destination already holds a registry".into(),
+            });
+        }
+        std::fs::create_dir_all(dest).map_err(|e| RegistryError::io(dest, e))?;
+
+        for entry in files {
+            let rel = entry
+                .get("path")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad("file entry without path".into()))?;
+            if rel.starts_with('/') || rel.split('/').any(|part| part == "..") {
+                return Err(bad(format!("unsafe file path {rel:?}")));
+            }
+            let bytes = entry
+                .get("bytes")
+                .and_then(JsonValue::as_u32)
+                .ok_or_else(|| bad(format!("file entry {rel:?} without byte length")))?;
+            let sum = entry
+                .get("sum")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| bad(format!("file entry {rel:?} without checksum")))?;
+            let src = snapshot.join(rel);
+            let content = std::fs::read_to_string(&src).map_err(|e| RegistryError::io(&src, e))?;
+            if content.len() as u64 != u64::from(bytes)
+                || format!("{:016x}", checksum(&content)) != sum
+            {
+                return Err(bad(format!(
+                    "snapshot file {rel:?} fails verification (got {} bytes, sum {:016x})",
+                    content.len(),
+                    checksum(&content)
+                )));
+            }
+            let dst = dest.join(rel);
+            if let Some(parent) = dst.parent() {
+                std::fs::create_dir_all(parent).map_err(|e| RegistryError::io(parent, e))?;
+            }
+            write_atomic(&dst, &content)?;
+        }
+        PersistentRegistry::recover(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_names_are_one_safe_path_component() {
+        for ok in ["nightly", "v2", "2026-08-08_0", "a.b"] {
+            assert!(validate_name(ok).is_ok(), "{ok}");
+        }
+        for bad in ["", ".", "..", ".hidden", "a/b", "a\\b", "a b", "ü"] {
+            assert!(validate_name(bad).is_err(), "{bad:?}");
+        }
+        let long = "x".repeat(65);
+        assert!(validate_name(&long).is_err());
+    }
+}

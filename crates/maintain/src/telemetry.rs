@@ -9,7 +9,9 @@
 //!   counters, the retirement-countdown gauge.
 //! * `wi_registry_append_latency_us` / `wi_registry_fsync_latency_us` /
 //!   `wi_registry_recovery_dropped_bytes_total` /
-//!   `wi_registry_compaction_bytes_{in,out}_total` — storage-engine I/O.
+//!   `wi_registry_compaction_bytes_{in,out}_total` /
+//!   `wi_registry_segment_rotations_total` /
+//!   `wi_registry_segments_rewritten_total` — storage-engine I/O.
 
 use crate::drift::DriftClass;
 use crate::lifecycle::WrapperState;
@@ -129,6 +131,12 @@ pub(crate) struct RegistryMetrics {
     /// `wi_registry_compaction_bytes_out_total` — log bytes surviving
     /// compactions.
     pub compaction_bytes_out: Counter,
+    /// `wi_registry_segment_rotations_total` — appends rolled to a fresh
+    /// segment (threshold rolls plus snapshot seals).
+    pub segment_rotations: Counter,
+    /// `wi_registry_segments_rewritten_total` — segments rewritten by
+    /// compactions (the write-amplification pulse).
+    pub segments_rewritten: Counter,
 }
 
 /// The lazily-resolved storage handles.
@@ -146,6 +154,8 @@ pub(crate) fn registry_metrics() -> &'static RegistryMetrics {
             recovery_dropped_bytes: r.counter("wi_registry_recovery_dropped_bytes_total", &[]),
             compaction_bytes_in: r.counter("wi_registry_compaction_bytes_in_total", &[]),
             compaction_bytes_out: r.counter("wi_registry_compaction_bytes_out_total", &[]),
+            segment_rotations: r.counter("wi_registry_segment_rotations_total", &[]),
+            segments_rewritten: r.counter("wi_registry_segments_rewritten_total", &[]),
         }
     })
 }

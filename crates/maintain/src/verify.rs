@@ -70,6 +70,22 @@ pub struct AnchorCarrier {
     /// Consecutive healthy captures with an unchanged count (evidence that
     /// the carrier set is template-stable, not list churn).
     pub stable_observations: u32,
+    /// The **neighborhood fingerprint**: normalized texts of the leaf
+    /// elements that shared this anchor's carrier with the extracted nodes
+    /// at capture time, extracted nodes excluded, sorted and deduplicated.
+    /// For a labeled details row this is the label ("Director:") — the
+    /// context that identifies *which* carrier of a repeated anchor value
+    /// the expression actually went through, so a positionally-masked
+    /// anchor surviving its block's removal can still be recognized as a
+    /// removed target (see `DriftClassifier`).
+    #[serde(default)]
+    pub neighborhood: Vec<String>,
+    /// Consecutive healthy captures with an unchanged neighborhood.  Like
+    /// text stability, the fingerprint is only *evidence* once reproduced
+    /// (two or more confirmations) — list churn inside a carrier must not
+    /// trigger removal verdicts.
+    #[serde(default)]
+    pub neighborhood_stable: u32,
 }
 
 impl LastKnownGood {
@@ -160,11 +176,14 @@ impl LastKnownGood {
                 .into_iter()
                 .map(|(attribute, value)| {
                     let count = doc.carrier_count(&attribute, &value);
+                    let neighborhood = capture_neighborhood(doc, &attribute, &value, nodes);
                     AnchorCarrier {
                         attribute,
                         value,
                         count,
                         stable_observations: 0,
+                        neighborhood,
+                        neighborhood_stable: 0,
                     }
                 })
                 .collect(),
@@ -191,6 +210,9 @@ impl LastKnownGood {
                 if prev.count == carrier.count {
                     carrier.stable_observations = prev.stable_observations + 1;
                 }
+                if prev.neighborhood == carrier.neighborhood {
+                    carrier.neighborhood_stable = prev.neighborhood_stable + 1;
+                }
             }
         }
         next
@@ -216,9 +238,11 @@ impl LastKnownGood {
             next.stable_observations = self.stable_observations + 1;
         }
         for carrier in &mut next.anchor_carriers {
-            // Identical document ⇒ identical carrier census ⇒ every carrier
-            // confirms once, exactly as `advance` would decide.
+            // Identical document ⇒ identical carrier census and identical
+            // neighborhood ⇒ every carrier confirms once, exactly as
+            // `advance` would decide.
             carrier.stable_observations += 1;
+            carrier.neighborhood_stable += 1;
         }
         next
     }
@@ -244,6 +268,94 @@ impl LastKnownGood {
 pub(crate) fn count_carriers(doc: &Document, attribute: &str, value: &str) -> usize {
     let total = doc.carrier_count(attribute, value);
     total - usize::from(doc.attribute(doc.root(), attribute) == Some(value))
+}
+
+/// The neighborhood fingerprint of one attribute anchor: the normalized
+/// texts of the *leaf* elements that share a carrier of `(attribute,
+/// value)` with the extracted nodes, the extracted subtrees themselves
+/// excluded, sorted and deduplicated.
+///
+/// Carriers are taken from the extracted nodes' own ancestor-or-self
+/// chains, not from the whole document: of a repeated anchor value
+/// (`div[@class="blk"]` appearing five times) only the carrier the
+/// expression actually descended through contributes context.  A leaf is
+/// an element with no element children; leaves inside an extracted
+/// subtree — including an extracted node that is itself a carrier — are
+/// skipped, because the target's own text rotates and must never anchor
+/// the fingerprint.
+pub(crate) fn capture_neighborhood(
+    doc: &Document,
+    attribute: &str,
+    value: &str,
+    nodes: &[NodeId],
+) -> Vec<String> {
+    let extracted: std::collections::BTreeSet<NodeId> = nodes.iter().copied().collect();
+    let mut carriers: Vec<NodeId> = Vec::new();
+    for &node in nodes {
+        let mut cursor = Some(node);
+        while let Some(n) = cursor {
+            if doc.is_element(n) && doc.attribute(n, attribute) == Some(value) {
+                carriers.push(n);
+            }
+            cursor = doc.parent(n);
+        }
+    }
+    carriers.sort();
+    carriers.dedup();
+
+    let mut texts: Vec<String> = Vec::new();
+    for &carrier in &carriers {
+        'leaves: for leaf in doc.descendants_or_self(carrier) {
+            if !doc.is_element(leaf) || doc.children(leaf).any(|c| doc.is_element(c)) {
+                continue;
+            }
+            // Walk back up to the carrier: a hop through an extracted node
+            // (the carrier itself included) disqualifies the leaf.
+            let mut cursor = Some(leaf);
+            while let Some(n) = cursor {
+                if extracted.contains(&n) {
+                    continue 'leaves;
+                }
+                if n == carrier {
+                    break;
+                }
+                cursor = doc.parent(n);
+            }
+            let text = doc.normalized_text(leaf);
+            if !text.is_empty() {
+                texts.push(text);
+            }
+        }
+    }
+    texts.sort();
+    texts.dedup();
+    texts
+}
+
+/// Whether a recorded neighborhood fingerprint is still present: every
+/// recorded text must reappear as the normalized text of some element
+/// inside *some* carrier of `(attribute, value)` on this document (the
+/// carrier itself included).  An empty fingerprint is vacuously present —
+/// it carries no evidence either way.
+pub(crate) fn neighborhood_present(
+    doc: &Document,
+    attribute: &str,
+    value: &str,
+    texts: &[String],
+) -> bool {
+    if texts.is_empty() {
+        return true;
+    }
+    let carriers: Vec<NodeId> = doc
+        .descendants(doc.root())
+        .filter(|&n| doc.is_element(n) && doc.attribute(n, attribute) == Some(value))
+        .collect();
+    texts.iter().all(|text| {
+        carriers.iter().any(|&carrier| {
+            doc.descendants_or_self(carrier)
+                .any(|n| doc.is_element(n) && doc.normalized_text(n) == *text)
+        })
+    })
 }
 
 /// One observation about a replayed extraction.  Severe signals make the

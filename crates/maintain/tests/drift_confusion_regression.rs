@@ -1,22 +1,22 @@
-//! Regression harness for the known drift-classifier confusion (ROADMAP:
-//! "Drift-classifier coverage"): when a **positionally-masked anchor
-//! survives its block's removal**, the classifier reports
+//! Regression harness for a formerly-known drift-classifier confusion
+//! (ROADMAP: "Drift-classifier coverage"): when a **positionally-masked
+//! anchor survives its block's removal**, the classifier used to report
 //! [`DriftClass::Unknown`] where the generated truth is `target-removed`.
 //!
 //! The wrapper `descendant::div[@class="blk"][1]/child::span[1]` anchors on
 //! a class that *another* block also carries.  When the first block — the
 //! one holding the target — is removed, the anchor value still occurs on
 //! the page (`attr_anchor_gone` is false), so the "anchors themselves
-//! vanished" evidence the `TargetRemoved` verdict needs is missing, and no
-//! substitution validates either.  A neighborhood fingerprint captured at
-//! last-known-good time (which carrier of the anchor the expression
-//! actually went through) would disambiguate; until it exists, this test
-//! pins the wrong-but-current behaviour so the fix has a ready harness —
-//! the `KNOWN CONFUSION` assertions below are the ones a fingerprint fix
-//! must flip.
-//!
-//! No `#[ignore]`: the test *passes* today, documenting the confusion, and
-//! fails loudly the day the classifier starts answering `TargetRemoved`.
+//! vanished" evidence the `TargetRemoved` verdict needs was missing, and no
+//! substitution validates either.  The fix is the **neighborhood
+//! fingerprint** recorded per anchor carrier at last-known-good time (the
+//! removed block's stable label, here `"Director:"`): it identifies *which*
+//! carrier of the repeated anchor value the expression actually went
+//! through, and its disappearance from every surviving carrier —
+//! `EntryDiagnosis::neighborhood_gone` — is removal evidence on par with a
+//! vanished anchor.  This test pins the fixed behaviour; the control case
+//! below proves the fingerprint is doing the work (an anchor removed
+//! *with* its block classified correctly all along).
 
 use wi_dom::Document;
 use wi_induction::{WrapperBundle, WrapperInducer};
@@ -54,8 +54,8 @@ fn masked_bundle(doc: &Document) -> WrapperBundle {
     bundle
 }
 
-/// Runs the loop over three healthy epochs (building anchor-census
-/// stability) followed by the block removal.
+/// Runs the loop over three healthy epochs (building anchor-census and
+/// neighborhood-fingerprint stability) followed by the block removal.
 fn run_timeline(broken_page: Document) -> MaintenanceLog {
     let v1 = page_with_both_blocks();
     let bundle = masked_bundle(&v1);
@@ -83,12 +83,12 @@ fn run_timeline(broken_page: Document) -> MaintenanceLog {
 }
 
 #[test]
-fn surviving_positionally_masked_anchor_confuses_target_removed_with_unknown() {
+fn surviving_positionally_masked_anchor_classifies_as_target_removed() {
     let log = run_timeline(page_with_surviving_anchor());
 
-    // The verifier part works: the silently shifted extraction (the
-    // expression now lands on the Stars span) is caught by the anchor
-    // census, not missed as "healthy".
+    // The verifier part: the silently shifted extraction (the expression
+    // now lands on the Stars span) is caught by the anchor census, not
+    // missed as "healthy".
     let flagged = &log.outcomes[3];
     assert!(
         flagged.flagged,
@@ -97,34 +97,33 @@ fn surviving_positionally_masked_anchor_confuses_target_removed_with_unknown() {
     );
     assert!(!flagged.repaired, "nothing validates as a repair here");
 
-    // KNOWN CONFUSION — the classifier cannot tell this diminishing target
-    // from an unclassifiable break, because the anchor value survives on
-    // the sibling block.  A neighborhood fingerprint fix must flip this
-    // assertion to `DriftClass::TargetRemoved`.
+    // The fix under regression: the anchor value survives on the sibling
+    // block, but the evidenced neighborhood fingerprint ("Director:") is
+    // gone from every surviving carrier, so the break classifies as the
+    // diminishing target it is — not as Unknown.
     assert_eq!(
         flagged.drift,
-        Some(DriftClass::Unknown),
-        "the classifier no longer confuses target-removed with unknown: \
-         update this regression harness (and the ROADMAP) to pin the fix"
+        Some(DriftClass::TargetRemoved),
+        "a surviving positionally-masked anchor must not hide a removed \
+         target: the neighborhood fingerprint disambiguates"
     );
 
-    // KNOWN CONFUSION, consequence — because the break never classifies as
-    // TargetRemoved, the retirement countdown never starts and the wrapper
-    // thrashes in Degraded instead of retiring.  The fingerprint fix should
-    // end this timeline Retired.
+    // Consequence of the fix: the retirement countdown starts on the first
+    // TargetRemoved verdict and the wrapper retires instead of thrashing
+    // in Degraded forever.
     assert_eq!(
         log.outcomes.last().unwrap().state,
-        WrapperState::Degraded,
-        "the wrapper now retires: the classifier fix landed — update this \
-         harness to assert WrapperState::Retired"
+        WrapperState::Retired,
+        "consecutive TargetRemoved verdicts must retire the wrapper"
     );
 }
 
 #[test]
 fn removed_anchor_control_case_still_classifies_target_removed() {
     // Control: identical timeline, but the block removal takes the anchor
-    // value with it (no sibling carrier) — classification works, proving
-    // the confusion above is specifically about the surviving anchor.
+    // value with it (no sibling carrier) — this classified correctly even
+    // before the fingerprint existed, proving the test above specifically
+    // exercises the surviving-anchor path.
     let control = Document::parse(
         r#"<body><div class="other"><h4>Stars:</h4><span class="v">DeNiro</span></div>
            <ul><li>1</li><li>2</li><li>3</li><li>4</li><li>5</li><li>6</li></ul></body>"#,

@@ -12,7 +12,8 @@ use wi_induction::{WrapperBundle, WrapperInducer};
 use wi_maintain::registry::log::decode_line;
 use wi_maintain::{
     CompactionPolicy, Durability, LastKnownGood, LogRecord, Maintainer, MaintenanceJob,
-    MaintenanceLog, PageVersion, PersistentRegistry, Registry, RegistryError, WrapperState,
+    MaintenanceLog, ObjectStore, PageVersion, PersistentRegistry, Registry, RegistryError,
+    WrapperState,
 };
 use wi_scoring::ScoringParams;
 use wi_webgen::archive::ArchiveSimulator;
@@ -106,12 +107,51 @@ fn line_ends(bytes: &[u8]) -> Vec<usize> {
         .collect()
 }
 
-/// Decodes the committed lines of a pristine log.
-fn decode_log(bytes: &[u8]) -> Vec<LogRecord> {
+/// Decodes the committed lines of a pristine segment, resolving bundle
+/// digests through the registry's object store.
+fn decode_log(bytes: &[u8], objects: &ObjectStore) -> Vec<LogRecord> {
     let text = std::str::from_utf8(bytes).unwrap();
     text.lines()
-        .map(|line| decode_line(line).expect("pristine log line decodes"))
+        .map(|line| decode_line(line, objects).expect("pristine log line decodes"))
         .collect()
+}
+
+/// The segment files of one shard, in replay (numeric) order.
+fn segment_files(root: &std::path::Path, shard: usize) -> Vec<std::path::PathBuf> {
+    let dir = root.join(format!("shard-{shard:03}"));
+    let mut out: Vec<std::path::PathBuf> = std::fs::read_dir(&dir)
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|entry| entry.path())
+        .filter(|path| {
+            path.file_name()
+                .and_then(|name| name.to_str())
+                .is_some_and(|name| name.starts_with("seg-") && name.ends_with(".log"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Total log bytes across every segment of every shard.
+fn total_segment_bytes(root: &std::path::Path, shards: usize) -> u64 {
+    (0..shards)
+        .flat_map(|shard| segment_files(root, shard))
+        .filter_map(|path| std::fs::metadata(path).ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// The single segment a small, unrotated one-shard corpus lives in.
+fn only_segment(root: &std::path::Path) -> std::path::PathBuf {
+    let segments = segment_files(root, 0);
+    assert_eq!(
+        segments.len(),
+        1,
+        "corpus unexpectedly rotated: {segments:?}"
+    );
+    segments.into_iter().next().unwrap()
 }
 
 /// The (site, revision) pairs committed by the first `n` records.
@@ -140,10 +180,10 @@ fn recovered_revisions(registry: &PersistentRegistry) -> Vec<(String, u32)> {
 #[test]
 fn truncation_at_every_tail_offset_recovers_the_longest_valid_prefix() {
     let root = build_small_registry("truncate");
-    let log_path = root.join("shard-000").join("log.jsonl");
+    let log_path = only_segment(&root);
     let original = std::fs::read(&log_path).unwrap();
     let ends = line_ends(&original);
-    let records = decode_log(&original);
+    let records = decode_log(&original, &ObjectStore::open(&root));
     assert!(records.len() >= 9, "corpus too small: {}", records.len());
 
     // Every offset in the tail (the last three records) plus a sample of
@@ -217,10 +257,10 @@ fn truncation_at_every_tail_offset_recovers_the_longest_valid_prefix() {
 #[test]
 fn bit_flips_in_the_log_tail_never_panic_and_keep_the_valid_prefix() {
     let root = build_small_registry("bitflip");
-    let log_path = root.join("shard-000").join("log.jsonl");
+    let log_path = only_segment(&root);
     let original = std::fs::read(&log_path).unwrap();
     let ends = line_ends(&original);
-    let records = decode_log(&original);
+    let records = decode_log(&original, &ObjectStore::open(&root));
 
     // The line index each byte offset belongs to.
     let line_of = |offset: usize| ends.iter().filter(|&&e| e <= offset).count();
@@ -537,12 +577,7 @@ fn resubmitting_a_maintained_batch_is_idempotent() {
             )
         })
         .collect();
-    let log_bytes: u64 = (0..registry.shard_count())
-        .filter_map(|s| {
-            std::fs::metadata(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
-        })
-        .map(|m| m.len())
-        .sum();
+    let log_bytes = total_segment_bytes(&root, registry.shard_count());
 
     // Replay the identical batch — simulated crash-and-retry.  Every page
     // is at or before each site's persisted last-maintained day, so every
@@ -569,12 +604,7 @@ fn resubmitting_a_maintained_batch_is_idempotent() {
             "{site}: LKG double-advanced"
         );
     }
-    let log_bytes_after: u64 = (0..registry.shard_count())
-        .filter_map(|s| {
-            std::fs::metadata(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
-        })
-        .map(|m| m.len())
-        .sum();
+    let log_bytes_after = total_segment_bytes(&root, registry.shard_count());
     assert_eq!(log_bytes_after, log_bytes, "replay appended to the logs");
 
     // A partially-new batch (old pages + genuinely new days) applies only
@@ -732,15 +762,15 @@ fn compaction_preserves_live_state_and_bounds_shard_logs() {
         })
         .collect();
     let max_line_before: usize = (0..registry.shard_count())
-        .filter_map(|s| {
-            std::fs::read_to_string(root.join(format!("shard-{s:03}")).join("log.jsonl")).ok()
-        })
+        .flat_map(|s| segment_files(&root, s))
+        .filter_map(|path| std::fs::read_to_string(path).ok())
         .flat_map(|text| text.lines().map(str::len).collect::<Vec<_>>())
         .max()
         .unwrap();
 
     let policy = CompactionPolicy {
         retain_revisions: 1,
+        min_live_ratio: 1.0,
     };
     let stats = registry.compact(&policy).unwrap();
 
@@ -797,7 +827,10 @@ fn compaction_preserves_live_state_and_bounds_shard_logs() {
 fn a_thousand_site_histories_survive_drop_and_recover_with_zero_lost_revisions() {
     let root = temp_root("thousand");
     const SITES: usize = 1024;
-    let mut registry = PersistentRegistry::create(&root, 8).unwrap();
+    const SEGMENT_BYTES: u64 = 16 * 1024;
+    let mut registry = PersistentRegistry::create(&root, 8)
+        .unwrap()
+        .with_segment_bytes(SEGMENT_BYTES);
 
     // One induced template bundle, cloned across synthetic site histories.
     let v1 = page("p", &["1", "2", "3"]);
@@ -832,6 +865,11 @@ fn a_thousand_site_histories_survive_drop_and_recover_with_zero_lost_revisions()
         }
     }
     assert!(committed > 2000, "only {committed} revisions committed");
+    let segments_total: usize = (0..8).map(|s| segment_files(&root, s).len()).sum();
+    assert!(
+        segments_total > 8,
+        "the fleet never rotated a segment: {segments_total}"
+    );
     let live: Vec<(String, u32)> = recovered_revisions(&registry);
 
     // Process death.
@@ -856,9 +894,21 @@ fn a_thousand_site_histories_survive_drop_and_recover_with_zero_lost_revisions()
     let stats = recovered
         .compact(&CompactionPolicy {
             retain_revisions: 0,
+            min_live_ratio: 1.0,
         })
         .unwrap();
     assert!(stats.bytes_after < stats.bytes_before);
+    // Write-amplification ceiling: compaction rewrites at most one
+    // segment's worth of bytes per dirty segment — the threshold plus one
+    // append batch of slack, since a batch is never split across segments.
+    assert!(stats.segments_rewritten > 0, "nothing was dirty: {stats:?}");
+    let per_segment_ceiling = SEGMENT_BYTES + 4096;
+    assert!(
+        stats.bytes_rewritten <= stats.segments_rewritten as u64 * per_segment_ceiling,
+        "rewrote {} bytes over {} segments (ceiling {per_segment_ceiling}/segment)",
+        stats.bytes_rewritten,
+        stats.segments_rewritten
+    );
     let after = PersistentRegistry::recover(&root).unwrap();
     assert_eq!(after.site_count(), SITES);
     for i in (0..SITES).step_by(97) {
@@ -894,7 +944,7 @@ fn batch_durability_still_recovers_a_clean_prefix_after_truncation() {
     registry.sync().unwrap();
     drop(registry);
 
-    let log_path = root.join("shard-000").join("log.jsonl");
+    let log_path = only_segment(&root);
     let pristine = std::fs::read(&log_path).unwrap();
     let ends = line_ends(&pristine);
     assert_eq!(ends.len(), 4, "one committed line per install");
@@ -953,6 +1003,367 @@ fn shard_locks_refuse_live_holders_and_reclaim_dead_ones() {
         !lock_path.exists(),
         "dropping the owning registry releases the lock"
     );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+/// A single-shard registry with a tiny rotation threshold and enough
+/// committed revisions (one install + 24 repairs) to span several
+/// segments; the corpus for the rotation and snapshot batteries.
+fn build_rotated_registry(tag: &str) -> std::path::PathBuf {
+    let root = temp_root(tag);
+    let mut registry = PersistentRegistry::create(&root, 1)
+        .unwrap()
+        .with_segment_bytes(512);
+    let v1 = page("p", &["1", "2", "3"]);
+    let targets = v1.elements_by_class("p");
+    let wrapper = WrapperInducer::default()
+        .try_induce_best(&v1, &targets)
+        .unwrap();
+    let bundle = WrapperBundle::from_wrapper(&wrapper, ScoringParams::default()).with_label("rot");
+    registry.install("rot", bundle.clone(), 0).unwrap();
+    let mut current = bundle;
+    for r in 0..24u32 {
+        current = current.revised(current.entries.clone(), format!("rotation filler {r:02}"));
+        registry
+            .commit_revision("rot", current.clone(), i64::from(r) + 1)
+            .unwrap();
+    }
+    root
+}
+
+#[test]
+fn appends_roll_segments_at_the_threshold_and_a_crashed_rotation_recovers() {
+    let root = build_rotated_registry("rotate");
+    let segments = segment_files(&root, 0);
+    assert!(segments.len() >= 3, "no rotation happened: {segments:?}");
+    for sealed in &segments[..segments.len() - 1] {
+        let len = std::fs::metadata(sealed).unwrap().len();
+        assert!(len > 0, "sealed segments are never empty: {sealed:?}");
+        assert!(
+            len <= 512,
+            "a sealed segment exceeds the threshold: {sealed:?} has {len} bytes"
+        );
+    }
+
+    let live = {
+        let registry = PersistentRegistry::recover(&root).unwrap();
+        assert!(registry.recovery_report().clean());
+        recovered_revisions(&registry)
+    };
+    assert_eq!(live.len(), 25, "one install plus 24 commits");
+
+    // Kill-between-rotation-steps: the only intermediate state a crashed
+    // rotation can leave behind is a freshly created, still-empty segment
+    // nothing was appended to.  Recovery must adopt it as the active
+    // segment and keep every committed record.
+    let next_id = segments.len() as u64;
+    let orphan = root.join("shard-000").join(format!("seg-{next_id:06}.log"));
+    std::fs::write(&orphan, "").unwrap();
+    let mut registry = PersistentRegistry::recover(&root).unwrap();
+    assert!(registry.recovery_report().clean());
+    assert_eq!(recovered_revisions(&registry), live);
+
+    // The next append lands in the adopted segment.
+    let current = registry.current("rot").unwrap().clone();
+    let next = current.revised(current.entries.clone(), "post-rotation-crash");
+    registry.commit_revision("rot", next, 999).unwrap();
+    drop(registry);
+    assert!(
+        std::fs::metadata(&orphan).unwrap().len() > 0,
+        "the append must land in the segment the crashed rotation left"
+    );
+    assert_eq!(
+        PersistentRegistry::recover(&root)
+            .unwrap()
+            .current("rot")
+            .unwrap()
+            .revision,
+        25
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn active_segment_truncation_and_bit_flips_keep_the_sealed_history() {
+    let root = build_rotated_registry("seg-corrupt");
+    let objects = ObjectStore::open(&root);
+    let segments = segment_files(&root, 0);
+    assert!(segments.len() >= 3, "no rotation happened: {segments:?}");
+    let active = segments.last().unwrap().clone();
+    let earlier: Vec<LogRecord> = segments[..segments.len() - 1]
+        .iter()
+        .flat_map(|path| decode_log(&std::fs::read(path).unwrap(), &objects))
+        .collect();
+    let original = std::fs::read(&active).unwrap();
+    let ends = line_ends(&original);
+    let all: Vec<LogRecord> = earlier
+        .iter()
+        .cloned()
+        .chain(decode_log(&original, &objects))
+        .collect();
+
+    // Truncation at every byte offset of the active segment: the sealed
+    // segments' records always survive, plus exactly the active-segment
+    // prefix whose commit markers survived the cut.
+    for cut in 0..=original.len() {
+        std::fs::write(&active, &original[..cut]).unwrap();
+        let registry = PersistentRegistry::recover(&root)
+            .unwrap_or_else(|e| panic!("recover failed at cut {cut}: {e}"));
+        let surviving = ends.iter().filter(|&&e| e <= cut).count();
+        let mut expected = committed_revisions(&all, earlier.len() + surviving);
+        expected.sort();
+        assert_eq!(recovered_revisions(&registry), expected, "cut at {cut}");
+    }
+
+    // A bit flip at every byte offset of the active segment: never a
+    // panic, always the longest valid prefix.
+    for i in 0..original.len() {
+        let mut corrupted = original.clone();
+        corrupted[i] ^= 1 << (i % 8);
+        std::fs::write(&active, &corrupted).unwrap();
+        let registry = PersistentRegistry::recover(&root)
+            .unwrap_or_else(|e| panic!("recover failed at flip {i}: {e}"));
+        let clean_lines = ends.iter().filter(|&&e| e <= i).count();
+        let mut expected = committed_revisions(&all, earlier.len() + clean_lines);
+        expected.sort();
+        assert_eq!(recovered_revisions(&registry), expected, "flip at byte {i}");
+    }
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn snapshot_survives_source_corruption_and_restores_byte_identically() {
+    let root = build_rotated_registry("snapshot");
+    let mut registry = PersistentRegistry::recover(&root).unwrap();
+    let live = recovered_revisions(&registry);
+    let bundle_json = registry.current("rot").unwrap().to_json_string();
+
+    let stats = registry.snapshot("nightly").unwrap();
+    assert!(stats.files >= 4, "{stats:?}");
+    assert!(
+        registry.snapshot("nightly").is_err(),
+        "snapshot names are write-once"
+    );
+
+    // Appends after the snapshot must not bleed into it through shared
+    // inodes: the seal rotated them onto a fresh segment.
+    let current = registry.current("rot").unwrap().clone();
+    let next = current.revised(current.entries.clone(), "post-snapshot");
+    registry.commit_revision("rot", next, 1000).unwrap();
+    drop(registry);
+
+    // Corrupt the source: delete a sealed segment and every object.
+    // Deletion unlinks the source names without touching the snapshot's
+    // linked inodes.
+    let snap = root.join("snapshots").join("nightly");
+    let segments = segment_files(&root, 0);
+    std::fs::remove_file(&segments[0]).unwrap();
+    for object in std::fs::read_dir(root.join("objects")).unwrap() {
+        std::fs::remove_file(object.unwrap().path()).unwrap();
+    }
+
+    let restore_root = temp_root("snapshot-restored");
+    let restored = PersistentRegistry::restore(&snap, &restore_root).unwrap();
+    assert!(restored.recovery_report().clean());
+    assert_eq!(recovered_revisions(&restored), live);
+    assert_eq!(
+        restored.current("rot").unwrap().to_json_string(),
+        bundle_json
+    );
+
+    // Byte identity: every file of the snapshot (the manifest itself
+    // aside) is reproduced bit-for-bit at the restore destination.
+    fn files_under(dir: &std::path::Path, out: &mut Vec<std::path::PathBuf>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                files_under(&path, out);
+            } else {
+                out.push(path);
+            }
+        }
+    }
+    let mut snapshot_files = Vec::new();
+    files_under(&snap, &mut snapshot_files);
+    assert!(snapshot_files.len() >= 4);
+    for file in &snapshot_files {
+        let rel = file.strip_prefix(&snap).unwrap();
+        if rel == std::path::Path::new("snapshot.json") {
+            continue;
+        }
+        assert_eq!(
+            std::fs::read(file).unwrap(),
+            std::fs::read(restore_root.join(rel)).unwrap(),
+            "{rel:?} differs between snapshot and restore"
+        );
+    }
+    drop(restored);
+
+    // A destination that already holds a registry is refused.
+    assert!(
+        PersistentRegistry::restore(&snap, &restore_root).is_err(),
+        "restore must refuse a populated destination"
+    );
+
+    // A tampered snapshot file fails checksum verification.
+    let snap_segments = segment_files(&snap, 0);
+    let mut bytes = std::fs::read(&snap_segments[0]).unwrap();
+    bytes[0] ^= 0x01;
+    std::fs::write(&snap_segments[0], &bytes).unwrap();
+    let tampered_root = temp_root("snapshot-tampered");
+    match PersistentRegistry::restore(&snap, &tampered_root) {
+        Err(RegistryError::Manifest { message, .. }) => {
+            assert!(message.contains("fails verification"), "{message}");
+        }
+        other => panic!("tampered snapshot must fail verification, got {other:?}"),
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+    std::fs::remove_dir_all(&restore_root).unwrap();
+    let _ = std::fs::remove_dir_all(&tampered_root);
+}
+
+#[test]
+fn replication_ships_only_missing_files_and_prunes_stale_ones() {
+    let root = build_rotated_registry("replicate");
+    let mut registry = PersistentRegistry::recover(&root).unwrap();
+    let dest = temp_root("replica");
+
+    let first = registry.replicate_to(&dest).unwrap();
+    assert!(first.files_copied > 0);
+    assert_eq!(first.files_deleted, 0);
+    {
+        let replica = PersistentRegistry::recover(&dest).unwrap();
+        assert!(replica.recovery_report().clean());
+        assert_eq!(
+            recovered_revisions(&replica),
+            recovered_revisions(&registry)
+        );
+    }
+
+    // A second replication is incremental: every object and every segment
+    // is skipped by content, only the manifests are rewritten.
+    let objects = registry.objects().list().unwrap().len();
+    let segments = segment_files(&root, 0).len();
+    let second = registry.replicate_to(&dest).unwrap();
+    assert_eq!(second.files_skipped, objects + segments, "{second:?}");
+    assert_eq!(
+        second.files_copied, 2,
+        "only the shard and root manifests are rewritten: {second:?}"
+    );
+    assert_eq!(second.files_deleted, 0);
+
+    // Compacting the source orphans most objects and segments; the next
+    // replication prunes them at the destination.
+    let stats = registry
+        .compact(&CompactionPolicy {
+            retain_revisions: 0,
+            min_live_ratio: 1.0,
+        })
+        .unwrap();
+    assert!(stats.objects_removed > 0, "{stats:?}");
+    let third = registry.replicate_to(&dest).unwrap();
+    assert!(
+        third.files_deleted > 0,
+        "stale replica files must go: {third:?}"
+    );
+    {
+        let replica = PersistentRegistry::recover(&dest).unwrap();
+        assert_eq!(
+            recovered_revisions(&replica),
+            recovered_revisions(&registry)
+        );
+        assert_eq!(replica.current("rot").unwrap().revision, 24);
+    }
+
+    std::fs::remove_dir_all(&root).unwrap();
+    std::fs::remove_dir_all(&dest).unwrap();
+}
+
+#[test]
+fn compaction_garbage_collects_only_unreferenced_objects() {
+    let root = temp_root("refcount");
+    let mut registry = PersistentRegistry::create(&root, 1).unwrap();
+    let v1 = page("p", &["1", "2", "3"]);
+    let targets = v1.elements_by_class("p");
+    let wrapper = WrapperInducer::default()
+        .try_induce_best(&v1, &targets)
+        .unwrap();
+    let shared = WrapperBundle::from_wrapper(&wrapper, ScoringParams::default());
+
+    // The same bundle installed for two sites: content addressing stores
+    // it once.
+    registry.install("site-a", shared.clone(), 0).unwrap();
+    registry.install("site-b", shared.clone(), 0).unwrap();
+    let objects = ObjectStore::open(&root);
+    assert_eq!(
+        objects.list().unwrap().len(),
+        1,
+        "identical bundles must share one object"
+    );
+
+    // site-a moves on through two repairs: under retain 0 the intermediate
+    // revision becomes garbage, but the shared original must survive —
+    // site-b still references it.
+    let r1 = shared.revised(shared.entries.clone(), "first repair");
+    registry.commit_revision("site-a", r1.clone(), 10).unwrap();
+    let r2 = r1.revised(r1.entries.clone(), "second repair");
+    registry.commit_revision("site-a", r2.clone(), 20).unwrap();
+    assert_eq!(objects.list().unwrap().len(), 3);
+
+    let stats = registry
+        .compact(&CompactionPolicy {
+            retain_revisions: 0,
+            min_live_ratio: 1.0,
+        })
+        .unwrap();
+    assert_eq!(
+        stats.objects_removed, 1,
+        "exactly the orphaned intermediate revision goes: {stats:?}"
+    );
+    assert_eq!(objects.list().unwrap().len(), 2);
+
+    let reopened = PersistentRegistry::recover(&root).unwrap();
+    assert!(reopened.recovery_report().clean());
+    assert_eq!(
+        reopened.current("site-a").unwrap().to_json_string(),
+        r2.to_json_string()
+    );
+    assert_eq!(
+        reopened.current("site-b").unwrap().to_json_string(),
+        shared.to_json_string(),
+        "the shared object must never be collected while referenced"
+    );
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn live_ratio_floor_skips_mostly_live_segments() {
+    let root = build_rotated_registry("live-ratio");
+    let mut registry = PersistentRegistry::recover(&root).unwrap();
+
+    // retain 4 of 25 revisions: early segments are fully dead (rewritten or
+    // removed), the newest ones fully live (skipped under a 0.5 floor).
+    let stats = registry
+        .compact(&CompactionPolicy {
+            retain_revisions: 4,
+            min_live_ratio: 0.5,
+        })
+        .unwrap();
+    assert!(
+        stats.segments_rewritten < stats.segments_scanned,
+        "mostly-live segments must be skipped: {stats:?}"
+    );
+    assert!(stats.segments_rewritten > 0, "{stats:?}");
+    assert!(stats.bytes_rewritten < stats.bytes_before, "{stats:?}");
+
+    // Skipped segments may retain dead records — replay must still land on
+    // the same live state, and every digest those records name must still
+    // resolve (the GC keeps skipped segments' objects reachable).
+    let reopened = PersistentRegistry::recover(&root).unwrap();
+    assert!(reopened.recovery_report().clean());
+    assert_eq!(reopened.current("rot").unwrap().revision, 24);
+    assert!(reopened.history("rot").len() >= 5);
     std::fs::remove_dir_all(&root).unwrap();
 }
 

@@ -58,6 +58,7 @@ pub fn handle(state: &ServeState, cx: &mut EvalContext, request: &Request) -> (E
         Ok(Route::DebugTrace) => (Endpoint::DebugTrace, debug_trace()),
         Ok(Route::DebugSlow) => (Endpoint::DebugSlow, debug_slow()),
         Ok(Route::Shutdown) => (Endpoint::Shutdown, shutdown(state)),
+        Ok(Route::Snapshot) => (Endpoint::Snapshot, snapshot(state, request)),
         Ok(Route::Extract(site)) => (Endpoint::Extract, extract(state, cx, &site, request)),
         Ok(Route::ExtractBatch) => (Endpoint::ExtractBatch, extract_batch(state, request)),
         Ok(Route::Induce(site)) => (Endpoint::Induce, induce(state, &site, request)),
@@ -133,6 +134,47 @@ fn shutdown(state: &ServeState) -> Reply {
     json_reply(
         200,
         &object(vec![("status", JsonValue::String("draining".into()))]),
+    )
+}
+
+/// `POST /admin/snapshot`: seals every shard's active segment and
+/// captures the registry's durable state under `snapshots/{name}`.  The
+/// body is optional JSON `{"name": …}`; an empty body gets a name derived
+/// from the wall clock.
+fn snapshot(state: &ServeState, request: &Request) -> Reply {
+    let name = if request.body.is_empty() {
+        let stamp = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        format!("snapshot-{stamp}")
+    } else {
+        let body = match parse_body(request) {
+            Ok(body) => body,
+            Err(reply) => return reply,
+        };
+        match body.get("name").and_then(JsonValue::as_str) {
+            Some(name) => name.to_string(),
+            None => return error_reply(422, "body needs a \"name\" string"),
+        }
+    };
+    let stats = {
+        let Ok(mut registry) = state.registry.write() else {
+            return error_reply(500, "registry lock poisoned");
+        };
+        match registry.snapshot(&name) {
+            Ok(stats) => stats,
+            Err(e) => return registry_error_reply(e),
+        }
+    };
+    json_reply(
+        200,
+        &object(vec![
+            ("name", JsonValue::String(name)),
+            ("path", JsonValue::String(stats.path.display().to_string())),
+            ("files", number(stats.files as f64)),
+            ("bytes", number(stats.bytes as f64)),
+        ]),
     )
 }
 

@@ -46,13 +46,15 @@ pub enum Endpoint {
     DebugSlow,
     /// `POST /admin/shutdown`.
     Shutdown,
+    /// `POST /admin/snapshot`.
+    Snapshot,
     /// Unrouted or malformed requests.
     Other,
 }
 
 impl Endpoint {
     /// Every endpoint, in exposition order.
-    pub const ALL: [Endpoint; 11] = [
+    pub const ALL: [Endpoint; 12] = [
         Endpoint::Extract,
         Endpoint::ExtractBatch,
         Endpoint::Induce,
@@ -63,6 +65,7 @@ impl Endpoint {
         Endpoint::DebugTrace,
         Endpoint::DebugSlow,
         Endpoint::Shutdown,
+        Endpoint::Snapshot,
         Endpoint::Other,
     ];
 
@@ -79,6 +82,7 @@ impl Endpoint {
             Endpoint::DebugTrace => "debug_trace",
             Endpoint::DebugSlow => "debug_slow",
             Endpoint::Shutdown => "shutdown",
+            Endpoint::Snapshot => "snapshot",
             Endpoint::Other => "other",
         }
     }
@@ -98,7 +102,8 @@ impl Endpoint {
             Endpoint::DebugTrace => 7,
             Endpoint::DebugSlow => 8,
             Endpoint::Shutdown => 9,
-            Endpoint::Other => 10,
+            Endpoint::Snapshot => 10,
+            Endpoint::Other => 11,
         }
     }
 }
@@ -137,9 +142,12 @@ pub struct Metrics {
     shard_requests: Vec<Counter>,
     registry_sites: Gauge,
     registry_poisoned: Gauge,
+    registry_objects: Gauge,
+    registry_object_bytes: Gauge,
     shard_sites: Vec<Gauge>,
     shard_revisions: Vec<Gauge>,
     shard_log_bytes: Vec<Gauge>,
+    shard_segments: Vec<Gauge>,
     uptime_seconds: Gauge,
     started: Instant,
 }
@@ -166,6 +174,8 @@ impl Metrics {
             .collect();
         let registry_sites = obs.gauge("wi_registry_sites", &[]);
         let registry_poisoned = obs.gauge("wi_registry_poisoned", &[]);
+        let registry_objects = obs.gauge("wi_registry_objects", &[]);
+        let registry_object_bytes = obs.gauge("wi_registry_object_bytes", &[]);
         let shard_sites = (0..shards)
             .map(|shard| obs.gauge("wi_registry_shard_sites", &[("shard", &shard.to_string())]))
             .collect();
@@ -185,6 +195,14 @@ impl Metrics {
                 )
             })
             .collect();
+        let shard_segments = (0..shards)
+            .map(|shard| {
+                obs.gauge(
+                    "wi_registry_shard_segments",
+                    &[("shard", &shard.to_string())],
+                )
+            })
+            .collect();
         let uptime_seconds = obs.gauge("wi_uptime_seconds", &[]);
         Metrics {
             obs,
@@ -192,9 +210,12 @@ impl Metrics {
             shard_requests,
             registry_sites,
             registry_poisoned,
+            registry_objects,
+            registry_object_bytes,
             shard_sites,
             shard_revisions,
             shard_log_bytes,
+            shard_segments,
             uptime_seconds,
             started: Instant::now(),
         }
@@ -240,6 +261,9 @@ impl Metrics {
         self.registry_sites.set(registry.site_count() as u64);
         self.registry_poisoned
             .set(u64::from(registry.is_poisoned()));
+        let (objects, object_bytes) = registry.objects().stats();
+        self.registry_objects.set(objects as u64);
+        self.registry_object_bytes.set(object_bytes);
         for stat in registry.shard_stats() {
             if let Some(gauge) = self.shard_sites.get(stat.shard) {
                 gauge.set(stat.sites as u64);
@@ -249,6 +273,9 @@ impl Metrics {
             }
             if let Some(gauge) = self.shard_log_bytes.get(stat.shard) {
                 gauge.set(stat.log_bytes);
+            }
+            if let Some(gauge) = self.shard_segments.get(stat.shard) {
+                gauge.set(stat.segments as u64);
             }
         }
         self.uptime_seconds.set(self.started.elapsed().as_secs());

@@ -36,6 +36,8 @@ pub enum Route {
     DebugSlow,
     /// `POST /admin/shutdown` — graceful drain and exit.
     Shutdown,
+    /// `POST /admin/snapshot` — capture a named registry snapshot.
+    Snapshot,
 }
 
 /// Why no route matched.
@@ -67,6 +69,7 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         ["debug", "trace"] => expect("GET", Route::DebugTrace),
         ["debug", "slow"] => expect("GET", Route::DebugSlow),
         ["admin", "shutdown"] => expect("POST", Route::Shutdown),
+        ["admin", "snapshot"] => expect("POST", Route::Snapshot),
         ["extract", "batch"] => expect("POST", Route::ExtractBatch),
         ["extract", site @ ..] => site_route(method, "POST", site, Route::Extract),
         ["induce", site @ ..] => site_route(method, "POST", site, Route::Induce),
@@ -143,6 +146,7 @@ mod tests {
         assert_eq!(route("GET", "/debug/trace"), Ok(Route::DebugTrace));
         assert_eq!(route("GET", "/debug/slow"), Ok(Route::DebugSlow));
         assert_eq!(route("POST", "/admin/shutdown"), Ok(Route::Shutdown));
+        assert_eq!(route("POST", "/admin/snapshot"), Ok(Route::Snapshot));
         assert_eq!(route("POST", "/extract/batch"), Ok(Route::ExtractBatch));
         assert_eq!(
             route("POST", "/extract/movies-01"),

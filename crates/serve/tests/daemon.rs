@@ -248,6 +248,27 @@ fn daemon_serves_the_full_wrapper_lifecycle() {
     assert_eq!(client::get(addr, "/nope").unwrap().status, 404);
     assert_eq!(client::get(addr, "/extract/x").unwrap().status, 405);
 
+    // Snapshot over HTTP: the named capture lands under snapshots/ and a
+    // recover of the snapshot directory agrees with the live registry.
+    let snap_body = object(vec![("name", JsonValue::String("http-nightly".into()))]);
+    let snapped = client::post_json(addr, "/admin/snapshot", &snap_body).expect("snapshot");
+    assert_eq!(snapped.status, 200, "snapshot failed: {}", snapped.text());
+    let snapped = snapped.json().unwrap();
+    assert_eq!(
+        snapped.get("name").and_then(JsonValue::as_str),
+        Some("http-nightly")
+    );
+    assert!(snapped.get("files").and_then(JsonValue::as_f64).unwrap() > 0.0);
+    let snap_root = root.join("snapshots").join("http-nightly");
+    assert!(snap_root.join("snapshot.json").is_file());
+    let from_snapshot = PersistentRegistry::recover(&snap_root).expect("recover snapshot");
+    assert!(from_snapshot.current(&site).is_some());
+    drop(from_snapshot);
+    // Duplicate names are refused, not overwritten.
+    let duplicate = client::post_json(addr, "/admin/snapshot", &snap_body).expect("duplicate");
+    assert_eq!(duplicate.status, 500);
+    assert!(duplicate.text().contains("already exists"));
+
     // Graceful shutdown: drain, join, sync — and the handed-back registry
     // still has the site; a fresh recover from disk agrees.
     let drain = client::post_json(addr, "/admin/shutdown", &object(vec![])).expect("shutdown");
